@@ -1,0 +1,93 @@
+// Command darshandump prints one Darshan-format log in full, the way
+// darshan-parser does: the job header, the name table, and every record's
+// counters by name.
+//
+// Usage:
+//
+//	darshandump file.darshan [file2.darshan ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/darshan/logfmt"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: darshandump file.darshan [...]")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := dump(path); err != nil {
+			fmt.Fprintf(os.Stderr, "darshandump: %s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func dump(path string) error {
+	log, err := logfmt.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	j := log.Job
+	fmt.Printf("# log:        %s\n", path)
+	fmt.Printf("# jobid:      %d\n", j.JobID)
+	fmt.Printf("# uid:        %d\n", j.UserID)
+	fmt.Printf("# nprocs:     %d\n", j.NProcs)
+	fmt.Printf("# start_time: %s\n", time.Unix(j.StartTime, 0).UTC().Format(time.RFC3339))
+	fmt.Printf("# end_time:   %s\n", time.Unix(j.EndTime, 0).UTC().Format(time.RFC3339))
+	fmt.Printf("# run_time:   %.0f\n", j.Runtime())
+	fmt.Printf("# exe:        %s\n", j.Exe)
+	for k, v := range j.Metadata {
+		fmt.Printf("# meta %s = %s\n", k, v)
+	}
+	fmt.Printf("# records:    %d, names: %d\n\n", len(log.Records), len(log.Names))
+
+	if len(log.DXT) > 0 {
+		fmt.Printf("# DXT traces: %d\n", len(log.DXT))
+		for _, tr := range log.DXT {
+			fmt.Printf("DXT %s\t%d\t%016x\t%s\n", tr.Module, tr.Rank, uint64(tr.Record), log.PathOf(tr.Record))
+			for _, seg := range tr.Segments {
+				fmt.Printf("\t%-5s off=%-12d len=%-12d [%.6f, %.6f]\n",
+					seg.Kind, seg.Offset, seg.Length, seg.Start, seg.End)
+			}
+		}
+		fmt.Println()
+	}
+
+	for _, rec := range log.Records {
+		fmt.Printf("%s\t%d\t%016x\t%s\n", rec.Module, rec.Rank, uint64(rec.Record), log.PathOf(rec.Record))
+		names := darshan.CounterNames(rec.Module)
+		for i, v := range rec.Counters {
+			if v == 0 {
+				continue
+			}
+			name := fmt.Sprintf("COUNTER_%d", i)
+			if i < len(names) {
+				name = names[i]
+			}
+			fmt.Printf("\t%s\t%d\n", name, v)
+		}
+		fnames := darshan.FCounterNames(rec.Module)
+		for i, v := range rec.FCounters {
+			if v == 0 {
+				continue
+			}
+			name := fmt.Sprintf("F_COUNTER_%d", i)
+			if i < len(fnames) {
+				name = fnames[i]
+			}
+			fmt.Printf("\t%s\t%.6f\n", name, v)
+		}
+	}
+	return nil
+}

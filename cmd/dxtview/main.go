@@ -1,0 +1,43 @@
+// Command dxtview analyzes the DXT traces in Darshan-format logs: access
+// patterns, I/O phases, duty cycles — the in-depth view §2.2 says DXT
+// exists for. Logs without DXT sections (the production default on both
+// studied systems) report "no traces".
+//
+// Usage:
+//
+//	dxtview [-gap 1.0] file.darshan [...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/dxtan"
+)
+
+func main() {
+	gap := flag.Float64("gap", 1.0, "idle seconds separating I/O phases")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dxtview [-gap seconds] file.darshan [...]")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		log, err := logfmt.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dxtview: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("# %s (job %d)\n", path, log.Job.JobID)
+		if len(log.DXT) == 0 {
+			fmt.Println("no traces (DXT was not enabled when this log was produced)")
+			continue
+		}
+		fmt.Print(dxtan.Render(log, dxtan.AnalyzeLog(log, *gap)))
+	}
+	os.Exit(exit)
+}

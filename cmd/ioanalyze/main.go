@@ -1,0 +1,78 @@
+// Command ioanalyze parses a directory of Darshan-format logs (as written
+// by iogen or any tool targeting the logfmt format) and prints the study's
+// tables and figures for them — the darshan-util half of the pipeline on
+// its own.
+//
+// Usage:
+//
+//	ioanalyze -dir /path/to/logs [-system summit]
+//	ioanalyze -archive campaign.dgar [-system summit]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/report"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "summit", "system the logs came from: summit or cori")
+		dir     = flag.String("dir", "", "directory of .darshan logs")
+		archive = flag.String("archive", "", "campaign archive (.dgar) to analyze instead of a directory")
+	)
+	flag.Parse()
+	if *dir == "" && *archive == "" {
+		fmt.Fprintln(os.Stderr, "ioanalyze: -dir or -archive is required")
+		os.Exit(2)
+	}
+	sys := systems.ByName(*system)
+	if sys == nil {
+		fmt.Fprintf(os.Stderr, "ioanalyze: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	agg := analysis.NewAggregator(sys)
+	parsed, failed := 0, 0
+	source := *dir
+	if *archive != "" {
+		source = *archive
+		logs, err := logfmt.ReadArchiveFile(*archive)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ioanalyze:", err)
+			os.Exit(1)
+		}
+		for _, log := range logs {
+			agg.AddLog(log)
+			parsed++
+		}
+	} else {
+		paths, err := filepath.Glob(filepath.Join(*dir, "*.darshan"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ioanalyze:", err)
+			os.Exit(1)
+		}
+		if len(paths) == 0 {
+			fmt.Fprintf(os.Stderr, "ioanalyze: no .darshan logs in %s\n", *dir)
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			log, err := logfmt.ReadFile(p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ioanalyze: skipping %s: %v\n", p, err)
+				failed++
+				continue
+			}
+			agg.AddLog(log)
+			parsed++
+		}
+	}
+	fmt.Printf("ioanalyze: parsed %d logs (%d unreadable) from %s\n\n", parsed, failed, source)
+	fmt.Println(report.Everything(agg.Report()))
+}

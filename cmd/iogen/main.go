@@ -1,0 +1,113 @@
+// Command iogen synthesizes a production campaign and writes every Darshan
+// log to disk in the self-describing compressed format, one file per log,
+// the way a year of production collection would leave them.
+//
+// Usage:
+//
+//	iogen -out /path/to/logs [-system summit] [-scale 0.0005]
+//	      [-filescale 0.02] [-seed 1]
+//
+// With -archive the campaign lands in a single .dgar bundle instead of one
+// file per log — how year-long collections are actually shipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"iolayers/internal/core"
+	"iolayers/internal/darshan"
+	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/workload"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "summit", "system profile: summit or cori")
+		out       = flag.String("out", "", "output directory (required)")
+		scale     = flag.Float64("scale", 0.0005, "job-count scale")
+		fileScale = flag.Float64("filescale", 0.02, "per-log file-count scale")
+		seed      = flag.Uint64("seed", 1, "campaign seed")
+		archive   = flag.Bool("archive", false, "write one .dgar campaign archive instead of per-log files")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "iogen: -out is required")
+		os.Exit(2)
+	}
+	if !*archive {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "iogen:", err)
+			os.Exit(1)
+		}
+	}
+
+	campaign, err := core.NewCampaign(*system, workload.Config{
+		Seed: *seed, JobScale: *scale, FileScale: *fileScale,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iogen:", err)
+		os.Exit(1)
+	}
+
+	var written atomic.Int64
+	var sink core.LogSink
+	var finish func() error = func() error { return nil }
+	if *archive {
+		path := *out
+		if filepath.Ext(path) == "" {
+			path += ".dgar"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iogen:", err)
+			os.Exit(1)
+		}
+		aw, err := logfmt.NewArchiveWriter(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iogen:", err)
+			os.Exit(1)
+		}
+		var mu sync.Mutex
+		sink = func(jobIdx, logIdx int, log *darshan.Log) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := aw.Append(log); err != nil {
+				return err
+			}
+			written.Add(1)
+			return nil
+		}
+		finish = func() error {
+			if err := aw.Close(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+		*out = path
+	} else {
+		sink = func(jobIdx, logIdx int, log *darshan.Log) error {
+			name := fmt.Sprintf("%s_job%06d_log%05d.darshan", campaign.System.Name, jobIdx, logIdx)
+			if err := logfmt.WriteFile(filepath.Join(*out, name), log); err != nil {
+				return err
+			}
+			written.Add(1)
+			return nil
+		}
+	}
+	rep, err := campaign.Run(sink)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iogen:", err)
+		os.Exit(1)
+	}
+	if err := finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "iogen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("iogen: wrote %d logs (%d jobs, %d files) to %s\n",
+		written.Load(), rep.Summary.Jobs, rep.Summary.Files, *out)
+}

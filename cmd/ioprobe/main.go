@@ -1,0 +1,33 @@
+// Command ioprobe runs TOKIO-style performance probes against a simulated
+// system's storage layers and reports delivered-bandwidth variability — the
+// sampling-based third vantage point of the paper's Table 1 taxonomy.
+//
+// Usage:
+//
+//	ioprobe [-system summit] [-samples 100] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/probes"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "summit", "system to probe: summit or cori")
+		samples = flag.Int("samples", 100, "probe repetitions per layer")
+		seed    = flag.Uint64("seed", 1, "probe seed")
+	)
+	flag.Parse()
+	sys := systems.ByName(*system)
+	if sys == nil {
+		fmt.Fprintf(os.Stderr, "ioprobe: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	h := probes.NewHarness(sys, *seed)
+	fmt.Print(probes.Render(sys.Name, probes.Summarize(h.Run(*samples))))
+}

@@ -1,0 +1,155 @@
+// Command iostudy runs the end-to-end reproduction study: it synthesizes a
+// production campaign for Summit and/or Cori, runs it through the Darshan
+// runtime against the simulated I/O subsystems, and prints the paper's
+// tables and figures.
+//
+// Usage:
+//
+//	iostudy [-system both] [-scale 0.001] [-filescale 0.05] [-seed 1]
+//	        [-workers 0] [-experiment all]
+//
+// Experiments: all, table2..table6, figure3, figure4, figure5, figure6,
+// figure7, figure8, figure9, figure10, figure11 (figure12 is figure11 on
+// Cori), and extension (the STDIOX statistics; pair with -extended).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/core"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/serverstats"
+	"iolayers/internal/report"
+	"iolayers/internal/workload"
+)
+
+func main() {
+	var (
+		system     = flag.String("system", "both", "system to study: summit, cori, or both")
+		scale      = flag.Float64("scale", 0.001, "job-count scale relative to the paper's campaigns")
+		fileScale  = flag.Float64("filescale", 0.05, "per-log file-count scale")
+		seed       = flag.Uint64("seed", 1, "campaign seed")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		experiment = flag.String("experiment", "all", "which table/figure to print")
+		extended   = flag.Bool("extended", false, "enable the STDIOX extension module (Recommendation 4)")
+		serverSide = flag.Bool("serverstats", false, "also print server-side load imbalance per layer")
+		whatIf     = flag.Bool("whatif", false, "also run the Recommendation-2 counterfactual (middleware aggregation) and print the comparison")
+		format     = flag.String("format", "text", "output format: text, or csv (figure series for plotting)")
+	)
+	flag.Parse()
+
+	cfg := workload.Config{Seed: *seed, JobScale: *scale, FileScale: *fileScale,
+		ExtendedStdio: *extended}
+	var names []string
+	switch strings.ToLower(*system) {
+	case "both":
+		names = []string{"Summit", "Cori"}
+	case "summit":
+		names = []string{"Summit"}
+	case "cori":
+		names = []string{"Cori"}
+	default:
+		fmt.Fprintf(os.Stderr, "iostudy: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	for _, name := range names {
+		campaign, err := core.NewCampaign(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iostudy:", err)
+			os.Exit(1)
+		}
+		campaign.Workers = *workers
+		var collectors map[string]*serverstats.Collector
+		if *serverSide {
+			collectors = iosim.AttachCollectors(campaign.System)
+		}
+		rep, err := campaign.Run(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iostudy:", err)
+			os.Exit(1)
+		}
+		var out string
+		if strings.ToLower(*format) == "csv" {
+			out = report.CSV(rep)
+		} else {
+			var rerr error
+			out, rerr = render(rep, strings.ToLower(*experiment))
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "iostudy:", rerr)
+				os.Exit(2)
+			}
+		}
+		fmt.Printf("==== %s (scale %g, filescale %g, seed %d) ====\n\n",
+			name, *scale, *fileScale, *seed)
+		fmt.Println(out)
+		if *serverSide {
+			fmt.Println(report.ServerStats(name, collectors))
+		}
+		if *whatIf {
+			altCfg := cfg
+			altCfg.WhatIfAggregation = true
+			alt, err := core.NewCampaign(name, altCfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "iostudy:", err)
+				os.Exit(1)
+			}
+			alt.Workers = *workers
+			altRep, err := alt.Run(nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "iostudy:", err)
+				os.Exit(1)
+			}
+			fmt.Println(report.WhatIf(rep, altRep))
+		}
+	}
+}
+
+func render(r *analysis.Report, experiment string) (string, error) {
+	switch experiment {
+	case "all":
+		return report.Everything(r), nil
+	case "table2":
+		return report.Table2(r), nil
+	case "table3":
+		return report.Table3(r), nil
+	case "table4":
+		return report.Table4(r), nil
+	case "table5":
+		return report.Table5(r), nil
+	case "table6":
+		return report.Table6(r), nil
+	case "figure3":
+		return report.Figure3(r), nil
+	case "figure4":
+		return report.Figure4(r, false), nil
+	case "figure5":
+		return report.Figure4(r, true), nil
+	case "figure6":
+		return report.Figure6(r, false), nil
+	case "figure7":
+		return report.Figure7(r), nil
+	case "figure8":
+		return report.Figure6(r, true), nil
+	case "figure9":
+		return report.Figure9(r), nil
+	case "figure10":
+		return report.Figure10(r), nil
+	case "figure11", "figure12":
+		return report.Figure11(r), nil
+	case "extension", "e1":
+		return report.ExtensionSTDIOX(r), nil
+	case "tuning":
+		return report.Tuning(r), nil
+	case "temporal":
+		return report.Temporal(r), nil
+	case "users":
+		return report.Users(r), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", experiment)
+	}
+}

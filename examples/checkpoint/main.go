@@ -1,0 +1,110 @@
+// Checkpoint: the traditional bulk-synchronous HPC I/O pattern the paper's
+// introduction starts from — a numerical simulation periodically dumping its
+// state — run three ways on the simulated Summit subsystem:
+//
+//  1. every rank writes its own chunk to the parallel file system,
+//
+//  2. all ranks write one shared file collectively through MPI-IO, and
+//
+//  3. ranks write to the node-local NVMe layer (SCNL) and drain to the PFS
+//     in the background (the Spectral/UnifyFS pattern, Recommendation 3).
+//
+//     go run ./examples/checkpoint
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+)
+
+const (
+	// A capability-class run: at 2048 of Summit's 4608 nodes the node-local
+	// NVMe aggregate (≈4.3 TB/s write) exceeds what Alpine can deliver
+	// under production load — the regime burst buffers exist for.
+	nodes        = 2048
+	procsPerNode = 42
+	checkpoints  = 5
+	perRankState = 128 * units.MiB
+)
+
+func newClient(sys *iosim.System, seed uint64) (*iosim.Client, *darshan.Runtime) {
+	rt := darshan.NewRuntime(darshan.JobHeader{
+		JobID: seed, UserID: 1, NProcs: nodes * procsPerNode,
+		StartTime: 0, EndTime: 86_400,
+	})
+	return iosim.NewClient(sys, rt, rand.New(rand.NewPCG(seed, 0))), rt
+}
+
+func main() {
+	summit := systems.NewSummit()
+	nprocs := nodes * procsPerNode
+	total := units.ByteSize(nprocs) * perRankState
+	fmt.Printf("checkpointing %d ranks × %s = %s per checkpoint, %d checkpoints\n\n",
+		nprocs, perRankState, total, checkpoints)
+
+	// Strategy 1: file-per-process on the PFS. All ranks write their own
+	// files concurrently — the data moves at the job's aggregate delivered
+	// bandwidth, but every checkpoint also pays an open storm: nprocs file
+	// creations hammering the shared metadata service.
+	c1, _ := newClient(summit, 1)
+	const mdsConcurrency = 32 // parallel metadata service capacity
+	var wall1 float64
+	for ck := 0; ck < checkpoints; ck++ {
+		openStorm := float64(nprocs) * summit.PFS.MetaLatency() / mdsConcurrency
+		path := fmt.Sprintf("/gpfs/alpine/sim/ckpt%02d/rankfiles", ck)
+		wall1 += openStorm
+		wall1 += c1.SharedTransfer(darshan.ModulePOSIX, path, iosim.Write, total, false)
+	}
+	fmt.Printf("1. file-per-process on Alpine:        %8.2f s  (%s/s)\n",
+		wall1, bw(total*checkpoints, wall1))
+
+	// Strategy 2: single shared file through collective MPI-IO. Collective
+	// buffering merges everything into large well-formed requests.
+	c2, _ := newClient(summit, 2)
+	var wall2 float64
+	for ck := 0; ck < checkpoints; ck++ {
+		path := fmt.Sprintf("/gpfs/alpine/sim/shared%02d.chk", ck)
+		c2.SharedOpen(darshan.ModuleMPIIO, path, true)
+		wall2 += c2.SharedTransfer(darshan.ModuleMPIIO, path, iosim.Write, total, true)
+		c2.SharedClose(darshan.ModuleMPIIO, path)
+	}
+	fmt.Printf("2. collective shared file on Alpine:  %8.2f s  (%s/s)\n",
+		wall2, bw(total*checkpoints, wall2))
+
+	// Strategy 3: write to node-local NVMe, drain asynchronously. The
+	// application only waits for the NVMe write; the drain overlaps
+	// computation and only the final checkpoint's drain is exposed.
+	c3, _ := newClient(summit, 3)
+	var wall3, drain float64
+	for ck := 0; ck < checkpoints; ck++ {
+		path := fmt.Sprintf("/mnt/bb/sim/ckpt%02d.chk", ck)
+		c3.SharedOpen(darshan.ModulePOSIX, path, false)
+		wall3 += c3.SharedTransfer(darshan.ModulePOSIX, path, iosim.Write, total, false)
+		c3.SharedClose(darshan.ModulePOSIX, path)
+		// Background drain to the PFS at the PFS's streaming rate.
+		drainPath := fmt.Sprintf("/gpfs/alpine/sim/drain%02d.chk", ck)
+		drain = c3.SharedTransfer(darshan.ModulePOSIX, drainPath, iosim.Write, total, false)
+	}
+	wall3 += drain // the last drain cannot hide behind compute
+	fmt.Printf("3. SCNL + async drain to Alpine:      %8.2f s  (%s/s, last drain exposed)\n\n",
+		wall3, bw(total*checkpoints, wall3))
+
+	switch {
+	case wall3 < wall2 && wall3 < wall1:
+		fmt.Println("=> the in-system layer absorbs checkpoints fastest — the deployment")
+		fmt.Println("   rationale for SCNL, and why the paper flags its low utilization")
+		fmt.Println("   (Table 3, Recommendation 3) as an efficiency gap.")
+	default:
+		fmt.Println("=> unexpected ordering; inspect the layer models")
+	}
+}
+
+func bw(total units.ByteSize, secs float64) string {
+	gb := float64(total) / 1e9 / secs
+	return fmt.Sprintf("%.1f GB", gb)
+}

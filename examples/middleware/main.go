@@ -1,0 +1,96 @@
+// Middleware: the optimizations the paper asks I/O libraries to provide —
+// write aggregation (Recommendation 2), rewrite caching and static/dynamic
+// separation (Recommendation 4), and automatic in-system placement
+// (Recommendation 3) — applied to the same application, so their effect is
+// a measurement instead of a suggestion.
+//
+// The application is a particle simulation writing small per-timestep
+// updates, repeatedly overwriting a head(er) region, and keeping scratch
+// state it never needs again after the run.
+//
+//	go run ./examples/middleware
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/hlio"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+)
+
+const (
+	timesteps  = 200
+	updateSize = 32 * units.KiB // per-timestep append
+	headerSize = 64 * units.KiB // rewritten every timestep
+	scratchOps = 100
+	scratchSz  = 2 * units.MiB
+)
+
+func runApp(name string, opts hlio.Options) hlio.Stats {
+	sys := systems.NewSummit()
+	rt := darshan.NewRuntime(darshan.JobHeader{
+		JobID: 1, UserID: 9, NProcs: 42, StartTime: 0, EndTime: 86_400,
+	})
+	client := iosim.NewClient(sys, rt, rand.New(rand.NewPCG(17, 17)))
+	lib := hlio.New(client, sys, opts)
+
+	traj := lib.CreateDataset("trajectory", hlio.Persistent, false, 0)
+	scratch := lib.CreateDataset("neighbors", hlio.Scratch, false, 0)
+	for ts := 0; ts < timesteps; ts++ {
+		// Header rewritten in place every step: dynamic data.
+		traj.Write(0, headerSize)
+		// Then the step's new particles appended: static data.
+		traj.Write(int64(headerSize)+int64(ts)*int64(updateSize), updateSize)
+	}
+	for i := 0; i < scratchOps; i++ {
+		scratch.Write(int64(i)*int64(scratchSz), scratchSz)
+		scratch.Read(int64(i)*int64(scratchSz), scratchSz)
+	}
+	traj.Close()
+	scratch.Close()
+
+	st := lib.Stats()
+	fmt.Printf("%-28s %8.2f s   storage ops %5d   absorbed rewrites %s\n",
+		name, st.SimSeconds, st.FlushedOps, human(st.AbsorbedRewriteBytes))
+	return st
+}
+
+func human(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+func main() {
+	fmt.Printf("particle app: %d timesteps, %s header rewrites + %s appends, %d scratch ops\n\n",
+		timesteps, headerSize, updateSize, scratchOps)
+
+	raw := runApp("no middleware (as observed)", hlio.Options{})
+	agg := runApp("+ write aggregation", hlio.Options{
+		AggregationBuffer: 8 * units.MiB,
+	})
+	full := runApp("+ rewrite cache + placement", hlio.Options{
+		AggregationBuffer: 8 * units.MiB,
+		RewriteCache:      true,
+		AutoPlacement:     true,
+	})
+
+	fmt.Println()
+	fmt.Printf("aggregation alone:   %.1fx faster\n", raw.SimSeconds/agg.SimSeconds)
+	fmt.Printf("all optimizations:   %.1fx faster, %s of flash writes avoided\n",
+		raw.SimSeconds/full.SimSeconds, human(full.AbsorbedRewriteBytes))
+	fmt.Println()
+	fmt.Println("=> what Recommendations 2-4 buy when the middleware, not the user,")
+	fmt.Println("   owns the optimization — the paper's core operational suggestion.")
+}

@@ -1,0 +1,120 @@
+// ML training ingest: the read-intensive, small-request workload the paper
+// identifies as the emerging load on supercomputer I/O (§1, Finding A). A
+// training job reads a sharded dataset epoch after epoch; we run the same
+// ingest through STDIO (the genomics/text-pipeline habit), plain POSIX, and
+// staged onto the node-local NVMe layer, on the simulated Summit subsystem.
+//
+//	go run ./examples/mltraining
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+)
+
+const (
+	shards     = 256
+	shardSize  = 64 * units.MiB
+	sampleSize = 100 * units.KiB // one training sample per read
+	epochs     = 3
+)
+
+func main() {
+	summit := systems.NewSummit()
+	samplesPerShard := int(shardSize / sampleSize)
+	totalPerEpoch := units.ByteSize(shards) * shardSize
+	fmt.Printf("dataset: %d shards × %s = %s, %s samples, %d epochs\n\n",
+		shards, shardSize, totalPerEpoch, sampleSize, epochs)
+
+	run := func(name string, seed uint64, ingest func(c *iosim.Client) float64) float64 {
+		rt := darshan.NewRuntime(darshan.JobHeader{
+			JobID: seed, UserID: 7, NProcs: 6 * 4, // 4 nodes × 6 GPU-feeding readers
+			StartTime: 0, EndTime: 86_400,
+		})
+		c := iosim.NewClient(summit, rt, rand.New(rand.NewPCG(seed, 0)))
+		secs := ingest(c)
+		log := rt.Finalize()
+		reads := int64(0)
+		for _, rec := range log.Records {
+			switch rec.Module {
+			case darshan.ModulePOSIX:
+				reads += rec.Counters[darshan.PosixReads]
+			case darshan.ModuleSTDIO:
+				reads += rec.Counters[darshan.StdioReads]
+			}
+		}
+		fmt.Printf("%-34s %9.1f s   %6.2f GB/s   %d read calls\n",
+			name, secs, float64(totalPerEpoch)*epochs/1e9/secs, reads)
+		return secs
+	}
+
+	// 1. STDIO sample-by-sample from the PFS: each reader streams its
+	//    shards through a FILE*, sample at a time.
+	tStdio := run("STDIO sample reads from Alpine", 1, func(c *iosim.Client) float64 {
+		var secs float64
+		for e := 0; e < epochs; e++ {
+			for s := 0; s < shards/8; s++ { // one reader's share, readers run in parallel
+				path := fmt.Sprintf("/gpfs/alpine/ml/shard%04d.rst", s)
+				c.Open(darshan.ModuleSTDIO, path, 0)
+				for i := 0; i < samplesPerShard; i++ {
+					secs += c.Read(darshan.ModuleSTDIO, path, 0, sampleSize, int64(i)*int64(sampleSize))
+				}
+				c.Close(darshan.ModuleSTDIO, path, 0)
+			}
+		}
+		return secs
+	})
+
+	// 2. POSIX sample-by-sample from the PFS: the same access pattern
+	//    through read(2).
+	tPosix := run("POSIX sample reads from Alpine", 2, func(c *iosim.Client) float64 {
+		var secs float64
+		for e := 0; e < epochs; e++ {
+			for s := 0; s < shards/8; s++ {
+				path := fmt.Sprintf("/gpfs/alpine/ml/shard%04d.bin", s)
+				c.Open(darshan.ModulePOSIX, path, 0)
+				for i := 0; i < samplesPerShard; i++ {
+					secs += c.Read(darshan.ModulePOSIX, path, 0, sampleSize, int64(i)*int64(sampleSize))
+				}
+				c.Close(darshan.ModulePOSIX, path, 0)
+			}
+		}
+		return secs
+	})
+
+	// 3. Stage once to node-local NVMe, then read every epoch from SCNL.
+	tStaged := run("stage to SCNL, then local reads", 3, func(c *iosim.Client) float64 {
+		var secs float64
+		// One-time stage-in: stream the shards across at large request size.
+		for s := 0; s < shards/8; s++ {
+			src := fmt.Sprintf("/gpfs/alpine/ml/shard%04d.bin", s)
+			secs += c.Read(darshan.ModulePOSIX, src, 0, shardSize, 0)
+			dst := fmt.Sprintf("/mnt/bb/ml/shard%04d.bin", s)
+			secs += c.Write(darshan.ModulePOSIX, dst, 0, shardSize, 0)
+		}
+		for e := 0; e < epochs; e++ {
+			for s := 0; s < shards/8; s++ {
+				path := fmt.Sprintf("/mnt/bb/ml/shard%04d.bin", s)
+				c.Open(darshan.ModulePOSIX, path, 0)
+				for i := 0; i < samplesPerShard; i++ {
+					secs += c.Read(darshan.ModulePOSIX, path, 0, sampleSize, int64(i)*int64(sampleSize))
+				}
+				c.Close(darshan.ModulePOSIX, path, 0)
+			}
+		}
+		return secs
+	})
+
+	fmt.Println()
+	fmt.Printf("POSIX vs STDIO on the PFS:   %.2fx\n", tStdio/tPosix)
+	fmt.Printf("SCNL staging vs PFS POSIX:   %.2fx\n", tPosix/tStaged)
+	fmt.Println()
+	fmt.Println("=> STDIO underperforms POSIX for the same pattern (Recommendation 6),")
+	fmt.Println("   and repeated epochs amortize one stage-in to the node-local layer —")
+	fmt.Println("   the AI/ML usage the in-system layers were deployed for (§1).")
+}

@@ -1,0 +1,3 @@
+module iolayers
+
+go 1.22

@@ -1,0 +1,579 @@
+// Package analysis is the darshan-util-equivalent aggregation pipeline: it
+// consumes Darshan-format logs and computes every statistic the paper's
+// evaluation reports — campaign summaries (Table 2), per-layer file counts
+// and volumes (Table 3), >1 TB tail files (Table 4), per-job layer
+// exclusivity (Table 5), per-layer interface usage (Table 6), per-file
+// transfer-size CDFs (Figures 3 and 9), per-process request-size CDFs
+// (Figures 4 and 5), file classification (Figures 6 and 8), science-domain
+// attribution (Figures 7 and 10), and shared-file performance distributions
+// (Figures 11 and 12).
+//
+// An Aggregator accumulates logs one at a time and is mergeable, so
+// campaigns can be analyzed by parallel workers that each own a private
+// Aggregator; merging preserves exact counts. Transfer accounting follows
+// the paper's §3.1 convention: a file touched through MPI-IO or POSIX is
+// accounted at the POSIX level (MPI-IO issues POSIX calls underneath);
+// a file managed only by STDIO is accounted at the STDIO level.
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/iosim"
+	"iolayers/internal/stats"
+	"iolayers/internal/units"
+)
+
+// Direction distinguishes read and write statistics.
+type Direction int
+
+// Directions.
+const (
+	Read Direction = iota
+	Write
+	numDirections
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// layerIndex maps a LayerKind to a dense array index.
+func layerIndex(k iosim.LayerKind) int {
+	if k == iosim.ParallelFS {
+		return 0
+	}
+	return 1
+}
+
+// Class is a file's read/write classification (§3.2.2).
+type Class int
+
+// File classes, in the order the paper's figures list them.
+const (
+	ReadOnly Class = iota
+	ReadWrite
+	WriteOnly
+	numClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ReadOnly:
+		return "read-only"
+	case ReadWrite:
+		return "read-write"
+	case WriteOnly:
+		return "write-only"
+	default:
+		return "class(?)"
+	}
+}
+
+// LayerStats accumulates the per-layer statistics behind Tables 3, 4, and 6
+// and Figures 3, 4, 5, 6, 8, and 9.
+type LayerStats struct {
+	// Files is the number of files accounted on this layer (POSIX-preferred
+	// accounting; an MPI-IO file counts once).
+	Files int64
+	// Bytes[d] is the total transferred volume per direction.
+	Bytes [numDirections]float64
+	// HugeFiles[d] counts files whose per-direction transfer exceeds 1 TB
+	// (Table 4).
+	HugeFiles [numDirections]int64
+	// InterfaceFiles counts files per managing interface (Table 6): a file
+	// with MPI-IO records counts as MPI-IO; otherwise POSIX or STDIO.
+	InterfaceFiles map[darshan.ModuleID]int64
+	// TransferHist[d] bins files by per-direction transfer size (Figure 3).
+	TransferHist [numDirections]*stats.Histogram
+	// InterfaceTransferHist[m][d] is the per-interface variant (Figure 9).
+	InterfaceTransferHist map[darshan.ModuleID]*[numDirections]*stats.Histogram
+	// RequestHist[d] sums the POSIX access-size histograms (Figure 4).
+	RequestHist [numDirections]*stats.Histogram
+	// LargeJobRequestHist[d] is RequestHist restricted to logs from jobs
+	// with more than LargeJobProcs processes (Figure 5).
+	LargeJobRequestHist [numDirections]*stats.Histogram
+	// ClassFiles[c] classifies POSIX+STDIO files (Figure 6).
+	ClassFiles [numClasses]int64
+	// StdioClassFiles[c] classifies STDIO-only files (Figure 8).
+	StdioClassFiles [numClasses]int64
+	// Perf[m][d][bin] collects shared-file delivered bandwidth in MB/s for
+	// interface m (POSIX or STDIO), direction d, per transfer-size bin
+	// (Figures 11 and 12).
+	Perf map[darshan.ModuleID]*[numDirections][units.NumTransferBins][]float64
+
+	// IOTime[d] sums per-file read/write busy time in seconds — the
+	// campaign's aggregate I/O cost, used by the what-if comparisons.
+	IOTime [numDirections]float64
+
+	// StdioXRequestHist[d] sums the extended-STDIO access-size histograms —
+	// the process-level view of STDIO the paper's Recommendation 4 asks
+	// for. Empty unless logs were produced with the STDIOX module enabled.
+	StdioXRequestHist [numDirections]*stats.Histogram
+	// StdioXRewriteBytes / StdioXUniqueBytes split STDIO write volume into
+	// dynamic (rewritten) and static (written-once) data, the quantities
+	// governing SSD write amplification on the in-system layers.
+	StdioXRewriteBytes float64
+	StdioXUniqueBytes  float64
+}
+
+func newLayerStats() *LayerStats {
+	ls := &LayerStats{
+		InterfaceFiles:        map[darshan.ModuleID]int64{},
+		InterfaceTransferHist: map[darshan.ModuleID]*[numDirections]*stats.Histogram{},
+		Perf:                  map[darshan.ModuleID]*[numDirections][units.NumTransferBins][]float64{},
+	}
+	for d := 0; d < int(numDirections); d++ {
+		ls.TransferHist[d] = stats.NewHistogram(units.NumTransferBins)
+		ls.RequestHist[d] = stats.NewHistogram(units.NumRequestBins)
+		ls.LargeJobRequestHist[d] = stats.NewHistogram(units.NumRequestBins)
+		ls.StdioXRequestHist[d] = stats.NewHistogram(units.NumRequestBins)
+	}
+	return ls
+}
+
+func (ls *LayerStats) interfaceHist(m darshan.ModuleID) *[numDirections]*stats.Histogram {
+	h, ok := ls.InterfaceTransferHist[m]
+	if !ok {
+		h = &[numDirections]*stats.Histogram{}
+		for d := 0; d < int(numDirections); d++ {
+			h[d] = stats.NewHistogram(units.NumTransferBins)
+		}
+		ls.InterfaceTransferHist[m] = h
+	}
+	return h
+}
+
+func (ls *LayerStats) perfCell(m darshan.ModuleID) *[numDirections][units.NumTransferBins][]float64 {
+	p, ok := ls.Perf[m]
+	if !ok {
+		p = &[numDirections][units.NumTransferBins][]float64{}
+		ls.Perf[m] = p
+	}
+	return p
+}
+
+func (ls *LayerStats) merge(other *LayerStats) {
+	ls.Files += other.Files
+	for d := 0; d < int(numDirections); d++ {
+		ls.Bytes[d] += other.Bytes[d]
+		ls.HugeFiles[d] += other.HugeFiles[d]
+		ls.TransferHist[d].Merge(other.TransferHist[d])
+		ls.RequestHist[d].Merge(other.RequestHist[d])
+		ls.LargeJobRequestHist[d].Merge(other.LargeJobRequestHist[d])
+	}
+	for m, n := range other.InterfaceFiles {
+		ls.InterfaceFiles[m] += n
+	}
+	for m, oh := range other.InterfaceTransferHist {
+		h := ls.interfaceHist(m)
+		for d := 0; d < int(numDirections); d++ {
+			h[d].Merge(oh[d])
+		}
+	}
+	for c := 0; c < int(numClasses); c++ {
+		ls.ClassFiles[c] += other.ClassFiles[c]
+		ls.StdioClassFiles[c] += other.StdioClassFiles[c]
+	}
+	for d := 0; d < int(numDirections); d++ {
+		ls.IOTime[d] += other.IOTime[d]
+		ls.StdioXRequestHist[d].Merge(other.StdioXRequestHist[d])
+	}
+	ls.StdioXRewriteBytes += other.StdioXRewriteBytes
+	ls.StdioXUniqueBytes += other.StdioXUniqueBytes
+	for m, op := range other.Perf {
+		p := ls.perfCell(m)
+		for d := 0; d < int(numDirections); d++ {
+			for b := 0; b < units.NumTransferBins; b++ {
+				p[d][b] = append(p[d][b], op[d][b]...)
+			}
+		}
+	}
+}
+
+// DomainStats accumulates per-science-domain volumes (Figures 7 and 10).
+type DomainStats struct {
+	// InSystemBytes[d] is the domain's in-system-layer volume (Figure 7).
+	InSystemBytes [numDirections]float64
+	// StdioBytes[d] is the domain's STDIO volume on any layer (Figure 10).
+	StdioBytes [numDirections]float64
+}
+
+// jobView tracks everything needed per job for Tables 2 and 5 and §3.3.2.
+type jobView struct {
+	layers    [2]bool
+	usedStdio bool
+	domain    string
+}
+
+// Aggregator accumulates campaign statistics from logs. Not safe for
+// concurrent use; give each worker its own Aggregator and Merge at the end.
+type Aggregator struct {
+	sys *iosim.System
+	// LargeJobProcs is the process-count threshold above which a log's
+	// requests feed the large-job histograms (the paper uses 1024).
+	LargeJobProcs int
+
+	logs      int64
+	nodeHours float64
+	jobs      map[uint64]*jobView
+	tuning    map[uint64]*userTuning
+	// monthly[m] holds per-calendar-month log counts and transferred bytes
+	// — the "year in the life" seasonality view ([11], [19]).
+	monthlyLogs  [12]int64
+	monthlyBytes [12]float64
+	// userBytes/userFiles accumulate per-user volumes and file counts — the
+	// user-behavior view of Lim et al. [9].
+	userBytes map[uint64]float64
+	userFiles map[uint64]int64
+	layers    [2]*LayerStats
+	domains   map[string]*DomainStats
+	// domainJobs counts jobs with/without a domain attribution, giving the
+	// join coverage of §3.3.2.
+	domainCovered, domainUncovered map[uint64]bool
+}
+
+// NewAggregator builds an aggregator for logs produced on sys.
+func NewAggregator(sys *iosim.System) *Aggregator {
+	if sys == nil {
+		panic("analysis: nil system")
+	}
+	return &Aggregator{
+		sys:             sys,
+		LargeJobProcs:   1024,
+		jobs:            map[uint64]*jobView{},
+		tuning:          map[uint64]*userTuning{},
+		userBytes:       map[uint64]float64{},
+		userFiles:       map[uint64]int64{},
+		layers:          [2]*LayerStats{newLayerStats(), newLayerStats()},
+		domains:         map[string]*DomainStats{},
+		domainCovered:   map[uint64]bool{},
+		domainUncovered: map[uint64]bool{},
+	}
+}
+
+// fileView gathers one file's records within one log.
+type fileView struct {
+	posix, mpiio, stdio *darshan.FileRecord
+}
+
+// AddLog folds one log into the aggregate.
+func (a *Aggregator) AddLog(log *darshan.Log) {
+	if log == nil {
+		panic("analysis: nil log")
+	}
+	a.logs++
+	a.nodeHours += log.Job.NodeHours(a.sys.ProcsPerNode)
+	a.observeTuning(log)
+	month := int(time.Unix(log.Job.StartTime, 0).UTC().Month()) - 1
+	a.monthlyLogs[month]++
+
+	jv, ok := a.jobs[log.Job.JobID]
+	if !ok {
+		jv = &jobView{}
+		a.jobs[log.Job.JobID] = jv
+	}
+
+	domain := log.Job.Metadata["domain"]
+	if domain != "" {
+		a.domainCovered[log.Job.JobID] = true
+		if jv.domain == "" {
+			jv.domain = domain
+		}
+	} else {
+		a.domainUncovered[log.Job.JobID] = true
+	}
+	var ds *DomainStats
+	if domain != "" {
+		ds, ok = a.domains[domain]
+		if !ok {
+			ds = &DomainStats{}
+			a.domains[domain] = ds
+		}
+	}
+
+	large := log.Job.NProcs > a.LargeJobProcs
+
+	// Group records per file.
+	files := map[darshan.RecordID]*fileView{}
+	order := make([]darshan.RecordID, 0, len(log.Records))
+	for _, rec := range log.Records {
+		fv, ok := files[rec.Record]
+		if !ok {
+			fv = &fileView{}
+			files[rec.Record] = fv
+			order = append(order, rec.Record)
+		}
+		switch rec.Module {
+		case darshan.ModulePOSIX:
+			fv.posix = mergeRanks(fv.posix, rec)
+		case darshan.ModuleMPIIO:
+			fv.mpiio = mergeRanks(fv.mpiio, rec)
+		case darshan.ModuleSTDIO:
+			fv.stdio = mergeRanks(fv.stdio, rec)
+		}
+	}
+
+	for _, id := range order {
+		fv := files[id]
+		if fv.posix == nil && fv.stdio == nil && fv.mpiio == nil {
+			continue // Lustre-only entry
+		}
+		path := log.PathOf(id)
+		if path == "" {
+			continue // unresolvable record (truncated log)
+		}
+		layer := a.sys.LayerFor(path)
+		li := layerIndex(layer.Kind())
+		ls := a.layers[li]
+		jv.layers[li] = true
+		if fv.stdio != nil {
+			jv.usedStdio = true
+		}
+
+		before := ls.Bytes[Read] + ls.Bytes[Write]
+		a.accountFile(ls, ds, fv, layer.Kind(), large)
+		moved := ls.Bytes[Read] + ls.Bytes[Write] - before
+		a.monthlyBytes[month] += moved
+		a.userBytes[log.Job.UserID] += moved
+		a.userFiles[log.Job.UserID]++
+	}
+
+	// Extended-STDIO records, when present, feed the Recommendation 4
+	// extension statistics.
+	for _, rec := range log.RecordsFor(darshan.ModuleStdioX) {
+		path := log.PathOf(rec.Record)
+		if path == "" {
+			continue
+		}
+		ls := a.layers[layerIndex(a.sys.LayerFor(path).Kind())]
+		for b := 0; b < units.NumRequestBins; b++ {
+			ls.StdioXRequestHist[Read].Add(b, uint64(rec.Counters[darshan.StdioXSizeRead0To100+b]))
+			ls.StdioXRequestHist[Write].Add(b, uint64(rec.Counters[darshan.StdioXSizeWrite0To100+b]))
+		}
+		ls.StdioXRewriteBytes += float64(rec.Counters[darshan.StdioXRewriteBytes])
+		ls.StdioXUniqueBytes += float64(rec.Counters[darshan.StdioXUniqueBytes])
+	}
+
+	// Request-size histograms come from the POSIX access-size counters of
+	// every POSIX record, layer-routed (Figures 4 and 5).
+	for _, rec := range log.RecordsFor(darshan.ModulePOSIX) {
+		path := log.PathOf(rec.Record)
+		if path == "" {
+			continue
+		}
+		ls := a.layers[layerIndex(a.sys.LayerFor(path).Kind())]
+		for b := 0; b < units.NumRequestBins; b++ {
+			reads := uint64(rec.Counters[darshan.PosixSizeRead0To100+b])
+			writes := uint64(rec.Counters[darshan.PosixSizeWrite0To100+b])
+			ls.RequestHist[Read].Add(b, reads)
+			ls.RequestHist[Write].Add(b, writes)
+			if large {
+				ls.LargeJobRequestHist[Read].Add(b, reads)
+				ls.LargeJobRequestHist[Write].Add(b, writes)
+			}
+		}
+	}
+}
+
+// mergeRanks combines multiple per-rank records of the same file and module
+// into a byte-total view (partial rank sets are not reduced by the runtime;
+// the analysis only needs totals).
+func mergeRanks(acc, rec *darshan.FileRecord) *darshan.FileRecord {
+	if acc == nil {
+		return rec
+	}
+	merged := acc.Clone()
+	for i, v := range rec.Counters {
+		merged.Counters[i] += v
+	}
+	for i, v := range rec.FCounters {
+		merged.FCounters[i] += v
+	}
+	// A merged partial-rank view is never a shared record.
+	merged.Rank = 0
+	return merged
+}
+
+// accountFile applies the paper's accounting rules to one file.
+func (a *Aggregator) accountFile(ls *LayerStats, ds *DomainStats, fv *fileView,
+	kind iosim.LayerKind, large bool) {
+
+	// POSIX-preferred byte accounting (§3.1).
+	var readB, writeB float64
+	var readTime, writeTime float64
+	var shared bool
+	var perfIface darshan.ModuleID
+	switch {
+	case fv.posix != nil:
+		readB = float64(fv.posix.Counters[darshan.PosixBytesRead])
+		writeB = float64(fv.posix.Counters[darshan.PosixBytesWritten])
+		readTime = fv.posix.FCounters[darshan.PosixFReadTime]
+		writeTime = fv.posix.FCounters[darshan.PosixFWriteTime]
+		shared = fv.posix.Rank == darshan.SharedRank
+		perfIface = darshan.ModulePOSIX
+	case fv.stdio != nil:
+		readB = float64(fv.stdio.Counters[darshan.StdioBytesRead])
+		writeB = float64(fv.stdio.Counters[darshan.StdioBytesWritten])
+		readTime = fv.stdio.FCounters[darshan.StdioFReadTime]
+		writeTime = fv.stdio.FCounters[darshan.StdioFWriteTime]
+		shared = fv.stdio.Rank == darshan.SharedRank
+		perfIface = darshan.ModuleSTDIO
+	default:
+		// MPI-IO record without a POSIX record underneath: account at the
+		// MPI-IO level (does not occur with our runtime but may with
+		// foreign logs).
+		readB = float64(fv.mpiio.Counters[darshan.MpiioBytesRead])
+		writeB = float64(fv.mpiio.Counters[darshan.MpiioBytesWritten])
+		readTime = fv.mpiio.FCounters[darshan.MpiioFReadTime]
+		writeTime = fv.mpiio.FCounters[darshan.MpiioFWriteTime]
+		shared = fv.mpiio.Rank == darshan.SharedRank
+		perfIface = darshan.ModuleMPIIO
+	}
+
+	ls.Files++
+	ls.Bytes[Read] += readB
+	ls.Bytes[Write] += writeB
+	ls.IOTime[Read] += readTime
+	ls.IOTime[Write] += writeTime
+
+	// Interface attribution (Table 6): MPI-IO wins over its POSIX
+	// substrate; STDIO files are those with STDIO records.
+	var iface darshan.ModuleID
+	switch {
+	case fv.mpiio != nil:
+		iface = darshan.ModuleMPIIO
+	case fv.posix != nil:
+		iface = darshan.ModulePOSIX
+	default:
+		iface = darshan.ModuleSTDIO
+	}
+	ls.InterfaceFiles[iface]++
+
+	// Per-direction transfer bins and >1 TB tails.
+	ih := ls.interfaceHist(iface)
+	if readB > 0 {
+		bin := units.TransferBinFor(units.ByteSize(readB))
+		ls.TransferHist[Read].Add(int(bin), 1)
+		ih[Read].Add(int(bin), 1)
+		if units.ByteSize(readB) > units.TiB {
+			ls.HugeFiles[Read]++
+		}
+	}
+	if writeB > 0 {
+		bin := units.TransferBinFor(units.ByteSize(writeB))
+		ls.TransferHist[Write].Add(int(bin), 1)
+		ih[Write].Add(int(bin), 1)
+		if units.ByteSize(writeB) > units.TiB {
+			ls.HugeFiles[Write]++
+		}
+	}
+
+	// Classification (Figures 6 and 8).
+	if readB > 0 || writeB > 0 {
+		class := classify(readB, writeB)
+		ls.ClassFiles[class]++
+		if fv.posix == nil && fv.mpiio == nil && fv.stdio != nil {
+			ls.StdioClassFiles[class]++
+		}
+	}
+
+	// Domain attribution (Figures 7 and 10).
+	if ds != nil {
+		if kind == iosim.InSystem {
+			ds.InSystemBytes[Read] += readB
+			ds.InSystemBytes[Write] += writeB
+		}
+		if fv.stdio != nil {
+			ds.StdioBytes[Read] += float64(fv.stdio.Counters[darshan.StdioBytesRead])
+			ds.StdioBytes[Write] += float64(fv.stdio.Counters[darshan.StdioBytesWritten])
+		}
+	}
+
+	// Shared-file performance (Figures 11 and 12): single-shared files only
+	// (§3.4), POSIX and STDIO interfaces, MB/s per direction.
+	if shared && (perfIface == darshan.ModulePOSIX || perfIface == darshan.ModuleSTDIO) {
+		p := ls.perfCell(perfIface)
+		if readB > 0 && readTime > 0 {
+			bin := units.TransferBinFor(units.ByteSize(readB))
+			p[Read][bin] = append(p[Read][bin], readB/readTime/1e6)
+		}
+		if writeB > 0 && writeTime > 0 {
+			bin := units.TransferBinFor(units.ByteSize(writeB))
+			p[Write][bin] = append(p[Write][bin], writeB/writeTime/1e6)
+		}
+	}
+	_ = large
+}
+
+func classify(readB, writeB float64) Class {
+	switch {
+	case readB > 0 && writeB > 0:
+		return ReadWrite
+	case readB > 0:
+		return ReadOnly
+	default:
+		return WriteOnly
+	}
+}
+
+// Merge folds another aggregator (built over disjoint logs, same system)
+// into this one.
+func (a *Aggregator) Merge(other *Aggregator) {
+	if other.sys.Name != a.sys.Name {
+		panic(fmt.Sprintf("analysis: merging %s aggregator into %s", other.sys.Name, a.sys.Name))
+	}
+	a.logs += other.logs
+	a.nodeHours += other.nodeHours
+	for id, ov := range other.jobs {
+		jv, ok := a.jobs[id]
+		if !ok {
+			a.jobs[id] = ov
+			continue
+		}
+		jv.layers[0] = jv.layers[0] || ov.layers[0]
+		jv.layers[1] = jv.layers[1] || ov.layers[1]
+		jv.usedStdio = jv.usedStdio || ov.usedStdio
+		if jv.domain == "" {
+			jv.domain = ov.domain
+		}
+	}
+	for i := range a.layers {
+		a.layers[i].merge(other.layers[i])
+	}
+	for d, ods := range other.domains {
+		ds, ok := a.domains[d]
+		if !ok {
+			a.domains[d] = ods
+			continue
+		}
+		for dir := 0; dir < int(numDirections); dir++ {
+			ds.InSystemBytes[dir] += ods.InSystemBytes[dir]
+			ds.StdioBytes[dir] += ods.StdioBytes[dir]
+		}
+	}
+	for id := range other.domainCovered {
+		a.domainCovered[id] = true
+	}
+	for id := range other.domainUncovered {
+		a.domainUncovered[id] = true
+	}
+	for m := 0; m < 12; m++ {
+		a.monthlyLogs[m] += other.monthlyLogs[m]
+		a.monthlyBytes[m] += other.monthlyBytes[m]
+	}
+	for uid, v := range other.userBytes {
+		a.userBytes[uid] += v
+	}
+	for uid, n := range other.userFiles {
+		a.userFiles[uid] += n
+	}
+	a.mergeTuning(other)
+}

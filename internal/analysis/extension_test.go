@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"testing"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+)
+
+func TestStdioXFeedsExtensionStats(t *testing.T) {
+	sys := systems.NewSummit()
+	a := NewAggregator(sys)
+	rt := darshan.NewRuntime(darshan.JobHeader{JobID: 1, NProcs: 1, StartTime: 0, EndTime: 100})
+	rt.EnableExtendedStdio()
+	// 3 writes of 4 KiB, the second a rewrite; on the in-system layer.
+	p := "/mnt/bb/u/out.rst"
+	rt.Observe(darshan.Op{Module: darshan.ModuleSTDIO, Path: p, Rank: 0,
+		Kind: darshan.OpWrite, Size: 4096, Offset: 0, Start: 0, End: 0.1})
+	rt.Observe(darshan.Op{Module: darshan.ModuleSTDIO, Path: p, Rank: 0,
+		Kind: darshan.OpWrite, Size: 4096, Offset: 0, Start: 0.2, End: 0.3})
+	rt.Observe(darshan.Op{Module: darshan.ModuleSTDIO, Path: p, Rank: 0,
+		Kind: darshan.OpRead, Size: 100, Offset: 0, Start: 0.4, End: 0.5})
+	a.AddLog(rt.Finalize())
+
+	ls := a.Report().Layers[1].Stats // in-system layer
+	if got := ls.StdioXRequestHist[Write].Counts[units.Bin1KTo10K]; got != 2 {
+		t.Errorf("write hist bin 1K_10K = %d, want 2", got)
+	}
+	if got := ls.StdioXRequestHist[Read].Counts[units.Bin0To100]; got != 1 {
+		t.Errorf("read hist bin 0_100 = %d, want 1", got)
+	}
+	if ls.StdioXRewriteBytes != 4096 || ls.StdioXUniqueBytes != 4096 {
+		t.Errorf("rewrite/unique = %v/%v, want 4096/4096",
+			ls.StdioXRewriteBytes, ls.StdioXUniqueBytes)
+	}
+	// The extension must not leak into the baseline statistics: the file is
+	// still one STDIO file with its plain counters.
+	if ls.Files != 1 || ls.InterfaceFiles[darshan.ModuleSTDIO] != 1 {
+		t.Errorf("baseline stats disturbed: files=%d ifaces=%v", ls.Files, ls.InterfaceFiles)
+	}
+}
+
+func TestStdioXAbsentWithoutExtension(t *testing.T) {
+	sys := systems.NewSummit()
+	a := NewAggregator(sys)
+	rt := darshan.NewRuntime(darshan.JobHeader{JobID: 2, NProcs: 1, StartTime: 0, EndTime: 100})
+	rt.Observe(darshan.Op{Module: darshan.ModuleSTDIO, Path: "/gpfs/alpine/x.log", Rank: 0,
+		Kind: darshan.OpWrite, Size: 4096, Offset: 0, Start: 0, End: 0.1})
+	a.AddLog(rt.Finalize())
+	for _, lr := range a.Report().Layers {
+		for d := 0; d < 2; d++ {
+			if lr.Stats.StdioXRequestHist[d].Total() != 0 {
+				t.Errorf("%s: extension stats without STDIOX module", lr.Layer)
+			}
+		}
+	}
+}
+
+func TestStdioXMergePreservesExtension(t *testing.T) {
+	sys := systems.NewSummit()
+	build := func(jobID uint64) *Aggregator {
+		a := NewAggregator(sys)
+		rt := darshan.NewRuntime(darshan.JobHeader{JobID: jobID, NProcs: 1, StartTime: 0, EndTime: 100})
+		rt.EnableExtendedStdio()
+		rt.Observe(darshan.Op{Module: darshan.ModuleSTDIO, Path: "/mnt/bb/u/a.rst", Rank: 0,
+			Kind: darshan.OpWrite, Size: 2048, Offset: 0, Start: 0, End: 0.1})
+		a.AddLog(rt.Finalize())
+		return a
+	}
+	a, b := build(1), build(2)
+	a.Merge(b)
+	ls := a.Report().Layers[1].Stats
+	if got := ls.StdioXRequestHist[Write].Total(); got != 2 {
+		t.Errorf("merged extension hist total = %d, want 2", got)
+	}
+	if ls.StdioXUniqueBytes != 4096 {
+		t.Errorf("merged unique bytes = %v, want 4096", ls.StdioXUniqueBytes)
+	}
+	_ = iosim.InSystem
+}
+
+func TestTopUsersConcentration(t *testing.T) {
+	sys := systems.NewSummit()
+	a := NewAggregator(sys)
+	// User 500 moves 10 GiB; users 501..520 move 1 MiB each.
+	mkLog := func(uid uint64, size units.ByteSize) {
+		rt := darshan.NewRuntime(darshan.JobHeader{
+			JobID: uid * 7, UserID: uid, NProcs: 1, StartTime: 0, EndTime: 100,
+		})
+		rt.Observe(darshan.Op{Module: darshan.ModulePOSIX, Path: "/gpfs/alpine/u.dat",
+			Rank: 0, Kind: darshan.OpWrite, Size: size, Offset: 0, Start: 0, End: 1})
+		a.AddLog(rt.Finalize())
+	}
+	mkLog(500, 10*units.GiB)
+	for uid := uint64(501); uid <= 520; uid++ {
+		mkLog(uid, units.MiB)
+	}
+	r := a.Report()
+	if len(r.TopUsers) != 10 {
+		t.Fatalf("top users = %d, want 10", len(r.TopUsers))
+	}
+	if r.TopUsers[0].UserID != 500 {
+		t.Errorf("heaviest user = %d, want 500", r.TopUsers[0].UserID)
+	}
+	if r.UserVolumeTop10Share < 0.99 {
+		t.Errorf("top-10 share = %.3f, want ≈1 (one user dominates)", r.UserVolumeTop10Share)
+	}
+	if r.TopUsers[0].Files != 1 {
+		t.Errorf("top user files = %d", r.TopUsers[0].Files)
+	}
+}

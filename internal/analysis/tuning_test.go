@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"testing"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+	"iolayers/internal/workload"
+)
+
+// logAt builds a minimal log for one user at a given month, optionally
+// carrying tuned signals (wide stripes, collective MPI-IO).
+func logAt(uid uint64, month int, stripeWidth int, collective bool) *darshan.Log {
+	// 2019-01-01 UTC.
+	start := int64(1546300800) + int64(month-1)*30*86400
+	rt := darshan.NewRuntime(darshan.JobHeader{
+		JobID: uid*100 + uint64(month), UserID: uid, NProcs: 8,
+		StartTime: start, EndTime: start + 600,
+	})
+	p := "/global/cscratch1/u/f.nc"
+	rt.Observe(darshan.Op{Module: darshan.ModuleMPIIO, Path: p, Rank: 0,
+		Kind: darshan.OpWrite, Collective: collective, Size: units.MiB, Start: 1, End: 2})
+	rt.SetLustreStriping(p, 248, 1, 0, units.MiB, stripeWidth)
+	return rt.Finalize()
+}
+
+func TestTuningAdoptionDetection(t *testing.T) {
+	a := NewAggregator(systems.NewCori())
+	// User 1: tunes (stripe 1→16, independent→collective).
+	a.AddLog(logAt(1, 2, 1, false))
+	a.AddLog(logAt(1, 10, 16, true))
+	// User 2: never tunes.
+	a.AddLog(logAt(2, 3, 1, false))
+	a.AddLog(logAt(2, 11, 1, false))
+	// User 3: only active in the first half — not part of the population.
+	a.AddLog(logAt(3, 4, 1, false))
+	r := a.Report()
+	if r.Tuning.UsersBothHalves != 2 {
+		t.Errorf("users in both halves = %d, want 2", r.Tuning.UsersBothHalves)
+	}
+	if r.Tuning.AdoptedStriping != 1 || r.Tuning.AdoptedCollective != 1 || r.Tuning.AdoptedAny != 1 {
+		t.Errorf("tuning detection: %+v", r.Tuning)
+	}
+}
+
+// End-to-end ground truth: the Cori generator marks ~25% of users as
+// tuners; the detection pipeline should recover a nonzero adopted share and
+// never exceed the population.
+func TestTuningGroundTruthRecovered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign generation in -short mode")
+	}
+	sys := systems.NewCori()
+	gen, err := workload.NewGenerator(workload.Cori(), sys,
+		workload.Config{Seed: 31, JobScale: 0.002, FileScale: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAggregator(sys)
+	for i := 0; i < gen.Jobs(); i++ {
+		for _, log := range gen.GenerateJob(i) {
+			a.AddLog(log)
+		}
+	}
+	tu := a.Report().Tuning
+	if tu.UsersBothHalves < 20 {
+		t.Fatalf("too few two-half users to assess: %d", tu.UsersBothHalves)
+	}
+	frac := float64(tu.AdoptedAny) / float64(tu.UsersBothHalves)
+	// Ground truth is 25% tuners; detection needs both halves observed with
+	// the right file kinds, so recovered share is a bit below.
+	if frac < 0.08 || frac > 0.45 {
+		t.Errorf("adopted share %.3f outside [0.08,0.45] (ground truth 0.25): %+v", frac, tu)
+	}
+	if tu.AdoptedStriping == 0 {
+		t.Error("no striping adoption detected despite ground-truth tuners")
+	}
+}

@@ -1,0 +1,129 @@
+// Package core is the study engine: it orchestrates end-to-end campaigns —
+// synthesize a system's production workload, run it through the Darshan
+// runtime against the simulated I/O subsystem, and analyze the resulting
+// logs — with deterministic parallelism.
+//
+// Concurrency model (DESIGN.md §7): a fixed worker pool consumes job
+// indices; each worker owns a private analysis.Aggregator, and the partial
+// aggregates merge after the pool drains. Per-job randomness derives from
+// (seed, job index), so the report is identical for any worker count.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/darshan"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/workload"
+)
+
+// LogSink receives every generated log. Implementations must be safe for
+// concurrent calls from multiple workers; jobIdx/logIdx identify the log
+// uniquely. Returning an error aborts the campaign.
+type LogSink func(jobIdx, logIdx int, log *darshan.Log) error
+
+// Campaign couples a workload profile with its simulated system and a
+// generation configuration.
+type Campaign struct {
+	Profile workload.Profile
+	System  *iosim.System
+	Config  workload.Config
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// NewCampaign builds a campaign for one of the shipped systems ("Summit" or
+// "Cori", case-insensitive first letter).
+func NewCampaign(systemName string, cfg workload.Config) (*Campaign, error) {
+	sys := systems.ByName(systemName)
+	if sys == nil {
+		return nil, fmt.Errorf("core: unknown system %q (want Summit or Cori)", systemName)
+	}
+	profile, ok := workload.Profiles()[sys.Name]
+	if !ok {
+		return nil, fmt.Errorf("core: no workload profile for %q", sys.Name)
+	}
+	return &Campaign{Profile: profile, System: sys, Config: cfg}, nil
+}
+
+// Run synthesizes and analyzes the whole campaign. If sink is non-nil it is
+// invoked for every log (e.g. to persist it); the analysis runs regardless.
+func (c *Campaign) Run(sink LogSink) (*analysis.Report, error) {
+	gen, err := workload.NewGenerator(c.Profile, c.System, c.Config)
+	if err != nil {
+		return nil, err
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > gen.Jobs() {
+		workers = gen.Jobs()
+	}
+
+	// Pre-fill the job queue so a worker that aborts early (sink error)
+	// can simply return without deadlocking the producer.
+	jobs := make(chan int, gen.Jobs())
+	for i := 0; i < gen.Jobs(); i++ {
+		jobs <- i
+	}
+	close(jobs)
+
+	aggs := make([]*analysis.Aggregator, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		aggs[w] = analysis.NewAggregator(c.System)
+		aggs[w].LargeJobProcs = c.Profile.LargeJobProcs
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range jobs {
+				logs := gen.GenerateJob(i)
+				for li, log := range logs {
+					if sink != nil {
+						if err := sink(i, li, log); err != nil {
+							errs[w] = fmt.Errorf("core: sink failed on job %d log %d: %w", i, li, err)
+							return
+						}
+					}
+					aggs[w].AddLog(log)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	total := aggs[0]
+	for _, a := range aggs[1:] {
+		total.Merge(a)
+	}
+	return total.Report(), nil
+}
+
+// RunStudy runs the standard two-system study (Summit and Cori) at the
+// given configuration and returns the reports keyed by system name.
+func RunStudy(cfg workload.Config) (map[string]*analysis.Report, error) {
+	out := make(map[string]*analysis.Report, 2)
+	for _, name := range []string{"Summit", "Cori"} {
+		campaign, err := NewCampaign(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		report, err := campaign.Run(nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s campaign: %w", name, err)
+		}
+		out[name] = report
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/workload"
+)
+
+var testCfg = workload.Config{Seed: 3, JobScale: 0.0002, FileScale: 0.02}
+
+func TestNewCampaignUnknownSystem(t *testing.T) {
+	if _, err := NewCampaign("Frontier", testCfg); err == nil {
+		t.Error("expected error for unknown system")
+	}
+}
+
+func TestNewCampaignCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"summit", "Summit", "cori", "Cori"} {
+		if _, err := NewCampaign(name, testCfg); err != nil {
+			t.Errorf("NewCampaign(%q): %v", name, err)
+		}
+	}
+}
+
+func TestRunProducesReport(t *testing.T) {
+	c, err := NewCampaign("Summit", testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.System != "Summit" {
+		t.Errorf("system = %q", rep.Summary.System)
+	}
+	if rep.Summary.Jobs == 0 || rep.Summary.Logs == 0 || rep.Summary.Files == 0 {
+		t.Errorf("empty summary: %+v", rep.Summary)
+	}
+}
+
+// The defining property of the engine: the report is identical for any
+// worker count (per-job RNG streams + mergeable aggregators).
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	var base *struct {
+		jobs, logs, files int64
+		pfsFiles          int64
+	}
+	for _, workers := range []int{1, 4, 13} {
+		c, err := NewCampaign("Cori", testCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Workers = workers
+		rep, err := c.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := &struct {
+			jobs, logs, files int64
+			pfsFiles          int64
+		}{rep.Summary.Jobs, rep.Summary.Logs, rep.Summary.Files, rep.Layers[0].Stats.Files}
+		if base == nil {
+			base = cur
+			continue
+		}
+		if *cur != *base {
+			t.Errorf("workers=%d: results differ: %+v vs %+v", workers, cur, base)
+		}
+	}
+}
+
+func TestRunInvokesSinkForEveryLog(t *testing.T) {
+	c, err := NewCampaign("Summit", testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	rep, err := c.Run(func(jobIdx, logIdx int, log *darshan.Log) error {
+		if log == nil {
+			t.Error("nil log in sink")
+		}
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != rep.Summary.Logs {
+		t.Errorf("sink saw %d logs, report says %d", count.Load(), rep.Summary.Logs)
+	}
+}
+
+func TestRunSinkErrorAborts(t *testing.T) {
+	c, err := NewCampaign("Summit", testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	_, err = c.Run(func(jobIdx, logIdx int, log *darshan.Log) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped sink error", err)
+	}
+}
+
+func TestRunStudyBothSystems(t *testing.T) {
+	reports, err := RunStudy(workload.Config{Seed: 5, JobScale: 0.0001, FileScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for _, name := range []string{"Summit", "Cori"} {
+		rep, ok := reports[name]
+		if !ok {
+			t.Fatalf("missing %s report", name)
+		}
+		if rep.Summary.System != name {
+			t.Errorf("report %s labeled %s", name, rep.Summary.System)
+		}
+		if math.IsNaN(rep.Summary.NodeHours) || rep.Summary.NodeHours <= 0 {
+			t.Errorf("%s node hours = %v", name, rep.Summary.NodeHours)
+		}
+	}
+}
+
+func TestBadConfigSurfacesError(t *testing.T) {
+	c, err := NewCampaign("Summit", workload.Config{Seed: 1, JobScale: -1, FileScale: 0.1})
+	if err != nil {
+		t.Fatal(err) // NewCampaign doesn't validate the workload config
+	}
+	if _, err := c.Run(nil); err == nil {
+		t.Error("expected error from invalid workload config")
+	}
+}

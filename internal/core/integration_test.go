@@ -1,0 +1,90 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/darshan"
+	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/workload"
+)
+
+// The persistence detour must be lossless: a campaign streamed into an
+// archive, read back, and re-analyzed produces the same report as the
+// campaign analyzed in memory.
+func TestArchiveDetourMatchesDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign generation in -short mode")
+	}
+	cfg := workload.Config{Seed: 8, JobScale: 0.0002, FileScale: 0.02}
+
+	campaign, err := NewCampaign("Summit", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "campaign.dgar")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := logfmt.NewArchiveWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	direct, err := campaign.Run(func(jobIdx, logIdx int, log *darshan.Log) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return aw.Append(log)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	logs, err := logfmt.ReadArchiveFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := analysis.NewAggregator(systems.NewSummit())
+	for _, log := range logs {
+		agg.AddLog(log)
+	}
+	detour := agg.Report()
+
+	if direct.Summary.Logs != detour.Summary.Logs ||
+		direct.Summary.Jobs != detour.Summary.Jobs ||
+		direct.Summary.Files != detour.Summary.Files {
+		t.Errorf("summaries differ:\ndirect %+v\ndetour %+v", direct.Summary, detour.Summary)
+	}
+	if direct.Exclusivity != detour.Exclusivity {
+		t.Errorf("exclusivity differs: %+v vs %+v", direct.Exclusivity, detour.Exclusivity)
+	}
+	for li := 0; li < 2; li++ {
+		d, g := direct.Layers[li].Stats, detour.Layers[li].Stats
+		if d.Files != g.Files || d.Bytes != g.Bytes || d.ClassFiles != g.ClassFiles ||
+			d.HugeFiles != g.HugeFiles {
+			t.Errorf("layer %d stats differ after the archive detour", li)
+		}
+		for m, n := range d.InterfaceFiles {
+			if g.InterfaceFiles[m] != n {
+				t.Errorf("layer %d interface %v: %d vs %d", li, m, n, g.InterfaceFiles[m])
+			}
+		}
+	}
+	if direct.Tuning != detour.Tuning {
+		t.Errorf("tuning differs: %+v vs %+v", direct.Tuning, detour.Tuning)
+	}
+	if direct.MonthlyLogs != detour.MonthlyLogs {
+		t.Errorf("monthly series differ")
+	}
+}

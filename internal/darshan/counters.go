@@ -1,0 +1,252 @@
+package darshan
+
+// POSIX module integer counters. The layout mirrors the Darshan 3.x POSIX
+// module: operation counts, byte totals, sequentiality counters, and the
+// ten-bin access-size histograms for reads and writes (paper §2.2).
+const (
+	PosixOpens = iota
+	PosixReads
+	PosixWrites
+	PosixSeeks
+	PosixStats
+	PosixFsyncs
+	PosixBytesRead
+	PosixBytesWritten
+	PosixMaxByteRead
+	PosixMaxByteWritten
+	PosixConsecReads
+	PosixConsecWrites
+	PosixSeqReads
+	PosixSeqWrites
+	PosixSizeRead0To100  // first of 10 read-size histogram bins
+	posixSizeReadEnd     = PosixSizeRead0To100 + 9
+	PosixSizeWrite0To100 = posixSizeReadEnd + 1 // first of 10 write-size bins
+	posixSizeWriteEnd    = PosixSizeWrite0To100 + 9
+
+	// NumPosixCounters is the POSIX integer-record width.
+	NumPosixCounters = posixSizeWriteEnd + 1
+)
+
+// POSIX module float counters (seconds since job start, or durations).
+const (
+	PosixFOpenStartTimestamp = iota
+	PosixFReadStartTimestamp
+	PosixFWriteStartTimestamp
+	PosixFOpenEndTimestamp
+	PosixFReadEndTimestamp
+	PosixFWriteEndTimestamp
+	PosixFCloseEndTimestamp
+	PosixFReadTime
+	PosixFWriteTime
+	PosixFMetaTime
+	PosixFSlowestRankTime
+
+	// NumPosixFCounters is the POSIX float-record width.
+	NumPosixFCounters = PosixFSlowestRankTime + 1
+)
+
+// MPI-IO module integer counters: independent vs collective operation
+// counts, byte totals, and the access-size histograms.
+const (
+	MpiioIndepOpens = iota
+	MpiioCollOpens
+	MpiioIndepReads
+	MpiioIndepWrites
+	MpiioCollReads
+	MpiioCollWrites
+	MpiioBytesRead
+	MpiioBytesWritten
+	MpiioSizeRead0To100
+	mpiioSizeReadEnd     = MpiioSizeRead0To100 + 9
+	MpiioSizeWrite0To100 = mpiioSizeReadEnd + 1
+	mpiioSizeWriteEnd    = MpiioSizeWrite0To100 + 9
+
+	// NumMpiioCounters is the MPI-IO integer-record width.
+	NumMpiioCounters = mpiioSizeWriteEnd + 1
+)
+
+// MPI-IO module float counters.
+const (
+	MpiioFOpenStartTimestamp = iota
+	MpiioFReadStartTimestamp
+	MpiioFWriteStartTimestamp
+	MpiioFOpenEndTimestamp
+	MpiioFReadEndTimestamp
+	MpiioFWriteEndTimestamp
+	MpiioFCloseEndTimestamp
+	MpiioFReadTime
+	MpiioFWriteTime
+	MpiioFMetaTime
+	MpiioFSlowestRankTime
+
+	// NumMpiioFCounters is the MPI-IO float-record width.
+	NumMpiioFCounters = MpiioFSlowestRankTime + 1
+)
+
+// STDIO module integer counters. Deliberately narrower than POSIX: Darshan's
+// STDIO module records no access-size histogram and no process-level request
+// detail — a limitation the paper's Recommendations 4–6 are about.
+const (
+	StdioOpens = iota
+	StdioReads
+	StdioWrites
+	StdioSeeks
+	StdioFlushes
+	StdioBytesRead
+	StdioBytesWritten
+	StdioMaxByteRead
+	StdioMaxByteWritten
+
+	// NumStdioCounters is the STDIO integer-record width.
+	NumStdioCounters = StdioMaxByteWritten + 1
+)
+
+// STDIO module float counters.
+const (
+	StdioFOpenStartTimestamp = iota
+	StdioFReadStartTimestamp
+	StdioFWriteStartTimestamp
+	StdioFOpenEndTimestamp
+	StdioFReadEndTimestamp
+	StdioFWriteEndTimestamp
+	StdioFCloseEndTimestamp
+	StdioFReadTime
+	StdioFWriteTime
+	StdioFMetaTime
+	StdioFSlowestRankTime
+
+	// NumStdioFCounters is the STDIO float-record width.
+	NumStdioFCounters = StdioFSlowestRankTime + 1
+)
+
+// Lustre module integer counters: the striping metadata the Lustre Darshan
+// module captures for each file on a Lustre mount (paper §2.1.2).
+const (
+	LustreOSTs = iota
+	LustreMDTs
+	LustreStripeOffset
+	LustreStripeSize
+	LustreStripeWidth
+
+	// NumLustreCounters is the Lustre integer-record width.
+	NumLustreCounters = LustreStripeWidth + 1
+)
+
+var posixCounterNames = func() [NumPosixCounters]string {
+	var names [NumPosixCounters]string
+	base := map[int]string{
+		PosixOpens:          "POSIX_OPENS",
+		PosixReads:          "POSIX_READS",
+		PosixWrites:         "POSIX_WRITES",
+		PosixSeeks:          "POSIX_SEEKS",
+		PosixStats:          "POSIX_STATS",
+		PosixFsyncs:         "POSIX_FSYNCS",
+		PosixBytesRead:      "POSIX_BYTES_READ",
+		PosixBytesWritten:   "POSIX_BYTES_WRITTEN",
+		PosixMaxByteRead:    "POSIX_MAX_BYTE_READ",
+		PosixMaxByteWritten: "POSIX_MAX_BYTE_WRITTEN",
+		PosixConsecReads:    "POSIX_CONSEC_READS",
+		PosixConsecWrites:   "POSIX_CONSEC_WRITES",
+		PosixSeqReads:       "POSIX_SEQ_READS",
+		PosixSeqWrites:      "POSIX_SEQ_WRITES",
+	}
+	for i, n := range base {
+		names[i] = n
+	}
+	fillSizeBins(names[:], PosixSizeRead0To100, "POSIX_SIZE_READ_")
+	fillSizeBins(names[:], PosixSizeWrite0To100, "POSIX_SIZE_WRITE_")
+	return names
+}()
+
+var mpiioCounterNames = func() [NumMpiioCounters]string {
+	var names [NumMpiioCounters]string
+	base := map[int]string{
+		MpiioIndepOpens:   "MPIIO_INDEP_OPENS",
+		MpiioCollOpens:    "MPIIO_COLL_OPENS",
+		MpiioIndepReads:   "MPIIO_INDEP_READS",
+		MpiioIndepWrites:  "MPIIO_INDEP_WRITES",
+		MpiioCollReads:    "MPIIO_COLL_READS",
+		MpiioCollWrites:   "MPIIO_COLL_WRITES",
+		MpiioBytesRead:    "MPIIO_BYTES_READ",
+		MpiioBytesWritten: "MPIIO_BYTES_WRITTEN",
+	}
+	for i, n := range base {
+		names[i] = n
+	}
+	fillSizeBins(names[:], MpiioSizeRead0To100, "MPIIO_SIZE_READ_AGG_")
+	fillSizeBins(names[:], MpiioSizeWrite0To100, "MPIIO_SIZE_WRITE_AGG_")
+	return names
+}()
+
+var stdioCounterNames = [NumStdioCounters]string{
+	StdioOpens:          "STDIO_OPENS",
+	StdioReads:          "STDIO_READS",
+	StdioWrites:         "STDIO_WRITES",
+	StdioSeeks:          "STDIO_SEEKS",
+	StdioFlushes:        "STDIO_FLUSHES",
+	StdioBytesRead:      "STDIO_BYTES_READ",
+	StdioBytesWritten:   "STDIO_BYTES_WRITTEN",
+	StdioMaxByteRead:    "STDIO_MAX_BYTE_READ",
+	StdioMaxByteWritten: "STDIO_MAX_BYTE_WRITTEN",
+}
+
+var lustreCounterNames = [NumLustreCounters]string{
+	LustreOSTs:         "LUSTRE_OSTS",
+	LustreMDTs:         "LUSTRE_MDTS",
+	LustreStripeOffset: "LUSTRE_STRIPE_OFFSET",
+	LustreStripeSize:   "LUSTRE_STRIPE_SIZE",
+	LustreStripeWidth:  "LUSTRE_STRIPE_WIDTH",
+}
+
+var sizeBinSuffixes = [10]string{
+	"0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M",
+	"1M_4M", "4M_10M", "10M_100M", "100M_1G", "1G_PLUS",
+}
+
+func fillSizeBins(names []string, start int, prefix string) {
+	for i, suffix := range sizeBinSuffixes {
+		names[start+i] = prefix + suffix
+	}
+}
+
+var posixFCounterNames = [NumPosixFCounters]string{
+	PosixFOpenStartTimestamp:  "POSIX_F_OPEN_START_TIMESTAMP",
+	PosixFReadStartTimestamp:  "POSIX_F_READ_START_TIMESTAMP",
+	PosixFWriteStartTimestamp: "POSIX_F_WRITE_START_TIMESTAMP",
+	PosixFOpenEndTimestamp:    "POSIX_F_OPEN_END_TIMESTAMP",
+	PosixFReadEndTimestamp:    "POSIX_F_READ_END_TIMESTAMP",
+	PosixFWriteEndTimestamp:   "POSIX_F_WRITE_END_TIMESTAMP",
+	PosixFCloseEndTimestamp:   "POSIX_F_CLOSE_END_TIMESTAMP",
+	PosixFReadTime:            "POSIX_F_READ_TIME",
+	PosixFWriteTime:           "POSIX_F_WRITE_TIME",
+	PosixFMetaTime:            "POSIX_F_META_TIME",
+	PosixFSlowestRankTime:     "POSIX_F_SLOWEST_RANK_TIME",
+}
+
+var mpiioFCounterNames = [NumMpiioFCounters]string{
+	MpiioFOpenStartTimestamp:  "MPIIO_F_OPEN_START_TIMESTAMP",
+	MpiioFReadStartTimestamp:  "MPIIO_F_READ_START_TIMESTAMP",
+	MpiioFWriteStartTimestamp: "MPIIO_F_WRITE_START_TIMESTAMP",
+	MpiioFOpenEndTimestamp:    "MPIIO_F_OPEN_END_TIMESTAMP",
+	MpiioFReadEndTimestamp:    "MPIIO_F_READ_END_TIMESTAMP",
+	MpiioFWriteEndTimestamp:   "MPIIO_F_WRITE_END_TIMESTAMP",
+	MpiioFCloseEndTimestamp:   "MPIIO_F_CLOSE_END_TIMESTAMP",
+	MpiioFReadTime:            "MPIIO_F_READ_TIME",
+	MpiioFWriteTime:           "MPIIO_F_WRITE_TIME",
+	MpiioFMetaTime:            "MPIIO_F_META_TIME",
+	MpiioFSlowestRankTime:     "MPIIO_F_SLOWEST_RANK_TIME",
+}
+
+var stdioFCounterNames = [NumStdioFCounters]string{
+	StdioFOpenStartTimestamp:  "STDIO_F_OPEN_START_TIMESTAMP",
+	StdioFReadStartTimestamp:  "STDIO_F_READ_START_TIMESTAMP",
+	StdioFWriteStartTimestamp: "STDIO_F_WRITE_START_TIMESTAMP",
+	StdioFOpenEndTimestamp:    "STDIO_F_OPEN_END_TIMESTAMP",
+	StdioFReadEndTimestamp:    "STDIO_F_READ_END_TIMESTAMP",
+	StdioFWriteEndTimestamp:   "STDIO_F_WRITE_END_TIMESTAMP",
+	StdioFCloseEndTimestamp:   "STDIO_F_CLOSE_END_TIMESTAMP",
+	StdioFReadTime:            "STDIO_F_READ_TIME",
+	StdioFWriteTime:           "STDIO_F_WRITE_TIME",
+	StdioFMetaTime:            "STDIO_F_META_TIME",
+	StdioFSlowestRankTime:     "STDIO_F_SLOWEST_RANK_TIME",
+}

@@ -1,0 +1,208 @@
+package darshan
+
+import (
+	"testing"
+
+	"iolayers/internal/units"
+)
+
+func TestStdioXDisabledByDefault(t *testing.T) {
+	rt := NewRuntime(testJob(1))
+	rt.Observe(Op{Module: ModuleSTDIO, Path: "/p/a.log", Rank: 0, Kind: OpWrite,
+		Size: 4096, Offset: 0, Start: 0, End: 0.1})
+	log := rt.Finalize()
+	if n := len(log.RecordsFor(ModuleStdioX)); n != 0 {
+		t.Errorf("STDIOX records without opt-in: %d", n)
+	}
+}
+
+func TestStdioXHistograms(t *testing.T) {
+	rt := NewRuntime(testJob(1))
+	rt.EnableExtendedStdio()
+	p := "/p/a.rst"
+	rt.Observe(Op{Module: ModuleSTDIO, Path: p, Rank: 0, Kind: OpRead,
+		Size: 50, Offset: 0, Start: 0, End: 0.1})
+	rt.ObserveN(Op{Module: ModuleSTDIO, Path: p, Rank: 0, Kind: OpWrite,
+		Size: 64 * units.KiB, Offset: 0, Start: 0.1, End: 0.5}, 4)
+	log := rt.Finalize()
+	recs := log.RecordsFor(ModuleStdioX)
+	if len(recs) != 1 {
+		t.Fatalf("STDIOX records = %d", len(recs))
+	}
+	r := recs[0]
+	if r.Counters[StdioXSizeRead0To100+int(units.Bin0To100)] != 1 {
+		t.Errorf("read histogram: %v", r.Counters[:10])
+	}
+	if r.Counters[StdioXSizeWrite0To100+int(units.Bin10KTo100K)] != 4 {
+		t.Errorf("write histogram bin 10K_100K = %d, want 4",
+			r.Counters[StdioXSizeWrite0To100+int(units.Bin10KTo100K)])
+	}
+	// The ordinary STDIO record still has no histogram.
+	stdio := log.RecordsFor(ModuleSTDIO)[0]
+	if len(stdio.Counters) != NumStdioCounters {
+		t.Errorf("plain STDIO record width changed: %d", len(stdio.Counters))
+	}
+}
+
+func TestStdioXRewriteAccounting(t *testing.T) {
+	rt := NewRuntime(testJob(1))
+	rt.EnableExtendedStdio()
+	p := "/mnt/bb/u/dyn.dat"
+	// First write: 0..1MiB — all unique (static data).
+	rt.Observe(Op{Module: ModuleSTDIO, Path: p, Rank: 0, Kind: OpWrite,
+		Size: units.MiB, Offset: 0, Start: 0, End: 0.1})
+	// Rewrite of the first half — all dynamic.
+	rt.Observe(Op{Module: ModuleSTDIO, Path: p, Rank: 0, Kind: OpWrite,
+		Size: 512 * units.KiB, Offset: 0, Start: 0.2, End: 0.3})
+	// Straddling write: 768K..1.25M — 256K rewrite, 256K unique.
+	rt.Observe(Op{Module: ModuleSTDIO, Path: p, Rank: 0, Kind: OpWrite,
+		Size: 512 * units.KiB, Offset: 768 * 1024, Start: 0.4, End: 0.5})
+	log := rt.Finalize()
+	r := log.RecordsFor(ModuleStdioX)[0]
+	wantRewrite := int64(512*1024 + 256*1024)
+	wantUnique := int64(1024*1024 + 256*1024)
+	if r.Counters[StdioXRewriteBytes] != wantRewrite {
+		t.Errorf("rewrite bytes = %d, want %d", r.Counters[StdioXRewriteBytes], wantRewrite)
+	}
+	if r.Counters[StdioXUniqueBytes] != wantUnique {
+		t.Errorf("unique bytes = %d, want %d", r.Counters[StdioXUniqueBytes], wantUnique)
+	}
+	// Write 2 rewinds (not sequential); write 3 jumps forward (sequential,
+	// not consecutive).
+	if r.Counters[StdioXSeqWrites] != 1 || r.Counters[StdioXConsecWrites] != 0 {
+		t.Errorf("seq/consec = %d/%d, want 1/0",
+			r.Counters[StdioXSeqWrites], r.Counters[StdioXConsecWrites])
+	}
+}
+
+func TestDXTDisabledByDefault(t *testing.T) {
+	rt := NewRuntime(testJob(1))
+	rt.Observe(Op{Module: ModulePOSIX, Path: "/p/a", Rank: 0, Kind: OpRead,
+		Size: units.KiB, Offset: 0, Start: 0, End: 0.1})
+	if log := rt.Finalize(); len(log.DXT) != 0 {
+		t.Errorf("DXT traces without opt-in: %d", len(log.DXT))
+	}
+}
+
+func TestDXTTracesPosixAndMpiioOnly(t *testing.T) {
+	rt := NewRuntime(testJob(1))
+	rt.EnableDXT(16)
+	rt.Observe(Op{Module: ModulePOSIX, Path: "/p/a", Rank: 0, Kind: OpRead,
+		Size: units.KiB, Offset: 4096, Start: 1, End: 1.5})
+	rt.Observe(Op{Module: ModuleMPIIO, Path: "/p/b", Rank: 0, Kind: OpWrite,
+		Size: units.MiB, Offset: 0, Start: 2, End: 2.5})
+	rt.Observe(Op{Module: ModuleSTDIO, Path: "/p/c", Rank: 0, Kind: OpWrite,
+		Size: 100, Offset: 0, Start: 3, End: 3.1})
+	rt.Observe(Op{Module: ModulePOSIX, Path: "/p/a", Rank: 0, Kind: OpOpen,
+		Start: 0, End: 0.1}) // opens are not traced
+	log := rt.Finalize()
+	if len(log.DXT) != 2 {
+		t.Fatalf("traces = %d, want 2 (POSIX + MPI-IO, no STDIO)", len(log.DXT))
+	}
+	for _, tr := range log.DXT {
+		if tr.Module == ModuleSTDIO {
+			t.Error("DXT traced STDIO — the paper says it never does (§2.2)")
+		}
+		if len(tr.Segments) != 1 {
+			t.Errorf("trace %v has %d segments", tr.Module, len(tr.Segments))
+		}
+	}
+	posixTrace := log.DXT[0]
+	if posixTrace.Module != ModulePOSIX {
+		t.Fatalf("first trace module = %v", posixTrace.Module)
+	}
+	s := posixTrace.Segments[0]
+	if s.Kind != OpRead || s.Offset != 4096 || s.Length != 1024 || s.Start != 1 || s.End != 1.5 {
+		t.Errorf("segment = %+v", s)
+	}
+}
+
+func TestDXTSegmentLimit(t *testing.T) {
+	rt := NewRuntime(testJob(1))
+	rt.EnableDXT(3)
+	for i := 0; i < 10; i++ {
+		rt.Observe(Op{Module: ModulePOSIX, Path: "/p/a", Rank: 0, Kind: OpWrite,
+			Size: 100, Offset: int64(i) * 100, Start: float64(i), End: float64(i) + 0.5})
+	}
+	log := rt.Finalize()
+	if len(log.DXT) != 1 || len(log.DXT[0].Segments) != 3 {
+		t.Errorf("expected 1 trace capped at 3 segments, got %+v", log.DXT)
+	}
+}
+
+func TestDXTBatchesRecordOneSegment(t *testing.T) {
+	rt := NewRuntime(testJob(1))
+	rt.EnableDXT(8)
+	rt.ObserveN(Op{Module: ModulePOSIX, Path: "/p/a", Rank: 2, Kind: OpWrite,
+		Size: units.MiB, Offset: 0, Start: 0, End: 4}, 16)
+	log := rt.Finalize()
+	if len(log.DXT) != 1 {
+		t.Fatalf("traces = %d", len(log.DXT))
+	}
+	s := log.DXT[0].Segments[0]
+	if s.Length != 16*int64(units.MiB) {
+		t.Errorf("batch segment length = %d, want 16 MiB", s.Length)
+	}
+	if log.DXT[0].Rank != 2 {
+		t.Errorf("rank = %d", log.DXT[0].Rank)
+	}
+}
+
+func TestEnableDXTPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero limit", func() { NewRuntime(testJob(1)).EnableDXT(0) })
+	mustPanic("after finalize", func() {
+		rt := NewRuntime(testJob(1))
+		rt.Finalize()
+		rt.EnableDXT(1)
+	})
+	mustPanic("extended stdio after finalize", func() {
+		rt := NewRuntime(testJob(1))
+		rt.Finalize()
+		rt.EnableExtendedStdio()
+	})
+}
+
+func TestStdioXModuleTables(t *testing.T) {
+	if ModuleStdioX.String() != "STDIOX" {
+		t.Errorf("name = %q", ModuleStdioX.String())
+	}
+	names := CounterNames(ModuleStdioX)
+	if len(names) != NumStdioXCounters {
+		t.Fatalf("width = %d, want %d", len(names), NumStdioXCounters)
+	}
+	if names[StdioXSizeRead0To100] != "STDIOX_SIZE_READ_0_100" {
+		t.Errorf("first counter = %q", names[StdioXSizeRead0To100])
+	}
+	if names[StdioXRewriteBytes] != "STDIOX_REWRITE_BYTES" {
+		t.Errorf("rewrite counter = %q", names[StdioXRewriteBytes])
+	}
+	if FCounterNames(ModuleStdioX) != nil {
+		t.Error("STDIOX has no float counters")
+	}
+}
+
+func TestStdioXSharedReduction(t *testing.T) {
+	nprocs := 4
+	rt := NewRuntime(testJob(nprocs))
+	rt.EnableExtendedStdio()
+	for rank := int32(0); rank < int32(nprocs); rank++ {
+		rt.Observe(Op{Module: ModuleSTDIO, Path: "/p/shared.log", Rank: rank,
+			Kind: OpWrite, Size: 4096, Offset: 0, Start: 1, End: 1.1})
+	}
+	log := rt.Finalize()
+	recs := log.RecordsFor(ModuleStdioX)
+	if len(recs) != 1 || recs[0].Rank != SharedRank {
+		t.Fatalf("STDIOX reduction failed: %+v", recs)
+	}
+	if got := recs[0].Counters[StdioXSizeWrite0To100+int(units.Bin1KTo10K)]; got != 4 {
+		t.Errorf("reduced histogram = %d, want 4", got)
+	}
+}

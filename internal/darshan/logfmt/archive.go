@@ -1,0 +1,222 @@
+package logfmt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"iolayers/internal/darshan"
+)
+
+// Campaign archives bundle many logs into one stream. Production Darshan
+// collections are published exactly this way — the month the paper released
+// ships as tarred bundles, not millions of loose files. The format is
+// sequential and streaming-friendly:
+//
+//	magic "DGAR" | version u16 | entries... | terminator
+//	entry: length u32 (>0) | one complete log in the DGOL format
+//	terminator: length u32 == 0
+//
+// Appending requires no index and readers can process logs as they arrive.
+
+// ArchiveMagic identifies a campaign archive.
+var ArchiveMagic = [4]byte{'D', 'G', 'A', 'R'}
+
+// ErrNotArchive marks a stream without the archive magic.
+var ErrNotArchive = errors.New("logfmt: not a campaign archive")
+
+// maxArchiveEntry bounds one embedded log's size.
+const maxArchiveEntry = 1 << 30
+
+// ArchiveWriter appends logs to a campaign archive. Close writes the
+// terminator; an unterminated archive reads as truncated.
+type ArchiveWriter struct {
+	w      *bufio.Writer
+	count  int
+	closed bool
+}
+
+// NewArchiveWriter starts an archive on w.
+func NewArchiveWriter(w io.Writer) (*ArchiveWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(ArchiveMagic[:]); err != nil {
+		return nil, fmt.Errorf("logfmt: writing archive magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, Version); err != nil {
+		return nil, fmt.Errorf("logfmt: writing archive version: %w", err)
+	}
+	return &ArchiveWriter{w: bw}, nil
+}
+
+// Append adds one log to the archive.
+func (aw *ArchiveWriter) Append(log *darshan.Log) error {
+	if aw.closed {
+		return errors.New("logfmt: append to closed archive")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, log); err != nil {
+		return err
+	}
+	if buf.Len() > maxArchiveEntry {
+		return fmt.Errorf("logfmt: log of %d bytes exceeds archive entry limit", buf.Len())
+	}
+	if err := binary.Write(aw.w, binary.LittleEndian, uint32(buf.Len())); err != nil {
+		return fmt.Errorf("logfmt: writing entry length: %w", err)
+	}
+	if _, err := aw.w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("logfmt: writing entry: %w", err)
+	}
+	aw.count++
+	return nil
+}
+
+// Count returns the number of logs appended so far.
+func (aw *ArchiveWriter) Count() int { return aw.count }
+
+// Close writes the terminator and flushes. The underlying writer is not
+// closed (the caller owns it).
+func (aw *ArchiveWriter) Close() error {
+	if aw.closed {
+		return nil
+	}
+	aw.closed = true
+	if err := binary.Write(aw.w, binary.LittleEndian, uint32(0)); err != nil {
+		return fmt.Errorf("logfmt: writing archive terminator: %w", err)
+	}
+	if err := aw.w.Flush(); err != nil {
+		return fmt.Errorf("logfmt: flushing archive: %w", err)
+	}
+	return nil
+}
+
+// ArchiveReader iterates the logs of a campaign archive.
+type ArchiveReader struct {
+	r    *bufio.Reader
+	done bool
+}
+
+// NewArchiveReader validates the header and prepares iteration.
+func NewArchiveReader(r io.Reader) (*ArchiveReader, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrTruncated, err)
+	}
+	if magic != ArchiveMagic {
+		return nil, fmt.Errorf("%w: got %q", ErrNotArchive, magic[:])
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: reading version: %v", ErrTruncated, err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: archive version %d (supported: %d)", ErrVersion, version, Version)
+	}
+	return &ArchiveReader{r: br}, nil
+}
+
+// Next returns the next log, or io.EOF after the terminator.
+func (ar *ArchiveReader) Next() (*darshan.Log, error) {
+	if ar.done {
+		return nil, io.EOF
+	}
+	var n uint32
+	if err := binary.Read(ar.r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("%w: reading entry length: %v", ErrTruncated, err)
+	}
+	if n == 0 {
+		ar.done = true
+		return nil, io.EOF
+	}
+	if n > maxArchiveEntry {
+		return nil, fmt.Errorf("%w: entry claims %d bytes", ErrCorrupt, n)
+	}
+	entry := make([]byte, n)
+	if _, err := io.ReadFull(ar.r, entry); err != nil {
+		return nil, fmt.Errorf("%w: reading %d-byte entry: %v", ErrTruncated, n, err)
+	}
+	return Read(bytes.NewReader(entry))
+}
+
+// WriteArchiveFile writes all logs to a single archive at path.
+func WriteArchiveFile(path string, logs []*darshan.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("logfmt: creating %s: %w", path, err)
+	}
+	aw, err := NewArchiveWriter(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, log := range logs {
+		if err := aw.Append(log); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := aw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("logfmt: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// RecoverArchiveFile salvages the complete entries of a damaged or
+// unterminated archive — the state a crash mid-collection leaves behind. It
+// returns every log that parses and the error that stopped recovery
+// (io.EOF-equivalent clean ends return a nil error).
+func RecoverArchiveFile(path string) ([]*darshan.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("logfmt: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	ar, err := NewArchiveReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("logfmt: %s: %w", path, err)
+	}
+	var logs []*darshan.Log
+	for {
+		log, err := ar.Next()
+		if errors.Is(err, io.EOF) {
+			return logs, nil
+		}
+		if err != nil {
+			// Damage point reached: everything before it is saved.
+			return logs, err
+		}
+		logs = append(logs, log)
+	}
+}
+
+// ReadArchiveFile parses every log in the archive at path.
+func ReadArchiveFile(path string) ([]*darshan.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("logfmt: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	ar, err := NewArchiveReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("logfmt: %s: %w", path, err)
+	}
+	var logs []*darshan.Log
+	for {
+		log, err := ar.Next()
+		if errors.Is(err, io.EOF) {
+			return logs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("logfmt: %s entry %d: %w", path, len(logs), err)
+		}
+		logs = append(logs, log)
+	}
+}

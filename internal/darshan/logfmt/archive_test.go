@@ -1,0 +1,209 @@
+package logfmt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/units"
+)
+
+func archiveLogs(n int) []*darshan.Log {
+	logs := make([]*darshan.Log, 0, n)
+	for i := 0; i < n; i++ {
+		rt := darshan.NewRuntime(darshan.JobHeader{
+			JobID: uint64(100 + i), NProcs: 2, StartTime: int64(i * 1000), EndTime: int64(i*1000 + 500),
+		})
+		rt.Observe(darshan.Op{Module: darshan.ModulePOSIX, Path: "/gpfs/alpine/f",
+			Rank: 0, Kind: darshan.OpWrite, Size: units.MiB, Offset: 0, Start: 1, End: 2})
+		logs = append(logs, rt.Finalize())
+	}
+	return logs
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	logs := archiveLogs(5)
+	var buf bytes.Buffer
+	aw, err := NewArchiveWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range logs {
+		if err := aw.Append(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if aw.Count() != 5 {
+		t.Errorf("count = %d", aw.Count())
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ar, err := NewArchiveReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		log, err := ar.Next()
+		if errors.Is(err, io.EOF) {
+			if i != 5 {
+				t.Errorf("read %d logs, want 5", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if log.Job.JobID != uint64(100+i) {
+			t.Errorf("entry %d: job %d", i, log.Job.JobID)
+		}
+	}
+	// Next after EOF keeps returning EOF.
+	if _, err := ar.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("post-EOF err = %v", err)
+	}
+}
+
+func TestArchiveFileHelpers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.dgar")
+	logs := archiveLogs(3)
+	if err := WriteArchiveFile(path, logs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArchiveFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d logs", len(got))
+	}
+	for i := range got {
+		if got[i].Job.JobID != logs[i].Job.JobID {
+			t.Errorf("entry %d: job %d vs %d", i, got[i].Job.JobID, logs[i].Job.JobID)
+		}
+	}
+}
+
+func TestArchiveUnterminatedIsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	aw, _ := NewArchiveWriter(&buf)
+	_ = aw.Append(archiveLogs(1)[0])
+	// No Close: missing terminator.
+	_ = aw.w.Flush()
+	ar, err := NewArchiveReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ar.Next(); err != nil {
+		t.Fatalf("first entry should parse: %v", err)
+	}
+	if _, err := ar.Next(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("unterminated archive err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestArchiveRejectsWrongMagic(t *testing.T) {
+	_, err := NewArchiveReader(bytes.NewReader([]byte("NOPE\x01\x00")))
+	if !errors.Is(err, ErrNotArchive) {
+		t.Errorf("err = %v, want ErrNotArchive", err)
+	}
+	// A plain log is not an archive either.
+	var buf bytes.Buffer
+	if err := Write(&buf, archiveLogs(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewArchiveReader(&buf); !errors.Is(err, ErrNotArchive) {
+		t.Errorf("plain log accepted as archive: %v", err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	var buf bytes.Buffer
+	aw, _ := NewArchiveWriter(&buf)
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Append(archiveLogs(1)[0]); err == nil {
+		t.Error("append after close succeeded")
+	}
+	// Double close is a no-op.
+	if err := aw.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestRecoverArchiveFile(t *testing.T) {
+	// Crash scenario: three logs appended, no terminator, trailing garbage.
+	path := filepath.Join(t.TempDir(), "crashed.dgar")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, _ := NewArchiveWriter(f)
+	for _, l := range archiveLogs(3) {
+		if err := aw.Append(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = aw.w.Flush()
+	// Simulate a partially written fourth entry: a length prefix with only
+	// half the payload behind it.
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 'D', 'G'}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict reading fails...
+	if _, err := ReadArchiveFile(path); err == nil {
+		t.Error("strict read of crashed archive succeeded")
+	}
+	// ...recovery salvages the complete entries.
+	logs, err := RecoverArchiveFile(path)
+	if err == nil {
+		t.Error("recovery should report the damage point")
+	}
+	if len(logs) != 3 {
+		t.Errorf("recovered %d logs, want 3", len(logs))
+	}
+	for i, l := range logs {
+		if l.Job.JobID != uint64(100+i) {
+			t.Errorf("recovered entry %d: job %d", i, l.Job.JobID)
+		}
+	}
+}
+
+func TestRecoverCleanArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clean.dgar")
+	if err := WriteArchiveFile(path, archiveLogs(2)); err != nil {
+		t.Fatal(err)
+	}
+	logs, err := RecoverArchiveFile(path)
+	if err != nil {
+		t.Errorf("recovery of a clean archive errored: %v", err)
+	}
+	if len(logs) != 2 {
+		t.Errorf("recovered %d logs", len(logs))
+	}
+}
+
+func TestEmptyArchive(t *testing.T) {
+	var buf bytes.Buffer
+	aw, _ := NewArchiveWriter(&buf)
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := NewArchiveReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ar.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty archive err = %v, want EOF", err)
+	}
+}

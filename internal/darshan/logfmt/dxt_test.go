@@ -1,0 +1,130 @@
+package logfmt
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/units"
+)
+
+func dxtLog() *darshan.Log {
+	rt := darshan.NewRuntime(darshan.JobHeader{
+		JobID: 99, UserID: 1, NProcs: 2, StartTime: 0, EndTime: 100,
+	})
+	rt.EnableDXT(8)
+	rt.EnableExtendedStdio()
+	rt.Observe(darshan.Op{Module: darshan.ModulePOSIX, Path: "/p/a.bin", Rank: 0,
+		Kind: darshan.OpRead, Size: 64 * units.KiB, Offset: 1 << 20, Start: 1, End: 1.25})
+	rt.ObserveN(darshan.Op{Module: darshan.ModuleMPIIO, Path: "/p/b.nc", Rank: 1,
+		Kind: darshan.OpWrite, Size: units.MiB, Offset: 0, Start: 2, End: 3}, 4)
+	rt.Observe(darshan.Op{Module: darshan.ModuleSTDIO, Path: "/p/c.log", Rank: 0,
+		Kind: darshan.OpWrite, Size: 200, Offset: 0, Start: 4, End: 4.1})
+	return rt.Finalize()
+}
+
+func TestDXTRoundTrip(t *testing.T) {
+	log := dxtLog()
+	if len(log.DXT) != 2 {
+		t.Fatalf("precondition: %d traces", len(log.DXT))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.DXT, log.DXT) {
+		t.Errorf("DXT mismatch:\n got %+v\nwant %+v", got.DXT, log.DXT)
+	}
+}
+
+func TestStdioXRecordsRoundTrip(t *testing.T) {
+	log := dxtLog()
+	var buf bytes.Buffer
+	if err := Write(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := log.RecordsFor(darshan.ModuleStdioX)
+	have := got.RecordsFor(darshan.ModuleStdioX)
+	if len(want) != 1 || len(have) != 1 {
+		t.Fatalf("STDIOX records: wrote %d, read %d", len(want), len(have))
+	}
+	if !reflect.DeepEqual(want[0].Counters, have[0].Counters) {
+		t.Errorf("counters mismatch: %v vs %v", have[0].Counters, want[0].Counters)
+	}
+}
+
+func TestLogWithoutDXTHasNoDXTSection(t *testing.T) {
+	var withBuf, withoutBuf bytes.Buffer
+	if err := Write(&withBuf, dxtLog()); err != nil {
+		t.Fatal(err)
+	}
+	plain := sampleLog()
+	if err := Write(&withoutBuf, plain); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&withoutBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.DXT) != 0 {
+		t.Errorf("plain log decoded with %d DXT traces", len(got.DXT))
+	}
+}
+
+// Forward compatibility: an unknown section type must be skipped, with the
+// rest of the log intact.
+func TestUnknownSectionTypeSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, dxtLog()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// The DXT section is the last one; rewrite its type byte to something
+	// from the future. Find it by scanning section frames.
+	off := 8 // file header
+	var lastSectionOff int
+	for off < len(b) {
+		lastSectionOff = off
+		compressedLen := int(uint32(b[off+6]) | uint32(b[off+7])<<8 | uint32(b[off+8])<<16 | uint32(b[off+9])<<24)
+		off += 14 + compressedLen
+	}
+	if b[lastSectionOff] != sectionDXT {
+		t.Fatalf("expected trailing DXT section, found type %d", b[lastSectionOff])
+	}
+	b[lastSectionOff] = 200 // unknown future section type
+	got, err := Read(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("reader failed on unknown section: %v", err)
+	}
+	if len(got.DXT) != 0 {
+		t.Error("unknown section was decoded as DXT")
+	}
+	if got.Job.JobID != 99 || len(got.Records) == 0 {
+		t.Error("known sections lost when skipping unknown one")
+	}
+}
+
+func TestCorruptDXTSegmentCountRejected(t *testing.T) {
+	// A DXT payload claiming more segments than bytes must be rejected
+	// without huge allocation.
+	traces := []darshan.DXTTrace{{
+		Module: darshan.ModulePOSIX, Record: 1, Rank: 0,
+		Segments: []darshan.DXTSegment{{Kind: darshan.OpRead, Length: 10}},
+	}}
+	payload := encodeDXT(traces)
+	// Segment count lives after count(4)+module(1)+record(8)+rank(4).
+	payload[4+1+8+4] = 0xFF
+	payload[4+1+8+4+1] = 0xFF
+	if _, err := decodeDXT(payload); err == nil {
+		t.Error("expected error for inflated segment count")
+	}
+}

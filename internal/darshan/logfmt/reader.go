@@ -1,0 +1,362 @@
+package logfmt
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"iolayers/internal/darshan"
+)
+
+// Read parses a log from r. Unknown section types are skipped. For module
+// sections, counters are remapped by name into the current module layout, so
+// logs written by older or newer revisions of a module remain readable as
+// long as counter names persist.
+func Read(r io.Reader) (*darshan.Log, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrTruncated, err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, magic[:])
+	}
+	var version, sectionCount uint16
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: reading version: %v", ErrTruncated, err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: version %d (supported: %d)", ErrVersion, version, Version)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &sectionCount); err != nil {
+		return nil, fmt.Errorf("%w: reading section count: %v", ErrTruncated, err)
+	}
+
+	log := &darshan.Log{Names: map[darshan.RecordID]string{}}
+	sawJob := false
+	for s := 0; s < int(sectionCount); s++ {
+		sectionType, module, payload, err := readSection(r)
+		if err != nil {
+			return nil, err
+		}
+		switch sectionType {
+		case sectionJob:
+			job, err := decodeJob(payload)
+			if err != nil {
+				return nil, err
+			}
+			log.Job = job
+			sawJob = true
+		case sectionNames:
+			if err := decodeNames(payload, log.Names); err != nil {
+				return nil, err
+			}
+		case sectionModule:
+			recs, err := decodeModule(darshan.ModuleID(module), payload)
+			if err != nil {
+				return nil, err
+			}
+			log.Records = append(log.Records, recs...)
+		case sectionDXT:
+			traces, err := decodeDXT(payload)
+			if err != nil {
+				return nil, err
+			}
+			log.DXT = append(log.DXT, traces...)
+		default:
+			// Unknown section type: skipped for forward compatibility.
+		}
+	}
+	if !sawJob {
+		return nil, fmt.Errorf("%w: no job section", ErrCorrupt)
+	}
+	return log, nil
+}
+
+// ReadFile reads and parses the log at path.
+func ReadFile(path string) (*darshan.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("logfmt: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	log, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("logfmt: parsing %s: %w", path, err)
+	}
+	return log, nil
+}
+
+func readSection(r io.Reader) (sectionType, module uint8, payload []byte, err error) {
+	hdr := make([]byte, 14)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: section header: %v", ErrTruncated, err)
+	}
+	sectionType = hdr[0]
+	module = hdr[1]
+	uncompressedLen := binary.LittleEndian.Uint32(hdr[2:])
+	compressedLen := binary.LittleEndian.Uint32(hdr[6:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[10:])
+	if uncompressedLen > maxSectionSize || compressedLen > maxSectionSize {
+		return 0, 0, nil, fmt.Errorf("%w: section claims %d/%d bytes", ErrCorrupt, uncompressedLen, compressedLen)
+	}
+	compressed := make([]byte, compressedLen)
+	if _, err := io.ReadFull(r, compressed); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: section payload: %v", ErrTruncated, err)
+	}
+	if crc := crc32.ChecksumIEEE(compressed); crc != wantCRC {
+		return 0, 0, nil, fmt.Errorf("%w: section %d crc mismatch (got %08x want %08x)",
+			ErrCorrupt, sectionType, crc, wantCRC)
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(compressed))
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: section %d: %v", ErrCorrupt, sectionType, err)
+	}
+	defer zr.Close()
+	payload = make([]byte, uncompressedLen)
+	if _, err := io.ReadFull(zr, payload); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: decompressing section %d: %v", ErrCorrupt, sectionType, err)
+	}
+	return sectionType, module, payload, nil
+}
+
+// decoder consumes little-endian primitives from a payload, reporting
+// malformed input through a sticky error.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: payload ends at %d, need %d more bytes", ErrCorrupt, d.off, n)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+func (d *decoder) f64() float64 {
+	return math.Float64frombits(d.u64())
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func decodeJob(payload []byte) (darshan.JobHeader, error) {
+	d := &decoder{buf: payload}
+	job := darshan.JobHeader{
+		JobID:     d.u64(),
+		UserID:    d.u64(),
+		NProcs:    int(d.u32()),
+		StartTime: d.i64(),
+		EndTime:   d.i64(),
+		Exe:       d.str(),
+	}
+	n := int(d.u16())
+	if n > 0 {
+		job.Metadata = make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			k := d.str()
+			v := d.str()
+			if d.err != nil {
+				break
+			}
+			job.Metadata[k] = v
+		}
+	}
+	if d.err != nil {
+		return darshan.JobHeader{}, fmt.Errorf("job section: %w", d.err)
+	}
+	return job, nil
+}
+
+func decodeNames(payload []byte, into map[darshan.RecordID]string) error {
+	d := &decoder{buf: payload}
+	n := int(d.u32())
+	for i := 0; i < n; i++ {
+		id := darshan.RecordID(d.u64())
+		path := d.str()
+		if d.err != nil {
+			return fmt.Errorf("names section entry %d: %w", i, d.err)
+		}
+		into[id] = path
+	}
+	return d.err
+}
+
+func decodeDXT(payload []byte) ([]darshan.DXTTrace, error) {
+	d := &decoder{buf: payload}
+	n := int(d.u32())
+	traces := make([]darshan.DXTTrace, 0, n)
+	for i := 0; i < n; i++ {
+		var b [1]byte
+		if d.need(1) {
+			b[0] = d.buf[d.off]
+			d.off++
+		}
+		tr := darshan.DXTTrace{
+			Module: darshan.ModuleID(b[0]),
+			Record: darshan.RecordID(d.u64()),
+			Rank:   d.i32(),
+		}
+		nSegs := int(d.u32())
+		// Bound segment allocation by the remaining payload (33 bytes per
+		// segment) so a corrupt count cannot force a huge allocation.
+		if remaining := (len(d.buf) - d.off) / 33; nSegs > remaining {
+			return nil, fmt.Errorf("%w: DXT trace %d claims %d segments, only %d possible",
+				ErrCorrupt, i, nSegs, remaining)
+		}
+		tr.Segments = make([]darshan.DXTSegment, 0, nSegs)
+		for s := 0; s < nSegs; s++ {
+			var kind [1]byte
+			if d.need(1) {
+				kind[0] = d.buf[d.off]
+				d.off++
+			}
+			tr.Segments = append(tr.Segments, darshan.DXTSegment{
+				Kind:   darshan.OpKind(kind[0]),
+				Offset: d.i64(),
+				Length: d.i64(),
+				Start:  d.f64(),
+				End:    d.f64(),
+			})
+		}
+		if d.err != nil {
+			return nil, fmt.Errorf("DXT trace %d: %w", i, d.err)
+		}
+		traces = append(traces, tr)
+	}
+	return traces, d.err
+}
+
+func decodeModule(m darshan.ModuleID, payload []byte) ([]*darshan.FileRecord, error) {
+	d := &decoder{buf: payload}
+	nCounters := int(d.u16())
+	fileCounterNames := make([]string, nCounters)
+	for i := range fileCounterNames {
+		fileCounterNames[i] = d.str()
+	}
+	nFCounters := int(d.u16())
+	fileFCounterNames := make([]string, nFCounters)
+	for i := range fileFCounterNames {
+		fileFCounterNames[i] = d.str()
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("module %v name tables: %w", m, d.err)
+	}
+
+	// Build index remaps from the on-disk layout to the current layout.
+	// Names absent from the current layout are dropped; current counters
+	// absent from the file stay zero. An entirely unknown module keeps the
+	// on-disk layout verbatim (identity remap), which preserves
+	// self-description for downstream tools.
+	counterRemap := remapIndexes(fileCounterNames, darshan.CounterNames(m))
+	fcounterRemap := remapIndexes(fileFCounterNames, darshan.FCounterNames(m))
+	known := darshan.NumCounters(m) > 0
+
+	nRecords := int(d.u32())
+	records := make([]*darshan.FileRecord, 0, nRecords)
+	for i := 0; i < nRecords; i++ {
+		id := darshan.RecordID(d.u64())
+		rank := d.i32()
+		var rec *darshan.FileRecord
+		if known {
+			rec = darshan.NewFileRecord(m, id, rank)
+		} else {
+			rec = &darshan.FileRecord{
+				Module:    m,
+				Record:    id,
+				Rank:      rank,
+				Counters:  make([]int64, nCounters),
+				FCounters: make([]float64, nFCounters),
+			}
+		}
+		for j := 0; j < nCounters; j++ {
+			v := d.i64()
+			if known {
+				if dst := counterRemap[j]; dst >= 0 {
+					rec.Counters[dst] = v
+				}
+			} else {
+				rec.Counters[j] = v
+			}
+		}
+		for j := 0; j < nFCounters; j++ {
+			v := d.f64()
+			if known {
+				if dst := fcounterRemap[j]; dst >= 0 {
+					rec.FCounters[dst] = v
+				}
+			} else {
+				rec.FCounters[j] = v
+			}
+		}
+		if d.err != nil {
+			return nil, fmt.Errorf("module %v record %d: %w", m, i, d.err)
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// remapIndexes returns, for each source index, the destination index with
+// the same name, or −1 if the destination layout lacks that name.
+func remapIndexes(src, dst []string) []int {
+	dstIdx := make(map[string]int, len(dst))
+	for i, n := range dst {
+		dstIdx[n] = i
+	}
+	remap := make([]int, len(src))
+	for i, n := range src {
+		if j, ok := dstIdx[n]; ok {
+			remap[i] = j
+		} else {
+			remap[i] = -1
+		}
+	}
+	return remap
+}

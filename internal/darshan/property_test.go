@@ -1,0 +1,142 @@
+package darshan
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"iolayers/internal/units"
+)
+
+// Property: ObserveN(op, n) produces exactly the same record as n
+// consecutive Observe calls on a contiguous run of requests.
+func TestObserveNEquivalence(t *testing.T) {
+	f := func(rawSize uint32, rawN uint8, isRead bool) bool {
+		size := units.ByteSize(rawSize%(8<<20) + 1)
+		n := int(rawN%32) + 1
+		kind := OpWrite
+		if isRead {
+			kind = OpRead
+		}
+
+		// Batched.
+		rtA := NewRuntime(JobHeader{JobID: 1, NProcs: 1, StartTime: 0, EndTime: 100})
+		rtA.ObserveN(Op{Module: ModulePOSIX, Path: "/p/f", Rank: 0, Kind: kind,
+			Size: size, Offset: 0, Start: 1, End: 2}, n)
+		recA := rtA.Finalize().RecordsFor(ModulePOSIX)[0]
+
+		// One at a time, contiguous, with the same total time window.
+		rtB := NewRuntime(JobHeader{JobID: 1, NProcs: 1, StartTime: 0, EndTime: 100})
+		per := 1.0 / float64(n)
+		for i := 0; i < n; i++ {
+			rtB.Observe(Op{Module: ModulePOSIX, Path: "/p/f", Rank: 0, Kind: kind,
+				Size: size, Offset: int64(i) * int64(size),
+				Start: 1 + float64(i)*per, End: 1 + float64(i+1)*per})
+		}
+		recB := rtB.Finalize().RecordsFor(ModulePOSIX)[0]
+
+		if !reflect.DeepEqual(recA.Counters, recB.Counters) {
+			t.Logf("size=%d n=%d kind=%v\nA=%v\nB=%v", size, n, kind, recA.Counters, recB.Counters)
+			return false
+		}
+		// Accumulated times match up to float noise.
+		for _, idx := range []int{PosixFReadTime, PosixFWriteTime} {
+			if d := recA.FCounters[idx] - recB.FCounters[idx]; d > 1e-9 || d < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the shared-file reduction preserves byte and operation totals
+// regardless of how the work was distributed across ranks.
+func TestReductionPreservesTotals(t *testing.T) {
+	f := func(seed uint64, rawProcs uint8) bool {
+		nprocs := int(rawProcs%16) + 2
+		r := rand.New(rand.NewPCG(seed, 42))
+		rt := NewRuntime(JobHeader{JobID: 2, NProcs: nprocs, StartTime: 0, EndTime: 100})
+		var wantBytes, wantOps int64
+		for rank := 0; rank < nprocs; rank++ {
+			ops := 1 + r.IntN(5)
+			for i := 0; i < ops; i++ {
+				size := units.ByteSize(1 + r.IntN(1<<20))
+				rt.Observe(Op{Module: ModulePOSIX, Path: "/shared", Rank: int32(rank),
+					Kind: OpWrite, Size: size, Offset: int64(rank) << 24,
+					Start: float64(i), End: float64(i) + 0.5})
+				wantBytes += int64(size)
+				wantOps++
+			}
+		}
+		log := rt.Finalize()
+		recs := log.RecordsFor(ModulePOSIX)
+		if len(recs) != 1 || recs[0].Rank != SharedRank {
+			return false
+		}
+		return recs[0].Counters[PosixBytesWritten] == wantBytes &&
+			recs[0].Counters[PosixWrites] == wantOps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: within one record, the access-size histogram always sums to the
+// operation count, for any interleaving of reads and writes.
+func TestHistogramMatchesOpCounts(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		rt := NewRuntime(JobHeader{JobID: 3, NProcs: 1, StartTime: 0, EndTime: 100})
+		for i := 0; i < 50; i++ {
+			kind := OpRead
+			if r.IntN(2) == 0 {
+				kind = OpWrite
+			}
+			rt.ObserveN(Op{Module: ModulePOSIX, Path: "/f", Rank: 0, Kind: kind,
+				Size: units.ByteSize(1 + r.IntN(1<<26)), Offset: -1,
+				Start: float64(i), End: float64(i) + 0.1}, 1+r.IntN(9))
+		}
+		rec := rt.Finalize().RecordsFor(ModulePOSIX)[0]
+		var histR, histW int64
+		for b := 0; b < units.NumRequestBins; b++ {
+			histR += rec.Counters[PosixSizeRead0To100+b]
+			histW += rec.Counters[PosixSizeWrite0To100+b]
+		}
+		return histR == rec.Counters[PosixReads] && histW == rec.Counters[PosixWrites]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: STDIOX mirrors STDIO volume exactly — unique + rewrite bytes
+// equal the STDIO module's total written bytes for offset-tracked writes.
+func TestStdioXVolumeConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 13))
+		rt := NewRuntime(JobHeader{JobID: 4, NProcs: 1, StartTime: 0, EndTime: 100})
+		rt.EnableExtendedStdio()
+		var off int64
+		for i := 0; i < 30; i++ {
+			size := units.ByteSize(1 + r.IntN(1<<16))
+			if r.IntN(4) == 0 {
+				off = 0 // rewind: rewrite
+			}
+			rt.Observe(Op{Module: ModuleSTDIO, Path: "/log", Rank: 0, Kind: OpWrite,
+				Size: size, Offset: off, Start: float64(i), End: float64(i) + 0.1})
+			off += int64(size)
+		}
+		log := rt.Finalize()
+		stdio := log.RecordsFor(ModuleSTDIO)[0]
+		sx := log.RecordsFor(ModuleStdioX)[0]
+		total := sx.Counters[StdioXRewriteBytes] + sx.Counters[StdioXUniqueBytes]
+		return total == stdio.Counters[StdioBytesWritten]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,713 @@
+package darshan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"iolayers/internal/units"
+)
+
+// OpKind enumerates the I/O operations the runtime instruments.
+type OpKind int
+
+// Instrumented operation kinds. Read/Write carry sizes; the others are
+// metadata operations that contribute to open/close counters and meta time.
+const (
+	OpOpen OpKind = iota
+	OpRead
+	OpWrite
+	OpSeek
+	OpStat
+	OpFlush
+	OpFsync
+	OpClose
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpOpen:
+		return "open"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSeek:
+		return "seek"
+	case OpStat:
+		return "stat"
+	case OpFlush:
+		return "flush"
+	case OpFsync:
+		return "fsync"
+	case OpClose:
+		return "close"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one observed I/O operation, as delivered by the instrumented client.
+// Start and End are seconds relative to job start (MPI_Init). Offset is the
+// file offset of a read/write, or −1 when unknown; it feeds the
+// sequential/consecutive access counters. Collective marks MPI-IO collective
+// calls.
+//
+// Note on layering: as in real Darshan, an application call through MPI-IO
+// surfaces as observations at both the MPI-IO and POSIX modules (MPI-IO
+// issues POSIX system calls underneath, §3.1); the instrumented client is
+// responsible for emitting both, because collective buffering may legally
+// change the size and count of the underlying POSIX operations.
+type Op struct {
+	Module     ModuleID
+	Path       string
+	Rank       int32
+	Kind       OpKind
+	Size       units.ByteSize
+	Offset     int64
+	Start, End float64
+	Collective bool
+}
+
+type recordKey struct {
+	module ModuleID
+	id     RecordID
+	rank   int32
+}
+
+// ioCursor tracks the last byte position of reads/writes per record for the
+// sequential/consecutive counters, and the write high-water mark for the
+// extended-STDIO rewrite accounting.
+type ioCursor struct {
+	lastReadEnd    int64
+	lastWriteEnd   int64
+	anyRead        bool
+	anyWrite       bool
+	writeHighWater int64
+}
+
+// Runtime is the instrumentation core: it accumulates counter records for
+// every (module, file, rank) it observes and emits a Log on Finalize. It is
+// safe for concurrent use by multiple goroutines (simulated ranks).
+type Runtime struct {
+	mu        sync.Mutex
+	job       JobHeader
+	records   map[recordKey]*FileRecord
+	cursors   map[recordKey]*ioCursor
+	names     map[RecordID]string
+	finalized bool
+
+	// extendedStdio mirrors STDIO data operations into the STDIOX module
+	// (Recommendation 4); off by default, as on the paper's systems.
+	extendedStdio bool
+	// dxtLimit, when positive, enables DXT tracing for POSIX and MPI-IO
+	// with at most dxtLimit segments per (file, rank) record.
+	dxtLimit int
+	dxt      map[recordKey][]DXTSegment
+}
+
+// NewRuntime starts instrumentation for one application execution. NProcs
+// must be at least 1.
+func NewRuntime(job JobHeader) *Runtime {
+	if job.NProcs < 1 {
+		panic(fmt.Sprintf("darshan: job %d has NProcs %d; need >= 1", job.JobID, job.NProcs))
+	}
+	return &Runtime{
+		job:     job,
+		records: make(map[recordKey]*FileRecord),
+		cursors: make(map[recordKey]*ioCursor),
+		names:   make(map[RecordID]string),
+	}
+}
+
+// Job returns the job header the runtime was created with.
+func (rt *Runtime) Job() JobHeader { return rt.job }
+
+// EnableExtendedStdio turns on the STDIOX module for this execution: every
+// STDIO read/write also updates an extended record carrying the access-size
+// histograms, write sequentiality, and rewrite/unique byte split the paper's
+// Recommendation 4 asks monitoring tools to add.
+func (rt *Runtime) EnableExtendedStdio() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.finalized {
+		panic("darshan: EnableExtendedStdio after Finalize")
+	}
+	rt.extendedStdio = true
+}
+
+// EnableDXT turns on extended tracing for POSIX and MPI-IO operations,
+// keeping at most segmentsPerRecord trace segments per (file, rank) record.
+// It panics on a non-positive limit: an unbounded trace of a production job
+// is a memory bug, not a configuration.
+func (rt *Runtime) EnableDXT(segmentsPerRecord int) {
+	if segmentsPerRecord <= 0 {
+		panic(fmt.Sprintf("darshan: EnableDXT(%d): limit must be positive", segmentsPerRecord))
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.finalized {
+		panic("darshan: EnableDXT after Finalize")
+	}
+	rt.dxtLimit = segmentsPerRecord
+	if rt.dxt == nil {
+		rt.dxt = make(map[recordKey][]DXTSegment)
+	}
+}
+
+func (rt *Runtime) record(m ModuleID, path string, rank int32) (*FileRecord, *ioCursor) {
+	id := HashPath(path)
+	key := recordKey{m, id, rank}
+	rec, ok := rt.records[key]
+	if !ok {
+		rec = NewFileRecord(m, id, rank)
+		rt.records[key] = rec
+		rt.names[id] = path
+	}
+	cur, ok := rt.cursors[key]
+	if !ok {
+		cur = &ioCursor{}
+		rt.cursors[key] = cur
+	}
+	return rec, cur
+}
+
+// Observe records one I/O operation. Calling Observe after Finalize panics:
+// the log is already sealed, so late observations would be silently lost.
+func (rt *Runtime) Observe(op Op) { rt.ObserveN(op, 1) }
+
+// ObserveN records a batch of n identical back-to-back operations in one
+// call: counters and byte totals grow by n×, the access-size histogram bin
+// gains n, and [op.Start, op.End] covers the whole batch. This is how
+// high-volume synthetic workloads stay O(1) per (file, request-class)
+// instead of O(requests); the resulting counter record is identical to n
+// individual Observe calls on a contiguous run of requests.
+func (rt *Runtime) ObserveN(op Op, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("darshan: ObserveN with n=%d", n))
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.finalized {
+		panic("darshan: Observe after Finalize")
+	}
+	if op.End < op.Start {
+		panic(fmt.Sprintf("darshan: op %v on %q ends (%v) before it starts (%v)",
+			op.Kind, op.Path, op.End, op.Start))
+	}
+	switch op.Module {
+	case ModulePOSIX:
+		rt.observePosix(op, n)
+		rt.traceDXT(op, n)
+	case ModuleMPIIO:
+		rt.observeMpiio(op, n)
+		rt.traceDXT(op, n)
+	case ModuleSTDIO:
+		rt.observeStdio(op, n)
+		if rt.extendedStdio {
+			rt.observeStdioX(op, n)
+		}
+	default:
+		panic(fmt.Sprintf("darshan: cannot observe ops for module %v", op.Module))
+	}
+}
+
+// traceDXT appends a trace segment for a POSIX/MPI-IO data operation when
+// extended tracing is enabled. A batch of n identical requests is recorded
+// as one segment covering the batch's byte span and time window.
+func (rt *Runtime) traceDXT(op Op, n int) {
+	if rt.dxtLimit <= 0 || (op.Kind != OpRead && op.Kind != OpWrite) {
+		return
+	}
+	key := recordKey{op.Module, HashPath(op.Path), op.Rank}
+	segs := rt.dxt[key]
+	if len(segs) >= rt.dxtLimit {
+		return
+	}
+	offset := op.Offset
+	length := int64(n) * int64(op.Size)
+	rt.dxt[key] = append(segs, DXTSegment{
+		Kind:   op.Kind,
+		Offset: offset,
+		Length: length,
+		Start:  op.Start,
+		End:    op.End,
+	})
+}
+
+// observeStdioX mirrors a STDIO data operation into the extended module.
+func (rt *Runtime) observeStdioX(op Op, n int) {
+	if op.Kind != OpRead && op.Kind != OpWrite {
+		return
+	}
+	rec, cur := rt.record(ModuleStdioX, op.Path, op.Rank)
+	nn := int64(n)
+	if op.Kind == OpRead {
+		rec.Counters[StdioXSizeRead0To100+int(units.RequestBinFor(op.Size))] += nn
+		return
+	}
+	rec.Counters[StdioXSizeWrite0To100+int(units.RequestBinFor(op.Size))] += nn
+	if op.Offset >= 0 {
+		end := op.Offset + nn*int64(op.Size)
+		// Within the batch, writes 2..n run back to back.
+		rec.Counters[StdioXSeqWrites] += nn - 1
+		rec.Counters[StdioXConsecWrites] += nn - 1
+		if cur.anyWrite {
+			if op.Offset == cur.lastWriteEnd {
+				rec.Counters[StdioXConsecWrites]++
+			}
+			if op.Offset >= cur.lastWriteEnd {
+				rec.Counters[StdioXSeqWrites]++
+			}
+		}
+		cur.lastWriteEnd = end
+		cur.anyWrite = true
+		// Static/dynamic split against the file's high-water mark: bytes at
+		// or below it are rewrites (dynamic data), bytes extending it are
+		// written once (static data).
+		written := end - op.Offset
+		rewrite := min64(end, cur.writeHighWater) - op.Offset
+		if rewrite < 0 {
+			rewrite = 0
+		}
+		rec.Counters[StdioXRewriteBytes] += rewrite
+		rec.Counters[StdioXUniqueBytes] += written - rewrite
+		if end > cur.writeHighWater {
+			cur.writeHighWater = end
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (rt *Runtime) observePosix(op Op, n int) {
+	rec, cur := rt.record(ModulePOSIX, op.Path, op.Rank)
+	dur := op.End - op.Start
+	nn := int64(n)
+	switch op.Kind {
+	case OpOpen:
+		rec.Counters[PosixOpens] += nn
+		setMinTimestamp(rec.FCounters, PosixFOpenStartTimestamp, op.Start)
+		setMax(rec.FCounters, PosixFOpenEndTimestamp, op.End)
+		rec.FCounters[PosixFMetaTime] += dur
+	case OpRead:
+		rec.Counters[PosixReads] += nn
+		rec.Counters[PosixBytesRead] += nn * int64(op.Size)
+		rec.Counters[PosixSizeRead0To100+int(units.RequestBinFor(op.Size))] += nn
+		setMinTimestamp(rec.FCounters, PosixFReadStartTimestamp, op.Start)
+		setMax(rec.FCounters, PosixFReadEndTimestamp, op.End)
+		rec.FCounters[PosixFReadTime] += dur
+		if op.Offset >= 0 {
+			end := op.Offset + nn*int64(op.Size)
+			setMaxInt(rec.Counters, PosixMaxByteRead, end-1)
+			// Within the batch, requests 2..n run back to back.
+			rec.Counters[PosixConsecReads] += nn - 1
+			rec.Counters[PosixSeqReads] += nn - 1
+			if cur.anyRead {
+				if op.Offset == cur.lastReadEnd {
+					rec.Counters[PosixConsecReads]++
+				}
+				if op.Offset >= cur.lastReadEnd {
+					rec.Counters[PosixSeqReads]++
+				}
+			}
+			cur.lastReadEnd = end
+			cur.anyRead = true
+		}
+	case OpWrite:
+		rec.Counters[PosixWrites] += nn
+		rec.Counters[PosixBytesWritten] += nn * int64(op.Size)
+		rec.Counters[PosixSizeWrite0To100+int(units.RequestBinFor(op.Size))] += nn
+		setMinTimestamp(rec.FCounters, PosixFWriteStartTimestamp, op.Start)
+		setMax(rec.FCounters, PosixFWriteEndTimestamp, op.End)
+		rec.FCounters[PosixFWriteTime] += dur
+		if op.Offset >= 0 {
+			end := op.Offset + nn*int64(op.Size)
+			setMaxInt(rec.Counters, PosixMaxByteWritten, end-1)
+			rec.Counters[PosixConsecWrites] += nn - 1
+			rec.Counters[PosixSeqWrites] += nn - 1
+			if cur.anyWrite {
+				if op.Offset == cur.lastWriteEnd {
+					rec.Counters[PosixConsecWrites]++
+				}
+				if op.Offset >= cur.lastWriteEnd {
+					rec.Counters[PosixSeqWrites]++
+				}
+			}
+			cur.lastWriteEnd = end
+			cur.anyWrite = true
+		}
+	case OpSeek:
+		rec.Counters[PosixSeeks] += nn
+		rec.FCounters[PosixFMetaTime] += dur
+	case OpStat:
+		rec.Counters[PosixStats] += nn
+		rec.FCounters[PosixFMetaTime] += dur
+	case OpFsync:
+		rec.Counters[PosixFsyncs] += nn
+		rec.FCounters[PosixFMetaTime] += dur
+	case OpClose:
+		setMax(rec.FCounters, PosixFCloseEndTimestamp, op.End)
+		rec.FCounters[PosixFMetaTime] += dur
+	case OpFlush:
+		// POSIX has no userspace flush; treat as meta time only.
+		rec.FCounters[PosixFMetaTime] += dur
+	}
+	updateSlowest(rec.FCounters, PosixFSlowestRankTime,
+		rec.FCounters[PosixFReadTime]+rec.FCounters[PosixFWriteTime]+rec.FCounters[PosixFMetaTime])
+}
+
+func (rt *Runtime) observeMpiio(op Op, n int) {
+	rec, _ := rt.record(ModuleMPIIO, op.Path, op.Rank)
+	dur := op.End - op.Start
+	nn := int64(n)
+	switch op.Kind {
+	case OpOpen:
+		if op.Collective {
+			rec.Counters[MpiioCollOpens] += nn
+		} else {
+			rec.Counters[MpiioIndepOpens] += nn
+		}
+		setMinTimestamp(rec.FCounters, MpiioFOpenStartTimestamp, op.Start)
+		setMax(rec.FCounters, MpiioFOpenEndTimestamp, op.End)
+		rec.FCounters[MpiioFMetaTime] += dur
+	case OpRead:
+		if op.Collective {
+			rec.Counters[MpiioCollReads] += nn
+		} else {
+			rec.Counters[MpiioIndepReads] += nn
+		}
+		rec.Counters[MpiioBytesRead] += nn * int64(op.Size)
+		rec.Counters[MpiioSizeRead0To100+int(units.RequestBinFor(op.Size))] += nn
+		setMinTimestamp(rec.FCounters, MpiioFReadStartTimestamp, op.Start)
+		setMax(rec.FCounters, MpiioFReadEndTimestamp, op.End)
+		rec.FCounters[MpiioFReadTime] += dur
+	case OpWrite:
+		if op.Collective {
+			rec.Counters[MpiioCollWrites] += nn
+		} else {
+			rec.Counters[MpiioIndepWrites] += nn
+		}
+		rec.Counters[MpiioBytesWritten] += nn * int64(op.Size)
+		rec.Counters[MpiioSizeWrite0To100+int(units.RequestBinFor(op.Size))] += nn
+		setMinTimestamp(rec.FCounters, MpiioFWriteStartTimestamp, op.Start)
+		setMax(rec.FCounters, MpiioFWriteEndTimestamp, op.End)
+		rec.FCounters[MpiioFWriteTime] += dur
+	case OpClose:
+		setMax(rec.FCounters, MpiioFCloseEndTimestamp, op.End)
+		rec.FCounters[MpiioFMetaTime] += dur
+	default:
+		rec.FCounters[MpiioFMetaTime] += dur
+	}
+	updateSlowest(rec.FCounters, MpiioFSlowestRankTime,
+		rec.FCounters[MpiioFReadTime]+rec.FCounters[MpiioFWriteTime]+rec.FCounters[MpiioFMetaTime])
+}
+
+func (rt *Runtime) observeStdio(op Op, n int) {
+	rec, _ := rt.record(ModuleSTDIO, op.Path, op.Rank)
+	dur := op.End - op.Start
+	nn := int64(n)
+	switch op.Kind {
+	case OpOpen:
+		rec.Counters[StdioOpens] += nn
+		setMinTimestamp(rec.FCounters, StdioFOpenStartTimestamp, op.Start)
+		setMax(rec.FCounters, StdioFOpenEndTimestamp, op.End)
+		rec.FCounters[StdioFMetaTime] += dur
+	case OpRead:
+		rec.Counters[StdioReads] += nn
+		rec.Counters[StdioBytesRead] += nn * int64(op.Size)
+		setMinTimestamp(rec.FCounters, StdioFReadStartTimestamp, op.Start)
+		setMax(rec.FCounters, StdioFReadEndTimestamp, op.End)
+		rec.FCounters[StdioFReadTime] += dur
+		if op.Offset >= 0 {
+			setMaxInt(rec.Counters, StdioMaxByteRead, op.Offset+nn*int64(op.Size)-1)
+		}
+		// Deliberately no size-histogram update: the STDIO module records
+		// no per-request size bins (paper §2.2, Recommendation 4).
+	case OpWrite:
+		rec.Counters[StdioWrites] += nn
+		rec.Counters[StdioBytesWritten] += nn * int64(op.Size)
+		setMinTimestamp(rec.FCounters, StdioFWriteStartTimestamp, op.Start)
+		setMax(rec.FCounters, StdioFWriteEndTimestamp, op.End)
+		rec.FCounters[StdioFWriteTime] += dur
+		if op.Offset >= 0 {
+			setMaxInt(rec.Counters, StdioMaxByteWritten, op.Offset+nn*int64(op.Size)-1)
+		}
+	case OpSeek:
+		rec.Counters[StdioSeeks] += nn
+		rec.FCounters[StdioFMetaTime] += dur
+	case OpFlush:
+		rec.Counters[StdioFlushes] += nn
+		rec.FCounters[StdioFMetaTime] += dur
+	case OpClose:
+		setMax(rec.FCounters, StdioFCloseEndTimestamp, op.End)
+		rec.FCounters[StdioFMetaTime] += dur
+	default:
+		rec.FCounters[StdioFMetaTime] += dur
+	}
+	updateSlowest(rec.FCounters, StdioFSlowestRankTime,
+		rec.FCounters[StdioFReadTime]+rec.FCounters[StdioFWriteTime]+rec.FCounters[StdioFMetaTime])
+}
+
+// SetLustreStriping records the Lustre module's striping metadata for a file
+// residing on a Lustre mount. Rank is always SharedRank for Lustre records,
+// matching Darshan's one-record-per-file convention.
+func (rt *Runtime) SetLustreStriping(path string, osts, mdts, stripeOffset int, stripeSize units.ByteSize, stripeWidth int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.finalized {
+		panic("darshan: SetLustreStriping after Finalize")
+	}
+	rec, _ := rt.record(ModuleLustre, path, SharedRank)
+	rec.Counters[LustreOSTs] = int64(osts)
+	rec.Counters[LustreMDTs] = int64(mdts)
+	rec.Counters[LustreStripeOffset] = int64(stripeOffset)
+	rec.Counters[LustreStripeSize] = int64(stripeSize)
+	rec.Counters[LustreStripeWidth] = int64(stripeWidth)
+}
+
+// Finalize seals the runtime, performs the shared-file reduction (records
+// present for every rank of the job collapse into one rank −1 record), and
+// returns the finished Log. Finalize may be called once; later calls panic.
+func (rt *Runtime) Finalize() *Log {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.finalized {
+		panic("darshan: Finalize called twice")
+	}
+	rt.finalized = true
+
+	// Group per (module, record id).
+	type group struct {
+		ranks []*FileRecord
+	}
+	groups := make(map[recordKey]*group) // key.rank fixed at 0 for grouping
+	for key, rec := range rt.records {
+		gk := recordKey{key.module, key.id, 0}
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{}
+			groups[gk] = g
+		}
+		g.ranks = append(g.ranks, rec)
+	}
+
+	var out []*FileRecord
+	for _, g := range groups {
+		out = append(out, reduceGroup(g.ranks, rt.job.NProcs)...)
+	}
+	// Deterministic order: by module, then record id, then rank.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		if a.Record != b.Record {
+			return a.Record < b.Record
+		}
+		return a.Rank < b.Rank
+	})
+
+	names := make(map[RecordID]string, len(rt.names))
+	for id, p := range rt.names {
+		names[id] = p
+	}
+
+	var traces []DXTTrace
+	for key, segs := range rt.dxt {
+		traces = append(traces, DXTTrace{
+			Module:   key.module,
+			Record:   key.id,
+			Rank:     key.rank,
+			Segments: segs,
+		})
+	}
+	sort.Slice(traces, func(i, j int) bool {
+		a, b := traces[i], traces[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		if a.Record != b.Record {
+			return a.Record < b.Record
+		}
+		return a.Rank < b.Rank
+	})
+
+	return &Log{Job: rt.job, Names: names, Records: out, DXT: traces}
+}
+
+// reduceGroup collapses the per-rank records of one (module, file) pair into
+// a single SharedRank record when every rank of the job contributed,
+// mirroring Darshan's shared-file reduction. Pre-reduced SharedRank records
+// pass through; partial rank sets are kept as distinct per-rank records
+// (the paper's §3.4 explains why such files are excluded from performance
+// analysis).
+func reduceGroup(recs []*FileRecord, nprocs int) []*FileRecord {
+	if len(recs) == 1 {
+		return recs
+	}
+	ranks := make(map[int32]bool, len(recs))
+	for _, r := range recs {
+		ranks[r.Rank] = true
+	}
+	covered := len(ranks) == nprocs && !ranks[SharedRank]
+	if covered {
+		for r := int32(0); r < int32(nprocs); r++ {
+			if !ranks[r] {
+				covered = false
+				break
+			}
+		}
+	}
+	if !covered {
+		return recs
+	}
+	red := NewFileRecord(recs[0].Module, recs[0].Record, SharedRank)
+	for i := range red.FCounters {
+		red.FCounters[i] = math.NaN() // sentinel: unset
+	}
+	var slowest float64
+	for _, r := range recs {
+		mergeCounters(red, r)
+		if t := rankTotalTime(r); t > slowest {
+			slowest = t
+		}
+	}
+	for i, v := range red.FCounters {
+		if math.IsNaN(v) {
+			red.FCounters[i] = 0
+		}
+	}
+	setSlowestRankTime(red, slowest)
+	return []*FileRecord{red}
+}
+
+// mergeCounters folds src into the reduced dst: integer counters sum except
+// MAX_BYTE_* which take the max; float timestamps take min (starts) / max
+// (ends); float times sum.
+func mergeCounters(dst, src *FileRecord) {
+	maxCounters := maxByteCounterIndexes(dst.Module)
+	for i, v := range src.Counters {
+		if maxCounters[i] {
+			if v > dst.Counters[i] {
+				dst.Counters[i] = v
+			}
+		} else {
+			dst.Counters[i] += v
+		}
+	}
+	starts, ends, times := fCounterRoles(dst.Module)
+	for i, v := range src.FCounters {
+		switch {
+		case starts[i]:
+			// min of set values; zero means "never set" in the source.
+			if v != 0 && (math.IsNaN(dst.FCounters[i]) || v < dst.FCounters[i]) {
+				dst.FCounters[i] = v
+			}
+		case ends[i]:
+			if math.IsNaN(dst.FCounters[i]) || v > dst.FCounters[i] {
+				dst.FCounters[i] = v
+			}
+		case times[i]:
+			if math.IsNaN(dst.FCounters[i]) {
+				dst.FCounters[i] = 0
+			}
+			dst.FCounters[i] += v
+		}
+	}
+}
+
+func maxByteCounterIndexes(m ModuleID) map[int]bool {
+	switch m {
+	case ModulePOSIX:
+		return map[int]bool{PosixMaxByteRead: true, PosixMaxByteWritten: true}
+	case ModuleSTDIO:
+		return map[int]bool{StdioMaxByteRead: true, StdioMaxByteWritten: true}
+	default:
+		return map[int]bool{}
+	}
+}
+
+// fCounterRoles classifies each float counter of a module as a start
+// timestamp, end timestamp, or accumulated time. The three interface modules
+// share the same layout by construction.
+func fCounterRoles(m ModuleID) (starts, ends, times map[int]bool) {
+	switch m {
+	case ModulePOSIX, ModuleMPIIO, ModuleSTDIO:
+		// Identical index layout across the three interface modules.
+		starts = map[int]bool{
+			PosixFOpenStartTimestamp:  true,
+			PosixFReadStartTimestamp:  true,
+			PosixFWriteStartTimestamp: true,
+		}
+		ends = map[int]bool{
+			PosixFOpenEndTimestamp:  true,
+			PosixFReadEndTimestamp:  true,
+			PosixFWriteEndTimestamp: true,
+			PosixFCloseEndTimestamp: true,
+		}
+		times = map[int]bool{
+			PosixFReadTime:  true,
+			PosixFWriteTime: true,
+			PosixFMetaTime:  true,
+		}
+		return starts, ends, times
+	default:
+		return map[int]bool{}, map[int]bool{}, map[int]bool{}
+	}
+}
+
+func rankTotalTime(r *FileRecord) float64 {
+	switch r.Module {
+	case ModulePOSIX:
+		return r.FCounters[PosixFReadTime] + r.FCounters[PosixFWriteTime] + r.FCounters[PosixFMetaTime]
+	case ModuleMPIIO:
+		return r.FCounters[MpiioFReadTime] + r.FCounters[MpiioFWriteTime] + r.FCounters[MpiioFMetaTime]
+	case ModuleSTDIO:
+		return r.FCounters[StdioFReadTime] + r.FCounters[StdioFWriteTime] + r.FCounters[StdioFMetaTime]
+	default:
+		return 0
+	}
+}
+
+func setSlowestRankTime(r *FileRecord, t float64) {
+	switch r.Module {
+	case ModulePOSIX:
+		r.FCounters[PosixFSlowestRankTime] = t
+	case ModuleMPIIO:
+		r.FCounters[MpiioFSlowestRankTime] = t
+	case ModuleSTDIO:
+		r.FCounters[StdioFSlowestRankTime] = t
+	}
+}
+
+func setMinTimestamp(f []float64, idx int, v float64) {
+	if f[idx] == 0 || v < f[idx] {
+		f[idx] = v
+	}
+}
+
+func setMax(f []float64, idx int, v float64) {
+	if v > f[idx] {
+		f[idx] = v
+	}
+}
+
+func setMaxInt(c []int64, idx int, v int64) {
+	if v > c[idx] {
+		c[idx] = v
+	}
+}
+
+func updateSlowest(f []float64, idx int, total float64) {
+	if total > f[idx] {
+		f[idx] = total
+	}
+}

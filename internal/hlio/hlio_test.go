@@ -1,0 +1,206 @@
+package hlio
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+)
+
+func newLib(t *testing.T, opts Options) (*Library, *darshan.Runtime) {
+	t.Helper()
+	sys := systems.NewSummit()
+	rt := darshan.NewRuntime(darshan.JobHeader{
+		JobID: 1, UserID: 1, NProcs: 64, StartTime: 0, EndTime: 86400,
+	})
+	client := iosim.NewClient(sys, rt, rand.New(rand.NewPCG(5, 5)))
+	return New(client, sys, opts), rt
+}
+
+func TestPassThroughWithoutOptions(t *testing.T) {
+	lib, rt := newLib(t, Options{})
+	ds := lib.CreateDataset("raw", Persistent, false, 0)
+	for i := 0; i < 10; i++ {
+		ds.Write(int64(i)*4096, 4096)
+	}
+	ds.Close()
+	log := rt.Finalize()
+	rec := log.RecordsFor(darshan.ModulePOSIX)[0]
+	if rec.Counters[darshan.PosixWrites] != 10 {
+		t.Errorf("pass-through writes = %d, want 10 (no aggregation)", rec.Counters[darshan.PosixWrites])
+	}
+	st := lib.Stats()
+	if st.AggregatedOps != 0 || st.AbsorbedRewriteBytes != 0 {
+		t.Errorf("pass-through stats: %+v", st)
+	}
+}
+
+func TestAggregationCoalescesSmallWrites(t *testing.T) {
+	lib, rt := newLib(t, Options{AggregationBuffer: units.MiB})
+	ds := lib.CreateDataset("agg", Persistent, false, 0)
+	// 256 × 4 KiB = 1 MiB: exactly one flush.
+	for i := 0; i < 256; i++ {
+		ds.Write(int64(i)*4096, 4096)
+	}
+	ds.Close()
+	log := rt.Finalize()
+	rec := log.RecordsFor(darshan.ModulePOSIX)[0]
+	if rec.Counters[darshan.PosixWrites] != 1 {
+		t.Errorf("storage writes = %d, want 1 aggregated flush", rec.Counters[darshan.PosixWrites])
+	}
+	if rec.Counters[darshan.PosixBytesWritten] != 1<<20 {
+		t.Errorf("bytes = %d, want 1 MiB", rec.Counters[darshan.PosixBytesWritten])
+	}
+	if lib.Stats().AggregatedOps != 256 {
+		t.Errorf("aggregated ops = %d", lib.Stats().AggregatedOps)
+	}
+}
+
+func TestAggregationIsFasterThanPassThrough(t *testing.T) {
+	timeIt := func(opts Options) float64 {
+		lib, _ := newLib(t, opts)
+		ds := lib.CreateDataset("d", Persistent, false, 0)
+		var total float64
+		for i := 0; i < 512; i++ {
+			total += ds.Write(int64(i)*8192, 8192)
+		}
+		total += ds.Close()
+		return total
+	}
+	raw := timeIt(Options{})
+	agg := timeIt(Options{AggregationBuffer: 4 * units.MiB})
+	if agg >= raw/3 {
+		t.Errorf("aggregation %v not ≫3× faster than raw %v (Recommendation 2)", agg, raw)
+	}
+}
+
+func TestRewriteCacheAbsorbsOverwrites(t *testing.T) {
+	lib, rt := newLib(t, Options{AggregationBuffer: 16 * units.MiB, RewriteCache: true})
+	ds := lib.CreateDataset("ckpt", Persistent, false, 0)
+	// Write the same 1 MiB region 8 times — dynamic data.
+	for i := 0; i < 8; i++ {
+		ds.Write(0, units.MiB)
+	}
+	ds.Close()
+	log := rt.Finalize()
+	rec := log.RecordsFor(darshan.ModulePOSIX)[0]
+	if got := rec.Counters[darshan.PosixBytesWritten]; got != 1<<20 {
+		t.Errorf("storage bytes = %d, want 1 MiB (7 MiB absorbed)", got)
+	}
+	if lib.Stats().AbsorbedRewriteBytes != 7<<20 {
+		t.Errorf("absorbed = %d, want 7 MiB", lib.Stats().AbsorbedRewriteBytes)
+	}
+}
+
+func TestRewriteCacheMergesOverlaps(t *testing.T) {
+	lib, _ := newLib(t, Options{AggregationBuffer: 16 * units.MiB, RewriteCache: true})
+	ds := lib.CreateDataset("ov", Persistent, false, 0)
+	ds.Write(0, 1000)   // [0,1000): all new
+	ds.Write(500, 1000) // [500,1500): 500 covered
+	ds.Write(2000, 500) // [2000,2500): disjoint, all new
+	ds.Write(0, 3000)   // [0,3000): covers [0,1500)+[2000,2500) = 2000
+	st := lib.Stats()
+	if st.AbsorbedRewriteBytes != 500+2000 {
+		t.Errorf("absorbed = %d, want 2500", st.AbsorbedRewriteBytes)
+	}
+	ds.Close()
+}
+
+func TestAutoPlacementPutsScratchOnInSystem(t *testing.T) {
+	lib, _ := newLib(t, Options{AutoPlacement: true})
+	scratch := lib.CreateDataset("tmp", Scratch, false, 0)
+	persist := lib.CreateDataset("results", Persistent, false, 0)
+	if !strings.HasPrefix(scratch.Path(), "/mnt/bb") {
+		t.Errorf("scratch path %q not on SCNL", scratch.Path())
+	}
+	if !strings.HasPrefix(persist.Path(), "/gpfs/alpine") {
+		t.Errorf("persistent path %q not on PFS", persist.Path())
+	}
+	scratch.Close()
+	persist.Close()
+}
+
+func TestScratchStaysOnPFSWithoutAutoPlacement(t *testing.T) {
+	lib, _ := newLib(t, Options{})
+	ds := lib.CreateDataset("tmp", Scratch, false, 0)
+	if !strings.HasPrefix(ds.Path(), "/gpfs/alpine") {
+		t.Errorf("without AutoPlacement scratch should stay on PFS, got %q", ds.Path())
+	}
+	ds.Close()
+}
+
+func TestCollectiveSharedDatasets(t *testing.T) {
+	lib, rt := newLib(t, Options{Collective: true})
+	ds := lib.CreateDataset("shared", Persistent, true, 0)
+	ds.Write(0, 64*units.MiB)
+	ds.Close()
+	log := rt.Finalize()
+	if n := len(log.RecordsFor(darshan.ModuleMPIIO)); n != 1 {
+		t.Errorf("MPI-IO records = %d, want collective access", n)
+	}
+	recs := log.RecordsFor(darshan.ModuleMPIIO)
+	if recs[0].Rank != darshan.SharedRank {
+		t.Errorf("collective record rank = %d", recs[0].Rank)
+	}
+	if recs[0].Counters[darshan.MpiioCollWrites] != 1 {
+		t.Errorf("collective writes = %d", recs[0].Counters[darshan.MpiioCollWrites])
+	}
+}
+
+func TestReadsGoToStorage(t *testing.T) {
+	lib, rt := newLib(t, Options{AggregationBuffer: units.MiB})
+	ds := lib.CreateDataset("in", Persistent, false, 2)
+	if dur := ds.Read(0, 8*units.MiB); dur <= 0 {
+		t.Errorf("read duration = %v", dur)
+	}
+	ds.Close()
+	rec := rt.Finalize().RecordsFor(darshan.ModulePOSIX)[0]
+	if rec.Counters[darshan.PosixBytesRead] != 8<<20 {
+		t.Errorf("read bytes = %d", rec.Counters[darshan.PosixBytesRead])
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	lib, _ := newLib(t, Options{AggregationBuffer: units.MiB, RewriteCache: true})
+	ds := lib.CreateDataset("acct", Persistent, false, 0)
+	ds.Write(0, 512*units.KiB)
+	ds.Write(0, 512*units.KiB) // pure rewrite
+	ds.Close()
+	st := lib.Stats()
+	if st.FlushedBytes != 512<<10 {
+		t.Errorf("flushed bytes = %d, want 512 KiB", st.FlushedBytes)
+	}
+	if st.AbsorbedRewriteBytes != 512<<10 {
+		t.Errorf("absorbed = %d, want 512 KiB", st.AbsorbedRewriteBytes)
+	}
+	if st.SimSeconds <= 0 {
+		t.Errorf("sim seconds = %v", st.SimSeconds)
+	}
+}
+
+func TestLibraryPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil client", func() { New(nil, nil, Options{}) })
+	lib, _ := newLib(t, Options{})
+	mustPanic("empty name", func() { lib.CreateDataset("", Persistent, false, 0) })
+	ds := lib.CreateDataset("dup", Persistent, false, 0)
+	mustPanic("duplicate", func() { lib.CreateDataset("dup", Persistent, false, 0) })
+	mustPanic("zero-size write", func() { ds.Write(0, 0) })
+	ds.Close()
+	mustPanic("write after close", func() { ds.Write(0, 100) })
+	mustPanic("double close", func() { ds.Close() })
+	// The name is free again after close.
+	ds2 := lib.CreateDataset("dup", Persistent, false, 0)
+	ds2.Close()
+}

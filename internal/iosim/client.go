@@ -1,0 +1,351 @@
+package iosim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/units"
+)
+
+// InterfaceConfig is the cost model of one I/O middleware interface as seen
+// by an application process. The three interfaces differ in per-call
+// software overhead, user-space buffering, and their ability to exploit
+// process parallelism — the properties behind the POSIX-versus-STDIO
+// performance gap in the paper's Figures 11 and 12.
+type InterfaceConfig struct {
+	// PerCallOverhead is the user-space software cost per library call, in
+	// seconds (locking, format handling, dispatch).
+	PerCallOverhead float64
+	// BufferSize, when positive, chunks every data transfer into
+	// buffer-size requests to the storage layer, the way a FILE* stream
+	// does. Zero means requests pass through at application size.
+	BufferSize units.ByteSize
+	// LatencyDamping scales the storage layer's per-request latency for
+	// buffered chunked streams, modeling kernel readahead and write-back
+	// absorbing most per-chunk round trips. 1 = no damping.
+	LatencyDamping float64
+	// ParallelCap, when positive, caps how many processes' injection
+	// bandwidth one transfer can exploit. STDIO streams are effectively
+	// serial (cap 1); POSIX and MPI-IO scale with the job.
+	ParallelCap int
+	// CollectiveOverhead is the per-collective synchronization and shuffle
+	// cost for MPI-IO collective operations, in seconds.
+	CollectiveOverhead float64
+}
+
+// DefaultPOSIX returns the POSIX interface model: thin system-call wrapper,
+// no buffering, full parallelism.
+func DefaultPOSIX() InterfaceConfig {
+	return InterfaceConfig{
+		PerCallOverhead: 1.5e-6,
+		LatencyDamping:  1,
+	}
+}
+
+// DefaultSTDIO returns the STDIO interface model: libc stream with a small
+// user-space buffer, per-call locking overhead, chunked transfers with
+// readahead-damped latency, and no multi-process scaling. These defaults
+// reproduce the paper's observed POSIX/STDIO gap: large on reads
+// (the stream cannot use the machine's parallelism), mild on writes at
+// small-to-medium sizes (write-back absorbs chunking).
+func DefaultSTDIO() InterfaceConfig {
+	return InterfaceConfig{
+		PerCallOverhead: 2.5e-6,
+		BufferSize:      64 * units.KiB,
+		LatencyDamping:  0.12,
+		ParallelCap:     1,
+	}
+}
+
+// DefaultMPIIO returns the MPI-IO interface model: POSIX-like per-call cost
+// plus a collective synchronization term; collective transfers aggregate
+// into large well-formed requests (collective buffering).
+func DefaultMPIIO() InterfaceConfig {
+	return InterfaceConfig{
+		PerCallOverhead:    3e-6,
+		LatencyDamping:     1,
+		CollectiveOverhead: 150e-6,
+	}
+}
+
+// AllocLayer is implemented by layers whose per-job bandwidth depends on an
+// allocation span (DataWarp burst buffers). Clients carrying a positive
+// allocation use TransferAlloc instead of Transfer.
+type AllocLayer interface {
+	TransferAlloc(path string, rw RW, size units.ByteSize, procs, allocNodes int, r *rand.Rand) float64
+}
+
+// layerRequest issues one request to layer, honoring a burst-buffer
+// allocation span when the layer supports one and bbNodes is positive.
+func layerRequest(layer Layer, path string, rw RW, size units.ByteSize, procs, bbNodes int, r *rand.Rand) float64 {
+	if al, ok := layer.(AllocLayer); ok && bbNodes > 0 {
+		return al.TransferAlloc(path, rw, size, procs, bbNodes, r)
+	}
+	return layer.Transfer(path, rw, size, procs, r)
+}
+
+// TransferDuration returns the wall-clock seconds one application-level
+// transfer of size bytes takes through this interface, issued against the
+// layer owning path by procs cooperating processes. bbNodes carries the
+// job's burst-buffer allocation span (0 = layer default); collective adds
+// the MPI-IO collective synchronization term. This is the single
+// interface-cost model shared by the interactive Client and the bulk
+// workload generator.
+func (cfg InterfaceConfig) TransferDuration(layer Layer, path string, rw RW, size units.ByteSize, procs, bbNodes int, collective bool, r *rand.Rand) float64 {
+	if procs < 1 {
+		procs = 1
+	}
+	if cfg.ParallelCap > 0 && procs > cfg.ParallelCap {
+		procs = cfg.ParallelCap
+	}
+	var dur float64
+	if cfg.BufferSize > 0 && size > cfg.BufferSize {
+		// Buffered stream: the transfer proceeds in buffer-size chunks,
+		// each paying damped layer latency plus the library's per-call
+		// cost. Bandwidth-wise the chunks stream back to back.
+		chunks := int((size + cfg.BufferSize - 1) / cfg.BufferSize)
+		// One representative chunk at full latency; the rest damped.
+		full := layerRequest(layer, path, rw, cfg.BufferSize, procs, bbNodes, r)
+		perChunkLatency := layer.MetaLatency() * cfg.LatencyDamping
+		bwTime := full - layer.MetaLatency() // pure transfer component
+		if bwTime < 0 {
+			bwTime = 0
+		}
+		dur = full + float64(chunks-1)*(perChunkLatency+bwTime+cfg.PerCallOverhead)
+	} else {
+		dur = layerRequest(layer, path, rw, size, procs, bbNodes, r)
+	}
+	dur += cfg.PerCallOverhead
+	if collective {
+		dur += cfg.CollectiveOverhead
+	}
+	if dur <= 0 {
+		dur = 1e-9
+	}
+	return dur
+}
+
+// Client executes application I/O against a System through the three
+// instrumented interfaces, advancing a simulated clock and reporting every
+// operation to a Darshan runtime. One Client models one application
+// execution (one Darshan log).
+//
+// Client is not safe for concurrent use; simulate ranks from one goroutine
+// or use one Client per goroutine with distinct runtimes.
+type Client struct {
+	sys    *System
+	rt     *darshan.Runtime
+	r      *rand.Rand
+	nprocs int
+
+	// bbNodes is the DataWarp allocation span for this job (0 = default).
+	bbNodes int
+
+	posix, stdio, mpiio InterfaceConfig
+
+	clock map[int32]float64
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithInterfaceConfig overrides one interface's cost model.
+func WithInterfaceConfig(m darshan.ModuleID, cfg InterfaceConfig) ClientOption {
+	return func(c *Client) {
+		switch m {
+		case darshan.ModulePOSIX:
+			c.posix = cfg
+		case darshan.ModuleSTDIO:
+			c.stdio = cfg
+		case darshan.ModuleMPIIO:
+			c.mpiio = cfg
+		default:
+			panic(fmt.Sprintf("iosim: no interface config for module %v", m))
+		}
+	}
+}
+
+// WithBurstBufferNodes sets the job's burst-buffer allocation span, as a
+// DataWarp capacity directive would.
+func WithBurstBufferNodes(n int) ClientOption {
+	return func(c *Client) { c.bbNodes = n }
+}
+
+// NewClient builds a client for one application execution. The runtime's
+// job header supplies the process count.
+func NewClient(sys *System, rt *darshan.Runtime, r *rand.Rand, opts ...ClientOption) *Client {
+	if sys == nil || rt == nil || r == nil {
+		panic("iosim: NewClient requires non-nil system, runtime, and rng")
+	}
+	c := &Client{
+		sys:    sys,
+		rt:     rt,
+		r:      r,
+		nprocs: rt.Job().NProcs,
+		posix:  DefaultPOSIX(),
+		stdio:  DefaultSTDIO(),
+		mpiio:  DefaultMPIIO(),
+		clock:  make(map[int32]float64),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Now returns rank's current simulated time in seconds since job start.
+func (c *Client) Now(rank int32) float64 { return c.clock[rank] }
+
+// Advance moves rank's clock forward by dt seconds of non-I/O work
+// (compute phases between I/O phases).
+func (c *Client) Advance(rank int32, dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("iosim: cannot advance clock by %v", dt))
+	}
+	c.clock[rank] += dt
+}
+
+func (c *Client) config(m darshan.ModuleID) InterfaceConfig {
+	switch m {
+	case darshan.ModulePOSIX:
+		return c.posix
+	case darshan.ModuleSTDIO:
+		return c.stdio
+	case darshan.ModuleMPIIO:
+		return c.mpiio
+	default:
+		panic(fmt.Sprintf("iosim: module %v is not an I/O interface", m))
+	}
+}
+
+// transferDuration computes the wall-clock duration of one application-level
+// transfer of size bytes through interface m by procs cooperating processes.
+func (c *Client) transferDuration(m darshan.ModuleID, path string, rw RW, size units.ByteSize, procs int, collective bool) float64 {
+	return c.config(m).TransferDuration(c.sys.LayerFor(path), path, rw, size, procs, c.bbNodes, collective, c.r)
+}
+
+// Open opens path through interface m on rank, recording the operation.
+func (c *Client) Open(m darshan.ModuleID, path string, rank int32) {
+	layer := c.sys.LayerFor(path)
+	start := c.clock[rank]
+	dur := layer.MetaLatency() + c.config(m).PerCallOverhead
+	c.clock[rank] = start + dur
+	c.rt.Observe(darshan.Op{Module: m, Path: path, Rank: rank, Kind: darshan.OpOpen,
+		Start: start, End: start + dur})
+}
+
+// Close closes path through interface m on rank, recording the operation.
+func (c *Client) Close(m darshan.ModuleID, path string, rank int32) {
+	start := c.clock[rank]
+	dur := c.config(m).PerCallOverhead
+	c.clock[rank] = start + dur
+	c.rt.Observe(darshan.Op{Module: m, Path: path, Rank: rank, Kind: darshan.OpClose,
+		Start: start, End: start + dur})
+}
+
+// Read performs one read of size bytes at offset through interface m on
+// rank and returns its duration in seconds.
+func (c *Client) Read(m darshan.ModuleID, path string, rank int32, size units.ByteSize, offset int64) float64 {
+	return c.rankTransfer(m, path, rank, Read, size, offset)
+}
+
+// Write performs one write of size bytes at offset through interface m on
+// rank and returns its duration in seconds.
+func (c *Client) Write(m darshan.ModuleID, path string, rank int32, size units.ByteSize, offset int64) float64 {
+	return c.rankTransfer(m, path, rank, Write, size, offset)
+}
+
+func (c *Client) rankTransfer(m darshan.ModuleID, path string, rank int32, rw RW, size units.ByteSize, offset int64) float64 {
+	start := c.clock[rank]
+	dur := c.transferDuration(m, path, rw, size, 1, false)
+	c.clock[rank] = start + dur
+	kind := darshan.OpWrite
+	if rw == Read {
+		kind = darshan.OpRead
+	}
+	c.rt.Observe(darshan.Op{Module: m, Path: path, Rank: rank, Kind: kind,
+		Size: size, Offset: offset, Start: start, End: start + dur})
+	// An MPI-IO independent transfer surfaces as a POSIX operation of the
+	// same shape underneath (paper §3.1).
+	if m == darshan.ModuleMPIIO {
+		c.rt.Observe(darshan.Op{Module: darshan.ModulePOSIX, Path: path, Rank: rank,
+			Kind: kind, Size: size, Offset: offset, Start: start, End: start + dur})
+	}
+	return dur
+}
+
+// SharedTransfer performs one transfer against a file opened collectively by
+// every rank of the job, recording a single pre-reduced rank −1 observation.
+// size is the aggregate bytes moved by the whole job in this operation.
+// It returns the wall-clock duration (the slowest rank's time).
+//
+// For MPI-IO with collective=true, collective buffering forms the aggregate
+// into large well-formed requests; the matching POSIX-level observation is
+// emitted with the aggregated shape, which is how collective aggregation
+// turns many small application requests into few large system calls
+// (Recommendation 2).
+func (c *Client) SharedTransfer(m darshan.ModuleID, path string, rw RW, size units.ByteSize, collective bool) float64 {
+	start := c.sharedClock()
+	dur := c.transferDuration(m, path, rw, size, c.nprocs, collective)
+	end := start + dur
+	kind := darshan.OpWrite
+	if rw == Read {
+		kind = darshan.OpRead
+	}
+	c.rt.Observe(darshan.Op{Module: m, Path: path, Rank: darshan.SharedRank, Kind: kind,
+		Size: size, Offset: -1, Start: start, End: end, Collective: collective})
+	if m == darshan.ModuleMPIIO {
+		c.rt.Observe(darshan.Op{Module: darshan.ModulePOSIX, Path: path,
+			Rank: darshan.SharedRank, Kind: kind, Size: size, Offset: -1,
+			Start: start, End: end})
+	}
+	c.setAllClocks(end)
+	return dur
+}
+
+// SharedOpen opens path on all ranks at once (e.g. MPI_File_open or a
+// coordinated POSIX open), recording a pre-reduced rank −1 observation.
+func (c *Client) SharedOpen(m darshan.ModuleID, path string, collective bool) {
+	layer := c.sys.LayerFor(path)
+	start := c.sharedClock()
+	dur := layer.MetaLatency() + c.config(m).PerCallOverhead
+	if collective {
+		dur += c.config(m).CollectiveOverhead
+	}
+	c.rt.Observe(darshan.Op{Module: m, Path: path, Rank: darshan.SharedRank,
+		Kind: darshan.OpOpen, Start: start, End: start + dur, Collective: collective})
+	c.setAllClocks(start + dur)
+}
+
+// SharedClose closes a shared file on all ranks.
+func (c *Client) SharedClose(m darshan.ModuleID, path string) {
+	start := c.sharedClock()
+	dur := c.config(m).PerCallOverhead
+	c.rt.Observe(darshan.Op{Module: m, Path: path, Rank: darshan.SharedRank,
+		Kind: darshan.OpClose, Start: start, End: start + dur})
+	c.setAllClocks(start + dur)
+}
+
+func (c *Client) sharedClock() float64 {
+	var maxT float64
+	for _, t := range c.clock {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return maxT
+}
+
+func (c *Client) setAllClocks(t float64) {
+	for r := int32(0); r < int32(c.nprocs); r++ {
+		if c.clock[r] < t {
+			c.clock[r] = t
+		}
+	}
+	// Shared-only workloads never touch per-rank clocks; keep a sentinel so
+	// sharedClock sees progress even when nprocs clocks were never created.
+	if c.clock[darshan.SharedRank] < t {
+		c.clock[darshan.SharedRank] = t
+	}
+}

@@ -1,0 +1,222 @@
+package iosim_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+)
+
+func newTestClient(t *testing.T, sys *iosim.System, nprocs int, opts ...iosim.ClientOption) (*iosim.Client, *darshan.Runtime) {
+	t.Helper()
+	rt := darshan.NewRuntime(darshan.JobHeader{
+		JobID: 1, UserID: 1, NProcs: nprocs, StartTime: 0, EndTime: 3600,
+	})
+	c := iosim.NewClient(sys, rt, rand.New(rand.NewPCG(11, 11)), opts...)
+	return c, rt
+}
+
+func TestClientRecordsOpsInDarshan(t *testing.T) {
+	sys := systems.NewSummit()
+	c, rt := newTestClient(t, sys, 1)
+	p := "/gpfs/alpine/proj/data.h5"
+	c.Open(darshan.ModulePOSIX, p, 0)
+	c.Write(darshan.ModulePOSIX, p, 0, units.MiB, 0)
+	c.Read(darshan.ModulePOSIX, p, 0, 64*units.KiB, 0)
+	c.Close(darshan.ModulePOSIX, p, 0)
+	log := rt.Finalize()
+	recs := log.RecordsFor(darshan.ModulePOSIX)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if r.Counters[darshan.PosixOpens] != 1 || r.Counters[darshan.PosixWrites] != 1 ||
+		r.Counters[darshan.PosixReads] != 1 {
+		t.Errorf("counters: %v", r.Counters[:8])
+	}
+	if r.FCounters[darshan.PosixFWriteTime] <= 0 || r.FCounters[darshan.PosixFReadTime] <= 0 {
+		t.Error("transfer times not recorded")
+	}
+}
+
+func TestClientClockAdvances(t *testing.T) {
+	sys := systems.NewSummit()
+	c, _ := newTestClient(t, sys, 1)
+	if c.Now(0) != 0 {
+		t.Fatalf("fresh clock = %v", c.Now(0))
+	}
+	p := "/gpfs/alpine/x"
+	c.Open(darshan.ModulePOSIX, p, 0)
+	after := c.Now(0)
+	if after <= 0 {
+		t.Errorf("clock did not advance on open: %v", after)
+	}
+	d := c.Write(darshan.ModulePOSIX, p, 0, units.GiB, 0)
+	if got := c.Now(0); got != after+d {
+		t.Errorf("clock = %v, want %v", got, after+d)
+	}
+	c.Advance(0, 10)
+	if got := c.Now(0); got != after+d+10 {
+		t.Errorf("Advance: clock = %v", got)
+	}
+}
+
+func TestClientAdvancePanicsOnNegative(t *testing.T) {
+	c, _ := newTestClient(t, systems.NewSummit(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Advance(0, -1)
+}
+
+func TestMpiioEmitsPosixUnderneath(t *testing.T) {
+	sys := systems.NewCori()
+	c, rt := newTestClient(t, sys, 4)
+	p := "/global/cscratch1/u/f.nc"
+	c.Write(darshan.ModuleMPIIO, p, 0, units.MiB, 0)
+	log := rt.Finalize()
+	if n := len(log.RecordsFor(darshan.ModuleMPIIO)); n != 1 {
+		t.Errorf("MPI-IO records = %d", n)
+	}
+	posix := log.RecordsFor(darshan.ModulePOSIX)
+	if len(posix) != 1 {
+		t.Fatalf("POSIX records = %d; MPI-IO must surface POSIX ops underneath", len(posix))
+	}
+	if posix[0].Counters[darshan.PosixBytesWritten] != int64(units.MiB) {
+		t.Errorf("POSIX bytes = %d", posix[0].Counters[darshan.PosixBytesWritten])
+	}
+}
+
+func TestStdioEmitsNoPosix(t *testing.T) {
+	sys := systems.NewSummit()
+	c, rt := newTestClient(t, sys, 1)
+	c.Write(darshan.ModuleSTDIO, "/gpfs/alpine/log.txt", 0, 4096, 0)
+	log := rt.Finalize()
+	if n := len(log.RecordsFor(darshan.ModulePOSIX)); n != 0 {
+		t.Errorf("STDIO op produced %d POSIX records", n)
+	}
+	if n := len(log.RecordsFor(darshan.ModuleSTDIO)); n != 1 {
+		t.Errorf("STDIO records = %d", n)
+	}
+}
+
+// The central performance finding (Figures 11–12): for the same transfer,
+// STDIO delivers less bandwidth than POSIX, on both layers of both systems.
+func TestStdioSlowerThanPosix(t *testing.T) {
+	for _, sys := range []*iosim.System{systems.NewSummit(), systems.NewCori()} {
+		for _, layer := range sys.Layers() {
+			var posixTotal, stdioTotal float64
+			const trials = 30
+			size := 100 * units.MiB
+			for i := 0; i < trials; i++ {
+				c, _ := newTestClient(t, sys, 16)
+				path := layer.Mount() + "/perf.dat"
+				posixTotal += c.SharedTransfer(darshan.ModulePOSIX, path, iosim.Read, size, false)
+				stdioTotal += c.SharedTransfer(darshan.ModuleSTDIO, path, iosim.Read, size, false)
+			}
+			if stdioTotal <= posixTotal {
+				t.Errorf("%s/%s: STDIO read total %v not slower than POSIX %v",
+					sys.Name, layer.Name(), stdioTotal, posixTotal)
+			}
+		}
+	}
+}
+
+func TestSharedTransferProducesRankMinusOne(t *testing.T) {
+	sys := systems.NewSummit()
+	c, rt := newTestClient(t, sys, 8)
+	p := "/gpfs/alpine/shared.chk"
+	c.SharedOpen(darshan.ModulePOSIX, p, false)
+	c.SharedTransfer(darshan.ModulePOSIX, p, iosim.Write, units.GiB, false)
+	c.SharedClose(darshan.ModulePOSIX, p)
+	log := rt.Finalize()
+	recs := log.RecordsFor(darshan.ModulePOSIX)
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Rank != darshan.SharedRank {
+		t.Errorf("rank = %d, want %d", recs[0].Rank, darshan.SharedRank)
+	}
+	if recs[0].FCounters[darshan.PosixFSlowestRankTime] <= 0 {
+		t.Error("slowest-rank time missing on shared record")
+	}
+}
+
+func TestCollectiveAggregationBeatsIndependentSmallOps(t *testing.T) {
+	sys := systems.NewCori()
+	size := 64 * units.KiB // per-rank request size
+	nprocs := 256
+
+	// Independent: every rank issues its own small op, serial per rank but
+	// each still pays full layer latency per op across many ops.
+	cInd, _ := newTestClient(t, sys, nprocs)
+	pInd := "/global/cscratch1/u/ind.nc"
+	var indTotal float64
+	for i := 0; i < 64; i++ {
+		indTotal += cInd.Write(darshan.ModuleMPIIO, pInd, 0, size, int64(i)*int64(size))
+	}
+
+	// Collective: the same bytes move as one aggregated request.
+	cColl, _ := newTestClient(t, sys, nprocs)
+	pColl := "/global/cscratch1/u/coll.nc"
+	collTotal := cColl.SharedTransfer(darshan.ModuleMPIIO, pColl, iosim.Write, size*64, true)
+
+	if collTotal >= indTotal {
+		t.Errorf("collective aggregate %v not faster than %v of independent small ops",
+			collTotal, indTotal)
+	}
+}
+
+func TestBurstBufferAllocationOption(t *testing.T) {
+	sys := systems.NewCori()
+	size := 50 * units.GiB
+	p := "/var/opt/cray/dws/job/f.dat"
+	cSmall, _ := newTestClient(t, sys, 64)
+	cBig, _ := newTestClient(t, sys, 64, iosim.WithBurstBufferNodes(64))
+	tSmall := cSmall.SharedTransfer(darshan.ModulePOSIX, p, iosim.Write, size, false)
+	tBig := cBig.SharedTransfer(darshan.ModulePOSIX, p, iosim.Write, size, false)
+	if tBig >= tSmall {
+		t.Errorf("64-node BB allocation %v not faster than default %v", tBig, tSmall)
+	}
+}
+
+func TestWithInterfaceConfigOverride(t *testing.T) {
+	sys := systems.NewSummit()
+	slow := iosim.DefaultPOSIX()
+	slow.PerCallOverhead = 0.5 // absurdly slow syscalls
+	cSlow, _ := newTestClient(t, sys, 1, iosim.WithInterfaceConfig(darshan.ModulePOSIX, slow))
+	cFast, _ := newTestClient(t, sys, 1)
+	p := "/gpfs/alpine/f"
+	dSlow := cSlow.Write(darshan.ModulePOSIX, p, 0, 4096, 0)
+	dFast := cFast.Write(darshan.ModulePOSIX, p, 0, 4096, 0)
+	if dSlow < 0.5 || dSlow <= dFast {
+		t.Errorf("override ignored: slow %v fast %v", dSlow, dFast)
+	}
+}
+
+func TestNewClientPanicsOnNil(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	iosim.NewClient(nil, nil, nil)
+}
+
+func TestDefaultConfigsSane(t *testing.T) {
+	posix, stdio, mpiio := iosim.DefaultPOSIX(), iosim.DefaultSTDIO(), iosim.DefaultMPIIO()
+	if posix.BufferSize != 0 {
+		t.Error("POSIX must be unbuffered")
+	}
+	if stdio.BufferSize <= 0 || stdio.ParallelCap != 1 {
+		t.Errorf("STDIO config: %+v", stdio)
+	}
+	if mpiio.CollectiveOverhead <= 0 {
+		t.Error("MPI-IO needs a collective overhead term")
+	}
+}

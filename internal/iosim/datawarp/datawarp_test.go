@@ -1,0 +1,137 @@
+package datawarp
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/lustre"
+	"iolayers/internal/units"
+)
+
+func idealCBB() *FS {
+	cfg := CoriCBB()
+	cfg.Variability = iosim.Variability{}
+	return New(cfg)
+}
+
+func TestCoriCBBConfigMatchesPaper(t *testing.T) {
+	fs := New(CoriCBB())
+	// §2.1.2: 1.7 TB/s aggregate peak.
+	if got := fs.Peak(iosim.Read); got < 1.69e12 || got > 1.71e12 {
+		t.Errorf("aggregate peak %.4g, want ≈1.7e12", got)
+	}
+	if fs.Mount() != "/var/opt/cray/dws" {
+		t.Errorf("mount = %q", fs.Mount())
+	}
+}
+
+func TestAllocationFor(t *testing.T) {
+	fs := idealCBB()
+	cases := []struct {
+		capacity units.ByteSize
+		want     int
+	}{
+		{0, 2},                // default span
+		{-5, 2},               // nonsense request falls back to default
+		{units.GiB, 1},        // under one grain
+		{20 * units.GiB, 1},   // exactly one grain
+		{20*units.GiB + 1, 2}, // just over
+		{200 * units.GiB, 10}, // ten grains
+		{units.PiB, 288},      // capped at the pool
+	}
+	for _, c := range cases {
+		if got := fs.AllocationFor(c.capacity); got != c.want {
+			t.Errorf("AllocationFor(%v) = %d, want %d", c.capacity, got, c.want)
+		}
+	}
+}
+
+func TestWiderAllocationIsFaster(t *testing.T) {
+	fs := idealCBB()
+	r := rand.New(rand.NewPCG(1, 1))
+	size := 50 * units.GiB
+	t2 := fs.TransferAlloc("/var/opt/cray/dws/f", iosim.Write, size, 256, 2, r)
+	t32 := fs.TransferAlloc("/var/opt/cray/dws/f", iosim.Write, size, 256, 32, r)
+	if t32 >= t2/4 {
+		t.Errorf("32-node allocation %v not ≫4× faster than 2-node %v", t32, t2)
+	}
+}
+
+func TestTransferUsesDefaultAllocation(t *testing.T) {
+	fs := idealCBB()
+	ra := rand.New(rand.NewPCG(2, 2))
+	rb := rand.New(rand.NewPCG(2, 2))
+	size := 10 * units.GiB
+	viaDefault := fs.Transfer("/var/opt/cray/dws/f", iosim.Read, size, 64, ra)
+	viaExplicit := fs.TransferAlloc("/var/opt/cray/dws/f", iosim.Read, size, 64, 2, rb)
+	if viaDefault != viaExplicit {
+		t.Errorf("default-span Transfer %v != explicit 2-node %v", viaDefault, viaExplicit)
+	}
+}
+
+func TestAllocationSpanClamped(t *testing.T) {
+	fs := idealCBB()
+	r := rand.New(rand.NewPCG(3, 3))
+	// Requests with absurd spans must still complete with valid times.
+	d1 := fs.TransferAlloc("/var/opt/cray/dws/f", iosim.Read, units.GiB, 1, -5, r)
+	d2 := fs.TransferAlloc("/var/opt/cray/dws/f", iosim.Read, units.GiB, 1, 1<<20, r)
+	if d1 <= 0 || d2 <= 0 {
+		t.Errorf("clamped transfers returned %v, %v", d1, d2)
+	}
+}
+
+func TestStageMovesDataAtCopyRates(t *testing.T) {
+	fs := idealCBB()
+	cfg := lustre.CoriScratch()
+	cfg.Variability = iosim.Variability{}
+	pfs := lustre.New(cfg)
+	r := rand.New(rand.NewPCG(4, 4))
+	size := 100 * units.GiB
+	dur := fs.Stage(pfs, size, 8, r)
+	if dur <= 0 {
+		t.Fatalf("stage duration %v", dur)
+	}
+	bw := float64(size) / dur
+	// Bounded by 10% of the PFS peak (70 GB/s) and by the BB span.
+	if bw > 70e9+1 {
+		t.Errorf("stage bandwidth %.3g exceeds the PFS staging share", bw)
+	}
+	// An 8-node staging copy should still stream at multi-GB/s.
+	if bw < 1e9 {
+		t.Errorf("stage bandwidth %.3g implausibly low", bw)
+	}
+}
+
+func TestStagePanicsOnNegativeSize(t *testing.T) {
+	fs := idealCBB()
+	pfs := lustre.New(lustre.CoriScratch())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fs.Stage(pfs, -1, 1, rand.New(rand.NewPCG(5, 5)))
+}
+
+func TestLayerInterfaceCompliance(t *testing.T) {
+	var _ iosim.Layer = idealCBB()
+	fs := idealCBB()
+	if fs.Kind() != iosim.InSystem || fs.Name() != "CBB" {
+		t.Errorf("identity: %v %q", fs.Kind(), fs.Name())
+	}
+	if fs.MetaLatency() <= 0 {
+		t.Error("latency must be positive")
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	cfg := CoriCBB()
+	cfg.Granularity = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(cfg)
+}

@@ -1,0 +1,137 @@
+// Package gpfs models a center-wide IBM Spectrum Scale (GPFS) parallel file
+// system in the style of Summit's Alpine (paper §2.1.1): a single POSIX
+// namespace whose file data is partitioned into fixed-size GPFS blocks and
+// distributed round-robin across Network Shared Disk (NSD) servers, starting
+// from a randomly chosen server.
+package gpfs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/serverstats"
+	"iolayers/internal/units"
+)
+
+// Config describes a GPFS deployment.
+type Config struct {
+	// Name of the file system, e.g. "Alpine".
+	Name string
+	// MountPrefix under which files live, e.g. "/gpfs/alpine".
+	MountPrefix string
+	// BlockSize is the GPFS block size (16 MiB on Alpine).
+	BlockSize units.ByteSize
+	// NSDServers is the number of NSD data servers (154 on Alpine).
+	NSDServers int
+	// PeakBandwidth is the aggregate peak in bytes/s (2.5 TB/s on Alpine).
+	PeakBandwidth float64
+	// PerProcessBandwidth caps one client process's injection rate.
+	PerProcessBandwidth float64
+	// MetadataLatency is the per-operation latency floor in seconds.
+	MetadataLatency float64
+	// Variability models production-load contention and noise.
+	Variability iosim.Variability
+}
+
+// Alpine returns the configuration of Summit's center-wide GPFS deployment
+// with the figures published in the paper: 250 PB usable, 2.5 TB/s peak,
+// 154 NSD servers, 16 MiB blocks.
+func Alpine() Config {
+	return Config{
+		Name:                "Alpine",
+		MountPrefix:         "/gpfs/alpine",
+		BlockSize:           16 * units.MiB,
+		NSDServers:          154,
+		PeakBandwidth:       2.5e12,
+		PerProcessBandwidth: 2.0e9,
+		MetadataLatency:     400e-6,
+		Variability: iosim.Variability{
+			UtilizationMean:   0.45,
+			UtilizationSpread: 0.30,
+			Sigma:             0.55,
+		},
+	}
+}
+
+// FS is a GPFS layer instance. It implements iosim.Layer.
+type FS struct {
+	cfg    Config
+	perNSD float64
+	// collector, when non-nil, receives server-side load records. Set it
+	// before issuing traffic; it is read concurrently afterwards.
+	collector *serverstats.Collector
+}
+
+// SetCollector attaches a server-side statistics collector sized to the NSD
+// pool. Call before the layer serves traffic.
+func (f *FS) SetCollector(c *serverstats.Collector) { f.collector = c }
+
+// NewCollector builds a collector sized for this deployment's NSD servers.
+func (f *FS) NewCollector() *serverstats.Collector {
+	return serverstats.NewCollector(f.cfg.Name, f.cfg.NSDServers)
+}
+
+// New validates cfg and builds the layer.
+func New(cfg Config) *FS {
+	if cfg.BlockSize <= 0 || cfg.NSDServers <= 0 || cfg.PeakBandwidth <= 0 ||
+		cfg.PerProcessBandwidth <= 0 || cfg.MountPrefix == "" {
+		panic(fmt.Sprintf("gpfs: invalid config %+v", cfg))
+	}
+	return &FS{cfg: cfg, perNSD: cfg.PeakBandwidth / float64(cfg.NSDServers)}
+}
+
+// Name returns the file-system name.
+func (f *FS) Name() string { return f.cfg.Name }
+
+// Kind reports ParallelFS.
+func (f *FS) Kind() iosim.LayerKind { return iosim.ParallelFS }
+
+// Mount returns the mount prefix.
+func (f *FS) Mount() string { return f.cfg.MountPrefix }
+
+// Peak returns the aggregate peak bandwidth; GPFS is symmetric for reads
+// and writes at this level of abstraction.
+func (f *FS) Peak(iosim.RW) float64 { return f.cfg.PeakBandwidth }
+
+// MetaLatency returns the per-operation latency floor.
+func (f *FS) MetaLatency() float64 { return f.cfg.MetadataLatency }
+
+// BlockSize exposes the configured GPFS block size.
+func (f *FS) BlockSize() units.ByteSize { return f.cfg.BlockSize }
+
+// ServersFor returns how many distinct NSD servers serve a request of the
+// given size: one per GPFS block touched, saturating at the server pool.
+// The round-robin start server is random, so the count does not depend on
+// the starting position.
+func (f *FS) ServersFor(size units.ByteSize) int {
+	if size <= 0 {
+		return 1
+	}
+	blocks := int((size + f.cfg.BlockSize - 1) / f.cfg.BlockSize)
+	return min(blocks, f.cfg.NSDServers)
+}
+
+// Transfer implements iosim.Layer. Delivered bandwidth is the lesser of the
+// clients' injection capability and the NSD servers engaged by the block
+// span, degraded by production contention.
+func (f *FS) Transfer(path string, rw iosim.RW, size units.ByteSize, procs int, r *rand.Rand) float64 {
+	if procs < 1 {
+		procs = 1
+	}
+	clientBW := math.Min(f.cfg.PerProcessBandwidth*float64(procs), f.cfg.PeakBandwidth)
+	span := f.ServersFor(size)
+	serverBW := f.perNSD * float64(span)
+	_ = rw
+	dur := iosim.TransferTime(size, f.cfg.MetadataLatency, clientBW, serverBW, f.cfg.Variability, r)
+	if f.collector != nil {
+		// GPFS picks the starting NSD randomly per file; derive it from the
+		// path so repeated accesses hit the same server sequence.
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(path))
+		f.collector.Record(int(h.Sum64()%uint64(f.cfg.NSDServers)), span, int64(size), dur)
+	}
+	return dur
+}

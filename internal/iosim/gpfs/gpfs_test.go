@@ -1,0 +1,115 @@
+package gpfs
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"iolayers/internal/iosim"
+	"iolayers/internal/units"
+)
+
+func idealAlpine() *FS {
+	cfg := Alpine()
+	cfg.Variability = iosim.Variability{} // deterministic for physics tests
+	return New(cfg)
+}
+
+func TestAlpineConfigMatchesPaper(t *testing.T) {
+	cfg := Alpine()
+	if cfg.BlockSize != 16*units.MiB {
+		t.Errorf("block size %v, want 16MiB", cfg.BlockSize)
+	}
+	if cfg.NSDServers != 154 {
+		t.Errorf("NSD servers %d, want 154", cfg.NSDServers)
+	}
+	if cfg.PeakBandwidth != 2.5e12 {
+		t.Errorf("peak %v, want 2.5e12", cfg.PeakBandwidth)
+	}
+}
+
+func TestServersForBlockSpan(t *testing.T) {
+	fs := idealAlpine()
+	cases := []struct {
+		size units.ByteSize
+		want int
+	}{
+		{0, 1},
+		{1, 1},
+		{16 * units.MiB, 1},
+		{16*units.MiB + 1, 2},
+		{160 * units.MiB, 10},
+		{100 * units.GiB, 154}, // 6400 blocks saturate the 154-server pool
+	}
+	for _, c := range cases {
+		if got := fs.ServersFor(c.size); got != c.want {
+			t.Errorf("ServersFor(%v) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestLargeFilesEngageMoreServers(t *testing.T) {
+	fs := idealAlpine()
+	r := rand.New(rand.NewPCG(1, 1))
+	// With many clients, a 1-block file is server-bound while a 64-block
+	// file spreads over 64 NSDs: bandwidth should scale accordingly.
+	oneBlock := fs.Transfer("/gpfs/alpine/a", iosim.Read, 16*units.MiB, 512, r)
+	manyBlocks := fs.Transfer("/gpfs/alpine/b", iosim.Read, 64*16*units.MiB, 512, r)
+	bwOne := float64(16*units.MiB) / oneBlock
+	bwMany := float64(64*16*units.MiB) / manyBlocks
+	if bwMany < 10*bwOne {
+		t.Errorf("64-block bandwidth %.3g not ≫ 1-block bandwidth %.3g", bwMany, bwOne)
+	}
+}
+
+func TestClientBoundSmallJobs(t *testing.T) {
+	fs := idealAlpine()
+	r := rand.New(rand.NewPCG(2, 2))
+	size := units.GiB
+	t1 := fs.Transfer("/gpfs/alpine/f", iosim.Write, size, 1, r)
+	t8 := fs.Transfer("/gpfs/alpine/f", iosim.Write, size, 8, r)
+	if t8 >= t1 {
+		t.Errorf("8-process transfer (%v) not faster than 1-process (%v)", t8, t1)
+	}
+}
+
+func TestTransferNeverExceedsPeak(t *testing.T) {
+	fs := idealAlpine()
+	r := rand.New(rand.NewPCG(3, 3))
+	size := 10 * units.GiB
+	dur := fs.Transfer("/gpfs/alpine/f", iosim.Read, size, 1<<20, r)
+	bw := float64(size) / dur
+	if bw > 2.5e12 {
+		t.Errorf("delivered bandwidth %.3g exceeds machine peak", bw)
+	}
+}
+
+func TestLayerInterfaceCompliance(t *testing.T) {
+	var _ iosim.Layer = idealAlpine()
+	fs := idealAlpine()
+	if fs.Kind() != iosim.ParallelFS {
+		t.Error("GPFS must report ParallelFS")
+	}
+	if fs.Mount() != "/gpfs/alpine" {
+		t.Errorf("mount = %q", fs.Mount())
+	}
+	if fs.Peak(iosim.Read) != fs.Peak(iosim.Write) {
+		t.Error("GPFS model is read/write symmetric")
+	}
+	if fs.MetaLatency() <= 0 {
+		t.Error("metadata latency must be positive")
+	}
+	if fs.BlockSize() != 16*units.MiB {
+		t.Errorf("BlockSize() = %v", fs.BlockSize())
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	cfg := Alpine()
+	cfg.NSDServers = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(cfg)
+}

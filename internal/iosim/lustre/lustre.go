@@ -1,0 +1,206 @@
+// Package lustre models a Lustre parallel file system in the style of Cori
+// Scratch (paper §2.1.2): five metadata servers, 248 object storage servers
+// each managing one object storage target, and user-configurable striping
+// (stripe size, stripe count, starting OST) with Cori's defaults of 1 MiB
+// and a stripe count of 1.
+package lustre
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/serverstats"
+	"iolayers/internal/units"
+)
+
+// Config describes a Lustre deployment.
+type Config struct {
+	// Name of the file system, e.g. "Cori Scratch".
+	Name string
+	// MountPrefix under which files live, e.g. "/global/cscratch1".
+	MountPrefix string
+	// OSTs is the number of object storage targets (248 on Cori).
+	OSTs int
+	// MDSes is the number of metadata servers (5 on Cori).
+	MDSes int
+	// DefaultStripeSize is the default stripe size (1 MiB on Cori).
+	DefaultStripeSize units.ByteSize
+	// DefaultStripeCount is the default stripe count (1 on Cori).
+	DefaultStripeCount int
+	// PeakBandwidth is the aggregate peak in bytes/s (700 GB/s on Cori).
+	PeakBandwidth float64
+	// PerProcessBandwidth caps one client process's injection rate.
+	PerProcessBandwidth float64
+	// MetadataLatency is the per-operation MDS latency in seconds.
+	MetadataLatency float64
+	// Variability models production-load contention and noise.
+	Variability iosim.Variability
+}
+
+// CoriScratch returns the configuration of Cori's Lustre scratch system as
+// published in the paper: 30 PB usable, 700 GB/s peak, 248 OSTs, 5 MDSes,
+// default stripe size 1 MiB and stripe count 1.
+func CoriScratch() Config {
+	return Config{
+		Name:                "Cori Scratch",
+		MountPrefix:         "/global/cscratch1",
+		OSTs:                248,
+		MDSes:               5,
+		DefaultStripeSize:   units.MiB,
+		DefaultStripeCount:  1,
+		PeakBandwidth:       700e9,
+		PerProcessBandwidth: 1.5e9,
+		MetadataLatency:     600e-6,
+		Variability: iosim.Variability{
+			UtilizationMean:   0.45,
+			UtilizationSpread: 0.30,
+			Sigma:             0.55,
+		},
+	}
+}
+
+// Layout is the striping layout of one file: the three user-configurable
+// Lustre parameters from §2.1.2.
+type Layout struct {
+	StripeSize  units.ByteSize
+	StripeCount int
+	StartOST    int
+}
+
+// FS is a Lustre layer instance. It implements iosim.Layer.
+type FS struct {
+	cfg    Config
+	perOST float64
+
+	mu      sync.RWMutex
+	layouts map[string]Layout // per-file overrides via SetLayout
+
+	// collector, when non-nil, receives server-side OST load records. Set
+	// it before issuing traffic; it is read concurrently afterwards.
+	collector *serverstats.Collector
+}
+
+// SetCollector attaches a server-side statistics collector sized to the OST
+// pool. Call before the layer serves traffic.
+func (f *FS) SetCollector(c *serverstats.Collector) { f.collector = c }
+
+// NewCollector builds a collector sized for this deployment's OSTs.
+func (f *FS) NewCollector() *serverstats.Collector {
+	return serverstats.NewCollector(f.cfg.Name, f.cfg.OSTs)
+}
+
+// New validates cfg and builds the layer.
+func New(cfg Config) *FS {
+	if cfg.OSTs <= 0 || cfg.MDSes <= 0 || cfg.DefaultStripeSize <= 0 ||
+		cfg.DefaultStripeCount <= 0 || cfg.PeakBandwidth <= 0 ||
+		cfg.PerProcessBandwidth <= 0 || cfg.MountPrefix == "" {
+		panic(fmt.Sprintf("lustre: invalid config %+v", cfg))
+	}
+	if cfg.DefaultStripeCount > cfg.OSTs {
+		panic(fmt.Sprintf("lustre: default stripe count %d exceeds %d OSTs",
+			cfg.DefaultStripeCount, cfg.OSTs))
+	}
+	return &FS{
+		cfg:     cfg,
+		perOST:  cfg.PeakBandwidth / float64(cfg.OSTs),
+		layouts: make(map[string]Layout),
+	}
+}
+
+// Name returns the file-system name.
+func (f *FS) Name() string { return f.cfg.Name }
+
+// Kind reports ParallelFS.
+func (f *FS) Kind() iosim.LayerKind { return iosim.ParallelFS }
+
+// Mount returns the mount prefix.
+func (f *FS) Mount() string { return f.cfg.MountPrefix }
+
+// Peak returns the aggregate peak bandwidth.
+func (f *FS) Peak(iosim.RW) float64 { return f.cfg.PeakBandwidth }
+
+// MetaLatency returns the per-operation MDS latency.
+func (f *FS) MetaLatency() float64 { return f.cfg.MetadataLatency }
+
+// OSTCount exposes the number of OSTs.
+func (f *FS) OSTCount() int { return f.cfg.OSTs }
+
+// MDSCount exposes the number of metadata servers.
+func (f *FS) MDSCount() int { return f.cfg.MDSes }
+
+// SetLayout overrides the striping layout for one file, the way `lfs
+// setstripe` would. Invalid layouts panic: a stripe count outside [1, OSTs]
+// cannot exist on the real system either.
+func (f *FS) SetLayout(path string, l Layout) {
+	if l.StripeCount < 1 || l.StripeCount > f.cfg.OSTs {
+		panic(fmt.Sprintf("lustre: stripe count %d outside [1,%d]", l.StripeCount, f.cfg.OSTs))
+	}
+	if l.StripeSize <= 0 {
+		panic(fmt.Sprintf("lustre: stripe size %d must be positive", l.StripeSize))
+	}
+	if l.StartOST < 0 || l.StartOST >= f.cfg.OSTs {
+		panic(fmt.Sprintf("lustre: start OST %d outside [0,%d)", l.StartOST, f.cfg.OSTs))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.layouts[path] = l
+}
+
+// LayoutOf returns the file's striping layout: the explicit override if one
+// was set, otherwise the system default with a path-determined starting OST
+// (round-robin assignment is deterministic per path, as Lustre's is per
+// creation).
+func (f *FS) LayoutOf(path string) Layout {
+	f.mu.RLock()
+	l, ok := f.layouts[path]
+	f.mu.RUnlock()
+	if ok {
+		return l
+	}
+	return Layout{
+		StripeSize:  f.cfg.DefaultStripeSize,
+		StripeCount: f.cfg.DefaultStripeCount,
+		StartOST:    int(hashString(path) % uint64(f.cfg.OSTs)),
+	}
+}
+
+// Transfer implements iosim.Layer. Delivered bandwidth is capped by the
+// stripe count — a file striped over one OST cannot exceed one OST's
+// bandwidth no matter how many clients participate, which is the behavior
+// that makes Lustre striping an important tuning parameter (paper §5).
+func (f *FS) Transfer(path string, rw iosim.RW, size units.ByteSize, procs int, r *rand.Rand) float64 {
+	if procs < 1 {
+		procs = 1
+	}
+	layout := f.LayoutOf(path)
+	// Only the OSTs actually covered by the request count: a 100 KiB read
+	// from a stripe-count-8 file still touches one OST.
+	stripesTouched := int((size + layout.StripeSize - 1) / layout.StripeSize)
+	if stripesTouched < 1 {
+		stripesTouched = 1
+	}
+	osts := min(layout.StripeCount, stripesTouched)
+	clientBW := math.Min(f.cfg.PerProcessBandwidth*float64(procs), f.cfg.PeakBandwidth)
+	serverBW := f.perOST * float64(osts)
+	_ = rw
+	dur := iosim.TransferTime(size, f.cfg.MetadataLatency, clientBW, serverBW, f.cfg.Variability, r)
+	if f.collector != nil {
+		f.collector.Record(layout.StartOST, osts, int64(size), dur)
+	}
+	return dur
+}
+
+// hashString is FNV-1a, used for deterministic OST placement.
+func hashString(s string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

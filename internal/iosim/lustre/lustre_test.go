@@ -1,0 +1,127 @@
+package lustre
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"iolayers/internal/iosim"
+	"iolayers/internal/units"
+)
+
+func idealScratch() *FS {
+	cfg := CoriScratch()
+	cfg.Variability = iosim.Variability{}
+	return New(cfg)
+}
+
+func TestCoriScratchConfigMatchesPaper(t *testing.T) {
+	cfg := CoriScratch()
+	if cfg.OSTs != 248 || cfg.MDSes != 5 {
+		t.Errorf("OSTs/MDSes = %d/%d, want 248/5", cfg.OSTs, cfg.MDSes)
+	}
+	if cfg.DefaultStripeSize != units.MiB || cfg.DefaultStripeCount != 1 {
+		t.Errorf("default striping %v/%d, want 1MiB/1", cfg.DefaultStripeSize, cfg.DefaultStripeCount)
+	}
+	if cfg.PeakBandwidth != 700e9 {
+		t.Errorf("peak %v, want 700e9", cfg.PeakBandwidth)
+	}
+}
+
+func TestDefaultLayoutDeterministicPerPath(t *testing.T) {
+	fs := idealScratch()
+	a := fs.LayoutOf("/global/cscratch1/u/f1")
+	b := fs.LayoutOf("/global/cscratch1/u/f1")
+	if a != b {
+		t.Error("layout for the same path differs between calls")
+	}
+	if a.StripeCount != 1 || a.StripeSize != units.MiB {
+		t.Errorf("default layout = %+v", a)
+	}
+	if a.StartOST < 0 || a.StartOST >= fs.OSTCount() {
+		t.Errorf("start OST %d out of range", a.StartOST)
+	}
+}
+
+func TestSetLayoutOverrides(t *testing.T) {
+	fs := idealScratch()
+	want := Layout{StripeSize: 4 * units.MiB, StripeCount: 16, StartOST: 7}
+	fs.SetLayout("/global/cscratch1/u/wide", want)
+	if got := fs.LayoutOf("/global/cscratch1/u/wide"); got != want {
+		t.Errorf("LayoutOf = %+v, want %+v", got, want)
+	}
+}
+
+func TestSetLayoutValidation(t *testing.T) {
+	fs := idealScratch()
+	bad := []Layout{
+		{StripeSize: units.MiB, StripeCount: 0, StartOST: 0},
+		{StripeSize: units.MiB, StripeCount: 249, StartOST: 0},
+		{StripeSize: 0, StripeCount: 1, StartOST: 0},
+		{StripeSize: units.MiB, StripeCount: 1, StartOST: -1},
+		{StripeSize: units.MiB, StripeCount: 1, StartOST: 248},
+	}
+	for i, l := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("layout %d: expected panic for %+v", i, l)
+				}
+			}()
+			fs.SetLayout("/p", l)
+		}()
+	}
+}
+
+// Wider striping must speed up large shared transfers — the tuning effect
+// the paper's §5 future work targets (and ablation A1 measures).
+func TestStripingSpeedsUpLargeTransfers(t *testing.T) {
+	fs := idealScratch()
+	r := rand.New(rand.NewPCG(1, 1))
+	size := 10 * units.GiB
+	narrow := "/global/cscratch1/narrow"
+	wide := "/global/cscratch1/wide"
+	fs.SetLayout(narrow, Layout{StripeSize: units.MiB, StripeCount: 1, StartOST: 0})
+	fs.SetLayout(wide, Layout{StripeSize: units.MiB, StripeCount: 32, StartOST: 0})
+	tNarrow := fs.Transfer(narrow, iosim.Write, size, 128, r)
+	tWide := fs.Transfer(wide, iosim.Write, size, 128, r)
+	if tWide >= tNarrow/4 {
+		t.Errorf("32-stripe transfer %v not ≫4× faster than 1-stripe %v", tWide, tNarrow)
+	}
+}
+
+func TestSmallRequestTouchesOneOST(t *testing.T) {
+	fs := idealScratch()
+	r := rand.New(rand.NewPCG(2, 2))
+	wide := "/global/cscratch1/wide2"
+	fs.SetLayout(wide, Layout{StripeSize: units.MiB, StripeCount: 32, StartOST: 0})
+	// A 100 KiB request covers one stripe: one OST's bandwidth bounds it,
+	// so it should take about as long as on a 1-stripe file.
+	tWide := fs.Transfer(wide, iosim.Read, 100*units.KiB, 1, r)
+	tNarrow := fs.Transfer("/global/cscratch1/n2", iosim.Read, 100*units.KiB, 1, r)
+	ratio := tWide / tNarrow
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("small-request times differ too much: wide %v vs narrow %v", tWide, tNarrow)
+	}
+}
+
+func TestLayerInterfaceCompliance(t *testing.T) {
+	var _ iosim.Layer = idealScratch()
+	fs := idealScratch()
+	if fs.Kind() != iosim.ParallelFS || fs.Mount() != "/global/cscratch1" {
+		t.Errorf("kind/mount = %v/%q", fs.Kind(), fs.Mount())
+	}
+	if fs.MDSCount() != 5 {
+		t.Errorf("MDSCount = %d", fs.MDSCount())
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	cfg := CoriScratch()
+	cfg.DefaultStripeCount = 300 // exceeds OSTs
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(cfg)
+}

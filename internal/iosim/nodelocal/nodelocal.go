@@ -1,0 +1,139 @@
+// Package nodelocal models a compute-node-local NVMe in-system storage
+// layer in the style of Summit's SCNL (paper §2.1.1): every compute node
+// carries its own NVMe device, jobs see a job-private namespace (via
+// software such as Spectral or UnifyFS), and aggregate bandwidth scales with
+// the number of nodes in the job rather than with a shared server pool.
+package nodelocal
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/serverstats"
+	"iolayers/internal/units"
+)
+
+// Config describes a node-local NVMe deployment.
+type Config struct {
+	// Name of the layer, e.g. "SCNL".
+	Name string
+	// MountPrefix under which files live, e.g. "/mnt/bb".
+	MountPrefix string
+	// Nodes is the number of compute nodes carrying a device (4608 on
+	// Summit).
+	Nodes int
+	// ProcsPerNode converts a job's process count into the node count whose
+	// devices it can drive.
+	ProcsPerNode int
+	// PerNodeReadBandwidth and PerNodeWriteBandwidth are one device's
+	// envelopes in bytes/s. Summit's aggregates (26.7 TB/s read, 9.7 TB/s
+	// write over 4608 nodes) give ≈5.8 GB/s and ≈2.1 GB/s per node.
+	PerNodeReadBandwidth  float64
+	PerNodeWriteBandwidth float64
+	// Latency is the per-operation latency in seconds; NVMe plus a thin
+	// file-system layer, orders of magnitude below PFS metadata latency.
+	Latency float64
+	// Variability is small: the device is not shared across jobs, so only
+	// local effects (GC pauses, thermal) remain.
+	Variability iosim.Variability
+}
+
+// SummitSCNL returns the configuration of Summit's node-local layer with
+// the paper's figures: 7.4 PB raw across 4608 nodes, 26.7/9.7 TB/s peak
+// read/write.
+func SummitSCNL() Config {
+	return Config{
+		Name:                  "SCNL",
+		MountPrefix:           "/mnt/bb",
+		Nodes:                 4608,
+		ProcsPerNode:          42,
+		PerNodeReadBandwidth:  26.7e12 / 4608,
+		PerNodeWriteBandwidth: 9.7e12 / 4608,
+		Latency:               40e-6,
+		Variability: iosim.Variability{
+			UtilizationMean:   0.05,
+			UtilizationSpread: 0.05,
+			Sigma:             0.25,
+		},
+	}
+}
+
+// FS is a node-local layer instance. It implements iosim.Layer.
+type FS struct {
+	cfg Config
+	// collector, when non-nil, receives per-node device load records. Set
+	// it before issuing traffic; it is read concurrently afterwards.
+	collector *serverstats.Collector
+}
+
+// SetCollector attaches a statistics collector sized to the node count.
+// Call before the layer serves traffic.
+func (f *FS) SetCollector(c *serverstats.Collector) { f.collector = c }
+
+// NewCollector builds a collector with one slot per compute node.
+func (f *FS) NewCollector() *serverstats.Collector {
+	return serverstats.NewCollector(f.cfg.Name, f.cfg.Nodes)
+}
+
+// New validates cfg and builds the layer.
+func New(cfg Config) *FS {
+	if cfg.Nodes <= 0 || cfg.ProcsPerNode <= 0 || cfg.PerNodeReadBandwidth <= 0 ||
+		cfg.PerNodeWriteBandwidth <= 0 || cfg.MountPrefix == "" {
+		panic(fmt.Sprintf("nodelocal: invalid config %+v", cfg))
+	}
+	return &FS{cfg: cfg}
+}
+
+// Name returns the layer name.
+func (f *FS) Name() string { return f.cfg.Name }
+
+// Kind reports InSystem.
+func (f *FS) Kind() iosim.LayerKind { return iosim.InSystem }
+
+// Mount returns the mount prefix.
+func (f *FS) Mount() string { return f.cfg.MountPrefix }
+
+// Peak returns the whole machine's aggregate peak for the direction.
+func (f *FS) Peak(rw iosim.RW) float64 {
+	if rw == iosim.Read {
+		return f.cfg.PerNodeReadBandwidth * float64(f.cfg.Nodes)
+	}
+	return f.cfg.PerNodeWriteBandwidth * float64(f.cfg.Nodes)
+}
+
+// MetaLatency returns the per-operation latency.
+func (f *FS) MetaLatency() float64 { return f.cfg.Latency }
+
+// NodesFor returns the number of node-local devices a job with the given
+// process count can drive, capped at the machine size.
+func (f *FS) NodesFor(procs int) int {
+	if procs < 1 {
+		procs = 1
+	}
+	nodes := (procs + f.cfg.ProcsPerNode - 1) / f.cfg.ProcsPerNode
+	return min(nodes, f.cfg.Nodes)
+}
+
+// Transfer implements iosim.Layer. Bandwidth scales with the job's node
+// count — the defining property of a node-local layer — and is never shared
+// with other jobs.
+func (f *FS) Transfer(path string, rw iosim.RW, size units.ByteSize, procs int, r *rand.Rand) float64 {
+	nodes := f.NodesFor(procs)
+	perNode := f.cfg.PerNodeWriteBandwidth
+	if rw == iosim.Read {
+		perNode = f.cfg.PerNodeReadBandwidth
+	}
+	bw := perNode * float64(nodes)
+	dur := iosim.TransferTime(size, f.cfg.Latency, bw, bw, f.cfg.Variability, r)
+	if f.collector != nil {
+		// A job's devices are its own nodes; spread the span from a
+		// path-derived start so different jobs' allocations differ.
+		start := 0
+		for i := 0; i < len(path); i++ {
+			start = start*31 + int(path[i])
+		}
+		f.collector.Record(start, nodes, int64(size), dur)
+	}
+	return dur
+}

@@ -1,0 +1,96 @@
+package nodelocal
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"iolayers/internal/iosim"
+	"iolayers/internal/units"
+)
+
+func idealSCNL() *FS {
+	cfg := SummitSCNL()
+	cfg.Variability = iosim.Variability{}
+	return New(cfg)
+}
+
+func TestSummitSCNLConfigMatchesPaper(t *testing.T) {
+	cfg := SummitSCNL()
+	if cfg.Nodes != 4608 {
+		t.Errorf("nodes = %d, want 4608", cfg.Nodes)
+	}
+	fs := New(cfg)
+	// Aggregate peaks from §2.1.1: 26.7 TB/s read, 9.7 TB/s write.
+	if got := fs.Peak(iosim.Read); got < 26.6e12 || got > 26.8e12 {
+		t.Errorf("aggregate read peak %.4g, want ≈26.7e12", got)
+	}
+	if got := fs.Peak(iosim.Write); got < 9.6e12 || got > 9.8e12 {
+		t.Errorf("aggregate write peak %.4g, want ≈9.7e12", got)
+	}
+}
+
+func TestReadFasterThanWrite(t *testing.T) {
+	fs := idealSCNL()
+	r := rand.New(rand.NewPCG(1, 1))
+	size := units.GiB
+	tr := fs.Transfer("/mnt/bb/f", iosim.Read, size, 42, r)
+	tw := fs.Transfer("/mnt/bb/f", iosim.Write, size, 42, r)
+	if tr >= tw {
+		t.Errorf("NVMe read (%v) should beat write (%v)", tr, tw)
+	}
+}
+
+func TestNodesFor(t *testing.T) {
+	fs := idealSCNL()
+	cases := []struct{ procs, want int }{
+		{0, 1},
+		{1, 1},
+		{42, 1},
+		{43, 2},
+		{84, 2},
+		{42 * 4608, 4608},
+		{42*4608 + 1, 4608}, // capped at the machine
+	}
+	for _, c := range cases {
+		if got := fs.NodesFor(c.procs); got != c.want {
+			t.Errorf("NodesFor(%d) = %d, want %d", c.procs, got, c.want)
+		}
+	}
+}
+
+func TestBandwidthScalesWithNodes(t *testing.T) {
+	fs := idealSCNL()
+	r := rand.New(rand.NewPCG(2, 2))
+	size := 10 * units.GiB
+	t1 := fs.Transfer("/mnt/bb/f", iosim.Write, size, 42, r)     // 1 node
+	t16 := fs.Transfer("/mnt/bb/f", iosim.Write, size, 42*16, r) // 16 nodes
+	if t16 >= t1/8 {
+		t.Errorf("16-node transfer %v not ≫8× faster than 1-node %v", t16, t1)
+	}
+}
+
+func TestLowLatency(t *testing.T) {
+	fs := idealSCNL()
+	if fs.MetaLatency() >= 1e-3 {
+		t.Errorf("node-local latency %v should be far below 1ms", fs.MetaLatency())
+	}
+}
+
+func TestLayerInterfaceCompliance(t *testing.T) {
+	var _ iosim.Layer = idealSCNL()
+	fs := idealSCNL()
+	if fs.Kind() != iosim.InSystem || fs.Mount() != "/mnt/bb" || fs.Name() != "SCNL" {
+		t.Errorf("identity: %v %q %q", fs.Kind(), fs.Mount(), fs.Name())
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	cfg := SummitSCNL()
+	cfg.ProcsPerNode = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(cfg)
+}

@@ -1,0 +1,176 @@
+// Package serverstats adds server-side observability to the simulated
+// storage layers: per-server request counts, bytes served, and busy time,
+// the counters a production Lustre LMT or GPFS mmpmon deployment exposes.
+//
+// The paper's Table 1 taxonomy distinguishes application-level logs (what
+// Darshan sees) from system-level logs; several of the related studies it
+// surveys ([10], [19], [22]) work purely from the server side, and [22] in
+// particular reports server imbalance as a performance problem. This
+// package supplies that second vantage point for the simulated systems, so
+// the repository can compare the two views the way Table 1 contrasts them.
+//
+// A Collector is safe for concurrent use: layers record into it from
+// parallel campaign workers via atomic counters.
+package serverstats
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"iolayers/internal/stats"
+)
+
+// Collector accumulates per-server load for one storage layer.
+type Collector struct {
+	name     string
+	requests []atomic.Int64
+	bytes    []atomic.Int64
+	// busyNanos accumulates service time in nanoseconds (atomic-friendly).
+	busyNanos []atomic.Int64
+}
+
+// NewCollector builds a collector for a layer with the given number of
+// servers (NSD servers, OSSes, burst-buffer nodes, or compute nodes).
+func NewCollector(name string, servers int) *Collector {
+	if servers <= 0 {
+		panic(fmt.Sprintf("serverstats: collector %q needs at least one server, got %d", name, servers))
+	}
+	return &Collector{
+		name:      name,
+		requests:  make([]atomic.Int64, servers),
+		bytes:     make([]atomic.Int64, servers),
+		busyNanos: make([]atomic.Int64, servers),
+	}
+}
+
+// Name returns the layer name the collector was built for.
+func (c *Collector) Name() string { return c.name }
+
+// Servers returns the server count.
+func (c *Collector) Servers() int { return len(c.requests) }
+
+// Record notes one request striped over `span` servers starting at server
+// `start` (wrapping round-robin), moving `size` bytes in `seconds` of
+// service time. The bytes and busy time divide evenly across the span.
+func (c *Collector) Record(start, span int, size int64, seconds float64) {
+	n := len(c.requests)
+	if span <= 0 {
+		span = 1
+	}
+	if span > n {
+		span = n
+	}
+	if start < 0 {
+		start = -start
+	}
+	start %= n
+	perBytes := size / int64(span)
+	perNanos := int64(seconds * 1e9 / float64(span))
+	for i := 0; i < span; i++ {
+		s := (start + i) % n
+		c.requests[s].Add(1)
+		c.bytes[s].Add(perBytes)
+		c.busyNanos[s].Add(perNanos)
+	}
+}
+
+// Snapshot is a point-in-time copy of one server's counters.
+type Snapshot struct {
+	Server   int
+	Requests int64
+	Bytes    int64
+	BusySecs float64
+}
+
+// Snapshots returns every server's counters.
+func (c *Collector) Snapshots() []Snapshot {
+	out := make([]Snapshot, len(c.requests))
+	for i := range out {
+		out[i] = Snapshot{
+			Server:   i,
+			Requests: c.requests[i].Load(),
+			Bytes:    c.bytes[i].Load(),
+			BusySecs: float64(c.busyNanos[i].Load()) / 1e9,
+		}
+	}
+	return out
+}
+
+// Imbalance summarizes the load distribution across servers for one metric.
+type Imbalance struct {
+	// Mean and Max of the per-server metric.
+	Mean, Max float64
+	// PeakRatio is Max/Mean — 1.0 is perfectly balanced; [22] reports
+	// values well above 1 on production metadata servers.
+	PeakRatio float64
+	// Gini is the Gini coefficient of the load distribution (0 = equal).
+	Gini float64
+	// IdleServers counts servers that saw no traffic at all.
+	IdleServers int
+}
+
+// ByteImbalance computes the imbalance of served bytes.
+func (c *Collector) ByteImbalance() Imbalance {
+	vals := make([]float64, len(c.bytes))
+	for i := range c.bytes {
+		vals[i] = float64(c.bytes[i].Load())
+	}
+	return imbalance(vals)
+}
+
+// RequestImbalance computes the imbalance of request counts.
+func (c *Collector) RequestImbalance() Imbalance {
+	vals := make([]float64, len(c.requests))
+	for i := range c.requests {
+		vals[i] = float64(c.requests[i].Load())
+	}
+	return imbalance(vals)
+}
+
+func imbalance(vals []float64) Imbalance {
+	var im Imbalance
+	if len(vals) == 0 {
+		return im
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v > im.Max {
+			im.Max = v
+		}
+		if v == 0 {
+			im.IdleServers++
+		}
+	}
+	im.Mean = sum / float64(len(vals))
+	if im.Mean > 0 {
+		im.PeakRatio = im.Max / im.Mean
+	}
+	im.Gini = gini(vals, sum)
+	return im
+}
+
+// gini computes the Gini coefficient of non-negative values.
+func gini(vals []float64, sum float64) float64 {
+	if sum <= 0 || len(vals) < 2 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var cum float64
+	for i, v := range sorted {
+		cum += v * (2*float64(i+1) - n - 1)
+	}
+	return cum / (n * sum)
+}
+
+// BusySummary returns the five-number summary of per-server busy seconds.
+func (c *Collector) BusySummary() stats.Summary {
+	vals := make([]float64, len(c.busyNanos))
+	for i := range c.busyNanos {
+		vals[i] = float64(c.busyNanos[i].Load()) / 1e9
+	}
+	return stats.Summarize(vals)
+}

@@ -1,0 +1,143 @@
+package serverstats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewCollectorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero servers")
+		}
+	}()
+	NewCollector("x", 0)
+}
+
+func TestRecordSingleServer(t *testing.T) {
+	c := NewCollector("Alpine", 4)
+	c.Record(1, 1, 1000, 0.5)
+	c.Record(1, 1, 500, 0.25)
+	snaps := c.Snapshots()
+	if snaps[1].Requests != 2 || snaps[1].Bytes != 1500 {
+		t.Errorf("server 1: %+v", snaps[1])
+	}
+	if !almost(snaps[1].BusySecs, 0.75) {
+		t.Errorf("busy = %v", snaps[1].BusySecs)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if snaps[i].Requests != 0 {
+			t.Errorf("server %d unexpectedly loaded", i)
+		}
+	}
+}
+
+func TestRecordSpanWraps(t *testing.T) {
+	c := NewCollector("OSTs", 4)
+	// Start at server 3, span 2 → servers 3 and 0.
+	c.Record(3, 2, 1000, 1.0)
+	snaps := c.Snapshots()
+	if snaps[3].Bytes != 500 || snaps[0].Bytes != 500 {
+		t.Errorf("wrap: %+v", snaps)
+	}
+	if snaps[1].Bytes != 0 || snaps[2].Bytes != 0 {
+		t.Errorf("span leaked: %+v", snaps)
+	}
+}
+
+func TestRecordClampsInputs(t *testing.T) {
+	c := NewCollector("x", 3)
+	c.Record(-7, 0, 300, 0.3)  // negative start, zero span
+	c.Record(100, 100, 300, 0) // oversized start and span
+	total := int64(0)
+	for _, s := range c.Snapshots() {
+		total += s.Bytes
+	}
+	if total != 600 {
+		t.Errorf("total bytes = %d, want 600", total)
+	}
+}
+
+func TestImbalancePerfectBalance(t *testing.T) {
+	c := NewCollector("x", 4)
+	for i := 0; i < 4; i++ {
+		c.Record(i, 1, 100, 0.1)
+	}
+	im := c.ByteImbalance()
+	if !almost(im.PeakRatio, 1.0) || !almost(im.Gini, 0) || im.IdleServers != 0 {
+		t.Errorf("balanced load: %+v", im)
+	}
+}
+
+func TestImbalanceOneHot(t *testing.T) {
+	n := 8
+	c := NewCollector("x", n)
+	c.Record(2, 1, 800, 1)
+	im := c.ByteImbalance()
+	if !almost(im.PeakRatio, float64(n)) {
+		t.Errorf("peak ratio = %v, want %d", im.PeakRatio, n)
+	}
+	// Gini of a one-hot distribution over n servers is (n-1)/n.
+	if !almost(im.Gini, float64(n-1)/float64(n)) {
+		t.Errorf("gini = %v, want %v", im.Gini, float64(n-1)/float64(n))
+	}
+	if im.IdleServers != n-1 {
+		t.Errorf("idle = %d", im.IdleServers)
+	}
+}
+
+func TestImbalanceEmpty(t *testing.T) {
+	c := NewCollector("x", 5)
+	im := c.RequestImbalance()
+	if im.Mean != 0 || im.PeakRatio != 0 || im.Gini != 0 || im.IdleServers != 5 {
+		t.Errorf("empty collector: %+v", im)
+	}
+}
+
+func TestBusySummary(t *testing.T) {
+	c := NewCollector("x", 3)
+	c.Record(0, 1, 10, 1.0)
+	c.Record(1, 1, 10, 2.0)
+	c.Record(2, 1, 10, 3.0)
+	s := c.BusySummary()
+	if s.N != 3 || !almost(s.Median, 2.0) {
+		t.Errorf("busy summary: %+v", s)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	c := NewCollector("x", 16)
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Record(w+i, 2, 128, 0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var reqs, bytes int64
+	for _, s := range c.Snapshots() {
+		reqs += s.Requests
+		bytes += s.Bytes
+	}
+	if reqs != workers*perWorker*2 {
+		t.Errorf("requests = %d, want %d", reqs, workers*perWorker*2)
+	}
+	if bytes != workers*perWorker*128 {
+		t.Errorf("bytes = %d, want %d", bytes, workers*perWorker*128)
+	}
+}
+
+func TestName(t *testing.T) {
+	if NewCollector("Alpine", 2).Name() != "Alpine" {
+		t.Error("name lost")
+	}
+}

@@ -1,0 +1,70 @@
+package iosim_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/lustre"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+)
+
+func TestAttachCollectorsCoversBothLayers(t *testing.T) {
+	for _, name := range []string{"Summit", "Cori"} {
+		sys := systems.ByName(name)
+		collectors := iosim.AttachCollectors(sys)
+		if len(collectors) != 2 {
+			t.Fatalf("%s: %d collectors, want 2 (every layer is instrumented)", name, len(collectors))
+		}
+		r := rand.New(rand.NewPCG(1, 1))
+		for _, layer := range sys.Layers() {
+			layer.Transfer(layer.Mount()+"/f", iosim.Write, units.MiB, 4, r)
+			c := collectors[layer.Name()]
+			if c.ByteImbalance().Mean == 0 {
+				t.Errorf("%s/%s: collector saw no traffic", name, layer.Name())
+			}
+		}
+	}
+}
+
+// Striping spreads server-side load: stripe-count-1 traffic concentrates on
+// single OSTs (high Gini), wide striping flattens it — the imbalance
+// mechanism Shantharam et al. [22] diagnosed from the server side.
+func TestStripingReducesServerImbalance(t *testing.T) {
+	run := func(stripes int) float64 {
+		cfg := lustre.CoriScratch()
+		cfg.Variability = iosim.Variability{}
+		fs := lustre.New(cfg)
+		c := fs.NewCollector()
+		fs.SetCollector(c)
+		r := rand.New(rand.NewPCG(7, 7))
+		for i := 0; i < 40; i++ {
+			path := cfg.MountPrefix + "/f" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+			fs.SetLayout(path, lustre.Layout{
+				StripeSize: units.MiB, StripeCount: stripes, StartOST: (i * 37) % cfg.OSTs,
+			})
+			fs.Transfer(path, iosim.Write, 256*units.MiB, 8, r)
+		}
+		return c.ByteImbalance().Gini
+	}
+	narrow := run(1)
+	wide := run(64)
+	if wide >= narrow {
+		t.Errorf("64-stripe Gini %.3f not below 1-stripe Gini %.3f", wide, narrow)
+	}
+	if narrow < 0.5 {
+		t.Errorf("stripe-1 traffic should be strongly imbalanced, Gini %.3f", narrow)
+	}
+}
+
+func TestCollectorRecordsActualDurations(t *testing.T) {
+	sys := systems.NewSummit()
+	collectors := iosim.AttachCollectors(sys)
+	r := rand.New(rand.NewPCG(2, 2))
+	sys.PFS.Transfer("/gpfs/alpine/big.bin", iosim.Read, units.GiB, 8, r)
+	busy := collectors["Alpine"].BusySummary()
+	if busy.N == 0 || busy.Max <= 0 {
+		t.Errorf("busy time not recorded: %+v", busy)
+	}
+}

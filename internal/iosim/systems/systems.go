@@ -1,0 +1,50 @@
+// Package systems assembles the two supercomputer I/O subsystems the paper
+// studies from the layer models in the sibling packages: Summit (Alpine
+// GPFS + SCNL node-local NVMe) and Cori (Lustre scratch + CBB DataWarp
+// burst buffer).
+package systems
+
+import (
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/datawarp"
+	"iolayers/internal/iosim/gpfs"
+	"iolayers/internal/iosim/lustre"
+	"iolayers/internal/iosim/nodelocal"
+)
+
+// NewSummit builds the Summit I/O subsystem of paper §2.1.1: the Alpine
+// center-wide GPFS deployment and the SCNL compute-node-local NVMe layer.
+// Summit nodes run 2 × 21-core POWER9, giving 42 hardware cores per node.
+func NewSummit() *iosim.System {
+	return &iosim.System{
+		Name:         "Summit",
+		PFS:          gpfs.New(gpfs.Alpine()),
+		InSystem:     nodelocal.New(nodelocal.SummitSCNL()),
+		ProcsPerNode: 42,
+	}
+}
+
+// NewCori builds the Cori I/O subsystem of paper §2.1.2: the Lustre scratch
+// file system and the CBB DataWarp burst buffer. Cori KNL nodes have 68
+// cores; the conventional scheduling density is 64 processes per node.
+func NewCori() *iosim.System {
+	return &iosim.System{
+		Name:         "Cori",
+		PFS:          lustre.New(lustre.CoriScratch()),
+		InSystem:     datawarp.New(datawarp.CoriCBB()),
+		ProcsPerNode: 64,
+	}
+}
+
+// ByName returns the system with the given name ("summit" or "cori",
+// case-sensitive on the canonical capitalization or all-lower), or nil.
+func ByName(name string) *iosim.System {
+	switch name {
+	case "Summit", "summit":
+		return NewSummit()
+	case "Cori", "cori":
+		return NewCori()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,112 @@
+package systems
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"iolayers/internal/iosim"
+	"iolayers/internal/units"
+)
+
+func TestNewSummitShape(t *testing.T) {
+	s := NewSummit()
+	if s.Name != "Summit" || s.ProcsPerNode != 42 {
+		t.Errorf("summit header: %q %d", s.Name, s.ProcsPerNode)
+	}
+	if s.PFS.Kind() != iosim.ParallelFS || s.PFS.Name() != "Alpine" {
+		t.Errorf("summit PFS: %v %q", s.PFS.Kind(), s.PFS.Name())
+	}
+	if s.InSystem.Kind() != iosim.InSystem || s.InSystem.Name() != "SCNL" {
+		t.Errorf("summit in-system: %v %q", s.InSystem.Kind(), s.InSystem.Name())
+	}
+	// Paper §2.1.1: SCNL peak read 26.7 TB/s dwarfs Alpine's 2.5 TB/s.
+	if s.InSystem.Peak(iosim.Read) <= s.PFS.Peak(iosim.Read) {
+		t.Error("SCNL aggregate read peak should exceed Alpine's")
+	}
+}
+
+func TestNewCoriShape(t *testing.T) {
+	s := NewCori()
+	if s.Name != "Cori" || s.ProcsPerNode != 64 {
+		t.Errorf("cori header: %q %d", s.Name, s.ProcsPerNode)
+	}
+	if s.PFS.Name() != "Cori Scratch" || s.InSystem.Name() != "CBB" {
+		t.Errorf("cori layers: %q %q", s.PFS.Name(), s.InSystem.Name())
+	}
+	// Paper §2.1.2: CBB 1.7 TB/s vs scratch 700 GB/s.
+	if s.InSystem.Peak(iosim.Write) <= s.PFS.Peak(iosim.Write) {
+		t.Error("CBB peak should exceed Cori scratch's")
+	}
+}
+
+func TestLayerForRouting(t *testing.T) {
+	s := NewSummit()
+	if got := s.LayerFor("/gpfs/alpine/proj/x.h5"); got != s.PFS {
+		t.Errorf("alpine path routed to %v", got.Name())
+	}
+	if got := s.LayerFor("/mnt/bb/user/tmp.dat"); got != s.InSystem {
+		t.Errorf("bb path routed to %v", got.Name())
+	}
+}
+
+func TestLayerForPanicsOnUnknownMount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unroutable path")
+		}
+	}()
+	NewSummit().LayerFor("/home/user/file")
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"Summit", "summit", "Cori", "cori"} {
+		if ByName(n) == nil {
+			t.Errorf("ByName(%q) = nil", n)
+		}
+	}
+	if ByName("Frontier") != nil {
+		t.Error("ByName(Frontier) should be nil")
+	}
+}
+
+// The in-system layers must beat the PFS for same-shape requests — the
+// premise of the paper's Recommendation 3 (stage data to the fast layer).
+func TestInSystemFasterThanPFS(t *testing.T) {
+	for _, sys := range []*iosim.System{NewSummit(), NewCori()} {
+		r := rand.New(rand.NewPCG(1, 1))
+		const trials = 200
+		var pfsTotal, insysTotal float64
+		for i := 0; i < trials; i++ {
+			pfsTotal += sys.PFS.Transfer(sys.PFS.Mount()+"/f", iosim.Read, 100*units.MiB, 4, r)
+			insysTotal += sys.InSystem.Transfer(sys.InSystem.Mount()+"/f", iosim.Read, 100*units.MiB, 4, r)
+		}
+		if insysTotal >= pfsTotal {
+			t.Errorf("%s: in-system mean %v not faster than PFS mean %v",
+				sys.Name, insysTotal/trials, pfsTotal/trials)
+		}
+	}
+}
+
+// Larger requests must achieve higher delivered bandwidth on every layer:
+// the motivation for aggregation (Recommendation 2).
+func TestBandwidthImprovesWithRequestSize(t *testing.T) {
+	for _, sys := range []*iosim.System{NewSummit(), NewCori()} {
+		for _, layer := range sys.Layers() {
+			r := rand.New(rand.NewPCG(7, 7))
+			mb := func(size units.ByteSize) float64 {
+				var total float64
+				const trials = 300
+				for i := 0; i < trials; i++ {
+					total += layer.Transfer(layer.Mount()+"/f", iosim.Write, size, 1, r)
+				}
+				return float64(size) * trials / total
+			}
+			small := mb(4 * units.KiB)
+			large := mb(64 * units.MiB)
+			if large < 5*small {
+				t.Errorf("%s/%s: 64MiB bandwidth %.3g not ≫ 4KiB bandwidth %.3g",
+					sys.Name, layer.Name(), large, small)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package probes
+
+import (
+	"testing"
+
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/gpfs"
+	"iolayers/internal/iosim/nodelocal"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+)
+
+func TestDefaultProbes(t *testing.T) {
+	ps := DefaultProbes()
+	if len(ps) != 4 {
+		t.Fatalf("got %d probes, want 4 (the TOKIO set)", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"bulk-write", "bulk-read", "small-write", "small-read"} {
+		if !names[want] {
+			t.Errorf("missing probe %q", want)
+		}
+	}
+}
+
+func TestRunProducesFullSeries(t *testing.T) {
+	sys := systems.NewSummit()
+	h := NewHarness(sys, 1)
+	samples := h.Run(20)
+	// 2 layers × 4 probes × 20 samples.
+	if len(samples) != 2*4*20 {
+		t.Fatalf("samples = %d, want 160", len(samples))
+	}
+	for _, s := range samples {
+		if s.MBps <= 0 || s.Second <= 0 {
+			t.Fatalf("invalid sample %+v", s)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	sys := systems.NewSummit()
+	a := NewHarness(sys, 9).Run(10)
+	b := NewHarness(systems.NewSummit(), 9).Run(10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestContendedLayerShowsVariability(t *testing.T) {
+	sys := systems.NewSummit()
+	rows := Summarize(NewHarness(sys, 3).Run(200))
+	for _, v := range rows {
+		if v.Layer != "Alpine" {
+			continue
+		}
+		if v.FractionOfBest >= 1 {
+			t.Errorf("%s/%s: median at best-case is implausible under contention", v.Layer, v.Probe)
+		}
+		// Bandwidth-bound probes feel the full contention spread; the
+		// small probes are latency-dominated, so their delivered rate is
+		// steadier — itself a TOKIO-style observation worth keeping.
+		if v.Probe == "bulk-read" || v.Probe == "bulk-write" {
+			if v.CoV < 0.2 {
+				t.Errorf("%s/%s: CoV %.3f implausibly low under production load", v.Layer, v.Probe, v.CoV)
+			}
+			if v.P95OverP5 < 1.5 {
+				t.Errorf("%s/%s: p95/p5 %.2f too tight", v.Layer, v.Probe, v.P95OverP5)
+			}
+		}
+	}
+}
+
+func TestIdleSystemHasNoVariability(t *testing.T) {
+	gcfg := gpfs.Alpine()
+	gcfg.Variability = iosim.Variability{}
+	ncfg := nodelocal.SummitSCNL()
+	ncfg.Variability = iosim.Variability{}
+	sys := &iosim.System{
+		Name: "IdealSummit", PFS: gpfs.New(gcfg), InSystem: nodelocal.New(ncfg),
+		ProcsPerNode: 42,
+	}
+	rows := Summarize(NewHarness(sys, 4).Run(50))
+	for _, v := range rows {
+		if v.CoV > 1e-9 {
+			t.Errorf("%s/%s: CoV %.6f on an idle deterministic system", v.Layer, v.Probe, v.CoV)
+		}
+		if v.P95OverP5 < 0.999 || v.P95OverP5 > 1.001 {
+			t.Errorf("%s/%s: p95/p5 %.4f, want 1", v.Layer, v.Probe, v.P95OverP5)
+		}
+	}
+}
+
+func TestInSystemLayerFasterAndSteadier(t *testing.T) {
+	sys := systems.NewSummit()
+	rows := Summarize(NewHarness(sys, 5).Run(200))
+	get := func(layer, probe string) Variability {
+		for _, v := range rows {
+			if v.Layer == layer && v.Probe == probe {
+				return v
+			}
+		}
+		t.Fatalf("missing %s/%s", layer, probe)
+		return Variability{}
+	}
+	// Latency-bound probes: the node-local layer's 40 µs beats the PFS's
+	// 400 µs metadata path by an order of magnitude.
+	pfsSmall := get("Alpine", "small-read")
+	scnlSmall := get("SCNL", "small-read")
+	if scnlSmall.Box.Median <= 2*pfsSmall.Box.Median {
+		t.Errorf("SCNL small-read median %.0f not ≫ Alpine %.0f", scnlSmall.Box.Median, pfsSmall.Box.Median)
+	}
+	// Bandwidth-bound probes: the unshared node-local layer is steadier
+	// even when a 128-process probe cannot out-bandwidth the center-wide
+	// PFS (it only drives 4 of SCNL's 4608 nodes).
+	if scnl, pfs := get("SCNL", "bulk-read"), get("Alpine", "bulk-read"); scnl.CoV >= pfs.CoV {
+		t.Errorf("SCNL CoV %.3f not below Alpine %.3f (node-local is unshared)", scnl.CoV, pfs.CoV)
+	}
+}
+
+func TestRenderContainsRows(t *testing.T) {
+	sys := systems.NewCori()
+	out := Render("Cori", Summarize(NewHarness(sys, 6).Run(10)))
+	for _, want := range []string{"TOKIO", "Cori Scratch", "CBB", "bulk-write", "p95/p5"} {
+		if !contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestHarnessPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil system", func() { NewHarness(nil, 1) })
+	mustPanic("bad probe", func() {
+		NewHarness(systems.NewSummit(), 1, Probe{Name: "", Size: 1, Procs: 1})
+	})
+	mustPanic("zero samples", func() { NewHarness(systems.NewSummit(), 1).Run(0) })
+	_ = units.MiB
+}

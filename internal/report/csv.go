@@ -1,0 +1,147 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/darshan"
+	"iolayers/internal/units"
+)
+
+// CSV renders the figure series as machine-readable CSV for external
+// plotting — the form the paper's figures would be regenerated from.
+// Sections are concatenated with a leading "# <figure>" comment line each.
+func CSV(r *analysis.Report) string {
+	var b strings.Builder
+
+	section := func(name string, header []string, rows [][]string) {
+		fmt.Fprintf(&b, "# %s (%s)\n", name, r.Summary.System)
+		w := csv.NewWriter(&b)
+		_ = w.Write(header)
+		for _, row := range rows {
+			_ = w.Write(row)
+		}
+		w.Flush()
+		b.WriteByte('\n')
+	}
+
+	// Figure 3: transfer-size CDFs.
+	{
+		rows := make([][]string, 0, units.NumTransferBins)
+		for i, bin := range units.TransferBins() {
+			row := []string{bin.String()}
+			for _, lr := range r.Layers {
+				for _, d := range []analysis.Direction{analysis.Read, analysis.Write} {
+					row = append(row, f64(r.TransferCDF(lr.Kind, d)[i]))
+				}
+			}
+			rows = append(rows, row)
+		}
+		header := []string{"bin"}
+		for _, lr := range r.Layers {
+			header = append(header, lr.Layer+"_read", lr.Layer+"_write")
+		}
+		section("figure3_transfer_cdf", header, rows)
+	}
+
+	// Figures 4/5: request-size CDFs.
+	for _, large := range []bool{false, true} {
+		name := "figure4_request_cdf"
+		if large {
+			name = "figure5_request_cdf_large_jobs"
+		}
+		rows := make([][]string, 0, units.NumRequestBins)
+		for i, bin := range units.RequestBins() {
+			row := []string{bin.String()}
+			for _, lr := range r.Layers {
+				for _, d := range []analysis.Direction{analysis.Read, analysis.Write} {
+					row = append(row, f64(r.RequestCDF(lr.Kind, d, large)[i]))
+				}
+			}
+			rows = append(rows, row)
+		}
+		header := []string{"bin"}
+		for _, lr := range r.Layers {
+			header = append(header, lr.Layer+"_read", lr.Layer+"_write")
+		}
+		section(name, header, rows)
+	}
+
+	// Figures 6/8: classification counts.
+	for _, stdioOnly := range []bool{false, true} {
+		name := "figure6_classification"
+		if stdioOnly {
+			name = "figure8_classification_stdio"
+		}
+		var rows [][]string
+		for _, lr := range r.Layers {
+			counts := lr.Stats.ClassFiles
+			if stdioOnly {
+				counts = lr.Stats.StdioClassFiles
+			}
+			for c := analysis.ReadOnly; c <= analysis.WriteOnly; c++ {
+				rows = append(rows, []string{lr.Layer, c.String(),
+					strconv.FormatInt(counts[c], 10)})
+			}
+		}
+		section(name, []string{"layer", "class", "files"}, rows)
+	}
+
+	// Figures 7/10: domain series.
+	{
+		var rows [][]string
+		for _, d := range r.Domains {
+			rows = append(rows, []string{d.Domain,
+				f64(d.InSystemBytes[0]), f64(d.InSystemBytes[1]),
+				f64(d.StdioBytes[0]), f64(d.StdioBytes[1])})
+		}
+		section("figure7_10_domains", []string{
+			"domain", "insystem_read_bytes", "insystem_write_bytes",
+			"stdio_read_bytes", "stdio_write_bytes"}, rows)
+	}
+
+	// Figures 11/12: performance boxplots.
+	{
+		var rows [][]string
+		for _, s := range r.PerfSummaries() {
+			rows = append(rows, []string{
+				s.Layer, s.Direction.String(), s.Interface.String(), s.Bin.String(),
+				strconv.Itoa(s.Box.N),
+				f64(s.Box.Min), f64(s.Box.Q1), f64(s.Box.Median),
+				f64(s.Box.Q3), f64(s.Box.Max),
+			})
+		}
+		section("figure11_12_perf_mbps", []string{
+			"layer", "dir", "iface", "bin", "n", "min", "q1", "median", "q3", "max"}, rows)
+	}
+
+	// Figure 9: per-interface transfer CDFs.
+	{
+		var rows [][]string
+		for _, lr := range r.Layers {
+			for _, m := range darshan.InterfaceModules() {
+				for _, d := range []analysis.Direction{analysis.Read, analysis.Write} {
+					cdf := r.InterfaceTransferCDF(lr.Kind, m, d)
+					if cdf == nil {
+						continue
+					}
+					for i, bin := range units.TransferBins() {
+						rows = append(rows, []string{lr.Layer, m.String(),
+							d.String(), bin.String(), f64(cdf[i])})
+					}
+				}
+			}
+		}
+		section("figure9_interface_transfer_cdf",
+			[]string{"layer", "iface", "dir", "bin", "cdf"}, rows)
+	}
+
+	return b.String()
+}
+
+func f64(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/iosim/serverstats"
+)
+
+func TestTuningRender(t *testing.T) {
+	r := smallReport(t)
+	r.Tuning = analysis.TuningAdoption{
+		UsersBothHalves: 100, AdoptedStriping: 10, AdoptedCollective: 20, AdoptedAny: 25,
+	}
+	out := Tuning(r)
+	for _, want := range []string{"Future work", "both half-years", "100", "10.0%", "25.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tuning render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTuningRenderEmptyPopulation(t *testing.T) {
+	r := smallReport(t)
+	r.Tuning = analysis.TuningAdoption{}
+	out := Tuning(r)
+	if !strings.Contains(out, "-") {
+		t.Errorf("empty population should render dashes:\n%s", out)
+	}
+}
+
+func TestTemporalRender(t *testing.T) {
+	r := smallReport(t)
+	r.MonthlyLogs = [12]int64{10, 20, 30, 0, 0, 0, 0, 0, 0, 0, 0, 60}
+	r.MonthlyBytes = [12]float64{1e9, 2e9, 3e9, 0, 0, 0, 0, 0, 0, 0, 0, 6e9}
+	out := Temporal(r)
+	for _, want := range []string{"Temporal view", "Jan", "Dec", "##"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("temporal render missing %q:\n%s", want, out)
+		}
+	}
+	// December has peak activity: a full 30-char bar.
+	if !strings.Contains(out, strings.Repeat("#", 30)) {
+		t.Errorf("peak month missing full bar:\n%s", out)
+	}
+}
+
+func TestServerStatsRender(t *testing.T) {
+	c := serverstats.NewCollector("Alpine", 4)
+	c.Record(0, 2, 1000, 0.5)
+	c.Record(1, 1, 500, 0.1)
+	out := ServerStats("Summit", map[string]*serverstats.Collector{"Alpine": c})
+	for _, want := range []string{"Server-side load", "Alpine", "Byte Gini", "Idle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serverstats render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtensionRenderDisabled(t *testing.T) {
+	out := ExtensionSTDIOX(smallReport(t))
+	if !strings.Contains(out, "disabled") {
+		t.Errorf("baseline campaign should report the module disabled:\n%s", out)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	out := CSV(smallReport(t))
+	for _, want := range []string{
+		"# figure3_transfer_cdf", "# figure4_request_cdf",
+		"# figure5_request_cdf_large_jobs", "# figure6_classification",
+		"# figure8_classification_stdio", "# figure7_10_domains",
+		"# figure11_12_perf_mbps", "# figure9_interface_transfer_cdf",
+		"bin,Alpine_read", "layer,dir,iface",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q", want)
+		}
+	}
+	// Every figure-3 data row has 1 label + 4 series columns.
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "1TB+") {
+			if got := strings.Count(l, ","); got != 4 {
+				t.Errorf("line %d: %d commas, want 4: %q", i, got, l)
+			}
+			break
+		}
+	}
+}

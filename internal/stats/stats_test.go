@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestQuantileBasics(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(v, c.q); !almostEqual(got, c.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	v := []float64{10, 20}
+	if got := Quantile(v, 0.5); !almostEqual(got, 15) {
+		t.Errorf("Quantile(0.5) = %v, want 15", got)
+	}
+	if got := Quantile([]float64{42}, 0.73); !almostEqual(got, 42) {
+		t.Errorf("single-element quantile = %v, want 42", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Quantile(v, 0.5)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", v)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { Quantile(nil, 0.5) })
+	mustPanic("q<0", func() { Quantile([]float64{1}, -0.1) })
+	mustPanic("q>1", func() { Quantile([]float64{1}, 1.1) })
+	mustPanic("NaN", func() { Quantile([]float64{1}, math.NaN()) })
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("bad extremes: %+v", s)
+	}
+	if !almostEqual(s.Median, 3) || !almostEqual(s.Q1, 2) || !almostEqual(s.Q3, 4) {
+		t.Errorf("bad quartiles: %+v", s)
+	}
+	if !almostEqual(s.Mean, 3) {
+		t.Errorf("bad mean: %v", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("Summarize(nil).N = %d, want 0", s.N)
+	}
+	if s.String() != "n=0 (empty)" {
+		t.Errorf("empty summary string = %q", s.String())
+	}
+}
+
+// Property: a summary's order statistics are weakly ordered and bounded by
+// the data extremes for arbitrary inputs.
+func TestSummarizeOrderedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return Summarize(vals).N == 0
+		}
+		s := Summarize(vals)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return s.N == len(vals) &&
+			s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0, 1)
+	h.Add(1, 2)
+	h.Add(3, 7)
+	if h.Total() != 10 {
+		t.Errorf("Total = %d, want 10", h.Total())
+	}
+	cdf := h.CDF()
+	want := []float64{0.1, 0.3, 0.3, 1.0}
+	for i := range want {
+		if !almostEqual(cdf[i], want[i]) {
+			t.Errorf("CDF[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+	fr := h.Fractions()
+	wantFr := []float64{0.1, 0.2, 0, 0.7}
+	for i := range wantFr {
+		if !almostEqual(fr[i], wantFr[i]) {
+			t.Errorf("Fractions[%d] = %v, want %v", i, fr[i], wantFr[i])
+		}
+	}
+}
+
+func TestHistogramEmptyCDF(t *testing.T) {
+	h := NewHistogram(3)
+	for i, v := range h.CDF() {
+		if v != 0 {
+			t.Errorf("empty CDF[%d] = %v, want 0", i, v)
+		}
+	}
+	for i, v := range h.Fractions() {
+		if v != 0 {
+			t.Errorf("empty Fractions[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(3)
+	b := NewHistogram(3)
+	a.Add(0, 5)
+	b.Add(0, 1)
+	b.Add(2, 4)
+	a.Merge(b)
+	if a.Counts[0] != 6 || a.Counts[1] != 0 || a.Counts[2] != 4 {
+		t.Errorf("merged counts = %v", a.Counts)
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched merge")
+		}
+	}()
+	NewHistogram(2).Merge(NewHistogram(3))
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on NewHistogram(0)")
+		}
+	}()
+	NewHistogram(0)
+}
+
+// Property: a CDF is monotone non-decreasing and ends at 1 for any non-empty
+// histogram.
+func TestCDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(12)
+		h := NewHistogram(n)
+		nonzero := false
+		for i := 0; i < n; i++ {
+			c := uint64(rng.IntN(100))
+			h.Add(i, c)
+			nonzero = nonzero || c > 0
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for i, v := range cdf {
+			if v < prev {
+				t.Fatalf("trial %d: CDF decreases at %d: %v", trial, i, cdf)
+			}
+			prev = v
+		}
+		if nonzero && !almostEqual(cdf[n-1], 1.0) {
+			t.Fatalf("trial %d: CDF ends at %v, want 1", trial, cdf[n-1])
+		}
+	}
+}

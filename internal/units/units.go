@@ -1,0 +1,190 @@
+// Package units defines byte-size constants and the size-bin taxonomies used
+// throughout the study: the ten Darshan request-size histogram bins and the
+// per-file transfer-size bins used by the paper's figures.
+//
+// Darshan's access-size histograms use binary units (1K = 1024), and so does
+// this package; bin labels follow the Darshan counter names verbatim
+// (e.g. "0_100", "100K_1M", "1G_PLUS").
+package units
+
+import "fmt"
+
+// ByteSize is a number of bytes. It is signed so that arithmetic on
+// differences is safe; real sizes are never negative.
+type ByteSize int64
+
+// Binary byte-size constants, matching Darshan's histogram edges.
+const (
+	Byte ByteSize = 1
+	KiB           = 1024 * Byte
+	MiB           = 1024 * KiB
+	GiB           = 1024 * MiB
+	TiB           = 1024 * GiB
+	PiB           = 1024 * TiB
+)
+
+// String renders a ByteSize with a binary-unit suffix, e.g. "16.00MiB".
+func (b ByteSize) String() string {
+	switch {
+	case b >= PiB:
+		return fmt.Sprintf("%.2fPiB", float64(b)/float64(PiB))
+	case b >= TiB:
+		return fmt.Sprintf("%.2fTiB", float64(b)/float64(TiB))
+	case b >= GiB:
+		return fmt.Sprintf("%.2fGiB", float64(b)/float64(GiB))
+	case b >= MiB:
+		return fmt.Sprintf("%.2fMiB", float64(b)/float64(MiB))
+	case b >= KiB:
+		return fmt.Sprintf("%.2fKiB", float64(b)/float64(KiB))
+	}
+	return fmt.Sprintf("%dB", int64(b))
+}
+
+// RequestBin identifies one of the ten Darshan access-size histogram bins
+// (POSIX_SIZE_READ_0_100 .. POSIX_SIZE_READ_1G_PLUS and the write
+// equivalents). STDIO has no such histogram in Darshan; the bins apply to
+// POSIX and MPI-IO only.
+type RequestBin int
+
+// The ten Darshan access-size bins, in increasing size order.
+const (
+	Bin0To100 RequestBin = iota // 0 – 100 bytes
+	Bin100To1K
+	Bin1KTo10K
+	Bin10KTo100K
+	Bin100KTo1M
+	Bin1MTo4M
+	Bin4MTo10M
+	Bin10MTo100M
+	Bin100MTo1G
+	Bin1GPlus
+
+	// NumRequestBins is the number of Darshan access-size bins.
+	NumRequestBins = 10
+)
+
+var requestBinLabels = [NumRequestBins]string{
+	"0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M",
+	"1M_4M", "4M_10M", "10M_100M", "100M_1G", "1G_PLUS",
+}
+
+// requestBinEdges holds the inclusive upper edge of each bin except the
+// last, which is unbounded.
+var requestBinEdges = [NumRequestBins - 1]ByteSize{
+	100, KiB, 10 * KiB, 100 * KiB, MiB, 4 * MiB, 10 * MiB, 100 * MiB, GiB,
+}
+
+// String returns the Darshan counter-suffix label for the bin, e.g. "1K_10K".
+func (b RequestBin) String() string {
+	if b < 0 || b >= NumRequestBins {
+		return fmt.Sprintf("RequestBin(%d)", int(b))
+	}
+	return requestBinLabels[b]
+}
+
+// UpperEdge returns the inclusive upper edge of the bin. The final bin is
+// unbounded and reports the maximum ByteSize.
+func (b RequestBin) UpperEdge() ByteSize {
+	if b < 0 || b >= NumRequestBins {
+		panic(fmt.Sprintf("units: invalid RequestBin(%d)", int(b)))
+	}
+	if b == Bin1GPlus {
+		return ByteSize(1<<63 - 1)
+	}
+	return requestBinEdges[b]
+}
+
+// RequestBinFor returns the Darshan histogram bin that a single read or
+// write request of the given size falls into. Sizes are clamped at zero.
+func RequestBinFor(size ByteSize) RequestBin {
+	if size < 0 {
+		size = 0
+	}
+	for i, edge := range requestBinEdges {
+		if size <= edge {
+			return RequestBin(i)
+		}
+	}
+	return Bin1GPlus
+}
+
+// RequestBins returns all bins in increasing order. The returned slice is
+// freshly allocated and may be modified by the caller.
+func RequestBins() []RequestBin {
+	bins := make([]RequestBin, NumRequestBins)
+	for i := range bins {
+		bins[i] = RequestBin(i)
+	}
+	return bins
+}
+
+// TransferBin identifies a per-file total-transfer-size bin as used by the
+// paper's Figures 3, 11, and 12 (x axes "0/100M, 1GB, 10GB, 100GB, 1TB,
+// 1TB+"). The bin holds a file whose aggregate read (or write) volume over
+// the life of one Darshan log falls in the range.
+type TransferBin int
+
+// Transfer-size bins in increasing order. The label names the upper edge,
+// matching the paper's axis ticks.
+const (
+	TransferTo100M TransferBin = iota // (0, 100 MiB]
+	TransferTo1G                      // (100 MiB, 1 GiB]
+	TransferTo10G                     // (1 GiB, 10 GiB]
+	TransferTo100G                    // (10 GiB, 100 GiB]
+	TransferTo1T                      // (100 GiB, 1 TiB]
+	TransferOver1T                    // (1 TiB, ∞)
+
+	// NumTransferBins is the number of per-file transfer-size bins.
+	NumTransferBins = 6
+)
+
+var transferBinLabels = [NumTransferBins]string{
+	"100M", "1GB", "10GB", "100GB", "1TB", "1TB+",
+}
+
+var transferBinEdges = [NumTransferBins - 1]ByteSize{
+	100 * MiB, GiB, 10 * GiB, 100 * GiB, TiB,
+}
+
+// String returns the paper's axis label for the bin, e.g. "100GB" or "1TB+".
+func (b TransferBin) String() string {
+	if b < 0 || b >= NumTransferBins {
+		return fmt.Sprintf("TransferBin(%d)", int(b))
+	}
+	return transferBinLabels[b]
+}
+
+// UpperEdge returns the inclusive upper edge of the bin; the last bin is
+// unbounded and reports the maximum ByteSize.
+func (b TransferBin) UpperEdge() ByteSize {
+	if b < 0 || b >= NumTransferBins {
+		panic(fmt.Sprintf("units: invalid TransferBin(%d)", int(b)))
+	}
+	if b == TransferOver1T {
+		return ByteSize(1<<63 - 1)
+	}
+	return transferBinEdges[b]
+}
+
+// TransferBinFor returns the transfer-size bin for a file's aggregate read
+// or write volume. Sizes are clamped at zero.
+func TransferBinFor(size ByteSize) TransferBin {
+	if size < 0 {
+		size = 0
+	}
+	for i, edge := range transferBinEdges {
+		if size <= edge {
+			return TransferBin(i)
+		}
+	}
+	return TransferOver1T
+}
+
+// TransferBins returns all transfer bins in increasing order.
+func TransferBins() []TransferBin {
+	bins := make([]TransferBin, NumTransferBins)
+	for i := range bins {
+		bins[i] = TransferBin(i)
+	}
+	return bins
+}

@@ -1,0 +1,172 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KiB, "1.00KiB"},
+		{16 * MiB, "16.00MiB"},
+		{GiB, "1.00GiB"},
+		{3 * TiB / 2, "1.50TiB"},
+		{250 * PiB, "250.00PiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestRequestBinFor(t *testing.T) {
+	cases := []struct {
+		size ByteSize
+		want RequestBin
+	}{
+		{0, Bin0To100},
+		{1, Bin0To100},
+		{100, Bin0To100},
+		{101, Bin100To1K},
+		{KiB, Bin100To1K},
+		{KiB + 1, Bin1KTo10K},
+		{10 * KiB, Bin1KTo10K},
+		{100 * KiB, Bin10KTo100K},
+		{MiB, Bin100KTo1M},
+		{4 * MiB, Bin1MTo4M},
+		{10 * MiB, Bin4MTo10M},
+		{100 * MiB, Bin10MTo100M},
+		{GiB, Bin100MTo1G},
+		{GiB + 1, Bin1GPlus},
+		{5 * TiB, Bin1GPlus},
+		{-7, Bin0To100},
+	}
+	for _, c := range cases {
+		if got := RequestBinFor(c.size); got != c.want {
+			t.Errorf("RequestBinFor(%d) = %v, want %v", int64(c.size), got, c.want)
+		}
+	}
+}
+
+func TestRequestBinLabels(t *testing.T) {
+	want := []string{
+		"0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M",
+		"1M_4M", "4M_10M", "10M_100M", "100M_1G", "1G_PLUS",
+	}
+	bins := RequestBins()
+	if len(bins) != NumRequestBins {
+		t.Fatalf("RequestBins() returned %d bins, want %d", len(bins), NumRequestBins)
+	}
+	for i, b := range bins {
+		if b.String() != want[i] {
+			t.Errorf("bin %d label = %q, want %q", i, b.String(), want[i])
+		}
+	}
+	if RequestBin(-1).String() != "RequestBin(-1)" {
+		t.Errorf("invalid bin label = %q", RequestBin(-1).String())
+	}
+}
+
+func TestRequestBinEdgesMonotonic(t *testing.T) {
+	var prev ByteSize = -1
+	for _, b := range RequestBins() {
+		edge := b.UpperEdge()
+		if edge <= prev {
+			t.Errorf("bin %v edge %d not greater than previous %d", b, edge, prev)
+		}
+		prev = edge
+	}
+	if Bin1GPlus.UpperEdge() != ByteSize(math.MaxInt64) {
+		t.Errorf("last bin edge = %d, want MaxInt64", Bin1GPlus.UpperEdge())
+	}
+}
+
+func TestTransferBinFor(t *testing.T) {
+	cases := []struct {
+		size ByteSize
+		want TransferBin
+	}{
+		{0, TransferTo100M},
+		{100 * MiB, TransferTo100M},
+		{100*MiB + 1, TransferTo1G},
+		{GiB, TransferTo1G},
+		{10 * GiB, TransferTo10G},
+		{100 * GiB, TransferTo100G},
+		{TiB, TransferTo1T},
+		{TiB + 1, TransferOver1T},
+		{90 * TiB, TransferOver1T},
+	}
+	for _, c := range cases {
+		if got := TransferBinFor(c.size); got != c.want {
+			t.Errorf("TransferBinFor(%d) = %v, want %v", int64(c.size), got, c.want)
+		}
+	}
+}
+
+func TestTransferBinLabels(t *testing.T) {
+	want := []string{"100M", "1GB", "10GB", "100GB", "1TB", "1TB+"}
+	for i, b := range TransferBins() {
+		if b.String() != want[i] {
+			t.Errorf("transfer bin %d label = %q, want %q", i, b.String(), want[i])
+		}
+	}
+}
+
+// Property: every size falls into exactly the bin whose range contains it —
+// the bin's lower neighbor's edge is below the size and the bin's own edge
+// is at or above it.
+func TestRequestBinForProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		size := ByteSize(raw) * ByteSize(raw) // spread into the GiB range
+		b := RequestBinFor(size)
+		if size > b.UpperEdge() {
+			return false
+		}
+		if b > 0 && size <= RequestBin(b-1).UpperEdge() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferBinForProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		size := ByteSize(raw % uint64(4*TiB))
+		b := TransferBinFor(size)
+		if size > b.UpperEdge() {
+			return false
+		}
+		if b > 0 && size <= TransferBin(b-1).UpperEdge() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidBinsPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("RequestBin(-1).UpperEdge", func() { RequestBin(-1).UpperEdge() })
+	mustPanic("RequestBin(10).UpperEdge", func() { RequestBin(10).UpperEdge() })
+	mustPanic("TransferBin(-1).UpperEdge", func() { TransferBin(-1).UpperEdge() })
+	mustPanic("TransferBin(6).UpperEdge", func() { TransferBin(6).UpperEdge() })
+}

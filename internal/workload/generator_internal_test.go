@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"iolayers/internal/iosim/systems"
+)
+
+func TestLowDiscrepancyEquidistributed(t *testing.T) {
+	// The Weyl sequence must fill the unit interval evenly: every decile
+	// receives 10% ± a small discrepancy at n = 1000.
+	var buckets [10]int
+	const n = 1000
+	for i := 0; i < n; i++ {
+		u := lowDiscrepancy(uint64(i), 7)
+		if u < 0 || u >= 1 {
+			t.Fatalf("u = %v outside [0,1)", u)
+		}
+		buckets[int(u*10)]++
+	}
+	for b, c := range buckets {
+		if c < 90 || c > 110 {
+			t.Errorf("decile %d holds %d of %d (low-discrepancy violated)", b, c, n)
+		}
+	}
+}
+
+func TestLowDiscrepancySeedShifts(t *testing.T) {
+	if lowDiscrepancy(5, 1) == lowDiscrepancy(5, 2) {
+		t.Error("different seeds should shift the sequence")
+	}
+	if lowDiscrepancy(5, 1) != lowDiscrepancy(5, 1) {
+		t.Error("sequence must be deterministic")
+	}
+}
+
+func TestSampleStartOffsetSeasonality(t *testing.T) {
+	g, err := NewGenerator(Summit(), systems.NewSummit(),
+		Config{Seed: 9, JobScale: 0.001, FileScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := streamForTest(9)
+	var months [12]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		off := g.sampleStartOffset(r)
+		if off < 0 || off > 366*86400 {
+			t.Fatalf("offset %d outside the year", off)
+		}
+		m := int(float64(off) / (30.4 * 86400))
+		if m > 11 {
+			m = 11
+		}
+		months[m]++
+	}
+	// Summit's profile weights December 1.6 vs January 0.5: the ratio must
+	// show up in the sampled months.
+	ratio := float64(months[11]) / float64(months[0])
+	if ratio < 2.0 || ratio > 4.5 {
+		t.Errorf("Dec/Jan activity ratio %.2f, want ≈3.2 (weights 1.6/0.5)", ratio)
+	}
+}
+
+func TestSampleStartOffsetUniformWithoutWeights(t *testing.T) {
+	p := Summit()
+	p.MonthlyActivity = [12]float64{}
+	g, err := NewGenerator(p, systems.NewSummit(),
+		Config{Seed: 9, JobScale: 0.001, FileScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := streamForTest(10)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(g.sampleStartOffset(r))
+	}
+	mean := sum / n
+	mid := 182.0 * 86400
+	if math.Abs(mean-mid)/mid > 0.05 {
+		t.Errorf("uniform start mean %.0f, want ≈%.0f", mean, mid)
+	}
+}
+
+func TestScaledCountMeanPreserved(t *testing.T) {
+	g, err := NewGenerator(Summit(), systems.NewSummit(),
+		Config{Seed: 11, JobScale: 0.001, FileScale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := streamForTest(11)
+	const raw = 37.0
+	const n = 50000
+	var total int
+	for i := 0; i < n; i++ {
+		total += g.scaledCount(raw, r)
+	}
+	mean := float64(total) / n
+	want := raw * 0.1
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("scaled-count mean %.3f, want ≈%.2f", mean, want)
+	}
+}
+
+func TestScaledCountCap(t *testing.T) {
+	g, err := NewGenerator(Summit(), systems.NewSummit(),
+		Config{Seed: 12, JobScale: 0.001, FileScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := streamForTest(12)
+	if got := g.scaledCount(1e9, r); got != maxFilesPerLogLayer {
+		t.Errorf("monster draw scaled to %d, want cap %d", got, maxFilesPerLogLayer)
+	}
+}
+
+// streamForTest gives internal tests a deterministic RNG without exporting
+// anything.
+func streamForTest(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xabcd))
+}
