@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: the full CI gate — vet, build, and the test suite under the race detector
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the paper-artifact and ingestion benchmarks with allocation stats
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

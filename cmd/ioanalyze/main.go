@@ -1,22 +1,31 @@
 // Command ioanalyze parses a directory of Darshan-format logs (as written
-// by iogen or any tool targeting the logfmt format) and prints the study's
-// tables and figures for them — the darshan-util half of the pipeline on
-// its own.
+// by iogen or any tool targeting the logfmt format) or a campaign archive
+// and prints the study's tables and figures for them — the darshan-util
+// half of the pipeline on its own.
+//
+// Ingestion is parallel and streaming: logs fan out to a worker pool of
+// private aggregators that merge at the end (deterministically — the same
+// corpus renders the same report at any -workers value), and archives are
+// consumed one entry at a time, so memory stays bounded regardless of
+// archive size.
 //
 // Usage:
 //
-//	ioanalyze -dir /path/to/logs [-system summit]
-//	ioanalyze -archive campaign.dgar [-system summit]
+//	ioanalyze -dir /path/to/logs [-system summit] [-workers 0]
+//	ioanalyze -archive campaign.dgar [-system summit] [-workers 0]
+//
+// Exit status: 0 on success (even with some unreadable logs, which are
+// reported on stderr); 1 when nothing could be parsed at all or the source
+// is unreadable; 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 
 	"iolayers/internal/analysis"
-	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/core"
 	"iolayers/internal/iosim/systems"
 	"iolayers/internal/report"
 )
@@ -26,6 +35,7 @@ func main() {
 		system  = flag.String("system", "summit", "system the logs came from: summit or cori")
 		dir     = flag.String("dir", "", "directory of .darshan logs")
 		archive = flag.String("archive", "", "campaign archive (.dgar) to analyze instead of a directory")
+		workers = flag.Int("workers", 0, "ingestion worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *dir == "" && *archive == "" {
@@ -38,41 +48,47 @@ func main() {
 		os.Exit(2)
 	}
 
-	agg := analysis.NewAggregator(sys)
-	parsed, failed := 0, 0
-	source := *dir
+	opts := core.IngestOptions{Workers: *workers}
+	var (
+		rep    *analysis.Report
+		res    core.IngestResult
+		err    error
+		source string
+	)
 	if *archive != "" {
 		source = *archive
-		logs, err := logfmt.ReadArchiveFile(*archive)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ioanalyze:", err)
-			os.Exit(1)
-		}
-		for _, log := range logs {
-			agg.AddLog(log)
-			parsed++
-		}
+		rep, res, err = core.IngestArchive(sys, *archive, opts)
 	} else {
-		paths, err := filepath.Glob(filepath.Join(*dir, "*.darshan"))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ioanalyze:", err)
+		source = *dir
+		rep, res, err = core.IngestDir(sys, *dir, opts)
+		if err == nil && res.Parsed == 0 && res.Failed == 0 {
+			fmt.Fprintf(os.Stderr, "ioanalyze: no .darshan logs in %s\n", source)
 			os.Exit(1)
-		}
-		if len(paths) == 0 {
-			fmt.Fprintf(os.Stderr, "ioanalyze: no .darshan logs in %s\n", *dir)
-			os.Exit(1)
-		}
-		for _, p := range paths {
-			log, err := logfmt.ReadFile(p)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "ioanalyze: skipping %s: %v\n", p, err)
-				failed++
-				continue
-			}
-			agg.AddLog(log)
-			parsed++
 		}
 	}
-	fmt.Printf("ioanalyze: parsed %d logs (%d unreadable) from %s\n\n", parsed, failed, source)
-	fmt.Println(report.Everything(agg.Report()))
+
+	for _, f := range res.Failures {
+		fmt.Fprintf(os.Stderr, "ioanalyze: skipping %s: %v\n", f.Source, f.Err)
+	}
+	if extra := res.Failed - len(res.Failures); extra > 0 {
+		fmt.Fprintf(os.Stderr, "ioanalyze: ... and %d more unreadable logs\n", extra)
+	}
+	if err != nil {
+		// Framing-level damage (or an unreadable source): report it, and
+		// salvage whatever was ingested before the damage point.
+		fmt.Fprintln(os.Stderr, "ioanalyze:", err)
+		if res.Parsed == 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ioanalyze: continuing with the %d logs before the damage\n", res.Parsed)
+	}
+	if res.Parsed == 0 {
+		fmt.Fprintf(os.Stderr, "ioanalyze: every log in %s was unreadable (%d failures)\n",
+			source, res.Failed)
+		os.Exit(1)
+	}
+
+	fmt.Printf("ioanalyze: parsed %d logs (%d unreadable) from %s\n\n",
+		res.Parsed, res.Failed, source)
+	fmt.Println(report.Everything(rep))
 }

@@ -11,6 +11,12 @@
 // Experiments: all, table2..table6, figure3, figure4, figure5, figure6,
 // figure7, figure8, figure9, figure10, figure11 (figure12 is figure11 on
 // Cori), and extension (the STDIOX statistics; pair with -extended).
+//
+// Persistence detours: -save streams every generated log into a campaign
+// archive while the study runs; -from skips synthesis entirely and
+// re-renders the experiments from an existing archive via the parallel
+// streaming ingester (same deterministic worker-pool model as the study
+// engine). Both take a single -system, not "both".
 package main
 
 import (
@@ -18,11 +24,15 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"iolayers/internal/analysis"
 	"iolayers/internal/core"
+	"iolayers/internal/darshan"
+	"iolayers/internal/darshan/logfmt"
 	"iolayers/internal/iosim"
 	"iolayers/internal/iosim/serverstats"
+	"iolayers/internal/iosim/systems"
 	"iolayers/internal/report"
 	"iolayers/internal/workload"
 )
@@ -39,8 +49,15 @@ func main() {
 		serverSide = flag.Bool("serverstats", false, "also print server-side load imbalance per layer")
 		whatIf     = flag.Bool("whatif", false, "also run the Recommendation-2 counterfactual (middleware aggregation) and print the comparison")
 		format     = flag.String("format", "text", "output format: text, or csv (figure series for plotting)")
+		save       = flag.String("save", "", "stream every generated log into this campaign archive (.dgar); single -system only")
+		from       = flag.String("from", "", "skip synthesis and analyze this campaign archive (.dgar) instead; single -system only")
 	)
 	flag.Parse()
+
+	if *from != "" {
+		analyzeArchive(*from, *system, *workers, *experiment, *format)
+		return
+	}
 
 	cfg := workload.Config{Seed: *seed, JobScale: *scale, FileScale: *fileScale,
 		ExtendedStdio: *extended}
@@ -56,6 +73,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "iostudy: unknown system %q\n", *system)
 		os.Exit(2)
 	}
+	if *save != "" && len(names) != 1 {
+		fmt.Fprintln(os.Stderr, "iostudy: -save needs a single -system (an archive holds one system's campaign)")
+		os.Exit(2)
+	}
 
 	for _, name := range names {
 		campaign, err := core.NewCampaign(name, cfg)
@@ -68,10 +89,22 @@ func main() {
 		if *serverSide {
 			collectors = iosim.AttachCollectors(campaign.System)
 		}
-		rep, err := campaign.Run(nil)
+		var sink core.LogSink
+		var closeSink func() error
+		if *save != "" {
+			sink, closeSink = archiveSink(*save)
+		}
+		rep, err := campaign.Run(sink)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iostudy:", err)
 			os.Exit(1)
+		}
+		if closeSink != nil {
+			if err := closeSink(); err != nil {
+				fmt.Fprintln(os.Stderr, "iostudy:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "iostudy: campaign archived to %s\n", *save)
 		}
 		var out string
 		if strings.ToLower(*format) == "csv" {
@@ -107,6 +140,74 @@ func main() {
 			fmt.Println(report.WhatIf(rep, altRep))
 		}
 	}
+}
+
+// archiveSink returns a concurrency-safe LogSink streaming into a fresh
+// archive at path, plus the function that writes the terminator.
+func archiveSink(path string) (core.LogSink, func() error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iostudy:", err)
+		os.Exit(1)
+	}
+	aw, err := logfmt.NewArchiveWriter(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iostudy:", err)
+		os.Exit(1)
+	}
+	var mu sync.Mutex
+	sink := func(jobIdx, logIdx int, log *darshan.Log) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return aw.Append(log)
+	}
+	return sink, func() error {
+		if err := aw.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}
+
+// analyzeArchive is the -from path: parallel streaming ingestion of an
+// existing campaign archive, rendered like a freshly synthesized study.
+func analyzeArchive(path, system string, workers int, experiment, format string) {
+	if strings.EqualFold(system, "both") {
+		fmt.Fprintln(os.Stderr, "iostudy: -from needs a single -system (an archive holds one system's campaign)")
+		os.Exit(2)
+	}
+	sys := systems.ByName(system)
+	if sys == nil {
+		fmt.Fprintf(os.Stderr, "iostudy: unknown system %q\n", system)
+		os.Exit(2)
+	}
+	rep, res, err := core.IngestArchive(sys, path, core.IngestOptions{Workers: workers})
+	for _, f := range res.Failures {
+		fmt.Fprintf(os.Stderr, "iostudy: skipping %s: %v\n", f.Source, f.Err)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iostudy:", err)
+		os.Exit(1)
+	}
+	if res.Parsed == 0 {
+		fmt.Fprintf(os.Stderr, "iostudy: no readable logs in %s (%d failures)\n", path, res.Failed)
+		os.Exit(1)
+	}
+	var out string
+	if strings.ToLower(format) == "csv" {
+		out = report.CSV(rep)
+	} else {
+		var rerr error
+		out, rerr = render(rep, strings.ToLower(experiment))
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "iostudy:", rerr)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("==== %s (from %s, %d logs, %d unreadable) ====\n\n",
+		sys.Name, path, res.Parsed, res.Failed)
+	fmt.Println(out)
 }
 
 func render(r *analysis.Report, experiment string) (string, error) {

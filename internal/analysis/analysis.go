@@ -238,6 +238,13 @@ type Aggregator struct {
 	// domainJobs counts jobs with/without a domain attribution, giving the
 	// join coverage of §3.3.2.
 	domainCovered, domainUncovered map[uint64]bool
+
+	// Per-AddLog scratch, reused across calls so the per-file grouping pass
+	// allocates nothing steady-state. Valid because Aggregator is
+	// single-goroutine by contract.
+	scratchIdx   map[darshan.RecordID]int32
+	scratchOrder []darshan.RecordID
+	scratchViews []fileView
 }
 
 // NewAggregator builds an aggregator for logs produced on sys.
@@ -256,12 +263,43 @@ func NewAggregator(sys *iosim.System) *Aggregator {
 		domains:         map[string]*DomainStats{},
 		domainCovered:   map[uint64]bool{},
 		domainUncovered: map[uint64]bool{},
+		scratchIdx:      map[darshan.RecordID]int32{},
 	}
 }
 
-// fileView gathers one file's records within one log.
+// modView folds the per-rank records of one (file, module) pair down to the
+// few quantities the accounting rules consume — byte totals, busy time, and
+// sharedness — without materializing a merged FileRecord (the old
+// mergeRanks+Clone path allocated two counter slices per extra rank).
+type modView struct {
+	n            int   // records folded in
+	rank         int32 // the single record's rank; 0 once ranks are merged
+	readB, writeB int64
+	readT, writeT float64
+}
+
+// add folds one record. A merged partial-rank view is never a shared
+// record, so rank collapses to 0 on the second fold — matching the old
+// mergeRanks semantics.
+func (mv *modView) add(rec *darshan.FileRecord, cRead, cWrite, fRead, fWrite int) {
+	mv.n++
+	if mv.n == 1 {
+		mv.rank = rec.Rank
+	} else {
+		mv.rank = 0
+	}
+	mv.readB += rec.Counters[cRead]
+	mv.writeB += rec.Counters[cWrite]
+	mv.readT += rec.FCounters[fRead]
+	mv.writeT += rec.FCounters[fWrite]
+}
+
+func (mv *modView) present() bool { return mv.n > 0 }
+func (mv *modView) shared() bool  { return mv.rank == darshan.SharedRank }
+
+// fileView gathers one file's per-module accounting views within one log.
 type fileView struct {
-	posix, mpiio, stdio *darshan.FileRecord
+	posix, mpiio, stdio modView
 }
 
 // AddLog folds one log into the aggregate.
@@ -301,29 +339,37 @@ func (a *Aggregator) AddLog(log *darshan.Log) {
 
 	large := log.Job.NProcs > a.LargeJobProcs
 
-	// Group records per file.
-	files := map[darshan.RecordID]*fileView{}
-	order := make([]darshan.RecordID, 0, len(log.Records))
+	// Group records per file, into scratch reused across AddLog calls.
+	clear(a.scratchIdx)
+	order := a.scratchOrder[:0]
+	views := a.scratchViews[:0]
 	for _, rec := range log.Records {
-		fv, ok := files[rec.Record]
+		idx, ok := a.scratchIdx[rec.Record]
 		if !ok {
-			fv = &fileView{}
-			files[rec.Record] = fv
+			views = append(views, fileView{})
+			idx = int32(len(views) - 1)
+			a.scratchIdx[rec.Record] = idx
 			order = append(order, rec.Record)
 		}
+		fv := &views[idx]
 		switch rec.Module {
 		case darshan.ModulePOSIX:
-			fv.posix = mergeRanks(fv.posix, rec)
+			fv.posix.add(rec, darshan.PosixBytesRead, darshan.PosixBytesWritten,
+				darshan.PosixFReadTime, darshan.PosixFWriteTime)
 		case darshan.ModuleMPIIO:
-			fv.mpiio = mergeRanks(fv.mpiio, rec)
+			fv.mpiio.add(rec, darshan.MpiioBytesRead, darshan.MpiioBytesWritten,
+				darshan.MpiioFReadTime, darshan.MpiioFWriteTime)
 		case darshan.ModuleSTDIO:
-			fv.stdio = mergeRanks(fv.stdio, rec)
+			fv.stdio.add(rec, darshan.StdioBytesRead, darshan.StdioBytesWritten,
+				darshan.StdioFReadTime, darshan.StdioFWriteTime)
 		}
 	}
+	a.scratchOrder = order
+	a.scratchViews = views
 
-	for _, id := range order {
-		fv := files[id]
-		if fv.posix == nil && fv.stdio == nil && fv.mpiio == nil {
+	for i, id := range order {
+		fv := &views[i]
+		if !fv.posix.present() && !fv.stdio.present() && !fv.mpiio.present() {
 			continue // Lustre-only entry
 		}
 		path := log.PathOf(id)
@@ -334,7 +380,7 @@ func (a *Aggregator) AddLog(log *darshan.Log) {
 		li := layerIndex(layer.Kind())
 		ls := a.layers[li]
 		jv.layers[li] = true
-		if fv.stdio != nil {
+		if fv.stdio.present() {
 			jv.usedStdio = true
 		}
 
@@ -347,59 +393,41 @@ func (a *Aggregator) AddLog(log *darshan.Log) {
 	}
 
 	// Extended-STDIO records, when present, feed the Recommendation 4
-	// extension statistics.
-	for _, rec := range log.RecordsFor(darshan.ModuleStdioX) {
-		path := log.PathOf(rec.Record)
-		if path == "" {
-			continue
-		}
-		ls := a.layers[layerIndex(a.sys.LayerFor(path).Kind())]
-		for b := 0; b < units.NumRequestBins; b++ {
-			ls.StdioXRequestHist[Read].Add(b, uint64(rec.Counters[darshan.StdioXSizeRead0To100+b]))
-			ls.StdioXRequestHist[Write].Add(b, uint64(rec.Counters[darshan.StdioXSizeWrite0To100+b]))
-		}
-		ls.StdioXRewriteBytes += float64(rec.Counters[darshan.StdioXRewriteBytes])
-		ls.StdioXUniqueBytes += float64(rec.Counters[darshan.StdioXUniqueBytes])
-	}
-
-	// Request-size histograms come from the POSIX access-size counters of
-	// every POSIX record, layer-routed (Figures 4 and 5).
-	for _, rec := range log.RecordsFor(darshan.ModulePOSIX) {
-		path := log.PathOf(rec.Record)
-		if path == "" {
-			continue
-		}
-		ls := a.layers[layerIndex(a.sys.LayerFor(path).Kind())]
-		for b := 0; b < units.NumRequestBins; b++ {
-			reads := uint64(rec.Counters[darshan.PosixSizeRead0To100+b])
-			writes := uint64(rec.Counters[darshan.PosixSizeWrite0To100+b])
-			ls.RequestHist[Read].Add(b, reads)
-			ls.RequestHist[Write].Add(b, writes)
-			if large {
-				ls.LargeJobRequestHist[Read].Add(b, reads)
-				ls.LargeJobRequestHist[Write].Add(b, writes)
+	// extension statistics; POSIX records feed the request-size histograms
+	// (Figures 4 and 5), layer-routed. One pass over log.Records, filtering
+	// by module inline — RecordsFor would allocate a fresh slice per call.
+	for _, rec := range log.Records {
+		switch rec.Module {
+		case darshan.ModuleStdioX:
+			path := log.PathOf(rec.Record)
+			if path == "" {
+				continue
+			}
+			ls := a.layers[layerIndex(a.sys.LayerFor(path).Kind())]
+			for b := 0; b < units.NumRequestBins; b++ {
+				ls.StdioXRequestHist[Read].Add(b, uint64(rec.Counters[darshan.StdioXSizeRead0To100+b]))
+				ls.StdioXRequestHist[Write].Add(b, uint64(rec.Counters[darshan.StdioXSizeWrite0To100+b]))
+			}
+			ls.StdioXRewriteBytes += float64(rec.Counters[darshan.StdioXRewriteBytes])
+			ls.StdioXUniqueBytes += float64(rec.Counters[darshan.StdioXUniqueBytes])
+		case darshan.ModulePOSIX:
+			path := log.PathOf(rec.Record)
+			if path == "" {
+				continue
+			}
+			ls := a.layers[layerIndex(a.sys.LayerFor(path).Kind())]
+			for b := 0; b < units.NumRequestBins; b++ {
+				reads := uint64(rec.Counters[darshan.PosixSizeRead0To100+b])
+				writes := uint64(rec.Counters[darshan.PosixSizeWrite0To100+b])
+				ls.RequestHist[Read].Add(b, reads)
+				ls.RequestHist[Write].Add(b, writes)
+				if large {
+					ls.LargeJobRequestHist[Read].Add(b, reads)
+					ls.LargeJobRequestHist[Write].Add(b, writes)
+				}
 			}
 		}
 	}
-}
-
-// mergeRanks combines multiple per-rank records of the same file and module
-// into a byte-total view (partial rank sets are not reduced by the runtime;
-// the analysis only needs totals).
-func mergeRanks(acc, rec *darshan.FileRecord) *darshan.FileRecord {
-	if acc == nil {
-		return rec
-	}
-	merged := acc.Clone()
-	for i, v := range rec.Counters {
-		merged.Counters[i] += v
-	}
-	for i, v := range rec.FCounters {
-		merged.FCounters[i] += v
-	}
-	// A merged partial-rank view is never a shared record.
-	merged.Rank = 0
-	return merged
 }
 
 // accountFile applies the paper's accounting rules to one file.
@@ -407,36 +435,27 @@ func (a *Aggregator) accountFile(ls *LayerStats, ds *DomainStats, fv *fileView,
 	kind iosim.LayerKind, large bool) {
 
 	// POSIX-preferred byte accounting (§3.1).
-	var readB, writeB float64
-	var readTime, writeTime float64
-	var shared bool
+	var acct *modView
 	var perfIface darshan.ModuleID
 	switch {
-	case fv.posix != nil:
-		readB = float64(fv.posix.Counters[darshan.PosixBytesRead])
-		writeB = float64(fv.posix.Counters[darshan.PosixBytesWritten])
-		readTime = fv.posix.FCounters[darshan.PosixFReadTime]
-		writeTime = fv.posix.FCounters[darshan.PosixFWriteTime]
-		shared = fv.posix.Rank == darshan.SharedRank
+	case fv.posix.present():
+		acct = &fv.posix
 		perfIface = darshan.ModulePOSIX
-	case fv.stdio != nil:
-		readB = float64(fv.stdio.Counters[darshan.StdioBytesRead])
-		writeB = float64(fv.stdio.Counters[darshan.StdioBytesWritten])
-		readTime = fv.stdio.FCounters[darshan.StdioFReadTime]
-		writeTime = fv.stdio.FCounters[darshan.StdioFWriteTime]
-		shared = fv.stdio.Rank == darshan.SharedRank
+	case fv.stdio.present():
+		acct = &fv.stdio
 		perfIface = darshan.ModuleSTDIO
 	default:
 		// MPI-IO record without a POSIX record underneath: account at the
 		// MPI-IO level (does not occur with our runtime but may with
 		// foreign logs).
-		readB = float64(fv.mpiio.Counters[darshan.MpiioBytesRead])
-		writeB = float64(fv.mpiio.Counters[darshan.MpiioBytesWritten])
-		readTime = fv.mpiio.FCounters[darshan.MpiioFReadTime]
-		writeTime = fv.mpiio.FCounters[darshan.MpiioFWriteTime]
-		shared = fv.mpiio.Rank == darshan.SharedRank
+		acct = &fv.mpiio
 		perfIface = darshan.ModuleMPIIO
 	}
+	readB := float64(acct.readB)
+	writeB := float64(acct.writeB)
+	readTime := acct.readT
+	writeTime := acct.writeT
+	shared := acct.shared()
 
 	ls.Files++
 	ls.Bytes[Read] += readB
@@ -448,9 +467,9 @@ func (a *Aggregator) accountFile(ls *LayerStats, ds *DomainStats, fv *fileView,
 	// substrate; STDIO files are those with STDIO records.
 	var iface darshan.ModuleID
 	switch {
-	case fv.mpiio != nil:
+	case fv.mpiio.present():
 		iface = darshan.ModuleMPIIO
-	case fv.posix != nil:
+	case fv.posix.present():
 		iface = darshan.ModulePOSIX
 	default:
 		iface = darshan.ModuleSTDIO
@@ -480,7 +499,7 @@ func (a *Aggregator) accountFile(ls *LayerStats, ds *DomainStats, fv *fileView,
 	if readB > 0 || writeB > 0 {
 		class := classify(readB, writeB)
 		ls.ClassFiles[class]++
-		if fv.posix == nil && fv.mpiio == nil && fv.stdio != nil {
+		if !fv.posix.present() && !fv.mpiio.present() && fv.stdio.present() {
 			ls.StdioClassFiles[class]++
 		}
 	}
@@ -491,9 +510,9 @@ func (a *Aggregator) accountFile(ls *LayerStats, ds *DomainStats, fv *fileView,
 			ds.InSystemBytes[Read] += readB
 			ds.InSystemBytes[Write] += writeB
 		}
-		if fv.stdio != nil {
-			ds.StdioBytes[Read] += float64(fv.stdio.Counters[darshan.StdioBytesRead])
-			ds.StdioBytes[Write] += float64(fv.stdio.Counters[darshan.StdioBytesWritten])
+		if fv.stdio.present() {
+			ds.StdioBytes[Read] += float64(fv.stdio.readB)
+			ds.StdioBytes[Write] += float64(fv.stdio.writeB)
 		}
 	}
 

@@ -1,0 +1,252 @@
+// Parallel log ingestion: the darshan-util half of the pipeline at campaign
+// scale. IngestDir and IngestArchive fan logs out to a fixed worker pool in
+// which each worker owns a private analysis.Aggregator; the partials merge
+// via Aggregator.Merge after the pool drains — the same deterministic model
+// Run uses for synthesis (DESIGN.md §7).
+//
+// Determinism: log i is assigned to worker i mod workers (static sharding,
+// one channel per worker), and partial aggregates merge in worker-index
+// order. The result for a given worker count is therefore independent of
+// goroutine scheduling, and the rendered report is identical across worker
+// counts (all discrete statistics are exact integer sums; see
+// TestIngestDeterministicAcrossWorkerCounts).
+//
+// Memory: archives are streamed entry by entry — the dispatcher walks the
+// length-prefixed framing sequentially (cheap) and hands raw entries to the
+// workers, which pay the expensive inflate+decode in parallel. Per-worker
+// channels are shallow, so at any moment the process holds O(workers)
+// undecoded entries plus one decoded log per worker, never the whole
+// archive.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/darshan"
+	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/iosim"
+)
+
+// IngestOptions configures a parallel ingestion pass.
+type IngestOptions struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// LargeJobProcs overrides the large-job threshold (0 keeps the
+	// aggregator default of 1024).
+	LargeJobProcs int
+}
+
+// IngestFailure records one log that could not be parsed.
+type IngestFailure struct {
+	// Source identifies the log: a file path (directory mode) or
+	// "entry N" (archive mode).
+	Source string
+	Err    error
+}
+
+// MaxRecordedFailures bounds the per-pass failure detail kept in an
+// IngestResult; Failed always counts every failure.
+const MaxRecordedFailures = 20
+
+// IngestResult summarizes what an ingestion pass consumed.
+type IngestResult struct {
+	Parsed int
+	Failed int
+	// Failures holds the first MaxRecordedFailures failures in input order.
+	Failures []IngestFailure
+}
+
+// ingestItem is one unit of work: either a path to open (directory mode) or
+// a raw undecoded archive entry (archive mode).
+type ingestItem struct {
+	index  int
+	path   string
+	raw    []byte
+	source string
+}
+
+// indexedFailure keeps input order across workers for deterministic
+// reporting.
+type indexedFailure struct {
+	index int
+	f     IngestFailure
+}
+
+// ingestPool runs the worker pool over a stream of items produced by
+// dispatch. dispatch must send item i to work[i%len(work)] and close every
+// channel when done (or on its own error).
+func ingestPool(sys *iosim.System, opts IngestOptions,
+	dispatch func(work []chan ingestItem) error) (*analysis.Report, IngestResult, error) {
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	work := make([]chan ingestItem, workers)
+	for w := range work {
+		// A shallow buffer keeps workers fed without queueing unbounded
+		// undecoded entries.
+		work[w] = make(chan ingestItem, 4)
+	}
+
+	aggs := make([]*analysis.Aggregator, workers)
+	parsed := make([]int, workers)
+	failures := make([][]indexedFailure, workers)
+	failed := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		aggs[w] = analysis.NewAggregator(sys)
+		if opts.LargeJobProcs > 0 {
+			aggs[w].LargeJobProcs = opts.LargeJobProcs
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var br bytes.Reader
+			for item := range work[w] {
+				if err := consumeItem(&br, aggs[w], item); err != nil {
+					failed[w]++
+					if len(failures[w]) < MaxRecordedFailures {
+						failures[w] = append(failures[w], indexedFailure{
+							index: item.index,
+							f:     IngestFailure{Source: item.source, Err: err},
+						})
+					}
+					continue
+				}
+				parsed[w]++
+			}
+		}(w)
+	}
+
+	dispatchErr := dispatch(work)
+	wg.Wait()
+
+	var res IngestResult
+	total := aggs[0]
+	for w, a := range aggs {
+		if w > 0 {
+			total.Merge(a)
+		}
+		res.Parsed += parsed[w]
+		res.Failed += failed[w]
+	}
+	var all []indexedFailure
+	for _, fs := range failures {
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].index < all[j].index })
+	if len(all) > MaxRecordedFailures {
+		all = all[:MaxRecordedFailures]
+	}
+	for _, f := range all {
+		res.Failures = append(res.Failures, f.f)
+	}
+	return total.Report(), res, dispatchErr
+}
+
+// consumeItem parses one item and folds it into agg. Unlike synthesis,
+// ingestion consumes external files, so invariant panics from aggregation —
+// iosim.System.LayerFor on a path outside the system's mounts, as happens
+// when a log is analyzed against the wrong -system — are demoted to
+// per-log errors rather than crashing the pass. A log that fails partway
+// through AddLog may leave a partial contribution in agg; callers already
+// treat a report with failures as best-effort, and the common wrong-system
+// case fails every log, which IngestDir/IngestArchive callers reject
+// outright (Parsed == 0).
+func consumeItem(br *bytes.Reader, agg *analysis.Aggregator, item ingestItem) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: analyzing log: %v", r)
+		}
+	}()
+	var log *darshan.Log
+	if item.path != "" {
+		log, err = logfmt.ReadFile(item.path)
+	} else {
+		br.Reset(item.raw)
+		log, err = logfmt.Read(br)
+	}
+	if err != nil {
+		return err
+	}
+	agg.AddLog(log)
+	return nil
+}
+
+// IngestDir parses every *.darshan log under dir in parallel and returns
+// the aggregate report. Unparseable logs are counted and reported in the
+// result, not fatal. A directory with no matching logs yields a zero
+// result and no error; callers decide whether that is fatal.
+func IngestDir(sys *iosim.System, dir string, opts IngestOptions) (*analysis.Report, IngestResult, error) {
+	if sys == nil {
+		return nil, IngestResult{}, fmt.Errorf("core: nil system")
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.darshan"))
+	if err != nil {
+		return nil, IngestResult{}, fmt.Errorf("core: listing %s: %w", dir, err)
+	}
+	sort.Strings(paths) // Glob sorts, but the determinism contract should not rest on that
+	return ingestPool(sys, opts, func(work []chan ingestItem) error {
+		for i, p := range paths {
+			work[i%len(work)] <- ingestItem{index: i, path: p, source: p}
+		}
+		for _, ch := range work {
+			close(ch)
+		}
+		return nil
+	})
+}
+
+// IngestArchive streams the campaign archive at path through the worker
+// pool and returns the aggregate report. Entries that fail to parse are
+// counted and reported in the result, and ingestion continues with the next
+// entry (archive framing is independent of entry contents). A framing-level
+// error — truncation, a corrupt entry length — ends the stream: everything
+// ingested up to that point is still reported, alongside the non-nil error.
+func IngestArchive(sys *iosim.System, path string, opts IngestOptions) (*analysis.Report, IngestResult, error) {
+	if sys == nil {
+		return nil, IngestResult{}, fmt.Errorf("core: nil system")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, IngestResult{}, fmt.Errorf("core: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	ar, err := logfmt.NewArchiveReader(f)
+	if err != nil {
+		return nil, IngestResult{}, fmt.Errorf("core: %s: %w", path, err)
+	}
+	return ingestPool(sys, opts, func(work []chan ingestItem) error {
+		defer func() {
+			for _, ch := range work {
+				close(ch)
+			}
+		}()
+		for i := 0; ; i++ {
+			raw, err := ar.NextRaw()
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("core: %s entry %d: %w", path, i, err)
+			}
+			// NextRaw's slice is scratch; hand the worker its own copy.
+			entry := make([]byte, len(raw))
+			copy(entry, raw)
+			work[i%len(work)] <- ingestItem{
+				index: i, raw: entry, source: fmt.Sprintf("%s entry %d", path, i),
+			}
+		}
+	})
+}

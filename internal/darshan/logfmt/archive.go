@@ -57,8 +57,9 @@ func (aw *ArchiveWriter) Append(log *darshan.Log) error {
 	if aw.closed {
 		return errors.New("logfmt: append to closed archive")
 	}
-	var buf bytes.Buffer
-	if err := Write(&buf, log); err != nil {
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := Write(buf, log); err != nil {
 		return err
 	}
 	if buf.Len() > maxArchiveEntry {
@@ -93,10 +94,19 @@ func (aw *ArchiveWriter) Close() error {
 	return nil
 }
 
-// ArchiveReader iterates the logs of a campaign archive.
+// ArchiveReader iterates the logs of a campaign archive, one at a time and
+// with bounded memory: the per-entry scratch buffer is reused across Next
+// calls, so iterating a multi-gigabyte archive holds only the largest
+// single entry (plus the log currently decoded) in memory.
+//
+// Entry framing is independent of entry contents, so a corrupt embedded log
+// does not end iteration: Next returns the parse error for that entry and
+// the reader stays positioned at the following entry.
 type ArchiveReader struct {
-	r    *bufio.Reader
-	done bool
+	r     *bufio.Reader
+	done  bool
+	entry []byte // reused raw-entry scratch
+	br    bytes.Reader
 }
 
 // NewArchiveReader validates the header and prepares iteration.
@@ -119,13 +129,33 @@ func NewArchiveReader(r io.Reader) (*ArchiveReader, error) {
 	return &ArchiveReader{r: br}, nil
 }
 
-// Next returns the next log, or io.EOF after the terminator.
+// Next returns the next log, or io.EOF after the terminator. A parse error
+// inside a well-framed entry reports that single bad entry; the reader
+// remains usable and the next call yields the following entry. Framing
+// errors (truncation, an impossible entry length) end iteration: subsequent
+// calls return io.EOF.
 func (ar *ArchiveReader) Next() (*darshan.Log, error) {
+	raw, err := ar.NextRaw()
+	if err != nil {
+		return nil, err
+	}
+	ar.br.Reset(raw)
+	return Read(&ar.br)
+}
+
+// NextRaw returns the next entry's undecoded bytes, or io.EOF after the
+// terminator. The returned slice aliases the reader's scratch and is valid
+// only until the following Next/NextRaw call; callers that retain it must
+// copy. This is the hand-off point for parallel ingestion: the framing walk
+// stays sequential and cheap while the expensive inflate+decode of each
+// entry can run elsewhere.
+func (ar *ArchiveReader) NextRaw() ([]byte, error) {
 	if ar.done {
 		return nil, io.EOF
 	}
 	var n uint32
 	if err := binary.Read(ar.r, binary.LittleEndian, &n); err != nil {
+		ar.done = true
 		return nil, fmt.Errorf("%w: reading entry length: %v", ErrTruncated, err)
 	}
 	if n == 0 {
@@ -133,13 +163,15 @@ func (ar *ArchiveReader) Next() (*darshan.Log, error) {
 		return nil, io.EOF
 	}
 	if n > maxArchiveEntry {
+		ar.done = true // framing lost: the claimed length cannot be skipped
 		return nil, fmt.Errorf("%w: entry claims %d bytes", ErrCorrupt, n)
 	}
-	entry := make([]byte, n)
-	if _, err := io.ReadFull(ar.r, entry); err != nil {
+	ar.entry = grow(ar.entry, int(n))
+	if _, err := io.ReadFull(ar.r, ar.entry); err != nil {
+		ar.done = true
 		return nil, fmt.Errorf("%w: reading %d-byte entry: %v", ErrTruncated, n, err)
 	}
-	return Read(bytes.NewReader(entry))
+	return ar.entry, nil
 }
 
 // WriteArchiveFile writes all logs to a single archive at path.
@@ -197,26 +229,63 @@ func RecoverArchiveFile(path string) ([]*darshan.Log, error) {
 	}
 }
 
-// ReadArchiveFile parses every log in the archive at path.
-func ReadArchiveFile(path string) ([]*darshan.Log, error) {
+// ErrStop is returned by a ReadArchiveFunc callback to end iteration early
+// without an error.
+var ErrStop = errors.New("logfmt: stop iteration")
+
+// ReadArchiveFunc streams the archive at path, invoking fn once per entry in
+// order. Memory stays bounded: at most one decoded log exists at a time and
+// the raw-entry scratch is reused, so archives far larger than RAM are
+// ingestible. For an entry that fails to parse, fn receives a nil log and
+// the parse error, and iteration continues with the following entry (entry
+// framing is independent of entry contents). If fn returns ErrStop,
+// iteration ends immediately with a nil error; any other non-nil return
+// aborts with that error. Stream-level damage (truncation, a corrupt entry
+// length) ends iteration with the framing error.
+func ReadArchiveFunc(path string, fn func(index int, log *darshan.Log, err error) error) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("logfmt: opening %s: %w", path, err)
+		return fmt.Errorf("logfmt: opening %s: %w", path, err)
 	}
 	defer f.Close()
 	ar, err := NewArchiveReader(f)
 	if err != nil {
-		return nil, fmt.Errorf("logfmt: %s: %w", path, err)
+		return fmt.Errorf("logfmt: %s: %w", path, err)
 	}
-	var logs []*darshan.Log
-	for {
+	for i := 0; ; i++ {
 		log, err := ar.Next()
 		if errors.Is(err, io.EOF) {
-			return logs, nil
+			return nil
 		}
+		if err != nil && ar.done {
+			// Framing error: the stream position is lost, nothing after
+			// this point is reachable.
+			return fmt.Errorf("logfmt: %s entry %d: %w", path, i, err)
+		}
+		if cbErr := fn(i, log, err); cbErr != nil {
+			if errors.Is(cbErr, ErrStop) {
+				return nil
+			}
+			return cbErr
+		}
+	}
+}
+
+// ReadArchiveFile parses every log in the archive at path. Prefer
+// ReadArchiveFunc (or ArchiveReader) for large archives: this helper
+// materializes the whole archive in memory and stops at the first bad
+// entry.
+func ReadArchiveFile(path string) ([]*darshan.Log, error) {
+	var logs []*darshan.Log
+	err := ReadArchiveFunc(path, func(i int, log *darshan.Log, err error) error {
 		if err != nil {
-			return nil, fmt.Errorf("logfmt: %s entry %d: %w", path, len(logs), err)
+			return fmt.Errorf("logfmt: %s entry %d: %w", path, i, err)
 		}
 		logs = append(logs, log)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return logs, nil
 }

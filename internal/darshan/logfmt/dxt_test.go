@@ -120,7 +120,9 @@ func TestCorruptDXTSegmentCountRejected(t *testing.T) {
 		Module: darshan.ModulePOSIX, Record: 1, Rank: 0,
 		Segments: []darshan.DXTSegment{{Kind: darshan.OpRead, Length: 10}},
 	}}
-	payload := encodeDXT(traces)
+	e := encoder{buf: &bytes.Buffer{}}
+	encodeDXT(&e, traces)
+	payload := e.buf.Bytes()
 	// Segment count lives after count(4)+module(1)+record(8)+rank(4).
 	payload[4+1+8+4] = 0xFF
 	payload[4+1+8+4+1] = 0xFF

@@ -20,7 +20,6 @@
 package logfmt
 
 import (
-	"bufio"
 	"bytes"
 	"compress/zlib"
 	"encoding/binary"
@@ -68,7 +67,8 @@ const (
 	maxSectionSize = 1 << 30 // sanity bound on section payloads
 )
 
-// Write serializes a log to w.
+// Write serializes a log to w. All codec and scratch state is pooled, so
+// steady-state writing allocates almost nothing per log.
 func Write(w io.Writer, log *darshan.Log) error {
 	if log == nil {
 		return errors.New("logfmt: nil log")
@@ -79,37 +79,52 @@ func Write(w io.Writer, log *darshan.Log) error {
 		sectionCount++
 	}
 
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(Magic[:]); err != nil {
-		return fmt.Errorf("logfmt: writing magic: %w", err)
-	}
-	if err := binary.Write(bw, binary.LittleEndian, Version); err != nil {
-		return fmt.Errorf("logfmt: writing version: %w", err)
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint16(sectionCount)); err != nil {
-		return fmt.Errorf("logfmt: writing section count: %w", err)
+	bw, flush := buffered(w)
+	var hdr [8]byte
+	copy(hdr[:4], Magic[:])
+	binary.LittleEndian.PutUint16(hdr[4:], Version)
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(sectionCount))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("logfmt: writing header: %w", err)
 	}
 
-	if err := writeSection(bw, sectionJob, 0, encodeJob(log.Job)); err != nil {
+	scratch := getBuf()     // section payload under construction
+	compressed := getBuf()  // its deflated form
+	zw := getZlibWriter(io.Discard)
+	defer func() {
+		putZlibWriter(zw)
+		putBuf(compressed)
+		putBuf(scratch)
+	}()
+	e := encoder{buf: scratch}
+
+	section := func(sectionType, module uint8) error {
+		err := writeSection(bw, sectionType, module, scratch.Bytes(), compressed, zw)
+		scratch.Reset()
 		return err
 	}
-	if err := writeSection(bw, sectionNames, 0, encodeNames(log.Names)); err != nil {
+
+	encodeJob(&e, log.Job)
+	if err := section(sectionJob, 0); err != nil {
+		return err
+	}
+	encodeNames(&e, log.Names)
+	if err := section(sectionNames, 0); err != nil {
 		return err
 	}
 	for _, m := range modules {
-		if err := writeSection(bw, sectionModule, uint8(m), encodeModule(m, log.RecordsFor(m))); err != nil {
+		encodeModule(&e, m, log.Records)
+		if err := section(sectionModule, uint8(m)); err != nil {
 			return err
 		}
 	}
 	if len(log.DXT) > 0 {
-		if err := writeSection(bw, sectionDXT, 0, encodeDXT(log.DXT)); err != nil {
+		encodeDXT(&e, log.DXT)
+		if err := section(sectionDXT, 0); err != nil {
 			return err
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("logfmt: flushing: %w", err)
-	}
-	return nil
+	return flush()
 }
 
 // WriteFile writes a log to path, creating or truncating it.
@@ -141,22 +156,23 @@ func modulesInLog(log *darshan.Log) []darshan.ModuleID {
 	return mods
 }
 
-func writeSection(w io.Writer, sectionType, module uint8, payload []byte) error {
-	var compressed bytes.Buffer
-	zw := zlib.NewWriter(&compressed)
+func writeSection(w io.Writer, sectionType, module uint8, payload []byte,
+	compressed *bytes.Buffer, zw *zlib.Writer) error {
+	compressed.Reset()
+	zw.Reset(compressed)
 	if _, err := zw.Write(payload); err != nil {
 		return fmt.Errorf("logfmt: compressing section %d: %w", sectionType, err)
 	}
 	if err := zw.Close(); err != nil {
 		return fmt.Errorf("logfmt: finishing compression: %w", err)
 	}
-	hdr := make([]byte, 14)
+	var hdr [14]byte
 	hdr[0] = sectionType
 	hdr[1] = module
 	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[6:], uint32(compressed.Len()))
 	binary.LittleEndian.PutUint32(hdr[10:], crc32.ChecksumIEEE(compressed.Bytes()))
-	if _, err := w.Write(hdr); err != nil {
+	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("logfmt: writing section header: %w", err)
 	}
 	if _, err := w.Write(compressed.Bytes()); err != nil {
@@ -165,9 +181,10 @@ func writeSection(w io.Writer, sectionType, module uint8, payload []byte) error 
 	return nil
 }
 
-// encoder accumulates little-endian primitives; all encode* helpers build on
-// it. Writes to a bytes.Buffer cannot fail, so no error plumbing.
-type encoder struct{ buf bytes.Buffer }
+// encoder accumulates little-endian primitives into a caller-owned (pooled)
+// buffer; all encode* helpers build on it. Writes to a bytes.Buffer cannot
+// fail, so no error plumbing.
+type encoder struct{ buf *bytes.Buffer }
 
 func (e *encoder) u8(v uint8) { e.buf.WriteByte(v) }
 func (e *encoder) u16(v uint16) {
@@ -198,8 +215,7 @@ func (e *encoder) str(s string) {
 	e.buf.WriteString(s)
 }
 
-func encodeJob(job darshan.JobHeader) []byte {
-	var e encoder
+func encodeJob(e *encoder, job darshan.JobHeader) {
 	e.u64(job.JobID)
 	e.u64(job.UserID)
 	e.u32(uint32(job.NProcs))
@@ -216,11 +232,9 @@ func encodeJob(job darshan.JobHeader) []byte {
 		e.str(k)
 		e.str(job.Metadata[k])
 	}
-	return e.buf.Bytes()
 }
 
-func encodeNames(names map[darshan.RecordID]string) []byte {
-	var e encoder
+func encodeNames(e *encoder, names map[darshan.RecordID]string) {
 	ids := make([]darshan.RecordID, 0, len(names))
 	for id := range names {
 		ids = append(ids, id)
@@ -231,11 +245,9 @@ func encodeNames(names map[darshan.RecordID]string) []byte {
 		e.u64(uint64(id))
 		e.str(names[id])
 	}
-	return e.buf.Bytes()
 }
 
-func encodeDXT(traces []darshan.DXTTrace) []byte {
-	var e encoder
+func encodeDXT(e *encoder, traces []darshan.DXTTrace) {
 	e.u32(uint32(len(traces)))
 	for _, tr := range traces {
 		e.u8(uint8(tr.Module))
@@ -250,11 +262,11 @@ func encodeDXT(traces []darshan.DXTTrace) []byte {
 			e.f64(s.End)
 		}
 	}
-	return e.buf.Bytes()
 }
 
-func encodeModule(m darshan.ModuleID, records []*darshan.FileRecord) []byte {
-	var e encoder
+// encodeModule serializes the records of one module, filtering allRecords in
+// place (no intermediate per-module slice).
+func encodeModule(e *encoder, m darshan.ModuleID, allRecords []*darshan.FileRecord) {
 	counterNames := darshan.CounterNames(m)
 	fcounterNames := darshan.FCounterNames(m)
 	e.u16(uint16(len(counterNames)))
@@ -265,8 +277,17 @@ func encodeModule(m darshan.ModuleID, records []*darshan.FileRecord) []byte {
 	for _, n := range fcounterNames {
 		e.str(n)
 	}
-	e.u32(uint32(len(records)))
-	for _, r := range records {
+	count := uint32(0)
+	for _, r := range allRecords {
+		if r.Module == m {
+			count++
+		}
+	}
+	e.u32(count)
+	for _, r := range allRecords {
+		if r.Module != m {
+			continue
+		}
 		e.u64(uint64(r.Record))
 		e.i32(r.Rank)
 		for _, c := range r.Counters {
@@ -276,5 +297,4 @@ func encodeModule(m darshan.ModuleID, records []*darshan.FileRecord) []byte {
 			e.f64(f)
 		}
 	}
-	return e.buf.Bytes()
 }

@@ -1,8 +1,6 @@
 package logfmt
 
 import (
-	"bytes"
-	"compress/zlib"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -38,8 +36,10 @@ func Read(r io.Reader) (*darshan.Log, error) {
 
 	log := &darshan.Log{Names: map[darshan.RecordID]string{}}
 	sawJob := false
+	rs := getReadState()
+	defer putReadState(rs)
 	for s := 0; s < int(sectionCount); s++ {
-		sectionType, module, payload, err := readSection(r)
+		sectionType, module, payload, err := rs.readSection(r)
 		if err != nil {
 			return nil, err
 		}
@@ -91,37 +91,37 @@ func ReadFile(path string) (*darshan.Log, error) {
 	return log, nil
 }
 
-func readSection(r io.Reader) (sectionType, module uint8, payload []byte, err error) {
-	hdr := make([]byte, 14)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+// readSection reads one section into the pooled scratch. The returned
+// payload aliases rs.payload and is valid only until the next readSection
+// call on the same state; decoders copy out everything they keep.
+func (rs *readState) readSection(r io.Reader) (sectionType, module uint8, payload []byte, err error) {
+	if _, err := io.ReadFull(r, rs.hdr[:]); err != nil {
 		return 0, 0, nil, fmt.Errorf("%w: section header: %v", ErrTruncated, err)
 	}
-	sectionType = hdr[0]
-	module = hdr[1]
-	uncompressedLen := binary.LittleEndian.Uint32(hdr[2:])
-	compressedLen := binary.LittleEndian.Uint32(hdr[6:])
-	wantCRC := binary.LittleEndian.Uint32(hdr[10:])
+	sectionType = rs.hdr[0]
+	module = rs.hdr[1]
+	uncompressedLen := binary.LittleEndian.Uint32(rs.hdr[2:])
+	compressedLen := binary.LittleEndian.Uint32(rs.hdr[6:])
+	wantCRC := binary.LittleEndian.Uint32(rs.hdr[10:])
 	if uncompressedLen > maxSectionSize || compressedLen > maxSectionSize {
 		return 0, 0, nil, fmt.Errorf("%w: section claims %d/%d bytes", ErrCorrupt, uncompressedLen, compressedLen)
 	}
-	compressed := make([]byte, compressedLen)
-	if _, err := io.ReadFull(r, compressed); err != nil {
+	rs.compressed = grow(rs.compressed, int(compressedLen))
+	if _, err := io.ReadFull(r, rs.compressed); err != nil {
 		return 0, 0, nil, fmt.Errorf("%w: section payload: %v", ErrTruncated, err)
 	}
-	if crc := crc32.ChecksumIEEE(compressed); crc != wantCRC {
+	if crc := crc32.ChecksumIEEE(rs.compressed); crc != wantCRC {
 		return 0, 0, nil, fmt.Errorf("%w: section %d crc mismatch (got %08x want %08x)",
 			ErrCorrupt, sectionType, crc, wantCRC)
 	}
-	zr, err := zlib.NewReader(bytes.NewReader(compressed))
-	if err != nil {
+	if err := rs.resetInflater(); err != nil {
 		return 0, 0, nil, fmt.Errorf("%w: section %d: %v", ErrCorrupt, sectionType, err)
 	}
-	defer zr.Close()
-	payload = make([]byte, uncompressedLen)
-	if _, err := io.ReadFull(zr, payload); err != nil {
+	rs.payload = grow(rs.payload, int(uncompressedLen))
+	if _, err := io.ReadFull(rs.zr, rs.payload); err != nil {
 		return 0, 0, nil, fmt.Errorf("%w: decompressing section %d: %v", ErrCorrupt, sectionType, err)
 	}
-	return sectionType, module, payload, nil
+	return sectionType, module, rs.payload, nil
 }
 
 // decoder consumes little-endian primitives from a payload, reporting
@@ -184,6 +184,19 @@ func (d *decoder) str() string {
 	s := string(d.buf[d.off : d.off+n])
 	d.off += n
 	return s
+}
+
+// strBytes returns a view of the next string without copying it out of the
+// payload. Valid until the payload scratch is reused (i.e. within one
+// section's decode).
+func (d *decoder) strBytes() []byte {
+	n := int(d.u16())
+	if !d.need(n) {
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
 }
 
 func decodeJob(payload []byte) (darshan.JobHeader, error) {
@@ -275,27 +288,20 @@ func decodeDXT(payload []byte) ([]darshan.DXTTrace, error) {
 
 func decodeModule(m darshan.ModuleID, payload []byte) ([]*darshan.FileRecord, error) {
 	d := &decoder{buf: payload}
-	nCounters := int(d.u16())
-	fileCounterNames := make([]string, nCounters)
-	for i := range fileCounterNames {
-		fileCounterNames[i] = d.str()
-	}
-	nFCounters := int(d.u16())
-	fileFCounterNames := make([]string, nFCounters)
-	for i := range fileFCounterNames {
-		fileFCounterNames[i] = d.str()
-	}
-	if d.err != nil {
-		return nil, fmt.Errorf("module %v name tables: %w", m, d.err)
-	}
-
 	// Build index remaps from the on-disk layout to the current layout.
 	// Names absent from the current layout are dropped; current counters
 	// absent from the file stay zero. An entirely unknown module keeps the
 	// on-disk layout verbatim (identity remap), which preserves
-	// self-description for downstream tools.
-	counterRemap := remapIndexes(fileCounterNames, darshan.CounterNames(m))
-	fcounterRemap := remapIndexes(fileFCounterNames, darshan.FCounterNames(m))
+	// self-description for downstream tools. A nil remap means identity —
+	// the common case (log written by this revision), detected without
+	// materializing a single name string.
+	nCounters := int(d.u16())
+	counterRemap := decodeNameTable(d, nCounters, darshan.CounterNames(m))
+	nFCounters := int(d.u16())
+	fcounterRemap := decodeNameTable(d, nFCounters, darshan.FCounterNames(m))
+	if d.err != nil {
+		return nil, fmt.Errorf("module %v name tables: %w", m, d.err)
+	}
 	known := darshan.NumCounters(m) > 0
 
 	nRecords := int(d.u32())
@@ -317,22 +323,18 @@ func decodeModule(m darshan.ModuleID, payload []byte) ([]*darshan.FileRecord, er
 		}
 		for j := 0; j < nCounters; j++ {
 			v := d.i64()
-			if known {
-				if dst := counterRemap[j]; dst >= 0 {
-					rec.Counters[dst] = v
-				}
-			} else {
+			if !known || counterRemap == nil {
 				rec.Counters[j] = v
+			} else if dst := counterRemap[j]; dst >= 0 {
+				rec.Counters[dst] = v
 			}
 		}
 		for j := 0; j < nFCounters; j++ {
 			v := d.f64()
-			if known {
-				if dst := fcounterRemap[j]; dst >= 0 {
-					rec.FCounters[dst] = v
-				}
-			} else {
+			if !known || fcounterRemap == nil {
 				rec.FCounters[j] = v
+			} else if dst := fcounterRemap[j]; dst >= 0 {
+				rec.FCounters[dst] = v
 			}
 		}
 		if d.err != nil {
@@ -341,6 +343,30 @@ func decodeModule(m darshan.ModuleID, payload []byte) ([]*darshan.FileRecord, er
 		records = append(records, rec)
 	}
 	return records, nil
+}
+
+// decodeNameTable consumes an n-entry name table and returns the remap
+// from on-disk indexes to dst's, or nil when the table matches dst exactly
+// (identity). The identity check compares name bytes in place, so the hot
+// path allocates nothing; only layout drift pays for strings and a map.
+func decodeNameTable(d *decoder, n int, dst []string) []int {
+	start := d.off
+	identity := n == len(dst)
+	for i := 0; i < n; i++ {
+		b := d.strBytes()
+		if identity && string(b) != dst[i] {
+			identity = false
+		}
+	}
+	if identity || d.err != nil {
+		return nil
+	}
+	d.off = start
+	names := make([]string, n)
+	for i := range names {
+		names[i] = d.str()
+	}
+	return remapIndexes(names, dst)
 }
 
 // remapIndexes returns, for each source index, the destination index with
