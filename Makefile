@@ -1,12 +1,22 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet staticcheck build test race bench
 
-## check: the full CI gate — vet, build, and the test suite under the race detector
-check: vet build race
+## check: the full CI gate — vet, staticcheck (when installed), build, and
+## the test suite under the race detector
+check: vet staticcheck build race
 
 vet:
 	$(GO) vet ./...
+
+## staticcheck: runs only when the binary is on PATH, so environments
+## without it (e.g. hermetic containers) still pass `make check`
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...

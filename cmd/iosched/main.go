@@ -6,6 +6,11 @@
 // Usage:
 //
 //	iosched [-system cori] [-scale 0.0002] [-days 30] [-seed 1]
+//	        [-faults production] [-faultseed 7]
+//
+// With -faults, jobs submitted inside the schedule's machine-wide slowdown
+// windows run longer (their I/O phases stretch), showing how storage-side
+// degradation ripples into queue waits and utilization.
 package main
 
 import (
@@ -14,16 +19,19 @@ import (
 	"os"
 
 	"iolayers/internal/dist"
+	"iolayers/internal/iosim/faults"
 	"iolayers/internal/sched"
 	"iolayers/internal/workload"
 )
 
 func main() {
 	var (
-		system = flag.String("system", "cori", "system profile: summit or cori")
-		scale  = flag.Float64("scale", 0.0002, "job-count scale")
-		days   = flag.Float64("days", 0, "submission window in days (0 = scale the year like the job count)")
-		seed   = flag.Uint64("seed", 1, "job-stream seed")
+		system    = flag.String("system", "cori", "system profile: summit or cori")
+		scale     = flag.Float64("scale", 0.0002, "job-count scale")
+		days      = flag.Float64("days", 0, "submission window in days (0 = scale the year like the job count)")
+		seed      = flag.Uint64("seed", 1, "job-stream seed")
+		faultSpec = flag.String("faults", "", `fault schedule: "production" or k=v list; empty = no faults`)
+		faultSeed = flag.Uint64("faultseed", 0, "fault-schedule seed (0 = job-stream seed)")
 	)
 	flag.Parse()
 	if *days <= 0 {
@@ -51,11 +59,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	var schedule *faults.Schedule
+	if *faultSpec != "" {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		gc, err := faults.ParseSpec(*faultSpec, fseed, *days*86400)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iosched:", err)
+			os.Exit(2)
+		}
+		schedule = faults.Generate(gc)
+		fmt.Fprintf(os.Stderr, "iosched: %s\n", schedule.Describe())
+	}
+
 	jobs := sched.FromProfile(profile, sched.SourceConfig{
 		Scale: *scale, Seed: *seed, PeriodSeconds: *days * 86400,
 		ProcsPerNode: procsPerNode, MachineNodes: machineNodes,
 		BBFraction:   bbFraction,
 		StageSeconds: dist.LogNormal{Median: 120, Sigma: 1},
+		Faults:       schedule,
 	})
 	fmt.Printf("%s: %d jobs over %.0f days on %d nodes (%d burst-buffer nodes)\n\n",
 		profile.SystemName, len(jobs), *days, machineNodes, bbNodes)

@@ -17,6 +17,15 @@
 // re-renders the experiments from an existing archive via the parallel
 // streaming ingester (same deterministic worker-pool model as the study
 // engine). Both take a single -system, not "both".
+//
+// Fault injection: -faults takes "production" (a production-like mixture of
+// server slowdowns, outages, and metadata storms over the campaign year) or
+// a comma-separated spec such as
+// "slowdowns=4,outages=1,storms=2,frac=0.1,severity=0.7,latfactor=10,duration=6,errrate=1e-4".
+// The schedule is deterministic in -faultseed (default: the campaign seed),
+// degraded intervals appear in -serverstats, per-job failures are reported
+// instead of crashing the study, and the report gains a fault/retry section
+// (also available alone via -experiment faults).
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
 	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/faults"
 	"iolayers/internal/iosim/serverstats"
 	"iolayers/internal/iosim/systems"
 	"iolayers/internal/report"
@@ -51,6 +61,8 @@ func main() {
 		format     = flag.String("format", "text", "output format: text, or csv (figure series for plotting)")
 		save       = flag.String("save", "", "stream every generated log into this campaign archive (.dgar); single -system only")
 		from       = flag.String("from", "", "skip synthesis and analyze this campaign archive (.dgar) instead; single -system only")
+		faultSpec  = flag.String("faults", "", `fault schedule: "production" or k=v list (slowdowns,outages,storms,frac,severity,latfactor,duration,errrate); empty = no faults`)
+		faultSeed  = flag.Uint64("faultseed", 0, "fault-schedule seed (0 = campaign seed)")
 	)
 	flag.Parse()
 
@@ -61,6 +73,22 @@ func main() {
 
 	cfg := workload.Config{Seed: *seed, JobScale: *scale, FileScale: *fileScale,
 		ExtendedStdio: *extended}
+	if *faultSpec != "" {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		// The schedule spans the campaign year, the timeline job
+		// operations are stamped on.
+		const yearSeconds = 365.25 * 86400
+		gc, err := faults.ParseSpec(*faultSpec, fseed, yearSeconds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iostudy:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = faults.Generate(gc)
+		fmt.Fprintf(os.Stderr, "iostudy: %s\n", cfg.Faults.Describe())
+	}
 	var names []string
 	switch strings.ToLower(*system) {
 	case "both":
@@ -244,6 +272,11 @@ func render(r *analysis.Report, experiment string) (string, error) {
 		return report.Figure11(r), nil
 	case "extension", "e1":
 		return report.ExtensionSTDIOX(r), nil
+	case "faults":
+		if s := report.Faults(r); s != "" {
+			return s, nil
+		}
+		return "", fmt.Errorf("no fault data in this campaign (run with -faults)")
 	case "tuning":
 		return report.Tuning(r), nil
 	case "temporal":

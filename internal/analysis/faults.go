@@ -1,0 +1,74 @@
+package analysis
+
+import "sort"
+
+// FaultReport summarizes a campaign's encounters with injected faults: how
+// many operations failed or retried, the time lost to degraded windows, and
+// request-duration tails split by fault state. All counters are exact
+// integers and all quantiles come from sorted sample multisets, so the
+// report is byte-identical at any worker count.
+type FaultReport struct {
+	// ScheduleSeed and Windows identify the injected schedule.
+	ScheduleSeed uint64
+	Windows      int
+	// TransientErrorRate is the schedule's baseline per-operation error
+	// rate outside explicit windows.
+	TransientErrorRate float64
+
+	// OpsFailed counts operations that exhausted their retries and moved
+	// no data; OpsRetried counts operations needing at least one retry;
+	// RetryAttempts counts individual re-attempts.
+	OpsFailed     int64
+	OpsRetried    int64
+	RetryAttempts int64
+	// DegradedOps and CleanOps count operations issued inside and outside
+	// fault windows.
+	DegradedOps int64
+	CleanOps    int64
+	// DegradedNanos is wall-clock spent on degraded operations;
+	// TimeLostNanos estimates time lost to slowdown excess plus retries.
+	DegradedNanos int64
+	TimeLostNanos int64
+
+	// JobFailures counts jobs whose generation failed outright (demoted
+	// to a report entry instead of crashing the campaign); FailedJobs
+	// lists the first few failed job indices in ascending order.
+	JobFailures int64
+	FailedJobs  []int
+
+	// Degraded and Clean are per-request duration tails split by fault
+	// state.
+	Degraded DurationTail
+	Clean    DurationTail
+}
+
+// DurationTail holds tail quantiles of a duration sample set, in seconds.
+type DurationTail struct {
+	N                  int64
+	P50, P90, P99, Max float64
+}
+
+// DurationTailOf computes nearest-rank tail quantiles of samples. The input
+// is treated as a multiset: it is copied and sorted, so the result does not
+// depend on sample arrival order.
+func DurationTailOf(samples []float64) DurationTail {
+	var t DurationTail
+	t.N = int64(len(samples))
+	if len(samples) == 0 {
+		return t
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	rank := func(p float64) float64 {
+		i := int(p * float64(len(s)))
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	t.P50 = rank(0.50)
+	t.P90 = rank(0.90)
+	t.P99 = rank(0.99)
+	t.Max = s[len(s)-1]
+	return t
+}

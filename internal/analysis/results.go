@@ -83,6 +83,9 @@ type Report struct {
 	// concentration Lim et al. [9] report on production file systems.
 	TopUsers             []UserReport
 	UserVolumeTop10Share float64
+	// Faults summarizes injected-fault impact; nil when the campaign ran
+	// without a fault schedule and saw no job failures.
+	Faults *FaultReport
 }
 
 // UserReport is one user's row in the top-users view.

@@ -12,11 +12,13 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"iolayers/internal/analysis"
 	"iolayers/internal/darshan"
 	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/faults"
 	"iolayers/internal/iosim/systems"
 	"iolayers/internal/workload"
 )
@@ -75,6 +77,8 @@ func (c *Campaign) Run(sink LogSink) (*analysis.Report, error) {
 
 	aggs := make([]*analysis.Aggregator, workers)
 	errs := make([]error, workers)
+	fouts := make([]workload.FaultOutcome, workers)
+	failed := make([][]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		aggs[w] = analysis.NewAggregator(c.System)
@@ -83,7 +87,15 @@ func (c *Campaign) Run(sink LogSink) (*analysis.Report, error) {
 		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
-				logs := gen.GenerateJob(i)
+				// A job whose generation dies (e.g. under an injected fault
+				// it cannot absorb) is demoted to a reported failure; the
+				// campaign keeps going.
+				logs, fo, jobErr := gen.GenerateJobSafe(i)
+				if jobErr != nil {
+					failed[w] = append(failed[w], i)
+					continue
+				}
+				fouts[w].Merge(&fo)
 				for li, log := range logs {
 					if sink != nil {
 						if err := sink(i, li, log); err != nil {
@@ -107,7 +119,52 @@ func (c *Campaign) Run(sink LogSink) (*analysis.Report, error) {
 	for _, a := range aggs[1:] {
 		total.Merge(a)
 	}
-	return total.Report(), nil
+	rep := total.Report()
+
+	var fo workload.FaultOutcome
+	for w := range fouts {
+		fo.Merge(&fouts[w])
+	}
+	var failedJobs []int
+	for _, f := range failed {
+		failedJobs = append(failedJobs, f...)
+	}
+	sort.Ints(failedJobs)
+	if c.Config.Faults != nil || len(failedJobs) > 0 {
+		rep.Faults = buildFaultReport(c.Config.Faults, &fo, failedJobs)
+	}
+	return rep, nil
+}
+
+// maxReportedFailedJobs caps how many failed job indices the report lists.
+const maxReportedFailedJobs = 8
+
+// buildFaultReport folds the merged fault outcome into the report section.
+// Quantiles come from the sorted sample multiset, so the section is
+// byte-identical regardless of how jobs were partitioned across workers.
+func buildFaultReport(sched *faults.Schedule, fo *workload.FaultOutcome, failedJobs []int) *analysis.FaultReport {
+	fr := &analysis.FaultReport{
+		OpsFailed:     fo.OpsFailed,
+		OpsRetried:    fo.OpsRetried,
+		RetryAttempts: fo.RetryAttempts,
+		DegradedOps:   fo.DegradedOps,
+		CleanOps:      fo.CleanOps,
+		DegradedNanos: fo.DegradedNanos,
+		TimeLostNanos: fo.TimeLostNanos,
+		JobFailures:   int64(len(failedJobs)),
+		Degraded:      analysis.DurationTailOf(fo.DegradedDur),
+		Clean:         analysis.DurationTailOf(fo.CleanDur),
+	}
+	if sched != nil {
+		fr.ScheduleSeed = sched.Seed
+		fr.Windows = len(sched.Windows)
+		fr.TransientErrorRate = sched.TransientErrorRate
+	}
+	if len(failedJobs) > maxReportedFailedJobs {
+		failedJobs = failedJobs[:maxReportedFailedJobs]
+	}
+	fr.FailedJobs = append([]int(nil), failedJobs...)
+	return fr
 }
 
 // RunStudy runs the standard two-system study (Summit and Cori) at the

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"iolayers/internal/iosim/faults"
+	"iolayers/internal/report"
+	"iolayers/internal/workload"
+)
+
+// faultyCfg builds a campaign config whose fault schedule is aggressive
+// enough that a tiny campaign sees degraded windows, retries, and failures.
+func faultyCfg() workload.Config {
+	const yearSeconds = 365.25 * 86400
+	sched := faults.Generate(faults.Production(7, yearSeconds))
+	// Crank the transient error rate so retries and failures show up even
+	// at the small test scale.
+	sched.TransientErrorRate = 0.02
+	return workload.Config{Seed: 3, JobScale: 0.0004, FileScale: 0.02, Faults: sched}
+}
+
+// TestFaultReportDeterministicAcrossWorkerCounts is the acceptance property
+// for the fault subsystem: the rendered fault section — counters, quantiles,
+// failed-job list — is byte-identical for any worker count.
+func TestFaultReportDeterministicAcrossWorkerCounts(t *testing.T) {
+	var base string
+	for _, workers := range []int{1, 4, 13} {
+		c, err := NewCampaign("Summit", faultyCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Workers = workers
+		rep, err := c.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Faults == nil {
+			t.Fatal("campaign with a fault schedule produced no fault report")
+		}
+		sec := report.Faults(rep)
+		if sec == "" {
+			t.Fatal("empty fault section")
+		}
+		if base == "" {
+			base = sec
+			continue
+		}
+		if sec != base {
+			t.Errorf("workers=%d: fault section differs\n--- base ---\n%s\n--- got ---\n%s",
+				workers, base, sec)
+		}
+	}
+}
+
+// TestFaultyCampaignCompletesWithFailures: a campaign under an aggressive
+// fault schedule finishes — per-op failures are absorbed by the retry model
+// and reported, never panicking the study.
+func TestFaultyCampaignCompletesWithFailures(t *testing.T) {
+	c, err := NewCampaign("Summit", faultyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := rep.Faults
+	if fr == nil {
+		t.Fatal("no fault report")
+	}
+	if fr.OpsFailed == 0 {
+		t.Error("2% transient error rate produced no failed ops")
+	}
+	if fr.OpsRetried == 0 || fr.RetryAttempts < fr.OpsRetried {
+		t.Errorf("retry accounting inconsistent: retried=%d attempts=%d",
+			fr.OpsRetried, fr.RetryAttempts)
+	}
+	if fr.DegradedOps == 0 {
+		t.Error("production schedule produced no degraded ops")
+	}
+	if fr.CleanOps == 0 {
+		t.Error("no clean ops — schedule should not cover the whole year")
+	}
+	if fr.Degraded.N == 0 || fr.Clean.N == 0 {
+		t.Errorf("duration tails missing samples: degraded=%d clean=%d",
+			fr.Degraded.N, fr.Clean.N)
+	}
+	if fr.Windows == 0 || fr.ScheduleSeed != 7 {
+		t.Errorf("schedule metadata not threaded: %+v", fr)
+	}
+}
+
+// TestNoFaultConfigOmitsFaultReport: without a schedule and without job
+// failures the report section stays nil, keeping legacy output unchanged.
+func TestNoFaultConfigOmitsFaultReport(t *testing.T) {
+	c, err := NewCampaign("Summit", workload.Config{Seed: 3, JobScale: 0.0002, FileScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults != nil {
+		t.Errorf("fault-free campaign grew a fault section: %+v", rep.Faults)
+	}
+	if s := report.Faults(rep); s != "" {
+		t.Errorf("fault-free campaign rendered a fault section:\n%s", s)
+	}
+}

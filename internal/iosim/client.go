@@ -2,6 +2,7 @@ package iosim
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"iolayers/internal/darshan"
@@ -76,11 +77,27 @@ type AllocLayer interface {
 	TransferAlloc(path string, rw RW, size units.ByteSize, procs, allocNodes int, r *rand.Rand) float64
 }
 
-// layerRequest issues one request to layer, honoring a burst-buffer
-// allocation span when the layer supports one and bbNodes is positive.
-func layerRequest(layer Layer, path string, rw RW, size units.ByteSize, procs, bbNodes int, r *rand.Rand) float64 {
-	if al, ok := layer.(AllocLayer); ok && bbNodes > 0 {
-		return al.TransferAlloc(path, rw, size, procs, bbNodes, r)
+// AllocLayerAt is AllocLayer with campaign-time context, so allocation-aware
+// layers can degrade transfers inside fault windows.
+type AllocLayerAt interface {
+	TransferAllocAt(path string, rw RW, size units.ByteSize, procs, allocNodes int, t float64, r *rand.Rand) float64
+}
+
+// layerRequestAt issues one request to layer at campaign time t, honoring a
+// burst-buffer allocation span when the layer supports one and bbNodes is
+// positive, and preferring the time-aware entry points so fault windows
+// apply. NaN t means "no campaign-time context" (fault windows never match).
+func layerRequestAt(layer Layer, path string, rw RW, size units.ByteSize, procs, bbNodes int, t float64, r *rand.Rand) float64 {
+	if bbNodes > 0 {
+		if al, ok := layer.(AllocLayerAt); ok {
+			return al.TransferAllocAt(path, rw, size, procs, bbNodes, t, r)
+		}
+		if al, ok := layer.(AllocLayer); ok {
+			return al.TransferAlloc(path, rw, size, procs, bbNodes, r)
+		}
+	}
+	if tl, ok := layer.(TimedLayer); ok {
+		return tl.TransferAt(path, rw, size, procs, t, r)
 	}
 	return layer.Transfer(path, rw, size, procs, r)
 }
@@ -93,6 +110,13 @@ func layerRequest(layer Layer, path string, rw RW, size units.ByteSize, procs, b
 // interface-cost model shared by the interactive Client and the bulk
 // workload generator.
 func (cfg InterfaceConfig) TransferDuration(layer Layer, path string, rw RW, size units.ByteSize, procs, bbNodes int, collective bool, r *rand.Rand) float64 {
+	return cfg.TransferDurationAt(layer, path, rw, size, procs, bbNodes, collective, math.NaN(), r)
+}
+
+// TransferDurationAt is TransferDuration at campaign time t: the layer's
+// fault windows (if a schedule is attached) degrade bandwidth and latency
+// for requests landing inside them. NaN t disables fault context.
+func (cfg InterfaceConfig) TransferDurationAt(layer Layer, path string, rw RW, size units.ByteSize, procs, bbNodes int, collective bool, t float64, r *rand.Rand) float64 {
 	if procs < 1 {
 		procs = 1
 	}
@@ -106,15 +130,23 @@ func (cfg InterfaceConfig) TransferDuration(layer Layer, path string, rw RW, siz
 		// cost. Bandwidth-wise the chunks stream back to back.
 		chunks := int((size + cfg.BufferSize - 1) / cfg.BufferSize)
 		// One representative chunk at full latency; the rest damped.
-		full := layerRequest(layer, path, rw, cfg.BufferSize, procs, bbNodes, r)
+		full := layerRequestAt(layer, path, rw, cfg.BufferSize, procs, bbNodes, t, r)
 		perChunkLatency := layer.MetaLatency() * cfg.LatencyDamping
 		bwTime := full - layer.MetaLatency() // pure transfer component
 		if bwTime < 0 {
 			bwTime = 0
 		}
-		dur = full + float64(chunks-1)*(perChunkLatency+bwTime+cfg.PerCallOverhead)
+		perChunk := perChunkLatency + bwTime + cfg.PerCallOverhead
+		if tail := size % cfg.BufferSize; tail != 0 {
+			// The final chunk moves only the remainder: bill its bandwidth
+			// term pro rata instead of charging a full buffer-size chunk.
+			dur = full + float64(chunks-2)*perChunk +
+				perChunkLatency + bwTime*float64(tail)/float64(cfg.BufferSize) + cfg.PerCallOverhead
+		} else {
+			dur = full + float64(chunks-1)*perChunk
+		}
 	} else {
-		dur = layerRequest(layer, path, rw, size, procs, bbNodes, r)
+		dur = layerRequestAt(layer, path, rw, size, procs, bbNodes, t, r)
 	}
 	dur += cfg.PerCallOverhead
 	if collective {
@@ -124,6 +156,96 @@ func (cfg InterfaceConfig) TransferDuration(layer Layer, path string, rw RW, siz
 		dur = 1e-9
 	}
 	return dur
+}
+
+// RetryPolicy bounds how an interface reacts to transient I/O errors and
+// stalled operations from injected faults: a bounded number of retries, a
+// fixed backoff charged before each retry, and a per-operation timeout after
+// which an attempt is abandoned. The zero value never retries and never
+// times out.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first try.
+	MaxRetries int
+	// Backoff is the wall-clock pause in seconds charged before each retry.
+	Backoff float64
+	// OpTimeout is the per-attempt wall-clock bound in seconds; an attempt
+	// predicted to exceed it is abandoned and retried (the final attempt
+	// runs to completion — degrade to slow rather than fail). Zero or
+	// negative disables the timeout.
+	OpTimeout float64
+}
+
+// DefaultRetryPolicy mirrors production middleware defaults: three retries,
+// 10 ms backoff, and a five-minute per-operation bound.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, Backoff: 10e-3, OpTimeout: 300}
+}
+
+// TransferOutcome reports what one fault-aware transfer attempt chain did.
+type TransferOutcome struct {
+	// Duration is the total wall-clock cost in seconds, including abandoned
+	// attempts and backoff pauses.
+	Duration float64
+	// Retries counts re-attempts after the first try.
+	Retries int
+	// Failed reports that the operation exhausted its retries on a
+	// transient error and moved no data.
+	Failed bool
+	// Degraded reports that at least one attempt ran inside a fault window.
+	Degraded bool
+	// RetryTime is the share of Duration spent on abandoned attempts and
+	// backoff pauses — time lost to faults rather than useful transfer.
+	RetryTime float64
+}
+
+// TryTransfer is TransferDurationAt with graceful degradation: transient
+// errors from the layer's fault schedule trigger bounded retries with
+// backoff, attempts exceeding the policy's per-operation timeout are
+// abandoned and retried, and the final attempt runs to completion unless an
+// error fails it. With no schedule attached the single attempt always
+// succeeds and the outcome reduces to TransferDurationAt.
+func (cfg InterfaceConfig) TryTransfer(layer Layer, path string, rw RW, size units.ByteSize, procs, bbNodes int, collective bool, t float64, pol RetryPolicy, r *rand.Rand) TransferOutcome {
+	var out TransferOutcome
+	eff := EffectAt(layer, path, rw, size, procs, t)
+	out.Degraded = eff.Degraded
+	for attempt := 0; ; attempt++ {
+		d := cfg.TransferDurationAt(layer, path, rw, size, procs, bbNodes, collective, t, r)
+		errDrawn := eff.ErrorRate > 0 && r.Float64() < eff.ErrorRate
+		timedOut := pol.OpTimeout > 0 && d > pol.OpTimeout
+		last := attempt >= pol.MaxRetries
+		switch {
+		case !errDrawn && !timedOut:
+			// Clean attempt: the transfer completes.
+			out.Duration += d
+			return out
+		case last && errDrawn:
+			// Retries exhausted on a transient error: the operation fails
+			// after paying for the doomed attempt.
+			charge := d
+			if timedOut {
+				charge = pol.OpTimeout
+			}
+			out.Duration += charge
+			out.RetryTime += charge
+			out.Failed = true
+			return out
+		case last:
+			// Retries exhausted on a slow attempt: degrade to slow — let
+			// the attempt run to completion rather than fail the job.
+			out.Duration += d
+			return out
+		case errDrawn:
+			// Transient error mid-flight: pay for the failed attempt plus
+			// backoff, then retry.
+			out.Duration += d + pol.Backoff
+			out.RetryTime += d + pol.Backoff
+		default:
+			// Stalled attempt: abandon at the timeout plus backoff, retry.
+			out.Duration += pol.OpTimeout + pol.Backoff
+			out.RetryTime += pol.OpTimeout + pol.Backoff
+		}
+		out.Retries++
+	}
 }
 
 // Client executes application I/O against a System through the three
@@ -144,7 +266,45 @@ type Client struct {
 
 	posix, stdio, mpiio InterfaceConfig
 
+	// retry bounds the reaction to injected transient errors and stalls.
+	retry RetryPolicy
+	// jobStart anchors the client's clock on the campaign timeline, so
+	// layer fault windows align with simulated operation times.
+	jobStart float64
+	// fstats accumulates this execution's fault and retry footprint.
+	fstats ClientFaultStats
+
 	clock map[int32]float64
+}
+
+// ClientFaultStats summarizes one client execution's encounters with
+// injected faults.
+type ClientFaultStats struct {
+	// OpsFailed counts operations that exhausted their retries and failed.
+	OpsFailed int64
+	// OpsRetried counts operations that needed at least one retry.
+	OpsRetried int64
+	// DegradedOps counts operations served inside a fault window.
+	DegradedOps int64
+	// RetrySeconds is wall-clock time lost to abandoned attempts and
+	// backoff pauses.
+	RetrySeconds float64
+}
+
+// OpError reports a simulated I/O operation that failed after exhausting
+// its retries inside a fault window.
+type OpError struct {
+	Path    string
+	RW      RW
+	Retries int
+}
+
+func (e *OpError) Error() string {
+	verb := "write"
+	if e.RW == Read {
+		verb = "read"
+	}
+	return fmt.Sprintf("iosim: %s %s failed after %d retries (injected fault)", verb, e.Path, e.Retries)
 }
 
 // ClientOption customizes a Client.
@@ -172,6 +332,18 @@ func WithBurstBufferNodes(n int) ClientOption {
 	return func(c *Client) { c.bbNodes = n }
 }
 
+// WithRetryPolicy overrides the client's reaction to injected transient
+// errors and stalled operations.
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithJobStart anchors the client's clock at t0 seconds on the campaign
+// timeline, aligning its operations with the layers' fault windows.
+func WithJobStart(t0 float64) ClientOption {
+	return func(c *Client) { c.jobStart = t0 }
+}
+
 // NewClient builds a client for one application execution. The runtime's
 // job header supplies the process count.
 func NewClient(sys *System, rt *darshan.Runtime, r *rand.Rand, opts ...ClientOption) *Client {
@@ -186,6 +358,7 @@ func NewClient(sys *System, rt *darshan.Runtime, r *rand.Rand, opts ...ClientOpt
 		posix:  DefaultPOSIX(),
 		stdio:  DefaultSTDIO(),
 		mpiio:  DefaultMPIIO(),
+		retry:  DefaultRetryPolicy(),
 		clock:  make(map[int32]float64),
 	}
 	for _, o := range opts {
@@ -220,28 +393,50 @@ func (c *Client) config(m darshan.ModuleID) InterfaceConfig {
 }
 
 // transferDuration computes the wall-clock duration of one application-level
-// transfer of size bytes through interface m by procs cooperating processes.
-func (c *Client) transferDuration(m darshan.ModuleID, path string, rw RW, size units.ByteSize, procs int, collective bool) float64 {
-	return c.config(m).TransferDuration(c.sys.LayerFor(path), path, rw, size, procs, c.bbNodes, collective, c.r)
+// transfer of size bytes through interface m by procs cooperating processes
+// starting at local time start (campaign time jobStart+start).
+func (c *Client) transferDuration(m darshan.ModuleID, path string, rw RW, size units.ByteSize, procs int, collective bool, start float64) float64 {
+	return c.config(m).TransferDurationAt(c.sys.LayerFor(path), path, rw, size, procs, c.bbNodes, collective, c.jobStart+start, c.r)
+}
+
+// metaLatencyAt is the layer's per-operation metadata latency at campaign
+// time jobStart+start, inflated when a metadata storm window is active.
+func (c *Client) metaLatencyAt(layer Layer, path string, start float64) float64 {
+	lat := layer.MetaLatency()
+	if eff := EffectAt(layer, path, Read, 0, 1, c.jobStart+start); eff.LatencyScale > 1 {
+		lat *= eff.LatencyScale
+	}
+	return lat
 }
 
 // Open opens path through interface m on rank, recording the operation.
+// An MPI-IO open surfaces as a POSIX open underneath (paper §3.1), the same
+// way MPI-IO transfers do.
 func (c *Client) Open(m darshan.ModuleID, path string, rank int32) {
 	layer := c.sys.LayerFor(path)
 	start := c.clock[rank]
-	dur := layer.MetaLatency() + c.config(m).PerCallOverhead
+	dur := c.metaLatencyAt(layer, path, start) + c.config(m).PerCallOverhead
 	c.clock[rank] = start + dur
 	c.rt.Observe(darshan.Op{Module: m, Path: path, Rank: rank, Kind: darshan.OpOpen,
 		Start: start, End: start + dur})
+	if m == darshan.ModuleMPIIO {
+		c.rt.Observe(darshan.Op{Module: darshan.ModulePOSIX, Path: path, Rank: rank,
+			Kind: darshan.OpOpen, Start: start, End: start + dur})
+	}
 }
 
 // Close closes path through interface m on rank, recording the operation.
+// An MPI-IO close emits the matching POSIX close underneath.
 func (c *Client) Close(m darshan.ModuleID, path string, rank int32) {
 	start := c.clock[rank]
 	dur := c.config(m).PerCallOverhead
 	c.clock[rank] = start + dur
 	c.rt.Observe(darshan.Op{Module: m, Path: path, Rank: rank, Kind: darshan.OpClose,
 		Start: start, End: start + dur})
+	if m == darshan.ModuleMPIIO {
+		c.rt.Observe(darshan.Op{Module: darshan.ModulePOSIX, Path: path, Rank: rank,
+			Kind: darshan.OpClose, Start: start, End: start + dur})
+	}
 }
 
 // Read performs one read of size bytes at offset through interface m on
@@ -256,9 +451,57 @@ func (c *Client) Write(m darshan.ModuleID, path string, rank int32, size units.B
 	return c.rankTransfer(m, path, rank, Write, size, offset)
 }
 
+// TryRead is Read with graceful degradation: transient errors from the
+// layers' fault schedules trigger bounded retries per the client's
+// RetryPolicy, and exhausted retries return an *OpError instead of
+// panicking. The elapsed time (including retries) is always charged to the
+// rank's clock; failed operations are excluded from the Darshan record
+// because they moved no data.
+func (c *Client) TryRead(m darshan.ModuleID, path string, rank int32, size units.ByteSize, offset int64) (float64, error) {
+	return c.tryRankTransfer(m, path, rank, Read, size, offset)
+}
+
+// TryWrite is Write with graceful degradation; see TryRead.
+func (c *Client) TryWrite(m darshan.ModuleID, path string, rank int32, size units.ByteSize, offset int64) (float64, error) {
+	return c.tryRankTransfer(m, path, rank, Write, size, offset)
+}
+
+// FaultStats returns the execution's accumulated fault and retry footprint.
+func (c *Client) FaultStats() ClientFaultStats { return c.fstats }
+
+func (c *Client) tryRankTransfer(m darshan.ModuleID, path string, rank int32, rw RW, size units.ByteSize, offset int64) (float64, error) {
+	start := c.clock[rank]
+	out := c.config(m).TryTransfer(c.sys.LayerFor(path), path, rw, size, 1, c.bbNodes,
+		false, c.jobStart+start, c.retry, c.r)
+	c.clock[rank] = start + out.Duration
+	if out.Degraded {
+		c.fstats.DegradedOps++
+	}
+	if out.Retries > 0 {
+		c.fstats.OpsRetried++
+	}
+	c.fstats.RetrySeconds += out.RetryTime
+	if out.Failed {
+		c.fstats.OpsFailed++
+		return out.Duration, &OpError{Path: path, RW: rw, Retries: out.Retries}
+	}
+	kind := darshan.OpWrite
+	if rw == Read {
+		kind = darshan.OpRead
+	}
+	end := start + out.Duration
+	c.rt.Observe(darshan.Op{Module: m, Path: path, Rank: rank, Kind: kind,
+		Size: size, Offset: offset, Start: start, End: end})
+	if m == darshan.ModuleMPIIO {
+		c.rt.Observe(darshan.Op{Module: darshan.ModulePOSIX, Path: path, Rank: rank,
+			Kind: kind, Size: size, Offset: offset, Start: start, End: end})
+	}
+	return out.Duration, nil
+}
+
 func (c *Client) rankTransfer(m darshan.ModuleID, path string, rank int32, rw RW, size units.ByteSize, offset int64) float64 {
 	start := c.clock[rank]
-	dur := c.transferDuration(m, path, rw, size, 1, false)
+	dur := c.transferDuration(m, path, rw, size, 1, false, start)
 	c.clock[rank] = start + dur
 	kind := darshan.OpWrite
 	if rw == Read {
@@ -287,7 +530,7 @@ func (c *Client) rankTransfer(m darshan.ModuleID, path string, rank int32, rw RW
 // (Recommendation 2).
 func (c *Client) SharedTransfer(m darshan.ModuleID, path string, rw RW, size units.ByteSize, collective bool) float64 {
 	start := c.sharedClock()
-	dur := c.transferDuration(m, path, rw, size, c.nprocs, collective)
+	dur := c.transferDuration(m, path, rw, size, c.nprocs, collective, start)
 	end := start + dur
 	kind := darshan.OpWrite
 	if rw == Read {
@@ -309,21 +552,30 @@ func (c *Client) SharedTransfer(m darshan.ModuleID, path string, rw RW, size uni
 func (c *Client) SharedOpen(m darshan.ModuleID, path string, collective bool) {
 	layer := c.sys.LayerFor(path)
 	start := c.sharedClock()
-	dur := layer.MetaLatency() + c.config(m).PerCallOverhead
+	dur := c.metaLatencyAt(layer, path, start) + c.config(m).PerCallOverhead
 	if collective {
 		dur += c.config(m).CollectiveOverhead
 	}
 	c.rt.Observe(darshan.Op{Module: m, Path: path, Rank: darshan.SharedRank,
 		Kind: darshan.OpOpen, Start: start, End: start + dur, Collective: collective})
+	if m == darshan.ModuleMPIIO {
+		c.rt.Observe(darshan.Op{Module: darshan.ModulePOSIX, Path: path,
+			Rank: darshan.SharedRank, Kind: darshan.OpOpen, Start: start, End: start + dur})
+	}
 	c.setAllClocks(start + dur)
 }
 
-// SharedClose closes a shared file on all ranks.
+// SharedClose closes a shared file on all ranks, emitting the matching
+// POSIX close underneath MPI-IO.
 func (c *Client) SharedClose(m darshan.ModuleID, path string) {
 	start := c.sharedClock()
 	dur := c.config(m).PerCallOverhead
 	c.rt.Observe(darshan.Op{Module: m, Path: path, Rank: darshan.SharedRank,
 		Kind: darshan.OpClose, Start: start, End: start + dur})
+	if m == darshan.ModuleMPIIO {
+		c.rt.Observe(darshan.Op{Module: darshan.ModulePOSIX, Path: path,
+			Rank: darshan.SharedRank, Kind: darshan.OpClose, Start: start, End: start + dur})
+	}
 	c.setAllClocks(start + dur)
 }
 

@@ -12,6 +12,7 @@ import (
 	"math/rand/v2"
 
 	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/faults"
 	"iolayers/internal/iosim/serverstats"
 	"iolayers/internal/units"
 )
@@ -86,7 +87,19 @@ type FS struct {
 	// collector, when non-nil, receives burst-buffer node load records.
 	// Set it before issuing traffic; it is read concurrently afterwards.
 	collector *serverstats.Collector
+	// faults, when non-nil, degrades transfers inside scheduled fault
+	// windows on the burst-buffer service nodes. Attach before traffic.
+	faults *faults.Injector
 }
+
+// SetFaultSchedule binds a fault schedule to the burst-buffer node pool;
+// nil detaches fault injection. Call before the layer serves traffic.
+func (f *FS) SetFaultSchedule(s *faults.Schedule) {
+	f.faults = faults.NewInjector(s, f.cfg.Name, f.cfg.BBNodes)
+}
+
+// FaultInjector returns the bound fault injector (nil when faults are off).
+func (f *FS) FaultInjector() *faults.Injector { return f.faults }
 
 // SetCollector attaches a statistics collector sized to the burst-buffer
 // node pool. Call before the layer serves traffic.
@@ -134,14 +147,40 @@ func (f *FS) AllocationFor(capacity units.ByteSize) int {
 	return min(max(grains, 1), f.cfg.BBNodes)
 }
 
-// Transfer implements iosim.Layer using the default allocation span.
+// startNode derives a job allocation's starting burst-buffer node from the
+// file path, so different allocations land on different node spans.
+func startNode(path string) int {
+	start := 0
+	for i := 0; i < len(path); i++ {
+		start = start*31 + int(path[i])
+	}
+	if start < 0 {
+		start = -start
+	}
+	return start
+}
+
+// Transfer implements iosim.Layer using the default allocation span and no
+// campaign-time context (injected fault windows never apply).
 func (f *FS) Transfer(path string, rw iosim.RW, size units.ByteSize, procs int, r *rand.Rand) float64 {
-	return f.TransferAlloc(path, rw, size, procs, f.cfg.DefaultNodes, r)
+	return f.TransferAllocAt(path, rw, size, procs, f.cfg.DefaultNodes, math.NaN(), r)
+}
+
+// TransferAt implements iosim.TimedLayer using the default allocation span.
+func (f *FS) TransferAt(path string, rw iosim.RW, size units.ByteSize, procs int, t float64, r *rand.Rand) float64 {
+	return f.TransferAllocAt(path, rw, size, procs, f.cfg.DefaultNodes, t, r)
 }
 
 // TransferAlloc is Transfer with an explicit burst-buffer node span, for
 // jobs whose directives requested more capacity (and therefore bandwidth).
 func (f *FS) TransferAlloc(path string, rw iosim.RW, size units.ByteSize, procs, bbNodes int, r *rand.Rand) float64 {
+	return f.TransferAllocAt(path, rw, size, procs, bbNodes, math.NaN(), r)
+}
+
+// TransferAllocAt is TransferAlloc at campaign time t: the allocation's
+// node span can sit inside a fault window (service-node outage, flash
+// slowdown), degrading the delivered bandwidth.
+func (f *FS) TransferAllocAt(path string, rw iosim.RW, size units.ByteSize, procs, bbNodes int, t float64, r *rand.Rand) float64 {
 	if procs < 1 {
 		procs = 1
 	}
@@ -153,15 +192,22 @@ func (f *FS) TransferAlloc(path string, rw iosim.RW, size units.ByteSize, procs,
 	}
 	clientBW := math.Min(f.cfg.PerProcessBandwidth*float64(procs), f.Peak(rw))
 	serverBW := f.cfg.PerBBNodeBandwidth * float64(bbNodes)
-	dur := iosim.TransferTime(size, f.cfg.Latency, clientBW, serverBW, f.cfg.Variability, r)
+	start := startNode(path)
+	eff := f.faults.Effect(t, start, bbNodes)
+	dur := iosim.TransferTimeFaulty(size, f.cfg.Latency, clientBW, serverBW, f.cfg.Variability, eff, r)
 	if f.collector != nil {
-		start := 0
-		for i := 0; i < len(path); i++ {
-			start = start*31 + int(path[i])
-		}
 		f.collector.Record(start, bbNodes, int64(size), dur)
+		if eff.Degraded {
+			f.collector.RecordDegraded(start, bbNodes)
+		}
 	}
 	return dur
+}
+
+// FaultEffectAt implements iosim.Faulted: the effect a request of this
+// shape would see at campaign time t, using the default allocation span.
+func (f *FS) FaultEffectAt(path string, rw iosim.RW, size units.ByteSize, procs int, t float64) faults.Effect {
+	return f.faults.Effect(t, startNode(path), f.cfg.DefaultNodes)
 }
 
 // Stage returns the seconds needed to move size bytes between this burst

@@ -1,0 +1,278 @@
+package iosim_test
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/faults"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+)
+
+// flatLayer is a deterministic storage layer: fixed latency plus a pure
+// bandwidth term, no contention noise. It isolates the interface cost model
+// from the layer simulation in the billing tests below.
+type flatLayer struct {
+	lat float64 // seconds per request
+	bw  float64 // bytes per second
+}
+
+func (f flatLayer) Name() string          { return "flat" }
+func (f flatLayer) Kind() iosim.LayerKind { return iosim.ParallelFS }
+func (f flatLayer) Mount() string         { return "/flat" }
+func (f flatLayer) Peak(rw iosim.RW) float64 {
+	return f.bw
+}
+func (f flatLayer) MetaLatency() float64 { return f.lat }
+func (f flatLayer) Transfer(path string, rw iosim.RW, size units.ByteSize, procs int, r *rand.Rand) float64 {
+	return f.lat + float64(size)/f.bw
+}
+
+// TestStdioTailChunkBilling is the regression test for the buffered-transfer
+// cost model: the final partial chunk of a buffered STDIO stream must be
+// billed at its true remainder, not as a full BufferSize chunk. A 65 KiB
+// write through the 64 KiB stdio buffer has a 1 KiB tail; the old model
+// charged that tail a full 64 KiB of bandwidth time.
+func TestStdioTailChunkBilling(t *testing.T) {
+	lay := flatLayer{lat: 1e-3, bw: 1e8}
+	cfg := iosim.DefaultSTDIO()
+	r := rand.New(rand.NewPCG(1, 1))
+	size := 65 * units.KiB
+
+	got := cfg.TransferDuration(lay, "/flat/x", iosim.Write, size, 1, 0, false, r)
+
+	full := lay.lat + float64(cfg.BufferSize)/lay.bw
+	perLat := lay.lat * cfg.LatencyDamping
+	bwTime := full - lay.lat
+	tailFrac := float64(size%cfg.BufferSize) / float64(cfg.BufferSize)
+	want := full + perLat + bwTime*tailFrac + cfg.PerCallOverhead + // tail chunk
+		cfg.PerCallOverhead // trailing library-call overhead
+	if math.Abs(got-want) > 1e-12*want {
+		t.Errorf("65 KiB buffered duration = %.12g, want %.12g", got, want)
+	}
+
+	// The pre-fix model billed the tail as a full chunk. That value must be
+	// rejected: the difference is the bandwidth time of the phantom 63 KiB.
+	old := full + (perLat + bwTime + cfg.PerCallOverhead) + cfg.PerCallOverhead
+	if diff := old - got; diff < 0.9*bwTime*(1-tailFrac) {
+		t.Errorf("tail still billed as full chunk: old %.12g vs new %.12g (diff %.3g)",
+			old, got, diff)
+	}
+}
+
+// TestStdioChunkBoundaries pins the unchunked and exact-multiple cases
+// around the buffer size.
+func TestStdioChunkBoundaries(t *testing.T) {
+	lay := flatLayer{lat: 1e-3, bw: 1e8}
+	cfg := iosim.DefaultSTDIO()
+	r := rand.New(rand.NewPCG(1, 1))
+
+	full := lay.lat + float64(cfg.BufferSize)/lay.bw
+	perLat := lay.lat * cfg.LatencyDamping
+	bwTime := full - lay.lat
+	perChunk := perLat + bwTime + cfg.PerCallOverhead
+
+	cases := []struct {
+		name string
+		size units.ByteSize
+		want float64
+	}{
+		{"below buffer", 32 * units.KiB,
+			lay.lat + float64(32*units.KiB)/lay.bw + cfg.PerCallOverhead},
+		{"exactly buffer", cfg.BufferSize, full + cfg.PerCallOverhead},
+		{"exact multiple", 2 * cfg.BufferSize, full + perChunk + cfg.PerCallOverhead},
+	}
+	for _, tc := range cases {
+		got := cfg.TransferDuration(lay, "/flat/x", iosim.Write, tc.size, 1, 0, false, r)
+		if math.Abs(got-tc.want) > 1e-12*tc.want {
+			t.Errorf("%s: duration = %.12g, want %.12g", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestVariabilityClampRelativeToShare checks the corrected clamp: the noise
+// draw never exceeds 1.5× the un-contended share (1-util), and never drops
+// below the absolute 1% floor.
+func TestVariabilityClampRelativeToShare(t *testing.T) {
+	cases := []struct {
+		name string
+		v    iosim.Variability
+	}{
+		{"busy", iosim.Variability{UtilizationMean: 0.9, Sigma: 2}},
+		{"saturated", iosim.Variability{UtilizationMean: 0.98, Sigma: 3}},
+		{"idle", iosim.Variability{UtilizationMean: 0.05, Sigma: 1}},
+	}
+	for _, tc := range cases {
+		r := rand.New(rand.NewPCG(7, 7))
+		share := 1 - tc.v.UtilizationMean
+		if share < 0.02 {
+			share = 0.02 // util is capped at 0.98
+		}
+		hitHigh, hitLow := false, false
+		for i := 0; i < 20000; i++ {
+			a := tc.v.Available(r)
+			if a > 1.5*share+1e-12 {
+				t.Fatalf("%s: Available = %v exceeds 1.5×share %v", tc.name, a, 1.5*share)
+			}
+			if a < 0.01-1e-12 {
+				t.Fatalf("%s: Available = %v below 1%% floor", tc.name, a)
+			}
+			if a >= 1.5*share-1e-12 {
+				hitHigh = true
+			}
+			if a <= 0.01+1e-12 {
+				hitLow = true
+			}
+		}
+		if !hitHigh {
+			t.Errorf("%s: upper clamp never engaged over 20k draws", tc.name)
+		}
+		if tc.v.UtilizationMean > 0.5 && !hitLow {
+			t.Errorf("%s: lower floor never engaged over 20k draws", tc.name)
+		}
+	}
+}
+
+// TestTryTransferRetriesAndFails drives the client against a layer whose
+// fault schedule makes nearly every op draw a transient error: retries must
+// be attempted and exhausted retries must surface as *OpError — never a
+// panic — with the elapsed time still charged and the stats accounted.
+func TestTryTransferRetriesAndFails(t *testing.T) {
+	sys := systems.NewSummit()
+	iosim.AttachFaults(sys, &faults.Schedule{Seed: 5, TransientErrorRate: 0.9})
+	c, rt := newTestClient(t, sys, 1,
+		iosim.WithRetryPolicy(iosim.RetryPolicy{MaxRetries: 2, Backoff: 1e-3, OpTimeout: 300}),
+		iosim.WithJobStart(100))
+	p := "/gpfs/alpine/faulty/data.bin"
+	c.Open(darshan.ModulePOSIX, p, 0)
+
+	var fails, oks int
+	for i := 0; i < 40; i++ {
+		d, err := c.TryWrite(darshan.ModulePOSIX, p, 0, units.MiB, 0)
+		if d <= 0 {
+			t.Fatalf("op %d: duration %v not charged", i, d)
+		}
+		if err != nil {
+			var oe *iosim.OpError
+			if !errors.As(err, &oe) {
+				t.Fatalf("op %d: error %T, want *OpError", i, err)
+			}
+			if oe.Retries != 2 {
+				t.Errorf("op %d: failed after %d retries, want MaxRetries=2", i, oe.Retries)
+			}
+			fails++
+		} else {
+			oks++
+		}
+	}
+	st := c.FaultStats()
+	if fails == 0 {
+		t.Fatal("0.9 error rate over 40 ops produced no failures")
+	}
+	if st.OpsFailed != int64(fails) {
+		t.Errorf("FaultStats.OpsFailed = %d, want %d", st.OpsFailed, fails)
+	}
+	if st.OpsRetried == 0 || st.RetrySeconds <= 0 {
+		t.Errorf("retries not accounted: %+v", st)
+	}
+	if c.Now(0) <= 0 {
+		t.Error("clock did not advance across failed ops")
+	}
+
+	// Failed ops moved no data: the Darshan write count matches successes.
+	log := rt.Finalize()
+	recs := log.RecordsFor(darshan.ModulePOSIX)
+	if len(recs) != 1 {
+		t.Fatalf("POSIX records = %d", len(recs))
+	}
+	if got := recs[0].Counters[darshan.PosixWrites]; got != int64(oks) {
+		t.Errorf("PosixWrites = %d, want %d successes (of %d ops)", got, oks, fails+oks)
+	}
+}
+
+// TestWriteDuringOutageDegradesNotHangs: a full-span outage degrades the
+// layer to its bandwidth floor; the plain (non-Try) Write path must still
+// complete with a finite — if much longer — duration rather than hang or
+// panic.
+func TestWriteDuringOutageDegradesNotHangs(t *testing.T) {
+	clean := systems.NewSummit()
+	cc, _ := newTestClient(t, clean, 1)
+	p := "/gpfs/alpine/out/data.bin"
+	dClean := cc.Write(darshan.ModulePOSIX, p, 0, 16*units.MiB, 0)
+
+	sys := systems.NewSummit()
+	sched := &faults.Schedule{Seed: 3, Windows: []faults.Window{
+		{Kind: faults.Outage, Start: 0, End: 1e9, ServerFrac: 1, ErrorRate: 1},
+	}}
+	iosim.AttachFaults(sys, sched)
+	c, _ := newTestClient(t, sys, 1, iosim.WithJobStart(1000))
+	d := c.Write(darshan.ModulePOSIX, p, 0, 16*units.MiB, 0)
+	if math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Fatalf("outage write duration = %v", d)
+	}
+	if d < 5*dClean {
+		t.Errorf("outage write %.4gs not degraded vs clean %.4gs", d, dClean)
+	}
+	eff := iosim.EffectAt(sys.LayerFor(p), p, iosim.Write, 16*units.MiB, 1, 1000)
+	if !eff.Degraded || !eff.Down {
+		t.Errorf("full-span outage effect = %+v, want Degraded and Down", eff)
+	}
+}
+
+// TestMpiioOpenCloseMirrorsPosix: MPI-IO opens and closes surface the
+// matching POSIX operations underneath (paper §3.1), exactly as MPI-IO
+// transfers already did.
+func TestMpiioOpenCloseMirrorsPosix(t *testing.T) {
+	sys := systems.NewCori()
+	c, rt := newTestClient(t, sys, 2)
+	p := "/global/cscratch1/u/mirror.nc"
+	c.Open(darshan.ModuleMPIIO, p, 0)
+	c.Close(darshan.ModuleMPIIO, p, 0)
+
+	log := rt.Finalize()
+	posix := log.RecordsFor(darshan.ModulePOSIX)
+	if len(posix) != 1 {
+		t.Fatalf("POSIX records = %d; MPI-IO open/close must surface POSIX underneath", len(posix))
+	}
+	rec := posix[0]
+	if rec.Counters[darshan.PosixOpens] != 1 {
+		t.Errorf("PosixOpens = %d, want 1", rec.Counters[darshan.PosixOpens])
+	}
+	if rec.FCounters[darshan.PosixFCloseEndTimestamp] <= 0 {
+		t.Errorf("POSIX close not mirrored: close end = %v",
+			rec.FCounters[darshan.PosixFCloseEndTimestamp])
+	}
+}
+
+// TestMpiioSharedOpenCloseMirrorsPosix covers the shared (all-ranks)
+// variants.
+func TestMpiioSharedOpenCloseMirrorsPosix(t *testing.T) {
+	sys := systems.NewCori()
+	c, rt := newTestClient(t, sys, 4)
+	p := "/global/cscratch1/u/shared.nc"
+	c.SharedOpen(darshan.ModuleMPIIO, p, true)
+	c.SharedClose(darshan.ModuleMPIIO, p)
+
+	log := rt.Finalize()
+	posix := log.RecordsFor(darshan.ModulePOSIX)
+	if len(posix) != 1 {
+		t.Fatalf("POSIX records = %d; shared MPI-IO open/close must mirror POSIX", len(posix))
+	}
+	rec := posix[0]
+	if rec.Counters[darshan.PosixOpens] != 1 {
+		t.Errorf("PosixOpens = %d, want 1 pre-reduced shared open", rec.Counters[darshan.PosixOpens])
+	}
+	if rec.FCounters[darshan.PosixFCloseEndTimestamp] <= 0 {
+		t.Error("POSIX shared close not mirrored")
+	}
+	// The mirror drops the Collective flag (POSIX has no collective open);
+	// the MPI-IO record keeps its own collective accounting.
+	mpiio := log.RecordsFor(darshan.ModuleMPIIO)
+	if len(mpiio) != 1 || mpiio[0].Counters[darshan.MpiioCollOpens] != 1 {
+		t.Errorf("MPI-IO collective opens miscounted: %+v", mpiio)
+	}
+}

@@ -1,0 +1,457 @@
+// Package faults models the degraded-server reality of production I/O
+// subsystems: the paper's core finding is that contended, partially broken
+// deployments shape delivered per-file performance far more than peak
+// hardware numbers (§6, Figures 11–12), and related production studies
+// (IO500 submissions, Darshan burst surveys) show heavy-tailed,
+// regime-switching variability that a single well-behaved noise term cannot
+// express.
+//
+// A Schedule is a seed-reproducible set of fault windows — per-server
+// slowdowns, server outages, metadata storms — plus a background transient
+// I/O error rate. An Injector binds a schedule to one storage layer's server
+// pool and answers, as a pure function of (time, server span), how degraded
+// a request is. Everything is deterministic: the same seed and schedule
+// produce the same faults for any worker count, because no mutable state is
+// consulted at request time.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+)
+
+// Kind classifies one fault window.
+type Kind int
+
+// The three window kinds.
+const (
+	// Slowdown: affected servers deliver (1 − Severity) of their bandwidth.
+	Slowdown Kind = iota
+	// Outage: affected servers deliver nothing; requests spanning them run
+	// on the surviving span (degrade-to-slow) and error more often.
+	Outage
+	// MetaStorm: a metadata storm multiplies per-operation latency on the
+	// affected servers by LatencyFactor.
+	MetaStorm
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Slowdown:
+		return "slowdown"
+	case Outage:
+		return "outage"
+	case MetaStorm:
+		return "meta-storm"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Window is one degraded interval on a subset of a layer's servers.
+type Window struct {
+	// Kind selects the degradation mode.
+	Kind Kind
+	// Start and End bound the window in campaign seconds.
+	Start, End float64
+	// ServerFrac is the fraction (0, 1] of the layer's servers affected.
+	// Which servers fall inside is derived per (schedule seed, layer,
+	// window, server), so the same schedule degrades the same servers in
+	// every run.
+	ServerFrac float64
+	// Severity is the fraction of bandwidth lost on affected servers
+	// (Slowdown windows only), in (0, 1).
+	Severity float64
+	// LatencyFactor multiplies per-operation latency on affected servers
+	// (MetaStorm windows only), ≥ 1.
+	LatencyFactor float64
+	// ErrorRate is the additional per-operation transient-error probability
+	// while the window is active, scaled by the affected share of the
+	// request's span.
+	ErrorRate float64
+}
+
+// Schedule is a campaign-wide fault plan shared by every layer of a system.
+type Schedule struct {
+	// Seed drives per-server window membership (and nothing else: the
+	// windows themselves are explicit data).
+	Seed uint64
+	// Windows lists every fault interval, in no particular order.
+	Windows []Window
+	// TransientErrorRate is the background per-operation probability of a
+	// transient I/O error, active at all times.
+	TransientErrorRate float64
+}
+
+// Describe renders a short human-readable summary for report headers.
+func (s *Schedule) Describe() string {
+	if s == nil {
+		return "none"
+	}
+	var slow, out, storm int
+	for _, w := range s.Windows {
+		switch w.Kind {
+		case Slowdown:
+			slow++
+		case Outage:
+			out++
+		case MetaStorm:
+			storm++
+		}
+	}
+	return fmt.Sprintf("%d slowdowns, %d outages, %d meta-storms, err rate %.2g, seed %d",
+		slow, out, storm, s.TransientErrorRate, s.Seed)
+}
+
+// SlowdownAt returns the machine-wide aggregate bandwidth scale at time t,
+// treating ServerFrac as a capacity weight (no per-server resolution). The
+// batch scheduler uses it to inflate runtimes of jobs that execute through
+// degraded periods.
+func (s *Schedule) SlowdownAt(t float64) float64 {
+	if s == nil || math.IsNaN(t) {
+		return 1
+	}
+	scale := 1.0
+	for _, w := range s.Windows {
+		if t < w.Start || t >= w.End {
+			continue
+		}
+		switch w.Kind {
+		case Slowdown:
+			scale *= 1 - w.ServerFrac*w.Severity
+		case Outage:
+			scale *= 1 - w.ServerFrac
+		}
+	}
+	if scale < 0.01 {
+		scale = 0.01
+	}
+	return scale
+}
+
+// ActiveAt reports whether any window is active at time t.
+func (s *Schedule) ActiveAt(t float64) bool {
+	if s == nil || math.IsNaN(t) {
+		return false
+	}
+	for _, w := range s.Windows {
+		if t >= w.Start && t < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// Effect is the resolved degradation of one request: multiplicative scales
+// the layer's transfer-time skeleton applies on top of ordinary
+// production-load variability.
+type Effect struct {
+	// BWScale multiplies server-side bandwidth, in (0, 1].
+	BWScale float64
+	// LatencyScale multiplies per-operation latency, ≥ 1.
+	LatencyScale float64
+	// ErrorRate is the per-operation transient-error probability for this
+	// request (background rate plus active-window contributions).
+	ErrorRate float64
+	// Degraded reports whether any fault window touched the request.
+	Degraded bool
+	// Down reports that every server in the request's span was in an
+	// outage: the request limps along at the floor bandwidth instead of
+	// panicking, and errors are near-certain.
+	Down bool
+}
+
+// ZeroEffect is the no-fault effect.
+func ZeroEffect() Effect { return Effect{BWScale: 1, LatencyScale: 1} }
+
+// bwFloor keeps degraded requests finite: even a fully-dark span serves at
+// 1% of nominal bandwidth (the request stalls and crawls, it does not hang
+// forever), mirroring the degrade-to-slow policy of the client retry path.
+const bwFloor = 0.01
+
+// Injector binds a Schedule to one layer's server pool. The zero-size
+// methods are nil-receiver safe so layers can call them unconditionally.
+// An Injector is immutable and safe for concurrent use.
+type Injector struct {
+	sched   *Schedule
+	layer   string
+	servers int
+	salt    uint64
+}
+
+// NewInjector builds the injector for a layer with the given server count.
+func NewInjector(s *Schedule, layer string, servers int) *Injector {
+	if s == nil {
+		return nil
+	}
+	if servers <= 0 {
+		panic(fmt.Sprintf("faults: injector for %q needs at least one server, got %d", layer, servers))
+	}
+	return &Injector{sched: s, layer: layer, servers: servers, salt: splitmix(s.Seed ^ hashString(layer))}
+}
+
+// Schedule returns the schedule the injector was built from (nil for a nil
+// injector).
+func (in *Injector) Schedule() *Schedule {
+	if in == nil {
+		return nil
+	}
+	return in.sched
+}
+
+// Affected reports whether one server participates in window wi — a pure
+// function of (schedule seed, layer, window, server).
+func (in *Injector) Affected(wi, server int) bool {
+	w := in.sched.Windows[wi]
+	if w.ServerFrac >= 1 {
+		return true
+	}
+	if w.ServerFrac <= 0 {
+		return false
+	}
+	h := splitmix(in.salt ^ (uint64(wi)*0x9E3779B97F4A7C15 + uint64(server) + 1))
+	return float64(h>>11)/(1<<53) < w.ServerFrac
+}
+
+// affectedInSpan counts affected servers among [start, start+span) modulo
+// the pool. Wide spans use the expectation directly: at span ≫ 1 the
+// hypergeometric draw concentrates there anyway, and it keeps request-time
+// cost independent of pool size.
+func (in *Injector) affectedInSpan(wi int, start, span int) int {
+	w := in.sched.Windows[wi]
+	if w.ServerFrac >= 1 {
+		return span
+	}
+	if w.ServerFrac <= 0 {
+		return 0
+	}
+	if span > 64 {
+		return int(math.Round(w.ServerFrac * float64(span)))
+	}
+	n := 0
+	for i := 0; i < span; i++ {
+		if in.Affected(wi, (start+i)%in.servers) {
+			n++
+		}
+	}
+	return n
+}
+
+// Effect resolves the degradation of one request issued at campaign time t
+// against span servers starting at start (wrapping round-robin). A NaN t —
+// a caller with no notion of campaign time — sees no faults.
+func (in *Injector) Effect(t float64, start, span int) Effect {
+	eff := ZeroEffect()
+	if in == nil || math.IsNaN(t) {
+		return eff
+	}
+	eff.ErrorRate = in.sched.TransientErrorRate
+	if span < 1 {
+		span = 1
+	}
+	if span > in.servers {
+		span = in.servers
+	}
+	if start < 0 {
+		start = -start
+	}
+	start %= in.servers
+	outageAll := false
+	for wi, w := range in.sched.Windows {
+		if t < w.Start || t >= w.End {
+			continue
+		}
+		aff := in.affectedInSpan(wi, start, span)
+		if aff == 0 {
+			continue
+		}
+		frac := float64(aff) / float64(span)
+		eff.Degraded = true
+		switch w.Kind {
+		case Slowdown:
+			eff.BWScale *= 1 - frac*w.Severity
+		case Outage:
+			eff.BWScale *= 1 - frac
+			if aff == span {
+				outageAll = true
+			}
+		case MetaStorm:
+			lf := w.LatencyFactor
+			if lf < 1 {
+				lf = 1
+			}
+			if scaled := 1 + frac*(lf-1); scaled > eff.LatencyScale {
+				eff.LatencyScale = scaled
+			}
+		}
+		eff.ErrorRate += frac * w.ErrorRate
+	}
+	if eff.BWScale < bwFloor {
+		eff.BWScale = bwFloor
+	}
+	if outageAll {
+		eff.Down = true
+		if eff.ErrorRate < 0.9 {
+			eff.ErrorRate = 0.9
+		}
+	}
+	if eff.ErrorRate > 1 {
+		eff.ErrorRate = 1
+	}
+	return eff
+}
+
+// ErrorRateAt is the per-operation transient-error probability for a
+// request at time t over the given span.
+func (in *Injector) ErrorRateAt(t float64, start, span int) float64 {
+	if in == nil || math.IsNaN(t) {
+		return 0
+	}
+	return in.Effect(t, start, span).ErrorRate
+}
+
+// DrawError draws one transient-error outcome for an operation at time t
+// over the given span, consuming exactly one uniform variate from r when
+// the rate is positive.
+func (in *Injector) DrawError(t float64, start, span int, r *rand.Rand) bool {
+	p := in.ErrorRateAt(t, start, span)
+	if p <= 0 {
+		return false
+	}
+	return r.Float64() < p
+}
+
+// Binomial draws the number of successes in n Bernoulli(p) trials,
+// deterministically from r: exact for small n, Poisson for small means,
+// normal approximation for large ones. The bulk workload generator uses it
+// to resolve per-batch transient errors without looping over a million ops.
+func Binomial(r *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	if mean < 32 {
+		// Knuth's Poisson sampler approximates Binomial(n, p) well at
+		// small means; cap at n to stay inside the support.
+		l := math.Exp(-mean)
+		k, prod := 0, r.Float64()
+		for prod > l && k < n {
+			k++
+			prod *= r.Float64()
+		}
+		return k
+	}
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	k := int(math.Round(mean + r.NormFloat64()*sd))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Validate checks a schedule's windows for malformed intervals.
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.TransientErrorRate < 0 || s.TransientErrorRate > 1 {
+		return fmt.Errorf("faults: transient error rate %v outside [0,1]", s.TransientErrorRate)
+	}
+	for i, w := range s.Windows {
+		if w.End <= w.Start {
+			return fmt.Errorf("faults: window %d has non-positive span [%v,%v)", i, w.Start, w.End)
+		}
+		if w.ServerFrac <= 0 || w.ServerFrac > 1 {
+			return fmt.Errorf("faults: window %d server fraction %v outside (0,1]", i, w.ServerFrac)
+		}
+		switch w.Kind {
+		case Slowdown:
+			if w.Severity <= 0 || w.Severity >= 1 {
+				return fmt.Errorf("faults: slowdown window %d severity %v outside (0,1)", i, w.Severity)
+			}
+		case MetaStorm:
+			if w.LatencyFactor < 1 {
+				return fmt.Errorf("faults: meta-storm window %d latency factor %v below 1", i, w.LatencyFactor)
+			}
+		case Outage:
+			// nothing beyond the shared fields
+		default:
+			return fmt.Errorf("faults: window %d has unknown kind %d", i, int(w.Kind))
+		}
+		if w.ErrorRate < 0 || w.ErrorRate > 1 {
+			return fmt.Errorf("faults: window %d error rate %v outside [0,1]", i, w.ErrorRate)
+		}
+	}
+	return nil
+}
+
+// sortedWindows returns the windows ordered by start time (for display).
+func (s *Schedule) sortedWindows() []Window {
+	out := append([]Window(nil), s.Windows...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Timeline renders the schedule's windows one per line, for -v style
+// debugging output.
+func (s *Schedule) Timeline() string {
+	if s == nil || len(s.Windows) == 0 {
+		return "(no fault windows)"
+	}
+	var b strings.Builder
+	for _, w := range s.sortedWindows() {
+		fmt.Fprintf(&b, "%-10s %10.0fs – %10.0fs  servers %4.1f%%",
+			w.Kind, w.Start, w.End, 100*w.ServerFrac)
+		switch w.Kind {
+		case Slowdown:
+			fmt.Fprintf(&b, "  severity %.0f%%", 100*w.Severity)
+		case MetaStorm:
+			fmt.Fprintf(&b, "  latency ×%.1f", w.LatencyFactor)
+		}
+		if w.ErrorRate > 0 {
+			fmt.Fprintf(&b, "  +err %.2g", w.ErrorRate)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// splitmix is the SplitMix64 finalizer, the membership hash behind
+// deterministic per-server window assignment.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a over the layer name.
+func hashString(s string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

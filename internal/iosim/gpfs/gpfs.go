@@ -12,6 +12,7 @@ import (
 	"math/rand/v2"
 
 	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/faults"
 	"iolayers/internal/iosim/serverstats"
 	"iolayers/internal/units"
 )
@@ -63,7 +64,19 @@ type FS struct {
 	// collector, when non-nil, receives server-side load records. Set it
 	// before issuing traffic; it is read concurrently afterwards.
 	collector *serverstats.Collector
+	// faults, when non-nil, degrades transfers inside scheduled fault
+	// windows. Attach before issuing traffic.
+	faults *faults.Injector
 }
+
+// SetFaultSchedule binds a fault schedule to the NSD server pool; nil
+// detaches fault injection. Call before the layer serves traffic.
+func (f *FS) SetFaultSchedule(s *faults.Schedule) {
+	f.faults = faults.NewInjector(s, f.cfg.Name, f.cfg.NSDServers)
+}
+
+// FaultInjector returns the bound fault injector (nil when faults are off).
+func (f *FS) FaultInjector() *faults.Injector { return f.faults }
 
 // SetCollector attaches a server-side statistics collector sized to the NSD
 // pool. Call before the layer serves traffic.
@@ -114,10 +127,26 @@ func (f *FS) ServersFor(size units.ByteSize) int {
 	return min(blocks, f.cfg.NSDServers)
 }
 
-// Transfer implements iosim.Layer. Delivered bandwidth is the lesser of the
-// clients' injection capability and the NSD servers engaged by the block
-// span, degraded by production contention.
+// startServer derives the file's starting NSD from its path: GPFS picks the
+// starting server randomly per file, so a path-stable hash makes repeated
+// accesses hit the same server sequence.
+func (f *FS) startServer(path string) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(path))
+	return int(h.Sum64() % uint64(f.cfg.NSDServers))
+}
+
+// Transfer implements iosim.Layer with no campaign-time context (injected
+// fault windows never apply).
 func (f *FS) Transfer(path string, rw iosim.RW, size units.ByteSize, procs int, r *rand.Rand) float64 {
+	return f.TransferAt(path, rw, size, procs, math.NaN(), r)
+}
+
+// TransferAt implements iosim.TimedLayer. Delivered bandwidth is the lesser
+// of the clients' injection capability and the NSD servers engaged by the
+// block span, degraded by production contention and by any fault window
+// active at campaign time t.
+func (f *FS) TransferAt(path string, rw iosim.RW, size units.ByteSize, procs int, t float64, r *rand.Rand) float64 {
 	if procs < 1 {
 		procs = 1
 	}
@@ -125,13 +154,20 @@ func (f *FS) Transfer(path string, rw iosim.RW, size units.ByteSize, procs int, 
 	span := f.ServersFor(size)
 	serverBW := f.perNSD * float64(span)
 	_ = rw
-	dur := iosim.TransferTime(size, f.cfg.MetadataLatency, clientBW, serverBW, f.cfg.Variability, r)
+	start := f.startServer(path)
+	eff := f.faults.Effect(t, start, span)
+	dur := iosim.TransferTimeFaulty(size, f.cfg.MetadataLatency, clientBW, serverBW, f.cfg.Variability, eff, r)
 	if f.collector != nil {
-		// GPFS picks the starting NSD randomly per file; derive it from the
-		// path so repeated accesses hit the same server sequence.
-		h := fnv.New64a()
-		_, _ = h.Write([]byte(path))
-		f.collector.Record(int(h.Sum64()%uint64(f.cfg.NSDServers)), span, int64(size), dur)
+		f.collector.Record(start, span, int64(size), dur)
+		if eff.Degraded {
+			f.collector.RecordDegraded(start, span)
+		}
 	}
 	return dur
+}
+
+// FaultEffectAt implements iosim.Faulted: the effect a request of this
+// shape would see at campaign time t.
+func (f *FS) FaultEffectAt(path string, rw iosim.RW, size units.ByteSize, procs int, t float64) faults.Effect {
+	return f.faults.Effect(t, f.startServer(path), f.ServersFor(size))
 }

@@ -19,6 +19,7 @@ import (
 	"math/rand/v2"
 	"strings"
 
+	"iolayers/internal/iosim/faults"
 	"iolayers/internal/iosim/serverstats"
 	"iolayers/internal/units"
 )
@@ -108,14 +109,17 @@ func (v Variability) Available(r *rand.Rand) float64 {
 	if util > 0.98 {
 		util = 0.98
 	}
-	avail := 1 - util
+	share := 1 - util
+	avail := share
 	if v.Sigma > 0 {
 		avail *= math.Exp(v.Sigma * r.NormFloat64())
 	}
-	// Clamp: noise never yields more than 1.5× the un-contended share nor
-	// less than 1% of it, keeping the model inside physical plausibility.
-	if avail > 1.5 {
-		avail = 1.5
+	// Clamp: noise never yields more than 1.5× the un-contended share —
+	// relative to the share itself, so a 98%-utilized layer cannot draw
+	// near-idle bandwidth — nor less than an absolute 1% of peak, keeping
+	// the model inside physical plausibility.
+	if avail > 1.5*share {
+		avail = 1.5 * share
 	}
 	if avail < 0.01 {
 		avail = 0.01
@@ -163,6 +167,59 @@ type Instrumented interface {
 	SetCollector(*serverstats.Collector)
 }
 
+// FaultAware is implemented by layers that accept a fault-injection
+// schedule. SetFaultSchedule binds the schedule to the layer's server pool;
+// a nil schedule detaches fault injection. Call before generating traffic —
+// the binding is not synchronized with concurrent Transfers.
+type FaultAware interface {
+	SetFaultSchedule(*faults.Schedule)
+}
+
+// Faulted is implemented by layers that expose their bound fault injector,
+// so the client retry path can draw transient errors and the workload
+// generator can classify requests by fault state.
+type Faulted interface {
+	FaultInjector() *faults.Injector
+	// FaultEffectAt resolves the fault effect one request of the given
+	// shape would see at campaign time t, without issuing it.
+	FaultEffectAt(path string, rw RW, size units.ByteSize, procs int, t float64) faults.Effect
+}
+
+// TimedLayer is implemented by layers whose Transfer can be evaluated at an
+// absolute campaign time, the hook fault windows need. Layer.Transfer is
+// equivalent to TransferAt with a NaN time (no windows apply).
+type TimedLayer interface {
+	TransferAt(path string, rw RW, size units.ByteSize, procs int, t float64, r *rand.Rand) float64
+}
+
+// AttachFaults binds a fault schedule to every fault-aware layer of the
+// system. Call before generating traffic. A nil schedule detaches faults.
+func AttachFaults(sys *System, s *faults.Schedule) {
+	for _, layer := range sys.Layers() {
+		if fa, ok := layer.(FaultAware); ok {
+			fa.SetFaultSchedule(s)
+		}
+	}
+}
+
+// InjectorOf returns the fault injector bound to a layer, or nil when the
+// layer is not fault-aware or has no schedule attached.
+func InjectorOf(layer Layer) *faults.Injector {
+	if f, ok := layer.(Faulted); ok {
+		return f.FaultInjector()
+	}
+	return nil
+}
+
+// EffectAt resolves the fault effect a request would see on a layer, or the
+// zero effect for layers without fault awareness.
+func EffectAt(layer Layer, path string, rw RW, size units.ByteSize, procs int, t float64) faults.Effect {
+	if f, ok := layer.(Faulted); ok {
+		return f.FaultEffectAt(path, rw, size, procs, t)
+	}
+	return faults.ZeroEffect()
+}
+
 // AttachCollectors creates and attaches a server-side collector to every
 // instrumented layer of the system, returning them keyed by layer name.
 // Call before generating traffic.
@@ -183,8 +240,22 @@ func AttachCollectors(sys *System) map[string]*serverstats.Collector {
 // delivered bandwidth is the minimum of the clients' injection capability
 // and the servers' parallel capability, scaled by contention/noise.
 func TransferTime(size units.ByteSize, latency, clientBW, serverBW float64, v Variability, r *rand.Rand) float64 {
+	return TransferTimeFaulty(size, latency, clientBW, serverBW, v, faults.ZeroEffect(), r)
+}
+
+// TransferTimeFaulty is TransferTime under an injected fault effect: the
+// effect's bandwidth scale degrades the server side (slow or dark servers),
+// and its latency scale inflates the per-operation latency (metadata
+// storms). A zero effect reproduces TransferTime exactly.
+func TransferTimeFaulty(size units.ByteSize, latency, clientBW, serverBW float64, v Variability, eff faults.Effect, r *rand.Rand) float64 {
 	if size < 0 {
 		panic(fmt.Sprintf("iosim: negative transfer size %d", size))
+	}
+	if eff.BWScale > 0 {
+		serverBW *= eff.BWScale
+	}
+	if eff.LatencyScale > 1 {
+		latency *= eff.LatencyScale
 	}
 	bw := math.Min(clientBW, serverBW)
 	if bw <= 0 {

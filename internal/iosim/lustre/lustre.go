@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/faults"
 	"iolayers/internal/iosim/serverstats"
 	"iolayers/internal/units"
 )
@@ -81,7 +82,19 @@ type FS struct {
 	// collector, when non-nil, receives server-side OST load records. Set
 	// it before issuing traffic; it is read concurrently afterwards.
 	collector *serverstats.Collector
+	// faults, when non-nil, degrades transfers inside scheduled fault
+	// windows. Attach before issuing traffic.
+	faults *faults.Injector
 }
+
+// SetFaultSchedule binds a fault schedule to the OST pool; nil detaches
+// fault injection. Call before the layer serves traffic.
+func (f *FS) SetFaultSchedule(s *faults.Schedule) {
+	f.faults = faults.NewInjector(s, f.cfg.Name, f.cfg.OSTs)
+}
+
+// FaultInjector returns the bound fault injector (nil when faults are off).
+func (f *FS) FaultInjector() *faults.Injector { return f.faults }
 
 // SetCollector attaches a server-side statistics collector sized to the OST
 // pool. Call before the layer serves traffic.
@@ -167,30 +180,53 @@ func (f *FS) LayoutOf(path string) Layout {
 	}
 }
 
-// Transfer implements iosim.Layer. Delivered bandwidth is capped by the
-// stripe count — a file striped over one OST cannot exceed one OST's
-// bandwidth no matter how many clients participate, which is the behavior
-// that makes Lustre striping an important tuning parameter (paper §5).
-func (f *FS) Transfer(path string, rw iosim.RW, size units.ByteSize, procs int, r *rand.Rand) float64 {
-	if procs < 1 {
-		procs = 1
-	}
-	layout := f.LayoutOf(path)
-	// Only the OSTs actually covered by the request count: a 100 KiB read
-	// from a stripe-count-8 file still touches one OST.
+// ostSpan returns the striping span a request covers: only the OSTs
+// actually touched count — a 100 KiB read from a stripe-count-8 file still
+// touches one OST.
+func (f *FS) ostSpan(layout Layout, size units.ByteSize) int {
 	stripesTouched := int((size + layout.StripeSize - 1) / layout.StripeSize)
 	if stripesTouched < 1 {
 		stripesTouched = 1
 	}
-	osts := min(layout.StripeCount, stripesTouched)
+	return min(layout.StripeCount, stripesTouched)
+}
+
+// Transfer implements iosim.Layer with no campaign-time context (injected
+// fault windows never apply).
+func (f *FS) Transfer(path string, rw iosim.RW, size units.ByteSize, procs int, r *rand.Rand) float64 {
+	return f.TransferAt(path, rw, size, procs, math.NaN(), r)
+}
+
+// TransferAt implements iosim.TimedLayer. Delivered bandwidth is capped by
+// the stripe count — a file striped over one OST cannot exceed one OST's
+// bandwidth no matter how many clients participate, which is the behavior
+// that makes Lustre striping an important tuning parameter (paper §5) —
+// and degraded by any fault window active at campaign time t.
+func (f *FS) TransferAt(path string, rw iosim.RW, size units.ByteSize, procs int, t float64, r *rand.Rand) float64 {
+	if procs < 1 {
+		procs = 1
+	}
+	layout := f.LayoutOf(path)
+	osts := f.ostSpan(layout, size)
 	clientBW := math.Min(f.cfg.PerProcessBandwidth*float64(procs), f.cfg.PeakBandwidth)
 	serverBW := f.perOST * float64(osts)
 	_ = rw
-	dur := iosim.TransferTime(size, f.cfg.MetadataLatency, clientBW, serverBW, f.cfg.Variability, r)
+	eff := f.faults.Effect(t, layout.StartOST, osts)
+	dur := iosim.TransferTimeFaulty(size, f.cfg.MetadataLatency, clientBW, serverBW, f.cfg.Variability, eff, r)
 	if f.collector != nil {
 		f.collector.Record(layout.StartOST, osts, int64(size), dur)
+		if eff.Degraded {
+			f.collector.RecordDegraded(layout.StartOST, osts)
+		}
 	}
 	return dur
+}
+
+// FaultEffectAt implements iosim.Faulted: the effect a request of this
+// shape would see at campaign time t.
+func (f *FS) FaultEffectAt(path string, rw iosim.RW, size units.ByteSize, procs int, t float64) faults.Effect {
+	layout := f.LayoutOf(path)
+	return f.faults.Effect(t, layout.StartOST, f.ostSpan(layout, size))
 }
 
 // hashString is FNV-1a, used for deterministic OST placement.

@@ -7,9 +7,11 @@ package nodelocal
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/faults"
 	"iolayers/internal/iosim/serverstats"
 	"iolayers/internal/units"
 )
@@ -65,7 +67,19 @@ type FS struct {
 	// collector, when non-nil, receives per-node device load records. Set
 	// it before issuing traffic; it is read concurrently afterwards.
 	collector *serverstats.Collector
+	// faults, when non-nil, degrades transfers inside scheduled fault
+	// windows (device GC storms, dead NVMe drives). Attach before traffic.
+	faults *faults.Injector
 }
+
+// SetFaultSchedule binds a fault schedule to the node pool; nil detaches
+// fault injection. Call before the layer serves traffic.
+func (f *FS) SetFaultSchedule(s *faults.Schedule) {
+	f.faults = faults.NewInjector(s, f.cfg.Name, f.cfg.Nodes)
+}
+
+// FaultInjector returns the bound fault injector (nil when faults are off).
+func (f *FS) FaultInjector() *faults.Injector { return f.faults }
 
 // SetCollector attaches a statistics collector sized to the node count.
 // Call before the layer serves traffic.
@@ -115,25 +129,52 @@ func (f *FS) NodesFor(procs int) int {
 	return min(nodes, f.cfg.Nodes)
 }
 
-// Transfer implements iosim.Layer. Bandwidth scales with the job's node
-// count — the defining property of a node-local layer — and is never shared
-// with other jobs.
+// startNode derives a job's allocation start from the file path, so
+// different jobs' allocations land on different device spans.
+func startNode(path string) int {
+	start := 0
+	for i := 0; i < len(path); i++ {
+		start = start*31 + int(path[i])
+	}
+	if start < 0 {
+		start = -start
+	}
+	return start
+}
+
+// Transfer implements iosim.Layer with no campaign-time context (injected
+// fault windows never apply).
 func (f *FS) Transfer(path string, rw iosim.RW, size units.ByteSize, procs int, r *rand.Rand) float64 {
+	return f.TransferAt(path, rw, size, procs, math.NaN(), r)
+}
+
+// TransferAt implements iosim.TimedLayer. Bandwidth scales with the job's
+// node count — the defining property of a node-local layer — and is never
+// shared with other jobs, but the devices themselves can sit inside fault
+// windows (GC storms, dead drives) at campaign time t.
+func (f *FS) TransferAt(path string, rw iosim.RW, size units.ByteSize, procs int, t float64, r *rand.Rand) float64 {
 	nodes := f.NodesFor(procs)
 	perNode := f.cfg.PerNodeWriteBandwidth
 	if rw == iosim.Read {
 		perNode = f.cfg.PerNodeReadBandwidth
 	}
 	bw := perNode * float64(nodes)
-	dur := iosim.TransferTime(size, f.cfg.Latency, bw, bw, f.cfg.Variability, r)
+	start := startNode(path)
+	eff := f.faults.Effect(t, start, nodes)
+	dur := iosim.TransferTimeFaulty(size, f.cfg.Latency, bw, bw, f.cfg.Variability, eff, r)
 	if f.collector != nil {
 		// A job's devices are its own nodes; spread the span from a
 		// path-derived start so different jobs' allocations differ.
-		start := 0
-		for i := 0; i < len(path); i++ {
-			start = start*31 + int(path[i])
-		}
 		f.collector.Record(start, nodes, int64(size), dur)
+		if eff.Degraded {
+			f.collector.RecordDegraded(start, nodes)
+		}
 	}
 	return dur
+}
+
+// FaultEffectAt implements iosim.Faulted: the effect a request of this
+// shape would see at campaign time t.
+func (f *FS) FaultEffectAt(path string, rw iosim.RW, size units.ByteSize, procs int, t float64) faults.Effect {
+	return f.faults.Effect(t, startNode(path), f.NodesFor(procs))
 }

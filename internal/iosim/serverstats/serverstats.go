@@ -28,6 +28,10 @@ type Collector struct {
 	bytes    []atomic.Int64
 	// busyNanos accumulates service time in nanoseconds (atomic-friendly).
 	busyNanos []atomic.Int64
+	// degraded counts requests served while the server sat inside an
+	// injected fault window — the server-side footprint of degraded
+	// intervals (outages, slowdowns, metadata storms).
+	degraded []atomic.Int64
 }
 
 // NewCollector builds a collector for a layer with the given number of
@@ -41,6 +45,7 @@ func NewCollector(name string, servers int) *Collector {
 		requests:  make([]atomic.Int64, servers),
 		bytes:     make([]atomic.Int64, servers),
 		busyNanos: make([]atomic.Int64, servers),
+		degraded:  make([]atomic.Int64, servers),
 	}
 }
 
@@ -75,12 +80,44 @@ func (c *Collector) Record(start, span int, size int64, seconds float64) {
 	}
 }
 
+// RecordDegraded notes that one request's span [start, start+span) was
+// served inside an injected fault window. Call alongside Record when the
+// fault injector reports a degraded effect.
+func (c *Collector) RecordDegraded(start, span int) {
+	n := len(c.degraded)
+	if span <= 0 {
+		span = 1
+	}
+	if span > n {
+		span = n
+	}
+	if start < 0 {
+		start = -start
+	}
+	start %= n
+	for i := 0; i < span; i++ {
+		c.degraded[(start+i)%n].Add(1)
+	}
+}
+
+// DegradedRequests sums requests served inside fault windows across all
+// servers.
+func (c *Collector) DegradedRequests() int64 {
+	var total int64
+	for i := range c.degraded {
+		total += c.degraded[i].Load()
+	}
+	return total
+}
+
 // Snapshot is a point-in-time copy of one server's counters.
 type Snapshot struct {
 	Server   int
 	Requests int64
 	Bytes    int64
 	BusySecs float64
+	// Degraded counts requests this server served inside fault windows.
+	Degraded int64
 }
 
 // Snapshots returns every server's counters.
@@ -92,6 +129,7 @@ func (c *Collector) Snapshots() []Snapshot {
 			Requests: c.requests[i].Load(),
 			Bytes:    c.bytes[i].Load(),
 			BusySecs: float64(c.busyNanos[i].Load()) / 1e9,
+			Degraded: c.degraded[i].Load(),
 		}
 	}
 	return out

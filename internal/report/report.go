@@ -500,11 +500,52 @@ func ServerStats(system string, collectors map[string]*serverstats.Collector) st
 			fmt.Sprintf("%.2f", bi.PeakRatio),
 			fmt.Sprintf("%.3f", bi.Gini),
 			fmt.Sprintf("%.2f", ri.PeakRatio),
+			HumanCount(c.DegradedRequests()),
 		})
 	}
 	return fmt.Sprintf("Server-side load (%s): per-server imbalance\n", system) +
 		table([]string{"Layer", "Servers", "Idle", "Mean bytes", "Max bytes",
-			"Byte peak", "Byte Gini", "Req peak"}, rows)
+			"Byte peak", "Byte Gini", "Req peak", "Degraded"}, rows)
+}
+
+// Faults renders the campaign's fault and retry section: operation failure
+// and retry counts, time lost to degraded windows, and request-duration
+// tails split by fault state. Returns "" when the report carries no fault
+// data.
+func Faults(r *analysis.Report) string {
+	f := r.Faults
+	if f == nil {
+		return ""
+	}
+	secs := func(ns int64) string { return fmt.Sprintf("%.1f s", float64(ns)/1e9) }
+	tail := func(t analysis.DurationTail) []string {
+		if t.N == 0 {
+			return []string{"0", "-", "-", "-", "-"}
+		}
+		ms := func(v float64) string { return fmt.Sprintf("%.3f ms", v*1e3) }
+		return []string{HumanCount(t.N), ms(t.P50), ms(t.P90), ms(t.P99), ms(t.Max)}
+	}
+	rows := [][]string{
+		{"schedule", fmt.Sprintf("seed %d, %d windows, err rate %.2g",
+			f.ScheduleSeed, f.Windows, f.TransientErrorRate)},
+		{"ops in fault windows", HumanCount(f.DegradedOps)},
+		{"ops outside windows", HumanCount(f.CleanOps)},
+		{"ops retried", HumanCount(f.OpsRetried)},
+		{"retry attempts", HumanCount(f.RetryAttempts)},
+		{"ops failed (retries exhausted)", HumanCount(f.OpsFailed)},
+		{"job failures (demoted)", fmt.Sprintf("%d %v", f.JobFailures, f.FailedJobs)},
+		{"time in degraded windows", secs(f.DegradedNanos)},
+		{"est. time lost to faults", secs(f.TimeLostNanos)},
+	}
+	out := fmt.Sprintf("Fault injection (%s): degradation and retries\n", r.Summary.System) +
+		table([]string{"Metric", "Value"}, rows)
+	tails := [][]string{
+		append([]string{"clean"}, tail(f.Clean)...),
+		append([]string{"degraded"}, tail(f.Degraded)...),
+	}
+	out += "\nRequest-duration tails by fault state\n" +
+		table([]string{"State", "Samples", "p50", "p90", "p99", "max"}, tails)
+	return out
 }
 
 // Everything renders all tables and figures for one system.
@@ -514,6 +555,9 @@ func Everything(r *analysis.Report) string {
 		Figure3(r), Figure4(r, false), Figure4(r, true),
 		Figure6(r, false), Figure7(r), Figure6(r, true),
 		Figure9(r), Figure10(r), Figure11(r),
+	}
+	if s := Faults(r); s != "" {
+		sections = append(sections, s)
 	}
 	return strings.Join(sections, "\n")
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"iolayers/internal/dist"
+	"iolayers/internal/iosim/faults"
 	"iolayers/internal/workload"
 )
 
@@ -27,6 +28,11 @@ type SourceConfig struct {
 	// MaxWalltimeSeconds caps job runtimes, as production queue policies do
 	// (0 = the conventional 48 h limit).
 	MaxWalltimeSeconds float64
+	// Faults, when non-nil, inflates the runtime of jobs submitted inside
+	// the schedule's machine-wide slowdown windows: an I/O-degraded
+	// interval stretches the job's I/O phases, which the scheduler sees as
+	// longer occupancy. The walltime cap still applies afterwards.
+	Faults *faults.Schedule
 }
 
 // FromProfile synthesizes a scheduler job stream matching the workload
@@ -71,12 +77,21 @@ func FromProfile(p workload.Profile, cfg SourceConfig) []Job {
 		if runtime < 10 {
 			runtime = 10
 		}
+		submit := r.Float64() * cfg.PeriodSeconds
+		if cfg.Faults != nil {
+			// A job running through a machine-wide I/O slowdown finishes
+			// late: its I/O phases stretch by the inverse of the delivered
+			// bandwidth fraction at submission time.
+			if s := cfg.Faults.SlowdownAt(submit); s < 1 {
+				runtime /= s
+			}
+		}
 		if runtime > cfg.MaxWalltimeSeconds {
 			runtime = cfg.MaxWalltimeSeconds
 		}
 		j := Job{
 			ID:      uint64(i + 1),
-			Submit:  r.Float64() * cfg.PeriodSeconds,
+			Submit:  submit,
 			Nodes:   nodes,
 			Runtime: runtime,
 		}

@@ -1,0 +1,64 @@
+package workload
+
+// maxFaultSamplesPerJob caps the per-job duration samples kept for the
+// fault report's clean/degraded tail quantiles. The cap bounds campaign
+// memory; sampling is deterministic (first batches win) so reports stay
+// byte-identical at any worker count.
+const maxFaultSamplesPerJob = 256
+
+// FaultOutcome accumulates one job's (or one worker's, after merging)
+// encounters with injected faults. All counters are exact integers so that
+// merging partial outcomes in any order yields identical totals — the
+// property behind worker-count-independent fault reports.
+type FaultOutcome struct {
+	// OpsFailed counts operations that exhausted their retries on a
+	// transient error and moved no data.
+	OpsFailed int64
+	// OpsRetried counts operations that needed at least one retry.
+	OpsRetried int64
+	// RetryAttempts counts individual re-attempts across all operations.
+	RetryAttempts int64
+	// DegradedOps and CleanOps count operations issued inside and outside
+	// fault windows.
+	DegradedOps int64
+	CleanOps    int64
+	// DegradedNanos is wall-clock time spent on operations inside fault
+	// windows, in nanoseconds.
+	DegradedNanos int64
+	// TimeLostNanos estimates campaign time lost to faults: the slowdown
+	// excess of degraded operations plus all retry and backoff time.
+	TimeLostNanos int64
+	// DegradedDur and CleanDur sample per-request durations (seconds) in
+	// and out of fault windows, capped per job, for tail quantiles split
+	// by fault state.
+	DegradedDur []float64
+	CleanDur    []float64
+}
+
+// Merge folds o into f. Sample slices concatenate; callers sort the merged
+// multiset before computing quantiles, so merge order does not matter.
+func (f *FaultOutcome) Merge(o *FaultOutcome) {
+	f.OpsFailed += o.OpsFailed
+	f.OpsRetried += o.OpsRetried
+	f.RetryAttempts += o.RetryAttempts
+	f.DegradedOps += o.DegradedOps
+	f.CleanOps += o.CleanOps
+	f.DegradedNanos += o.DegradedNanos
+	f.TimeLostNanos += o.TimeLostNanos
+	f.DegradedDur = append(f.DegradedDur, o.DegradedDur...)
+	f.CleanDur = append(f.CleanDur, o.CleanDur...)
+}
+
+// sample records one per-request duration in the matching fault-state
+// bucket, honoring the per-job cap.
+func (f *FaultOutcome) sample(degraded bool, d float64) {
+	if degraded {
+		if len(f.DegradedDur) < maxFaultSamplesPerJob {
+			f.DegradedDur = append(f.DegradedDur, d)
+		}
+		return
+	}
+	if len(f.CleanDur) < maxFaultSamplesPerJob {
+		f.CleanDur = append(f.CleanDur, d)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"iolayers/internal/darshan"
 	"iolayers/internal/dist"
 	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/faults"
 	"iolayers/internal/iosim/lustre"
 	"iolayers/internal/units"
 )
@@ -38,6 +39,17 @@ type Config struct {
 	// the observed small-request mixtures. Compare against a baseline run
 	// to quantify what the recommendation would have bought.
 	WhatIfAggregation bool
+	// Faults, when non-nil, injects the schedule's degraded windows and
+	// transient errors into the campaign: NewGenerator attaches it to every
+	// layer of the system, operations are stamped on the campaign timeline
+	// (seconds since Jan 1 of the profile year), and fault-induced
+	// failures are reported per job instead of crashing the campaign.
+	// With Faults nil the generated logs are byte-identical to earlier
+	// versions of this package: the fault path consumes no randomness.
+	Faults *faults.Schedule
+	// Retry bounds the generated applications' reaction to injected
+	// transient errors; the zero value means iosim.DefaultRetryPolicy().
+	Retry iosim.RetryPolicy
 }
 
 // DefaultConfig returns a campaign configuration sized for tests and
@@ -74,6 +86,11 @@ type Generator struct {
 	stdioCfg iosim.InterfaceConfig
 	mpiioCfg iosim.InterfaceConfig
 
+	// faultsOn gates all fault accounting so that fault-free campaigns
+	// consume exactly the pre-fault random stream.
+	faultsOn bool
+	retry    iosim.RetryPolicy
+
 	yearStart int64
 }
 
@@ -93,6 +110,16 @@ func NewGenerator(p Profile, sys *iosim.System, cfg Config) (*Generator, error) 
 	// Unix time of Jan 1 of the profile year (civil arithmetic is overkill
 	// for synthetic timestamps; 365.25-day years are fine).
 	yearStart := int64(float64(p.Year-1970) * 365.25 * 86400)
+	retry := cfg.Retry
+	if retry == (iosim.RetryPolicy{}) {
+		retry = iosim.DefaultRetryPolicy()
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		iosim.AttachFaults(sys, cfg.Faults)
+	}
 	return &Generator{
 		profile:   p,
 		sys:       sys,
@@ -101,6 +128,8 @@ func NewGenerator(p Profile, sys *iosim.System, cfg Config) (*Generator, error) 
 		posixCfg:  iosim.DefaultPOSIX(),
 		stdioCfg:  iosim.DefaultSTDIO(),
 		mpiioCfg:  iosim.DefaultMPIIO(),
+		faultsOn:  cfg.Faults != nil,
+		retry:     retry,
 		yearStart: yearStart,
 	}, nil
 }
@@ -118,9 +147,34 @@ func (g *Generator) System() *iosim.System { return g.sys }
 // The result is deterministic for a given (Config.Seed, i) regardless of
 // call order or concurrency.
 func (g *Generator) GenerateJob(i int) []*darshan.Log {
+	logs, _ := g.GenerateJobFaults(i)
+	return logs
+}
+
+// GenerateJobSafe is GenerateJobFaults with panics demoted to errors, so a
+// campaign driver can report a failed job and keep going instead of
+// crashing the whole study.
+func (g *Generator) GenerateJobSafe(i int) (logs []*darshan.Log, fo FaultOutcome, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			logs, fo = nil, FaultOutcome{}
+			err = fmt.Errorf("workload: job %d failed: %v", i, p)
+		}
+	}()
+	logs, fo = g.GenerateJobFaults(i)
+	return logs, fo, nil
+}
+
+// GenerateJobFaults is GenerateJob plus the job's fault outcome: with a
+// fault schedule configured, operations are stamped on the campaign
+// timeline, degraded and retried operations are accounted, and operations
+// that exhaust their retries are dropped from the log (they moved no data)
+// and counted as failed. Without a schedule the outcome is zero.
+func (g *Generator) GenerateJobFaults(i int) ([]*darshan.Log, FaultOutcome) {
 	if i < 0 || i >= g.jobs {
 		panic(fmt.Sprintf("workload: job index %d outside [0,%d)", i, g.jobs))
 	}
+	var fo FaultOutcome
 	r := dist.Stream(g.cfg.Seed, uint64(i))
 	p := &g.profile
 
@@ -206,6 +260,10 @@ func (g *Generator) GenerateJob(i int) []*darshan.Log {
 
 		tuned := tuner && jobStart >= midYear
 
+		// The log's position on the campaign timeline (seconds since Jan 1
+		// of the profile year) aligns its operations with fault windows.
+		t0 := float64(jobStart - g.yearStart)
+
 		var clock float64
 		if jobClass == PFSOnly || jobClass == BothLayers {
 			n := 0
@@ -215,7 +273,7 @@ func (g *Generator) GenerateJob(i int) []*darshan.Log {
 				n = g.scaledCount(p.PFS.FilesPerLog.Sample(r), r)
 			}
 			for f := 0; f < n; f++ {
-				clock = g.genFile(rt, r, &p.PFS, g.sys.PFS, domain, nprocs, jobID, li, f, tuned, clock)
+				clock = g.genFile(rt, r, &p.PFS, g.sys.PFS, domain, nprocs, jobID, li, f, tuned, t0, clock, &fo)
 			}
 		}
 		if jobClass == InSystemOnly || jobClass == BothLayers {
@@ -226,7 +284,7 @@ func (g *Generator) GenerateJob(i int) []*darshan.Log {
 				n = g.scaledCount(p.InSystem.FilesPerLog.Sample(r), r)
 			}
 			for f := 0; f < n; f++ {
-				clock = g.genFile(rt, r, &p.InSystem, g.sys.InSystem, domain, nprocs, jobID, li, f, tuned, clock)
+				clock = g.genFile(rt, r, &p.InSystem, g.sys.InSystem, domain, nprocs, jobID, li, f, tuned, t0, clock, &fo)
 			}
 		}
 
@@ -239,7 +297,7 @@ func (g *Generator) GenerateJob(i int) []*darshan.Log {
 		logs = append(logs, log)
 		jobStart = log.Job.EndTime + int64(1+r.IntN(600))
 	}
-	return logs
+	return logs, fo
 }
 
 // sampleStartOffset draws a job's submission offset within the year,
@@ -302,10 +360,11 @@ func (g *Generator) ifaceConfig(m darshan.ModuleID) iosim.InterfaceConfig {
 }
 
 // genFile synthesizes one file's access on one layer and records it in the
-// runtime. It returns the advanced log clock.
+// runtime. t0 is the log's start on the campaign timeline; fo accumulates
+// the job's fault outcome. It returns the advanced log clock.
 func (g *Generator) genFile(rt *darshan.Runtime, r *rand.Rand, lp *LayerProfile,
 	layer iosim.Layer, domain string, nprocs int, jobID uint64, logIdx, fileIdx int,
-	tuned bool, clock float64) float64 {
+	tuned bool, t0, clock float64, fo *FaultOutcome) float64 {
 
 	p := &g.profile
 	iface := lp.InterfaceMix.Sample(r)
@@ -350,8 +409,14 @@ func (g *Generator) genFile(rt *darshan.Runtime, r *rand.Rand, lp *LayerProfile,
 
 	cfg := g.ifaceConfig(iface)
 
-	// Open.
-	openDur := layer.MetaLatency() + cfg.PerCallOverhead
+	// Open. A metadata-storm window inflates the per-open latency.
+	openLat := layer.MetaLatency()
+	if g.faultsOn {
+		if eff := iosim.EffectAt(layer, path, iosim.Read, 0, 1, t0+clock); eff.LatencyScale > 1 {
+			openLat *= eff.LatencyScale
+		}
+	}
+	openDur := openLat + cfg.PerCallOverhead
 	rt.Observe(darshan.Op{Module: iface, Path: path, Rank: rank, Kind: darshan.OpOpen,
 		Start: clock, End: clock + openDur, Collective: collective})
 	clock += openDur
@@ -362,7 +427,7 @@ func (g *Generator) genFile(rt *darshan.Runtime, r *rand.Rand, lp *LayerProfile,
 			reqs = *lp.LargeJobReadReq
 		}
 		clock = g.genTransfer(rt, r, cfg, layer, path, iface, rank, procs, collective,
-			iosim.Read, ifp.ReadSize, volScale, reqs, clock)
+			iosim.Read, ifp.ReadSize, volScale, reqs, t0, clock, fo)
 	}
 	if class == WriteOnly || class == ReadWrite {
 		reqs := lp.WriteReq
@@ -370,7 +435,7 @@ func (g *Generator) genFile(rt *darshan.Runtime, r *rand.Rand, lp *LayerProfile,
 			reqs = *lp.LargeJobWriteReq
 		}
 		clock = g.genTransfer(rt, r, cfg, layer, path, iface, rank, procs, collective,
-			iosim.Write, ifp.WriteSize, volScale, reqs, clock)
+			iosim.Write, ifp.WriteSize, volScale, reqs, t0, clock, fo)
 	}
 
 	// Close.
@@ -408,7 +473,7 @@ func (g *Generator) genTransfer(rt *darshan.Runtime, r *rand.Rand,
 	cfg iosim.InterfaceConfig, layer iosim.Layer, path string,
 	iface darshan.ModuleID, rank int32, procs int, collective bool,
 	rw iosim.RW, sizeDist dist.Sampler, volScale float64, reqs RequestSizes,
-	clock float64) float64 {
+	t0, clock float64, fo *FaultOutcome) float64 {
 
 	volume := units.ByteSize(sizeDist.Sample(r) * volScale)
 	if volume < 1 {
@@ -448,7 +513,7 @@ func (g *Generator) genTransfer(rt *darshan.Runtime, r *rand.Rand,
 		// The whole volume is below even the smallest feasible request:
 		// one request carries it all.
 		return g.emitBatch(rt, r, cfg, layer, path, iface, rank, procs,
-			collective, rw, kind, volume, 1, 0, clock)
+			collective, rw, kind, volume, 1, 0, t0, clock, fo)
 	}
 	meanBytes /= wsum
 
@@ -482,7 +547,7 @@ func (g *Generator) genTransfer(rt *darshan.Runtime, r *rand.Rand,
 			offset = 0
 		}
 		clock = g.emitBatch(rt, r, cfg, layer, path, iface, rank, procs,
-			collective, rw, kind, sizes[b], n, offset, clock)
+			collective, rw, kind, sizes[b], n, offset, t0, clock, fo)
 		offset += int64(n) * int64(sizes[b])
 		emitted += n
 	}
@@ -490,7 +555,7 @@ func (g *Generator) genTransfer(rt *darshan.Runtime, r *rand.Rand,
 		// Rounding produced no calls at all: a single request of the whole
 		// volume keeps the file's bytes on the books.
 		clock = g.emitBatch(rt, r, cfg, layer, path, iface, rank, procs,
-			collective, rw, kind, volume, 1, 0, clock)
+			collective, rw, kind, volume, 1, 0, t0, clock, fo)
 	}
 	return clock
 }
@@ -508,23 +573,28 @@ var aggregatedRequests = func() RequestSizes {
 const stdioRewriteFrac = 0.3
 
 // emitBatch records n back-to-back requests of one size starting at offset,
-// with the MPI-IO POSIX mirror when applicable.
+// with the MPI-IO POSIX mirror when applicable. With faults configured,
+// the batch is stamped at campaign time t0+clock: requests landing inside a
+// fault window run degraded, draw transient errors per the schedule's error
+// rate, retry with bounded backoff, and — when retries run dry — fail and
+// drop out of the observed counts (a failed request moved no data).
 func (g *Generator) emitBatch(rt *darshan.Runtime, r *rand.Rand,
 	cfg iosim.InterfaceConfig, layer iosim.Layer, path string,
 	iface darshan.ModuleID, rank int32, procs int, collective bool,
 	rw iosim.RW, kind darshan.OpKind, reqSize units.ByteSize, n int,
-	offset int64, clock float64) float64 {
+	offset int64, t0, clock float64, fo *FaultOutcome) float64 {
 
 	if reqSize < 1 {
 		reqSize = 1
 	}
+	t := t0 + clock
 	// One representative per-rank request duration from the shared
 	// interface cost model. On a shared file the batch's calls are spread
 	// across the participating ranks and run concurrently, so wall time is
 	// the per-rank call chain, not the serialized total — this concurrency
 	// is exactly why POSIX outruns the inherently serial STDIO stream on
 	// shared files (Figures 11–12). STDIO's ParallelCap pins it to one.
-	d := cfg.TransferDuration(layer, path, rw, reqSize, 1, 0, collective, r)
+	d := cfg.TransferDurationAt(layer, path, rw, reqSize, 1, 0, collective, t, r)
 	parallel := procs
 	if cfg.ParallelCap > 0 && parallel > cfg.ParallelCap {
 		parallel = cfg.ParallelCap
@@ -537,24 +607,67 @@ func (g *Generator) emitBatch(rt *darshan.Runtime, r *rand.Rand,
 	}
 	total := d * float64(n) / float64(parallel)
 
-	rt.ObserveN(darshan.Op{
-		Module: iface, Path: path, Rank: rank, Kind: kind,
-		Size: reqSize, Offset: offset, Start: clock, End: clock + total,
-		Collective: collective,
-	}, n)
+	nOK := n
+	if g.faultsOn {
+		eff := iosim.EffectAt(layer, path, rw, reqSize, 1, t)
+		if eff.Degraded {
+			fo.DegradedOps += int64(n)
+			fo.DegradedNanos += int64(total * 1e9)
+			if eff.BWScale > 0 && eff.BWScale < 1 {
+				// Slowdown excess over the clean duration, bandwidth-term
+				// estimate: a degraded request would have taken ≈ d·BWScale.
+				fo.TimeLostNanos += int64(d * (1 - eff.BWScale) * float64(n) / float64(parallel) * 1e9)
+			}
+		} else {
+			fo.CleanOps += int64(n)
+		}
+		fo.sample(eff.Degraded, d)
+		if eff.ErrorRate > 0 {
+			// Batch-level retry chain: Binomial(k, p) of the k attempts
+			// error and re-attempt, up to the policy's retry bound; the
+			// survivors of the final round fail outright.
+			pol := g.retry
+			retrying := faults.Binomial(r, n, eff.ErrorRate)
+			if retrying > 0 {
+				if pol.MaxRetries > 0 {
+					fo.OpsRetried += int64(retrying)
+				}
+				extra := 0
+				for k := 0; k < pol.MaxRetries && retrying > 0; k++ {
+					extra += retrying
+					retrying = faults.Binomial(r, retrying, eff.ErrorRate)
+				}
+				failed := retrying
+				retryTime := (d + pol.Backoff) * float64(extra) / float64(parallel)
+				total += retryTime
+				fo.RetryAttempts += int64(extra)
+				fo.TimeLostNanos += int64(retryTime * 1e9)
+				fo.OpsFailed += int64(failed)
+				nOK = n - failed
+			}
+		}
+	}
 
-	if iface == darshan.ModuleMPIIO {
+	if nOK > 0 {
+		rt.ObserveN(darshan.Op{
+			Module: iface, Path: path, Rank: rank, Kind: kind,
+			Size: reqSize, Offset: offset, Start: clock, End: clock + total,
+			Collective: collective,
+		}, nOK)
+	}
+
+	if iface == darshan.ModuleMPIIO && nOK > 0 {
 		// The POSIX system calls underneath: collective buffering merges
 		// the application requests into larger well-formed ones.
 		posixSize := reqSize
-		posixN := n
+		posixN := nOK
 		if collective {
 			agg := units.ByteSize(min(procs, 32))
 			posixSize = reqSize * agg
 			if maxReq := 64 * units.MiB; posixSize > maxReq {
 				posixSize = maxReq
 			}
-			posixN = int((units.ByteSize(n)*reqSize + posixSize - 1) / posixSize)
+			posixN = int((units.ByteSize(nOK)*reqSize + posixSize - 1) / posixSize)
 			if posixN < 1 {
 				posixN = 1
 			}

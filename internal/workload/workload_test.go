@@ -493,7 +493,7 @@ func TestWhatIfAggregation(t *testing.T) {
 	run := func(whatIf bool) (timePerByte float64, largeShare float64) {
 		sys := systems.NewSummit()
 		g, err := NewGenerator(Summit(), sys, Config{
-			Seed: 41, JobScale: 0.0005, FileScale: 0.03, WhatIfAggregation: whatIf,
+			Seed: 42, JobScale: 0.0005, FileScale: 0.03, WhatIfAggregation: whatIf,
 		})
 		if err != nil {
 			t.Fatal(err)
