@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet staticcheck build test race bench
+.PHONY: check vet staticcheck govulncheck build test race bench fuzz
 
-## check: the full CI gate — vet, staticcheck (when installed), build, and
-## the test suite under the race detector
-check: vet staticcheck build race
+## check: the full CI gate — vet, staticcheck + govulncheck (when
+## installed), build, and the test suite under the race detector
+check: vet staticcheck govulncheck build race
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +16,15 @@ staticcheck:
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+## govulncheck: runs only when the binary is on PATH, same contract as
+## staticcheck above
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 build:
@@ -30,3 +39,9 @@ race:
 ## bench: the paper-artifact and ingestion benchmarks with allocation stats
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+## fuzz: short fuzzing smoke over the untrusted-input decoders; -fuzz must
+## match exactly one target, hence two invocations
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=20s ./internal/darshan/logfmt
+	$(GO) test -fuzz=FuzzArchiveReader -fuzztime=20s ./internal/darshan/logfmt

@@ -18,6 +18,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"os"
@@ -515,7 +516,7 @@ func BenchmarkArchiveIngest(b *testing.B) {
 	run := func(b *testing.B, workers int) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_, res, err := core.IngestArchive(sys, path, core.IngestOptions{Workers: workers})
+			_, res, err := core.IngestArchive(context.Background(), sys, path, core.IngestOptions{Workers: workers})
 			if err != nil {
 				b.Fatal(err)
 			}

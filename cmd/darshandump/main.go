@@ -13,6 +13,7 @@ import (
 	"os"
 	"time"
 
+	"iolayers/internal/cli"
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
 )
@@ -23,8 +24,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: darshandump file.darshan [...]")
 		os.Exit(2)
 	}
+	ctx, cancel := cli.SignalContext("darshandump")
+	defer cancel()
 	exit := 0
 	for _, path := range flag.Args() {
+		if ctx.Err() != nil {
+			exit = cli.ExitInterrupted
+			break
+		}
 		if err := dump(path); err != nil {
 			fmt.Fprintf(os.Stderr, "darshandump: %s: %v\n", path, err)
 			exit = 1

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"iolayers/internal/cli"
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
 	"iolayers/internal/report"
@@ -28,8 +29,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: darshansummary [-top N] file.darshan [...]")
 		os.Exit(2)
 	}
+	ctx, cancel := cli.SignalContext("darshansummary")
+	defer cancel()
 	exit := 0
 	for _, path := range flag.Args() {
+		if ctx.Err() != nil {
+			exit = cli.ExitInterrupted
+			break
+		}
 		if err := summarize(path, *top); err != nil {
 			fmt.Fprintf(os.Stderr, "darshansummary: %s: %v\n", path, err)
 			exit = 1

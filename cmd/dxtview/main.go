@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"iolayers/internal/cli"
 	"iolayers/internal/darshan/logfmt"
 	"iolayers/internal/dxtan"
 )
@@ -24,8 +25,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: dxtview [-gap seconds] file.darshan [...]")
 		os.Exit(2)
 	}
+	ctx, cancel := cli.SignalContext("dxtview")
+	defer cancel()
 	exit := 0
 	for _, path := range flag.Args() {
+		if ctx.Err() != nil {
+			exit = cli.ExitInterrupted
+			break
+		}
 		log, err := logfmt.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dxtview: %s: %v\n", path, err)

@@ -9,14 +9,23 @@
 // consumed one entry at a time, so memory stays bounded regardless of
 // archive size.
 //
+// Robustness: logs are treated as untrusted input and decoded under hard
+// limits (a crafted or damaged log cannot force unbounded allocation).
+// With -quarantine, undecodable logs are moved aside into the given
+// directory with a MANIFEST.tsv line each instead of merely being skipped.
+// With -checkpoint, progress persists every -checkpoint-every logs and an
+// interrupted pass (SIGINT/SIGTERM, crash) continues with -resume,
+// producing the identical report. SIGINT flushes a valid partial report.
+//
 // Usage:
 //
 //	ioanalyze -dir /path/to/logs [-system summit] [-workers 0]
 //	ioanalyze -archive campaign.dgar [-system summit] [-workers 0]
+//	ioanalyze -resume pass.ckpt [-checkpoint pass.ckpt]
 //
 // Exit status: 0 on success (even with some unreadable logs, which are
 // reported on stderr); 1 when nothing could be parsed at all or the source
-// is unreadable; 2 on usage errors.
+// is unreadable; 2 on usage errors; 130 when interrupted.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"os"
 
 	"iolayers/internal/analysis"
+	"iolayers/internal/cli"
 	"iolayers/internal/core"
 	"iolayers/internal/iosim/systems"
 	"iolayers/internal/report"
@@ -32,14 +42,49 @@ import (
 
 func main() {
 	var (
-		system  = flag.String("system", "summit", "system the logs came from: summit or cori")
-		dir     = flag.String("dir", "", "directory of .darshan logs")
-		archive = flag.String("archive", "", "campaign archive (.dgar) to analyze instead of a directory")
-		workers = flag.Int("workers", 0, "ingestion worker pool size (0 = GOMAXPROCS)")
+		system     = flag.String("system", "summit", "system the logs came from: summit or cori")
+		dir        = flag.String("dir", "", "directory of .darshan logs")
+		archive    = flag.String("archive", "", "campaign archive (.dgar) to analyze instead of a directory")
+		workers    = flag.Int("workers", 0, "ingestion worker pool size (0 = GOMAXPROCS)")
+		quarantine = flag.String("quarantine", "", "move undecodable logs into this directory (with a MANIFEST.tsv)")
+		ckptPath   = flag.String("checkpoint", "", "persist resumable progress to this file while ingesting")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "logs between checkpoint writes (0 = default)")
+		resumePath = flag.String("resume", "", "resume an interrupted pass from this checkpoint file")
 	)
 	flag.Parse()
+
+	opts := core.IngestOptions{
+		Workers:         *workers,
+		QuarantineDir:   *quarantine,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+	}
+	if *resumePath != "" {
+		ck, err := core.LoadIngestCheckpoint(*resumePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ioanalyze:", err)
+			os.Exit(2)
+		}
+		opts.Resume = ck
+		// The checkpoint pins the source and system; flags must not
+		// silently redirect a resumed pass.
+		*system = ck.System
+		if ck.Mode == "archive" {
+			*archive, *dir = ck.Source, ""
+		} else {
+			*dir, *archive = ck.Source, ""
+		}
+		if opts.CheckpointPath == "" {
+			opts.CheckpointPath = *resumePath
+		}
+		if opts.LargeJobProcs == 0 {
+			opts.LargeJobProcs = ck.LargeJobProcs
+		}
+		fmt.Fprintf(os.Stderr, "ioanalyze: resuming %s pass over %s (%d logs done)\n",
+			ck.Mode, ck.Source, ck.EntriesDone)
+	}
 	if *dir == "" && *archive == "" {
-		fmt.Fprintln(os.Stderr, "ioanalyze: -dir or -archive is required")
+		fmt.Fprintln(os.Stderr, "ioanalyze: -dir, -archive, or -resume is required")
 		os.Exit(2)
 	}
 	sys := systems.ByName(*system)
@@ -48,7 +93,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := core.IngestOptions{Workers: *workers}
+	ctx, cancel := cli.SignalContext("ioanalyze")
+	defer cancel()
+
 	var (
 		rep    *analysis.Report
 		res    core.IngestResult
@@ -57,10 +104,10 @@ func main() {
 	)
 	if *archive != "" {
 		source = *archive
-		rep, res, err = core.IngestArchive(sys, *archive, opts)
+		rep, res, err = core.IngestArchive(ctx, sys, *archive, opts)
 	} else {
 		source = *dir
-		rep, res, err = core.IngestDir(sys, *dir, opts)
+		rep, res, err = core.IngestDir(ctx, sys, *dir, opts)
 		if err == nil && res.Parsed == 0 && res.Failed == 0 {
 			fmt.Fprintf(os.Stderr, "ioanalyze: no .darshan logs in %s\n", source)
 			os.Exit(1)
@@ -73,7 +120,11 @@ func main() {
 	if extra := res.Failed - len(res.Failures); extra > 0 {
 		fmt.Fprintf(os.Stderr, "ioanalyze: ... and %d more unreadable logs\n", extra)
 	}
-	if err != nil {
+	if res.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "ioanalyze: quarantined %d logs into %s\n", res.Quarantined, *quarantine)
+	}
+	interrupted := cli.Interrupted(err)
+	if err != nil && !interrupted {
 		// Framing-level damage (or an unreadable source): report it, and
 		// salvage whatever was ingested before the damage point.
 		fmt.Fprintln(os.Stderr, "ioanalyze:", err)
@@ -82,13 +133,24 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ioanalyze: continuing with the %d logs before the damage\n", res.Parsed)
 	}
-	if res.Parsed == 0 {
+	if res.Parsed == 0 && !interrupted {
 		fmt.Fprintf(os.Stderr, "ioanalyze: every log in %s was unreadable (%d failures)\n",
 			source, res.Failed)
 		os.Exit(1)
 	}
 
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "ioanalyze: interrupted after %d logs — partial report follows\n", res.Parsed)
+		if opts.CheckpointPath != "" {
+			fmt.Fprintf(os.Stderr, "ioanalyze: resume with: ioanalyze -resume %s\n", opts.CheckpointPath)
+		}
+	}
 	fmt.Printf("ioanalyze: parsed %d logs (%d unreadable) from %s\n\n",
 		res.Parsed, res.Failed, source)
-	fmt.Println(report.Everything(rep))
+	if rep != nil {
+		fmt.Println(report.Everything(rep))
+	}
+	if interrupted {
+		os.Exit(cli.ExitInterrupted)
+	}
 }

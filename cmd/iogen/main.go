@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"iolayers/internal/cli"
 	"iolayers/internal/core"
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
@@ -99,14 +100,24 @@ func main() {
 			return nil
 		}
 	}
-	rep, err := campaign.Run(sink)
-	if err != nil {
+	ctx, cancel := cli.SignalContext("iogen")
+	defer cancel()
+	rep, err := campaign.RunContext(ctx, sink)
+	interrupted := cli.Interrupted(err)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "iogen:", err)
 		os.Exit(1)
 	}
+	// Finish even when interrupted: an archive gets its terminator, so the
+	// partial campaign is still a valid, analyzable .dgar.
 	if err := finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "iogen:", err)
 		os.Exit(1)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "iogen: interrupted — %d logs written to %s (partial campaign)\n",
+			written.Load(), *out)
+		os.Exit(cli.ExitInterrupted)
 	}
 	fmt.Printf("iogen: wrote %d logs (%d jobs, %d files) to %s\n",
 		written.Load(), rep.Summary.Jobs, rep.Summary.Files, *out)

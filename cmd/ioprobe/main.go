@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"iolayers/internal/cli"
 	"iolayers/internal/iosim/systems"
 	"iolayers/internal/probes"
 )
@@ -28,6 +29,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ioprobe: unknown system %q\n", *system)
 		os.Exit(2)
 	}
+	ctx, cancel := cli.SignalContext("ioprobe")
+	defer cancel()
 	h := probes.NewHarness(sys, *seed)
-	fmt.Print(probes.Render(sys.Name, probes.Summarize(h.Run(*samples))))
+	samplesOut, err := h.RunContext(ctx, *samples)
+	if cli.Interrupted(err) {
+		fmt.Fprintln(os.Stderr, "ioprobe: interrupted — summarizing completed probe series")
+		fmt.Print(probes.Render(sys.Name, probes.Summarize(samplesOut)))
+		os.Exit(cli.ExitInterrupted)
+	}
+	fmt.Print(probes.Render(sys.Name, probes.Summarize(samplesOut)))
 }

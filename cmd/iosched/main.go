@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"iolayers/internal/cli"
 	"iolayers/internal/dist"
 	"iolayers/internal/iosim/faults"
 	"iolayers/internal/sched"
@@ -84,10 +85,16 @@ func main() {
 	fmt.Printf("%s: %d jobs over %.0f days on %d nodes (%d burst-buffer nodes)\n\n",
 		profile.SystemName, len(jobs), *days, machineNodes, bbNodes)
 
+	ctx, cancel := cli.SignalContext("iosched")
+	defer cancel()
 	run := func(label string, overlap bool) sched.Metrics {
-		_, m, err := sched.Simulate(sched.Config{
+		_, m, err := sched.SimulateContext(ctx, sched.Config{
 			Nodes: machineNodes, BBNodes: bbNodes, OverlapStaging: overlap,
 		}, jobs)
+		if cli.Interrupted(err) {
+			fmt.Fprintf(os.Stderr, "iosched: interrupted with %d of %d jobs placed\n", m.Jobs, len(jobs))
+			os.Exit(cli.ExitInterrupted)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iosched:", err)
 			os.Exit(1)

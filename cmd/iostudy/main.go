@@ -18,6 +18,16 @@
 // streaming ingester (same deterministic worker-pool model as the study
 // engine). Both take a single -system, not "both".
 //
+// Crash safety: SIGINT/SIGTERM stops the campaign at a job boundary and
+// still renders a valid partial report. With -checkpoint, progress persists
+// atomically every -checkpoint-every jobs (or logs, under -from) and an
+// interrupted run continues with -resume — the resumed run's report is
+// byte-identical to an uninterrupted one. A campaign checkpoint pins the
+// system, seed, and scales, so -resume needs no other flags; a run that was
+// saving an archive needs -save again (the archive is truncated to the
+// checkpoint's durable offset and appended to). Under -from, -quarantine
+// moves undecodable logs aside with a manifest.
+//
 // Fault injection: -faults takes "production" (a production-like mixture of
 // server slowdowns, outages, and metadata storms over the campaign year) or
 // a comma-separated spec such as
@@ -29,6 +39,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +47,7 @@ import (
 	"sync"
 
 	"iolayers/internal/analysis"
+	"iolayers/internal/cli"
 	"iolayers/internal/core"
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
@@ -61,13 +73,28 @@ func main() {
 		format     = flag.String("format", "text", "output format: text, or csv (figure series for plotting)")
 		save       = flag.String("save", "", "stream every generated log into this campaign archive (.dgar); single -system only")
 		from       = flag.String("from", "", "skip synthesis and analyze this campaign archive (.dgar) instead; single -system only")
+		quarantine = flag.String("quarantine", "", "with -from: move undecodable logs into this directory (with a MANIFEST.tsv)")
+		ckptPath   = flag.String("checkpoint", "", "persist resumable progress to this file")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "jobs (or logs under -from) between checkpoint writes (0 = default)")
+		resumePath = flag.String("resume", "", "resume an interrupted run from this checkpoint file")
 		faultSpec  = flag.String("faults", "", `fault schedule: "production" or k=v list (slowdowns,outages,storms,frac,severity,latfactor,duration,errrate); empty = no faults`)
 		faultSeed  = flag.Uint64("faultseed", 0, "fault-schedule seed (0 = campaign seed)")
 	)
 	flag.Parse()
 
+	ctx, cancel := cli.SignalContext("iostudy")
+	defer cancel()
+
 	if *from != "" {
-		analyzeArchive(*from, *system, *workers, *experiment, *format)
+		analyzeArchive(ctx, *from, *system, *workers, *experiment, *format, ingestCkptOptions{
+			quarantine: *quarantine, ckptPath: *ckptPath, ckptEvery: *ckptEvery, resumePath: *resumePath,
+		})
+		return
+	}
+
+	if *resumePath != "" {
+		resumeCampaign(ctx, *resumePath, *ckptPath, *ckptEvery, *workers, *save,
+			*experiment, *format, *serverSide)
 		return
 	}
 
@@ -105,6 +132,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iostudy: -save needs a single -system (an archive holds one system's campaign)")
 		os.Exit(2)
 	}
+	if *ckptPath != "" && len(names) != 1 {
+		fmt.Fprintln(os.Stderr, "iostudy: -checkpoint needs a single -system (a checkpoint holds one campaign)")
+		os.Exit(2)
+	}
 
 	for _, name := range names {
 		campaign, err := core.NewCampaign(name, cfg)
@@ -117,40 +148,35 @@ func main() {
 		if *serverSide {
 			collectors = iosim.AttachCollectors(campaign.System)
 		}
-		var sink core.LogSink
-		var closeSink func() error
+		opts := core.RunOptions{CheckpointPath: *ckptPath, CheckpointEvery: *ckptEvery}
+		var arch *archiveSink
 		if *save != "" {
-			sink, closeSink = archiveSink(*save)
+			arch = newArchiveSink(*save)
+			opts.Sink, opts.SyncSink = arch.sink, arch.sync
 		}
-		rep, err := campaign.Run(sink)
+		rep, err := campaign.RunCheckpointed(ctx, opts)
+		if cli.Interrupted(err) {
+			reportInterrupted(*ckptPath, *save)
+			if arch != nil {
+				arch.abandon()
+			}
+			if rep != nil {
+				printReport(name, rep, *scale, *fileScale, *seed, *experiment, *format, *serverSide, collectors)
+			}
+			os.Exit(cli.ExitInterrupted)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "iostudy:", err)
 			os.Exit(1)
 		}
-		if closeSink != nil {
-			if err := closeSink(); err != nil {
+		if arch != nil {
+			if err := arch.close(); err != nil {
 				fmt.Fprintln(os.Stderr, "iostudy:", err)
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "iostudy: campaign archived to %s\n", *save)
 		}
-		var out string
-		if strings.ToLower(*format) == "csv" {
-			out = report.CSV(rep)
-		} else {
-			var rerr error
-			out, rerr = render(rep, strings.ToLower(*experiment))
-			if rerr != nil {
-				fmt.Fprintln(os.Stderr, "iostudy:", rerr)
-				os.Exit(2)
-			}
-		}
-		fmt.Printf("==== %s (scale %g, filescale %g, seed %d) ====\n\n",
-			name, *scale, *fileScale, *seed)
-		fmt.Println(out)
-		if *serverSide {
-			fmt.Println(report.ServerStats(name, collectors))
-		}
+		printReport(name, rep, *scale, *fileScale, *seed, *experiment, *format, *serverSide, collectors)
 		if *whatIf {
 			altCfg := cfg
 			altCfg.WhatIfAggregation = true
@@ -160,8 +186,11 @@ func main() {
 				os.Exit(1)
 			}
 			alt.Workers = *workers
-			altRep, err := alt.Run(nil)
+			altRep, err := alt.RunContext(ctx, nil)
 			if err != nil {
+				if cli.Interrupted(err) {
+					os.Exit(cli.ExitInterrupted)
+				}
 				fmt.Fprintln(os.Stderr, "iostudy:", err)
 				os.Exit(1)
 			}
@@ -170,9 +199,119 @@ func main() {
 	}
 }
 
-// archiveSink returns a concurrency-safe LogSink streaming into a fresh
-// archive at path, plus the function that writes the terminator.
-func archiveSink(path string) (core.LogSink, func() error) {
+// resumeCampaign continues a synthesis run from a campaign checkpoint: the
+// checkpoint pins the system and workload config, so no other study flags
+// are consulted. A campaign that was saving an archive must be given -save
+// again; the archive is truncated to the checkpoint's durable offset.
+func resumeCampaign(ctx context.Context, resumePath, ckptPath string, ckptEvery, workers int,
+	save, experiment, format string, serverSide bool) {
+	ck, err := core.LoadCampaignCheckpoint(resumePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iostudy:", err)
+		os.Exit(2)
+	}
+	campaign, err := core.ResumeCampaign(ck)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iostudy:", err)
+		os.Exit(1)
+	}
+	if workers > 0 {
+		campaign.Workers = workers
+	}
+	if ckptPath == "" {
+		ckptPath = resumePath
+	}
+	fmt.Fprintf(os.Stderr, "iostudy: resuming %s campaign, %d of %d jobs done\n",
+		ck.Meta.SystemName, ck.JobsDone(), len(ck.Done))
+
+	opts := core.RunOptions{CheckpointPath: ckptPath, CheckpointEvery: ckptEvery, Resume: ck}
+	var arch *archiveSink
+	if ck.ArchiveEntries > 0 || ck.ArchiveBytes > 0 {
+		if save == "" {
+			fmt.Fprintln(os.Stderr, "iostudy: this campaign was saving an archive; pass -save with its path to resume")
+			os.Exit(2)
+		}
+		arch = reopenArchiveSink(save, ck.ArchiveBytes, ck.ArchiveEntries)
+		opts.Sink, opts.SyncSink = arch.sink, arch.sync
+	} else if save != "" {
+		fmt.Fprintln(os.Stderr, "iostudy: checkpoint has no archive state; -save cannot be added on resume")
+		os.Exit(2)
+	}
+	cfg := ck.Meta.Config
+
+	rep, err := campaign.RunCheckpointed(ctx, opts)
+	if cli.Interrupted(err) {
+		reportInterrupted(ckptPath, save)
+		if arch != nil {
+			arch.abandon()
+		}
+		if rep != nil {
+			printReport(ck.Meta.SystemName, rep, cfg.JobScale, cfg.FileScale, cfg.Seed,
+				experiment, format, false, nil)
+		}
+		os.Exit(cli.ExitInterrupted)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iostudy:", err)
+		os.Exit(1)
+	}
+	if arch != nil {
+		if err := arch.close(); err != nil {
+			fmt.Fprintln(os.Stderr, "iostudy:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "iostudy: campaign archived to %s\n", save)
+	}
+	_ = serverSide // collectors cannot span an interrupted run; not offered on resume
+	printReport(ck.Meta.SystemName, rep, cfg.JobScale, cfg.FileScale, cfg.Seed,
+		experiment, format, false, nil)
+}
+
+// reportInterrupted tells the user how to pick the run back up.
+func reportInterrupted(ckptPath, save string) {
+	if ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "iostudy: interrupted — partial report follows (run with -checkpoint to make interrupted runs resumable)")
+		return
+	}
+	hint := "iostudy -resume " + ckptPath
+	if save != "" {
+		hint += " -save " + save
+	}
+	fmt.Fprintf(os.Stderr, "iostudy: interrupted — partial report follows; resume with: %s\n", hint)
+}
+
+// printReport renders one system's report in the chosen format.
+func printReport(name string, rep *analysis.Report, scale, fileScale float64, seed uint64,
+	experiment, format string, serverSide bool, collectors map[string]*serverstats.Collector) {
+	var out string
+	if strings.ToLower(format) == "csv" {
+		out = report.CSV(rep)
+	} else {
+		var rerr error
+		out, rerr = render(rep, strings.ToLower(experiment))
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "iostudy:", rerr)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("==== %s (scale %g, filescale %g, seed %d) ====\n\n",
+		name, scale, fileScale, seed)
+	fmt.Println(out)
+	if serverSide {
+		fmt.Println(report.ServerStats(name, collectors))
+	}
+}
+
+// archiveSink streams generated logs into a campaign archive, with the
+// Flush+fsync sync point the checkpoint machinery records as the durable
+// resume offset.
+type archiveSink struct {
+	mu sync.Mutex
+	f  *os.File
+	aw *logfmt.ArchiveWriter
+}
+
+func newArchiveSink(path string) *archiveSink {
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iostudy:", err)
@@ -183,24 +322,93 @@ func archiveSink(path string) (core.LogSink, func() error) {
 		fmt.Fprintln(os.Stderr, "iostudy:", err)
 		os.Exit(1)
 	}
-	var mu sync.Mutex
-	sink := func(jobIdx, logIdx int, log *darshan.Log) error {
-		mu.Lock()
-		defer mu.Unlock()
-		return aw.Append(log)
+	return &archiveSink{f: f, aw: aw}
+}
+
+// reopenArchiveSink truncates the archive at path to the checkpoint's
+// durable offset and appends from there.
+func reopenArchiveSink(path string, offset int64, entries int) *archiveSink {
+	aw, f, err := logfmt.OpenArchiveAppend(path, offset, entries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iostudy:", err)
+		os.Exit(1)
 	}
-	return sink, func() error {
-		if err := aw.Close(); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+	return &archiveSink{f: f, aw: aw}
+}
+
+func (s *archiveSink) sink(jobIdx, logIdx int, log *darshan.Log) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aw.Append(log)
+}
+
+func (s *archiveSink) sync() (int64, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.aw.Flush(); err != nil {
+		return 0, 0, err
 	}
+	if err := s.f.Sync(); err != nil {
+		return 0, 0, err
+	}
+	return s.aw.Offset(), s.aw.Count(), nil
+}
+
+// close finishes a completed archive: terminator, flush, fsync.
+func (s *archiveSink) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.aw.Close(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// abandon drops the file handle of an interrupted save without writing a
+// terminator: the checkpoint's durable offset — not the file length — is
+// the resume point, and OpenArchiveAppend truncates to it.
+func (s *archiveSink) abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Close()
+}
+
+// ingestCkptOptions carries the robustness flags into the -from path.
+type ingestCkptOptions struct {
+	quarantine string
+	ckptPath   string
+	ckptEvery  int
+	resumePath string
 }
 
 // analyzeArchive is the -from path: parallel streaming ingestion of an
 // existing campaign archive, rendered like a freshly synthesized study.
-func analyzeArchive(path, system string, workers int, experiment, format string) {
+func analyzeArchive(ctx context.Context, path, system string, workers int, experiment, format string, ck ingestCkptOptions) {
+	opts := core.IngestOptions{
+		Workers:         workers,
+		QuarantineDir:   ck.quarantine,
+		CheckpointPath:  ck.ckptPath,
+		CheckpointEvery: ck.ckptEvery,
+	}
+	if ck.resumePath != "" {
+		ickpt, err := core.LoadIngestCheckpoint(ck.resumePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iostudy:", err)
+			os.Exit(2)
+		}
+		if ickpt.Mode != "archive" {
+			fmt.Fprintf(os.Stderr, "iostudy: %s is a %q ingestion checkpoint; -from resumes archives\n", ck.resumePath, ickpt.Mode)
+			os.Exit(2)
+		}
+		opts.Resume = ickpt
+		system, path = ickpt.System, ickpt.Source
+		if opts.CheckpointPath == "" {
+			opts.CheckpointPath = ck.resumePath
+		}
+		fmt.Fprintf(os.Stderr, "iostudy: resuming ingestion of %s (%d entries done)\n",
+			ickpt.Source, ickpt.EntriesDone)
+	}
 	if strings.EqualFold(system, "both") {
 		fmt.Fprintln(os.Stderr, "iostudy: -from needs a single -system (an archive holds one system's campaign)")
 		os.Exit(2)
@@ -210,17 +418,27 @@ func analyzeArchive(path, system string, workers int, experiment, format string)
 		fmt.Fprintf(os.Stderr, "iostudy: unknown system %q\n", system)
 		os.Exit(2)
 	}
-	rep, res, err := core.IngestArchive(sys, path, core.IngestOptions{Workers: workers})
+	rep, res, err := core.IngestArchive(ctx, sys, path, opts)
 	for _, f := range res.Failures {
 		fmt.Fprintf(os.Stderr, "iostudy: skipping %s: %v\n", f.Source, f.Err)
 	}
-	if err != nil {
+	if res.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "iostudy: quarantined %d entries into %s\n", res.Quarantined, ck.quarantine)
+	}
+	interrupted := cli.Interrupted(err)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "iostudy:", err)
 		os.Exit(1)
 	}
-	if res.Parsed == 0 {
+	if res.Parsed == 0 && !interrupted {
 		fmt.Fprintf(os.Stderr, "iostudy: no readable logs in %s (%d failures)\n", path, res.Failed)
 		os.Exit(1)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "iostudy: interrupted after %d logs — partial report follows\n", res.Parsed)
+		if opts.CheckpointPath != "" {
+			fmt.Fprintf(os.Stderr, "iostudy: resume with: iostudy -from %s -resume %s\n", path, opts.CheckpointPath)
+		}
 	}
 	var out string
 	if strings.ToLower(format) == "csv" {
@@ -236,6 +454,9 @@ func analyzeArchive(path, system string, workers int, experiment, format string)
 	fmt.Printf("==== %s (from %s, %d logs, %d unreadable) ====\n\n",
 		sys.Name, path, res.Parsed, res.Failed)
 	fmt.Println(out)
+	if interrupted {
+		os.Exit(cli.ExitInterrupted)
+	}
 }
 
 func render(r *analysis.Report, experiment string) (string, error) {

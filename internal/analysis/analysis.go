@@ -272,8 +272,8 @@ func NewAggregator(sys *iosim.System) *Aggregator {
 // sharedness — without materializing a merged FileRecord (the old
 // mergeRanks+Clone path allocated two counter slices per extra rank).
 type modView struct {
-	n            int   // records folded in
-	rank         int32 // the single record's rank; 0 once ranks are merged
+	n             int   // records folded in
+	rank          int32 // the single record's rank; 0 once ranks are merged
 	readB, writeB int64
 	readT, writeT float64
 }

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+)
+
+// stateLogs builds a varied mix of logs touching both layers, several
+// interfaces, shared files, domains, and tuning signals — enough to
+// populate every field a snapshot must carry.
+func stateLogs(t *testing.T, sys *iosim.System) []*darshan.Log {
+	t.Helper()
+	var logs []*darshan.Log
+	logs = append(logs, buildLog(t, sys, 100, 2048, "Physics", func(c *iosim.Client) {
+		c.Write(darshan.ModulePOSIX, "/gpfs/alpine/big.h5", 0, 3*units.MiB, 0)
+		c.Write(darshan.ModuleSTDIO, "/gpfs/alpine/out.log", 0, 4096, 0)
+	}))
+	logs = append(logs, buildLog(t, sys, 101, 4, "Chemistry", func(c *iosim.Client) {
+		c.Read(darshan.ModulePOSIX, "/gpfs/alpine/in.dat", 0, units.MiB, 0)
+		c.Write(darshan.ModulePOSIX, "/mnt/bb/ck.0", 0, 2*units.MiB, 0)
+	}))
+	logs = append(logs, buildLog(t, sys, 102, 8, "", func(c *iosim.Client) {
+		c.Write(darshan.ModulePOSIX, "/gpfs/alpine/shared.h5", darshan.SharedRank, 8*units.MiB, 0)
+	}))
+	return logs
+}
+
+// TestStateRoundTrip checks the full snapshot path the campaign checkpoint
+// relies on: State → gob → NewAggregatorFromState, then further logs folded
+// into both the original and the restored aggregator, must yield reports
+// that are deeply equal.
+func TestStateRoundTrip(t *testing.T) {
+	sys := systems.NewSummit()
+	orig := NewAggregator(sys)
+	logs := stateLogs(t, sys)
+	orig.AddLog(logs[0])
+	orig.AddLog(logs[1])
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig.State()); err != nil {
+		t.Fatalf("encoding state: %v", err)
+	}
+	var st AggregatorState
+	if err := gob.NewDecoder(&buf).Decode(&st); err != nil {
+		t.Fatalf("decoding state: %v", err)
+	}
+	restored, err := NewAggregatorFromState(sys, &st)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+
+	// Both continue with the same remaining log.
+	orig.AddLog(logs[2])
+	restored.AddLog(logs[2])
+
+	ra, rb := orig.Report(), restored.Report()
+	if !reflect.DeepEqual(ra, rb) {
+		t.Errorf("restored report differs:\n orig %+v\n rest %+v", ra, rb)
+	}
+}
+
+// TestStateSnapshotIsolation checks a snapshot is unaffected by later
+// AddLog calls on the source aggregator.
+func TestStateSnapshotIsolation(t *testing.T) {
+	sys := systems.NewSummit()
+	a := NewAggregator(sys)
+	logs := stateLogs(t, sys)
+	a.AddLog(logs[0])
+	st := a.State()
+	before := st.Layers[0].Files
+	a.AddLog(logs[1])
+	a.AddLog(logs[2])
+	if st.Layers[0].Files != before || st.Logs != 1 {
+		t.Error("snapshot mutated by post-snapshot AddLog")
+	}
+	r1, err := NewAggregatorFromState(sys, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r1.Report().Summary.Logs; got != 1 {
+		t.Errorf("restored snapshot has %d logs, want 1", got)
+	}
+}
+
+// TestStateSystemMismatch checks restore refuses a foreign snapshot.
+func TestStateSystemMismatch(t *testing.T) {
+	a := NewAggregator(systems.NewSummit())
+	if _, err := NewAggregatorFromState(systems.NewCori(), a.State()); err == nil {
+		t.Error("expected error restoring a Summit snapshot onto Cori")
+	}
+}

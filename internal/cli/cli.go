@@ -1,0 +1,42 @@
+// Package cli holds plumbing shared by the command-line binaries.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ExitInterrupted is the conventional exit status for a run that stopped on
+// SIGINT (128 + SIGINT).
+const ExitInterrupted = 130
+
+// SignalContext returns a context cancelled by the first SIGINT or SIGTERM,
+// announcing the graceful shutdown on stderr. After the first signal the
+// handler is removed, so a second signal kills the process immediately — the
+// escape hatch when a graceful stop is taking too long.
+func SignalContext(name string) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "%s: %s — stopping gracefully, flushing partial results (signal again to abort)\n", name, sig)
+			cancel()
+		case <-ctx.Done():
+		}
+		signal.Stop(ch)
+		signal.Reset(os.Interrupt, syscall.SIGTERM)
+	}()
+	return ctx, cancel
+}
+
+// Interrupted reports whether err is the context cancellation a
+// SignalContext shutdown produces.
+func Interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,314 @@
+// Campaign checkpointing. A campaign is resumable because job i is a pure
+// function of (Config.Seed, i): no RNG cursor needs saving, only the set of
+// completed jobs and the statistics accumulated from them. The checkpoint
+// therefore captures (a) the campaign identity (system + full workload
+// config, so resume needs no flags), (b) the done-job set, (c) the merged
+// AggregatorState, fault outcome, and failed-job list, and (d) the durable
+// byte offset of the -save archive, if any. All statistics are exact sums,
+// counts, or sample multisets, and gob round-trips float64 bit-exactly, so
+// a resumed campaign's final report is byte-identical to an uninterrupted
+// run at any worker count.
+//
+// Execution is batched: jobs run through the worker pool CheckpointEvery at
+// a time, with a checkpoint written at each batch boundary while every
+// worker is quiescent. On context cancellation workers finish their current
+// job and stop; because each worker records exactly which jobs it
+// completed, the cancellation checkpoint captures the precise mid-batch
+// done set rather than rounding down to the last boundary.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/checkpoint"
+	"iolayers/internal/workload"
+)
+
+// CampaignMeta identifies a campaign well enough to rebuild it: resume
+// reconstructs the Campaign from the checkpoint alone, so -resume needs no
+// accompanying flags (and cannot silently disagree with them).
+type CampaignMeta struct {
+	SystemName string
+	Config     workload.Config
+	// Workers records the original pool size, informational only: the
+	// report does not depend on it, and resume may use any worker count.
+	Workers int
+}
+
+// CampaignCheckpoint is the persisted state of a partially-run campaign.
+type CampaignCheckpoint struct {
+	Meta CampaignMeta
+	// Done[i] reports whether job i is fully accounted (its logs sunk and
+	// aggregated, or its failure recorded).
+	Done []bool
+	// FailedJobs lists jobs whose generation failed, sorted.
+	FailedJobs []int
+	// Fault is the merged fault outcome over completed jobs.
+	Fault workload.FaultOutcome
+	// Agg is the merged aggregator state over completed jobs.
+	Agg *analysis.AggregatorState
+	// ArchiveBytes and ArchiveEntries record the -save archive's durable
+	// size at checkpoint time; resume truncates the archive to this offset
+	// before appending (jobs after it are not in Done and regenerate).
+	ArchiveBytes   int64
+	ArchiveEntries int
+}
+
+// JobsDone counts completed jobs.
+func (ck *CampaignCheckpoint) JobsDone() int {
+	n := 0
+	for _, d := range ck.Done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// LoadCampaignCheckpoint reads a campaign checkpoint written by a prior
+// RunCheckpointed.
+func LoadCampaignCheckpoint(path string) (*CampaignCheckpoint, error) {
+	var ck CampaignCheckpoint
+	if err := checkpoint.Load(path, &ck); err != nil {
+		return nil, err
+	}
+	if ck.Meta.SystemName == "" || len(ck.Done) == 0 {
+		return nil, fmt.Errorf("core: %s is not a campaign checkpoint", path)
+	}
+	return &ck, nil
+}
+
+// ResumeCampaign rebuilds the campaign a checkpoint belongs to. The caller
+// may adjust Workers on the result; everything else must come from the
+// checkpoint for the resumed report to match.
+func ResumeCampaign(ck *CampaignCheckpoint) (*Campaign, error) {
+	c, err := NewCampaign(ck.Meta.SystemName, ck.Meta.Config)
+	if err != nil {
+		return nil, err
+	}
+	c.Workers = ck.Meta.Workers
+	return c, nil
+}
+
+// RunOptions configures a checkpointed campaign run.
+type RunOptions struct {
+	// Sink receives every generated log (may be nil).
+	Sink LogSink
+	// CheckpointPath enables checkpointing: the file is atomically
+	// rewritten at every batch boundary and on cancellation, and removed
+	// when the campaign completes.
+	CheckpointPath string
+	// CheckpointEvery is the batch size in jobs between checkpoints
+	// (default 512 when checkpointing is enabled).
+	CheckpointEvery int
+	// Resume continues from a prior checkpoint's state instead of starting
+	// fresh. The campaign must match the checkpoint (use ResumeCampaign).
+	Resume *CampaignCheckpoint
+	// SyncSink, when set, is called before each checkpoint write to flush
+	// the sink to durable storage; the returned byte offset and entry
+	// count are recorded in the checkpoint (see ArchiveBytes).
+	SyncSink func() (bytes int64, entries int, err error)
+}
+
+// defaultCheckpointEvery is the batch size when the caller enables
+// checkpointing without choosing one.
+const defaultCheckpointEvery = 512
+
+// RunCheckpointed runs the campaign under ctx with optional checkpointing
+// and resume. On cancellation it returns the partial report alongside
+// ctx's error — the statistics over every job completed before the stop —
+// after persisting a resumable checkpoint (when CheckpointPath is set).
+func (c *Campaign) RunCheckpointed(ctx context.Context, opts RunOptions) (*analysis.Report, error) {
+	gen, err := workload.NewGenerator(c.Profile, c.System, c.Config)
+	if err != nil {
+		return nil, err
+	}
+	n := gen.Jobs()
+
+	done := make([]bool, n)
+	var failedJobs []int
+	var foTotal workload.FaultOutcome
+	total := analysis.NewAggregator(c.System)
+	total.LargeJobProcs = c.Profile.LargeJobProcs
+	if ck := opts.Resume; ck != nil {
+		if ck.Meta.SystemName != c.System.Name {
+			return nil, fmt.Errorf("core: checkpoint is for system %q, campaign is %q",
+				ck.Meta.SystemName, c.System.Name)
+		}
+		if len(ck.Done) != n {
+			return nil, fmt.Errorf("core: checkpoint covers %d jobs, campaign has %d (config mismatch)",
+				len(ck.Done), n)
+		}
+		copy(done, ck.Done)
+		failedJobs = append(failedJobs, ck.FailedJobs...)
+		foTotal = ck.Fault
+		if ck.Agg != nil {
+			if total, err = analysis.NewAggregatorFromState(c.System, ck.Agg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var pending []int
+	for i := 0; i < n; i++ {
+		if !done[i] {
+			pending = append(pending, i)
+		}
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	writeCk := func() error {
+		if opts.CheckpointPath == "" {
+			return nil
+		}
+		ck := &CampaignCheckpoint{
+			Meta:       CampaignMeta{SystemName: c.System.Name, Config: c.Config, Workers: c.Workers},
+			Done:       append([]bool(nil), done...),
+			FailedJobs: append([]int(nil), failedJobs...),
+			Fault:      foTotal,
+			Agg:        total.State(),
+		}
+		if opts.SyncSink != nil {
+			b, e, err := opts.SyncSink()
+			if err != nil {
+				return fmt.Errorf("core: syncing sink for checkpoint: %w", err)
+			}
+			ck.ArchiveBytes, ck.ArchiveEntries = b, e
+		}
+		return checkpoint.Save(opts.CheckpointPath, ck)
+	}
+
+	batch := opts.CheckpointEvery
+	if opts.CheckpointPath == "" {
+		batch = len(pending) // no checkpoints: one batch
+	} else if batch <= 0 {
+		batch = defaultCheckpointEvery
+	}
+
+	for start := 0; start < len(pending); start += batch {
+		end := start + batch
+		if end > len(pending) {
+			end = len(pending)
+		}
+		slice := pending[start:end]
+
+		w := workers
+		if w > len(slice) {
+			w = len(slice)
+		}
+		jobs := make(chan int, len(slice))
+		for _, i := range slice {
+			jobs <- i
+		}
+		close(jobs)
+
+		aggs := make([]*analysis.Aggregator, w)
+		fouts := make([]workload.FaultOutcome, w)
+		errsW := make([]error, w)
+		doneBy := make([][]int, w)
+		failBy := make([][]int, w)
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			aggs[wi] = analysis.NewAggregator(c.System)
+			aggs[wi].LargeJobProcs = c.Profile.LargeJobProcs
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				for i := range jobs {
+					// Cancellation: stop picking up jobs; the ones already
+					// recorded in doneBy stay accounted.
+					if ctx.Err() != nil {
+						return
+					}
+					// A job whose generation dies (e.g. under an injected
+					// fault it cannot absorb) is demoted to a reported
+					// failure; the campaign keeps going.
+					logs, fo, jobErr := gen.GenerateJobSafe(i)
+					if jobErr != nil {
+						failBy[wi] = append(failBy[wi], i)
+						continue
+					}
+					fouts[wi].Merge(&fo)
+					for li, log := range logs {
+						if opts.Sink != nil {
+							if err := opts.Sink(i, li, log); err != nil {
+								errsW[wi] = fmt.Errorf("core: sink failed on job %d log %d: %w", i, li, err)
+								return
+							}
+						}
+						aggs[wi].AddLog(log)
+					}
+					doneBy[wi] = append(doneBy[wi], i)
+				}
+			}(wi)
+		}
+		wg.Wait()
+
+		// Fold the batch in worker-index order. The report does not depend
+		// on this order (all statistics are partition-invariant); the fixed
+		// order keeps the fold itself deterministic.
+		for wi := 0; wi < w; wi++ {
+			total.Merge(aggs[wi])
+			foTotal.Merge(&fouts[wi])
+			for _, i := range doneBy[wi] {
+				done[i] = true
+			}
+			for _, i := range failBy[wi] {
+				done[i] = true
+				failedJobs = append(failedJobs, i)
+			}
+		}
+		sort.Ints(failedJobs)
+		for wi := 0; wi < w; wi++ {
+			if errsW[wi] != nil {
+				// A sink failure poisons the persisted campaign; do not
+				// checkpoint over it.
+				return nil, errsW[wi]
+			}
+		}
+
+		if err := ctx.Err(); err != nil {
+			// Graceful shutdown: persist exactly what completed, then hand
+			// back a valid partial report alongside the cancellation error.
+			if ckErr := writeCk(); ckErr != nil {
+				return nil, errors.Join(err, ckErr)
+			}
+			return c.finishReport(total, &foTotal, failedJobs), err
+		}
+		if end < len(pending) {
+			if err := writeCk(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	rep := c.finishReport(total, &foTotal, failedJobs)
+	if opts.CheckpointPath != "" {
+		// The campaign is complete; a stale checkpoint would invite
+		// resuming into a finished run.
+		removeCheckpoint(opts.CheckpointPath)
+	}
+	return rep, nil
+}
+
+// removeCheckpoint deletes a completed campaign's checkpoint, best effort.
+func removeCheckpoint(path string) { os.Remove(path) }
+
+// finishReport renders the aggregate and attaches the fault section.
+func (c *Campaign) finishReport(total *analysis.Aggregator, fo *workload.FaultOutcome, failedJobs []int) *analysis.Report {
+	rep := total.Report()
+	if c.Config.Faults != nil || len(failedJobs) > 0 {
+		rep.Faults = buildFaultReport(c.Config.Faults, fo, failedJobs)
+	}
+	return rep
+}

@@ -10,10 +10,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
 
 	"iolayers/internal/analysis"
 	"iolayers/internal/darshan"
@@ -55,85 +53,14 @@ func NewCampaign(systemName string, cfg workload.Config) (*Campaign, error) {
 // Run synthesizes and analyzes the whole campaign. If sink is non-nil it is
 // invoked for every log (e.g. to persist it); the analysis runs regardless.
 func (c *Campaign) Run(sink LogSink) (*analysis.Report, error) {
-	gen, err := workload.NewGenerator(c.Profile, c.System, c.Config)
-	if err != nil {
-		return nil, err
-	}
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > gen.Jobs() {
-		workers = gen.Jobs()
-	}
+	return c.RunContext(context.Background(), sink)
+}
 
-	// Pre-fill the job queue so a worker that aborts early (sink error)
-	// can simply return without deadlocking the producer.
-	jobs := make(chan int, gen.Jobs())
-	for i := 0; i < gen.Jobs(); i++ {
-		jobs <- i
-	}
-	close(jobs)
-
-	aggs := make([]*analysis.Aggregator, workers)
-	errs := make([]error, workers)
-	fouts := make([]workload.FaultOutcome, workers)
-	failed := make([][]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		aggs[w] = analysis.NewAggregator(c.System)
-		aggs[w].LargeJobProcs = c.Profile.LargeJobProcs
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := range jobs {
-				// A job whose generation dies (e.g. under an injected fault
-				// it cannot absorb) is demoted to a reported failure; the
-				// campaign keeps going.
-				logs, fo, jobErr := gen.GenerateJobSafe(i)
-				if jobErr != nil {
-					failed[w] = append(failed[w], i)
-					continue
-				}
-				fouts[w].Merge(&fo)
-				for li, log := range logs {
-					if sink != nil {
-						if err := sink(i, li, log); err != nil {
-							errs[w] = fmt.Errorf("core: sink failed on job %d log %d: %w", i, li, err)
-							return
-						}
-					}
-					aggs[w].AddLog(log)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	total := aggs[0]
-	for _, a := range aggs[1:] {
-		total.Merge(a)
-	}
-	rep := total.Report()
-
-	var fo workload.FaultOutcome
-	for w := range fouts {
-		fo.Merge(&fouts[w])
-	}
-	var failedJobs []int
-	for _, f := range failed {
-		failedJobs = append(failedJobs, f...)
-	}
-	sort.Ints(failedJobs)
-	if c.Config.Faults != nil || len(failedJobs) > 0 {
-		rep.Faults = buildFaultReport(c.Config.Faults, &fo, failedJobs)
-	}
-	return rep, nil
+// RunContext is Run under a context: cancellation stops the workers at the
+// next job boundary and returns the partial report over completed jobs
+// alongside ctx's error. For checkpointing and resume, use RunCheckpointed.
+func (c *Campaign) RunContext(ctx context.Context, sink LogSink) (*analysis.Report, error) {
+	return c.RunCheckpointed(ctx, RunOptions{Sink: sink})
 }
 
 // maxReportedFailedJobs caps how many failed job indices the report lists.
@@ -170,13 +97,20 @@ func buildFaultReport(sched *faults.Schedule, fo *workload.FaultOutcome, failedJ
 // RunStudy runs the standard two-system study (Summit and Cori) at the
 // given configuration and returns the reports keyed by system name.
 func RunStudy(cfg workload.Config) (map[string]*analysis.Report, error) {
+	return RunStudyContext(context.Background(), cfg)
+}
+
+// RunStudyContext is RunStudy under a context. Cancellation aborts between
+// (or within) campaigns; partial per-system reports are not returned — a
+// study is only meaningful complete.
+func RunStudyContext(ctx context.Context, cfg workload.Config) (map[string]*analysis.Report, error) {
 	out := make(map[string]*analysis.Report, 2)
 	for _, name := range []string{"Summit", "Cori"} {
 		campaign, err := NewCampaign(name, cfg)
 		if err != nil {
 			return nil, err
 		}
-		report, err := campaign.Run(nil)
+		report, err := campaign.RunContext(ctx, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s campaign: %w", name, err)
 		}

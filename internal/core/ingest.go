@@ -1,15 +1,23 @@
 // Parallel log ingestion: the darshan-util half of the pipeline at campaign
 // scale. IngestDir and IngestArchive fan logs out to a fixed worker pool in
 // which each worker owns a private analysis.Aggregator; the partials merge
-// via Aggregator.Merge after the pool drains — the same deterministic model
-// Run uses for synthesis (DESIGN.md §7).
+// via Aggregator.Merge — the same deterministic model Run uses for
+// synthesis (DESIGN.md §7).
 //
-// Determinism: log i is assigned to worker i mod workers (static sharding,
-// one channel per worker), and partial aggregates merge in worker-index
-// order. The result for a given worker count is therefore independent of
-// goroutine scheduling, and the rendered report is identical across worker
-// counts (all discrete statistics are exact integer sums; see
+// Determinism: within a batch, item k is assigned to worker k mod workers
+// (static sharding, one channel per worker), and partial aggregates merge
+// in worker-index order. The result for a given worker count is therefore
+// independent of goroutine scheduling, and the rendered report is identical
+// across worker counts (all discrete statistics are exact integer sums; see
 // TestIngestDeterministicAcrossWorkerCounts).
+//
+// Robustness (DESIGN.md §9): ingestion treats its input as untrusted.
+// Decoding runs under logfmt.DecodeLimits, undecodable logs can be
+// quarantined aside with a manifest instead of silently skipped, progress
+// checkpoints atomically every CheckpointEvery entries (resume re-processes
+// nothing and reproduces the uninterrupted report byte-for-byte), and
+// context cancellation stops the pass at a batch boundary with a valid
+// partial report.
 //
 // Memory: archives are streamed entry by entry — the dispatcher walks the
 // length-prefixed framing sequentially (cheap) and hands raw entries to the
@@ -21,6 +29,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +40,7 @@ import (
 	"sync"
 
 	"iolayers/internal/analysis"
+	"iolayers/internal/checkpoint"
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
 	"iolayers/internal/iosim"
@@ -43,7 +53,27 @@ type IngestOptions struct {
 	// LargeJobProcs overrides the large-job threshold (0 keeps the
 	// aggregator default of 1024).
 	LargeJobProcs int
+	// Limits bounds what the decoder will allocate on behalf of each log;
+	// zero fields take logfmt.DefaultLimits.
+	Limits logfmt.DecodeLimits
+	// QuarantineDir, when non-empty, receives every undecodable log —
+	// moved aside in directory mode, extracted in archive mode — plus an
+	// appended MANIFEST.tsv line per log (see quarantine).
+	QuarantineDir string
+	// CheckpointPath enables checkpointing: progress is atomically
+	// persisted every CheckpointEvery entries, and the file is removed when
+	// the pass completes.
+	CheckpointPath string
+	// CheckpointEvery is the batch size in entries between checkpoints
+	// (default 4096 when checkpointing is enabled).
+	CheckpointEvery int
+	// Resume continues a prior pass from its checkpoint.
+	Resume *IngestCheckpoint
 }
+
+// defaultIngestBatch is the checkpoint batch size when the caller enables
+// checkpointing without choosing one.
+const defaultIngestBatch = 4096
 
 // IngestFailure records one log that could not be parsed.
 type IngestFailure struct {
@@ -61,8 +91,50 @@ const MaxRecordedFailures = 20
 type IngestResult struct {
 	Parsed int
 	Failed int
+	// Quarantined counts logs moved to QuarantineDir.
+	Quarantined int
 	// Failures holds the first MaxRecordedFailures failures in input order.
 	Failures []IngestFailure
+}
+
+// IngestFailureRecord is the serializable form of an IngestFailure.
+type IngestFailureRecord struct {
+	Source string
+	Err    string
+}
+
+// IngestCheckpoint is the persisted state of a partially-complete
+// ingestion pass. EntriesDone is a strict prefix: every input with index
+// < EntriesDone is fully accounted (parsed, failed, or quarantined), and
+// none at or beyond it are.
+type IngestCheckpoint struct {
+	System string
+	// Mode is "dir" or "archive".
+	Mode   string
+	Source string
+	// Paths freezes directory mode's sorted input list: quarantined files
+	// are gone from the directory, so resume must not re-glob.
+	Paths         []string
+	EntriesDone   int
+	Parsed        int
+	Failed        int
+	Quarantined   int
+	Failures      []IngestFailureRecord
+	LargeJobProcs int
+	Agg           *analysis.AggregatorState
+}
+
+// LoadIngestCheckpoint reads an ingestion checkpoint written by a prior
+// IngestDir or IngestArchive pass.
+func LoadIngestCheckpoint(path string) (*IngestCheckpoint, error) {
+	var ck IngestCheckpoint
+	if err := checkpoint.Load(path, &ck); err != nil {
+		return nil, err
+	}
+	if ck.Mode != "dir" && ck.Mode != "archive" {
+		return nil, fmt.Errorf("core: %s is not an ingestion checkpoint", path)
+	}
+	return &ck, nil
 }
 
 // ingestItem is one unit of work: either a path to open (directory mode) or
@@ -75,96 +147,86 @@ type ingestItem struct {
 }
 
 // indexedFailure keeps input order across workers for deterministic
-// reporting.
+// reporting and carries the failed item for quarantining.
 type indexedFailure struct {
 	index int
 	f     IngestFailure
+	item  ingestItem
 }
 
-// ingestPool runs the worker pool over a stream of items produced by
-// dispatch. dispatch must send item i to work[i%len(work)] and close every
-// channel when done (or on its own error).
-func ingestPool(sys *iosim.System, opts IngestOptions,
-	dispatch func(work []chan ingestItem) error) (*analysis.Report, IngestResult, error) {
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	work := make([]chan ingestItem, workers)
-	for w := range work {
-		// A shallow buffer keeps workers fed without queueing unbounded
-		// undecoded entries.
-		work[w] = make(chan ingestItem, 4)
-	}
-
-	aggs := make([]*analysis.Aggregator, workers)
-	parsed := make([]int, workers)
-	failures := make([][]indexedFailure, workers)
-	failed := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		aggs[w] = analysis.NewAggregator(sys)
-		if opts.LargeJobProcs > 0 {
-			aggs[w].LargeJobProcs = opts.LargeJobProcs
-		}
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var br bytes.Reader
-			for item := range work[w] {
-				if err := consumeItem(&br, aggs[w], item); err != nil {
-					failed[w]++
-					if len(failures[w]) < MaxRecordedFailures {
-						failures[w] = append(failures[w], indexedFailure{
-							index: item.index,
-							f:     IngestFailure{Source: item.source, Err: err},
-						})
-					}
-					continue
-				}
-				parsed[w]++
-			}
-		}(w)
-	}
-
-	dispatchErr := dispatch(work)
-	wg.Wait()
-
-	var res IngestResult
-	total := aggs[0]
-	for w, a := range aggs {
-		if w > 0 {
-			total.Merge(a)
-		}
-		res.Parsed += parsed[w]
-		res.Failed += failed[w]
-	}
-	var all []indexedFailure
-	for _, fs := range failures {
-		all = append(all, fs...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].index < all[j].index })
-	if len(all) > MaxRecordedFailures {
-		all = all[:MaxRecordedFailures]
-	}
-	for _, f := range all {
-		res.Failures = append(res.Failures, f.f)
-	}
-	return total.Report(), res, dispatchErr
+// quarantine moves undecodable logs aside and records each in a
+// tab-separated manifest (source, quarantined path, error kind, detail).
+// All writes happen on the coordinator goroutine, between batches.
+type quarantine struct {
+	dir      string
+	manifest *os.File
 }
 
-// consumeItem parses one item and folds it into agg. Unlike synthesis,
-// ingestion consumes external files, so invariant panics from aggregation —
-// iosim.System.LayerFor on a path outside the system's mounts, as happens
-// when a log is analyzed against the wrong -system — are demoted to
-// per-log errors rather than crashing the pass. A log that fails partway
-// through AddLog may leave a partial contribution in agg; callers already
-// treat a report with failures as best-effort, and the common wrong-system
-// case fails every log, which IngestDir/IngestArchive callers reject
-// outright (Parsed == 0).
-func consumeItem(br *bytes.Reader, agg *analysis.Aggregator, item ingestItem) (err error) {
+func newQuarantine(dir string) (*quarantine, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating quarantine dir: %w", err)
+	}
+	m, err := os.OpenFile(filepath.Join(dir, "MANIFEST.tsv"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening quarantine manifest: %w", err)
+	}
+	return &quarantine{dir: dir, manifest: m}, nil
+}
+
+// errKind names the failure class for the manifest: the logfmt taxonomy
+// when available, "error" otherwise.
+func errKind(err error) string {
+	var de *logfmt.DecodeError
+	if errors.As(err, &de) {
+		return de.Kind.String()
+	}
+	return "error"
+}
+
+// add quarantines one failed item: directory-mode items are moved (their
+// path leaves the input directory), archive-mode items are extracted from
+// the raw entry bytes.
+func (q *quarantine) add(fail indexedFailure) error {
+	var dst string
+	if fail.item.path != "" {
+		dst = filepath.Join(q.dir, filepath.Base(fail.item.path))
+		if _, err := os.Lstat(dst); err == nil {
+			dst = filepath.Join(q.dir, fmt.Sprintf("%06d-%s", fail.index, filepath.Base(fail.item.path)))
+		}
+		if err := os.Rename(fail.item.path, dst); err != nil {
+			return fmt.Errorf("core: quarantining %s: %w", fail.item.path, err)
+		}
+	} else {
+		dst = filepath.Join(q.dir, fmt.Sprintf("entry-%06d.darshan", fail.index))
+		if err := os.WriteFile(dst, fail.item.raw, 0o644); err != nil {
+			return fmt.Errorf("core: quarantining %s: %w", fail.f.Source, err)
+		}
+	}
+	_, err := fmt.Fprintf(q.manifest, "%s\t%s\t%s\t%s\n",
+		fail.f.Source, dst, errKind(fail.f.Err), fail.f.Err)
+	if err != nil {
+		return fmt.Errorf("core: appending quarantine manifest: %w", err)
+	}
+	return nil
+}
+
+// sync flushes the manifest before a checkpoint is written, so a resumed
+// pass never re-quarantines an already-manifested log.
+func (q *quarantine) sync() error { return q.manifest.Sync() }
+
+func (q *quarantine) close() { q.manifest.Close() }
+
+// consumeItem parses one item under lim and folds it into agg. Unlike
+// synthesis, ingestion consumes external files, so invariant panics from
+// aggregation — iosim.System.LayerFor on a path outside the system's
+// mounts, as happens when a log is analyzed against the wrong -system — are
+// demoted to per-log errors rather than crashing the pass. A log that fails
+// partway through AddLog may leave a partial contribution in agg; callers
+// already treat a report with failures as best-effort, and the common
+// wrong-system case fails every log, which IngestDir/IngestArchive callers
+// reject outright (Parsed == 0).
+func consumeItem(br *bytes.Reader, agg *analysis.Aggregator, lim logfmt.DecodeLimits, item ingestItem) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: analyzing log: %v", r)
@@ -172,10 +234,10 @@ func consumeItem(br *bytes.Reader, agg *analysis.Aggregator, item ingestItem) (e
 	}()
 	var log *darshan.Log
 	if item.path != "" {
-		log, err = logfmt.ReadFile(item.path)
+		log, err = logfmt.ReadFileWithLimits(item.path, lim)
 	} else {
 		br.Reset(item.raw)
-		log, err = logfmt.Read(br)
+		log, err = logfmt.ReadWithLimits(br, lim)
 	}
 	if err != nil {
 		return err
@@ -184,69 +246,411 @@ func consumeItem(br *bytes.Reader, agg *analysis.Aggregator, item ingestItem) (e
 	return nil
 }
 
+// batchResult carries one batch's outcome back to the coordinator.
+type batchResult struct {
+	aggs      []*analysis.Aggregator
+	parsed    int
+	failures  []indexedFailure // all of the batch's failures, index-sorted
+	failed    int
+	count     int // items dispatched
+	cancelled bool
+	streamErr error // framing error from the item source
+}
+
+// ingestCoordinator accumulates a pass's running state across batches.
+type ingestCoordinator struct {
+	sys  *iosim.System
+	opts IngestOptions
+	lim  logfmt.DecodeLimits
+
+	mode   string
+	source string
+	paths  []string // dir mode only
+
+	total       *analysis.Aggregator
+	parsed      int
+	failed      int
+	quarantined int
+	failures    []IngestFailure
+	entriesDone int
+	quar        *quarantine
+}
+
+func newIngestCoordinator(sys *iosim.System, opts IngestOptions, mode, source string) (*ingestCoordinator, error) {
+	ic := &ingestCoordinator{
+		sys: sys, opts: opts, lim: opts.Limits,
+		mode: mode, source: source,
+		total: analysis.NewAggregator(sys),
+	}
+	if opts.LargeJobProcs > 0 {
+		ic.total.LargeJobProcs = opts.LargeJobProcs
+	}
+	if ck := opts.Resume; ck != nil {
+		if ck.System != sys.Name {
+			return nil, fmt.Errorf("core: checkpoint is for system %q, pass is %q", ck.System, sys.Name)
+		}
+		if ck.Mode != mode {
+			return nil, fmt.Errorf("core: checkpoint is a %q pass, not %q", ck.Mode, mode)
+		}
+		ic.paths = ck.Paths
+		ic.entriesDone = ck.EntriesDone
+		ic.parsed = ck.Parsed
+		ic.failed = ck.Failed
+		ic.quarantined = ck.Quarantined
+		for _, f := range ck.Failures {
+			ic.failures = append(ic.failures, IngestFailure{Source: f.Source, Err: errors.New(f.Err)})
+		}
+		if ck.Agg != nil {
+			var err error
+			if ic.total, err = analysis.NewAggregatorFromState(sys, ck.Agg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if opts.QuarantineDir != "" {
+		var err error
+		if ic.quar, err = newQuarantine(opts.QuarantineDir); err != nil {
+			return nil, err
+		}
+	}
+	return ic, nil
+}
+
+func (ic *ingestCoordinator) workers() int {
+	if ic.opts.Workers > 0 {
+		return ic.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (ic *ingestCoordinator) batchSize() int {
+	if ic.opts.CheckpointPath == "" {
+		return 0 // unbatched: single pass over everything
+	}
+	if ic.opts.CheckpointEvery > 0 {
+		return ic.opts.CheckpointEvery
+	}
+	return defaultIngestBatch
+}
+
+// writeCheckpoint persists the coordinator's current (batch-boundary)
+// state. The quarantine manifest is synced first so the on-disk checkpoint
+// never claims more progress than the manifest records.
+func (ic *ingestCoordinator) writeCheckpoint() error {
+	if ic.opts.CheckpointPath == "" {
+		return nil
+	}
+	if ic.quar != nil {
+		if err := ic.quar.sync(); err != nil {
+			return fmt.Errorf("core: syncing quarantine manifest: %w", err)
+		}
+	}
+	ck := &IngestCheckpoint{
+		System: ic.sys.Name, Mode: ic.mode, Source: ic.source,
+		Paths: ic.paths, EntriesDone: ic.entriesDone,
+		Parsed: ic.parsed, Failed: ic.failed, Quarantined: ic.quarantined,
+		LargeJobProcs: ic.opts.LargeJobProcs,
+		Agg:           ic.total.State(),
+	}
+	for _, f := range ic.failures {
+		ck.Failures = append(ck.Failures, IngestFailureRecord{Source: f.Source, Err: f.Err.Error()})
+	}
+	return checkpoint.Save(ic.opts.CheckpointPath, ck)
+}
+
+// runBatch pulls up to max items (0 = unlimited) from next and runs them
+// through a fresh worker pool. next returns ok=false at end of input and a
+// non-nil error on a stream-level failure (archive framing damage).
+func (ic *ingestCoordinator) runBatch(ctx context.Context, max int,
+	next func() (ingestItem, bool, error)) batchResult {
+
+	w := ic.workers()
+	if max > 0 && w > max {
+		w = max
+	}
+	work := make([]chan ingestItem, w)
+	for i := range work {
+		// A shallow buffer keeps workers fed without queueing unbounded
+		// undecoded entries.
+		work[i] = make(chan ingestItem, 4)
+	}
+
+	keepAll := ic.quar != nil
+	res := batchResult{aggs: make([]*analysis.Aggregator, w)}
+	parsedW := make([]int, w)
+	failedW := make([]int, w)
+	failsW := make([][]indexedFailure, w)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		res.aggs[wi] = analysis.NewAggregator(ic.sys)
+		if ic.opts.LargeJobProcs > 0 {
+			res.aggs[wi].LargeJobProcs = ic.opts.LargeJobProcs
+		}
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			var br bytes.Reader
+			for item := range work[wi] {
+				if ctx.Err() != nil {
+					continue // cancelled: drain without processing
+				}
+				if err := consumeItem(&br, res.aggs[wi], ic.lim, item); err != nil {
+					failedW[wi]++
+					if keepAll || len(failsW[wi]) < MaxRecordedFailures {
+						failsW[wi] = append(failsW[wi], indexedFailure{
+							index: item.index,
+							f:     IngestFailure{Source: item.source, Err: err},
+							item:  item,
+						})
+					}
+					continue
+				}
+				parsedW[wi]++
+			}
+		}(wi)
+	}
+
+dispatch:
+	for max <= 0 || res.count < max {
+		if ctx.Err() != nil {
+			res.cancelled = true
+			break
+		}
+		item, ok, err := next()
+		if err != nil {
+			res.streamErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		select {
+		case work[res.count%w] <- item:
+			res.count++
+		case <-ctx.Done():
+			res.cancelled = true
+			break dispatch
+		}
+	}
+	for _, ch := range work {
+		close(ch)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		res.cancelled = true
+	}
+
+	for wi := 0; wi < w; wi++ {
+		res.parsed += parsedW[wi]
+		res.failed += failedW[wi]
+		res.failures = append(res.failures, failsW[wi]...)
+	}
+	sort.Slice(res.failures, func(i, j int) bool { return res.failures[i].index < res.failures[j].index })
+	return res
+}
+
+// fold merges a completed (non-cancelled) batch into the running state:
+// aggregates, counts, recorded failures, and quarantine actions.
+func (ic *ingestCoordinator) fold(res *batchResult) error {
+	for _, a := range res.aggs {
+		ic.total.Merge(a)
+	}
+	ic.parsed += res.parsed
+	ic.failed += res.failed
+	for _, fail := range res.failures {
+		if len(ic.failures) < MaxRecordedFailures {
+			ic.failures = append(ic.failures, fail.f)
+		}
+		if ic.quar != nil {
+			if err := ic.quar.add(fail); err != nil {
+				return err
+			}
+			ic.quarantined++
+		}
+	}
+	ic.entriesDone += res.count
+	return nil
+}
+
+// result renders the final (or partial) report and result.
+func (ic *ingestCoordinator) result() (*analysis.Report, IngestResult) {
+	return ic.total.Report(), IngestResult{
+		Parsed: ic.parsed, Failed: ic.failed,
+		Quarantined: ic.quarantined,
+		Failures:    ic.failures,
+	}
+}
+
+// cancel handles a batch interrupted by context cancellation: the
+// checkpoint keeps the pre-batch state (the partial batch re-processes on
+// resume — nothing from it is quarantined or counted as done), while the
+// returned report folds the partial batch in so the shutdown still flushes
+// everything that was actually analyzed.
+func (ic *ingestCoordinator) cancel(ctx context.Context, res *batchResult) (*analysis.Report, IngestResult, error) {
+	if err := ic.writeCheckpoint(); err != nil {
+		return nil, IngestResult{}, errors.Join(ctx.Err(), err)
+	}
+	for _, a := range res.aggs {
+		ic.total.Merge(a)
+	}
+	ic.parsed += res.parsed
+	ic.failed += res.failed
+	for _, fail := range res.failures {
+		if len(ic.failures) < MaxRecordedFailures {
+			ic.failures = append(ic.failures, fail.f)
+		}
+	}
+	rep, ir := ic.result()
+	return rep, ir, ctx.Err()
+}
+
+// finish completes a pass: final fold already done, remove the checkpoint
+// (nothing left to resume) and close the quarantine.
+func (ic *ingestCoordinator) finish() {
+	if ic.opts.CheckpointPath != "" {
+		removeCheckpoint(ic.opts.CheckpointPath)
+	}
+	if ic.quar != nil {
+		ic.quar.close()
+	}
+}
+
 // IngestDir parses every *.darshan log under dir in parallel and returns
-// the aggregate report. Unparseable logs are counted and reported in the
-// result, not fatal. A directory with no matching logs yields a zero
-// result and no error; callers decide whether that is fatal.
-func IngestDir(sys *iosim.System, dir string, opts IngestOptions) (*analysis.Report, IngestResult, error) {
+// the aggregate report. Unparseable logs are counted, reported in the
+// result, and (with QuarantineDir) moved aside — not fatal. A directory
+// with no matching logs yields a zero result and no error; callers decide
+// whether that is fatal. Cancellation returns the partial report alongside
+// ctx's error; with CheckpointPath set the pass is resumable.
+func IngestDir(ctx context.Context, sys *iosim.System, dir string, opts IngestOptions) (*analysis.Report, IngestResult, error) {
 	if sys == nil {
 		return nil, IngestResult{}, fmt.Errorf("core: nil system")
 	}
-	paths, err := filepath.Glob(filepath.Join(dir, "*.darshan"))
+	ic, err := newIngestCoordinator(sys, opts, "dir", dir)
 	if err != nil {
-		return nil, IngestResult{}, fmt.Errorf("core: listing %s: %w", dir, err)
+		return nil, IngestResult{}, err
 	}
-	sort.Strings(paths) // Glob sorts, but the determinism contract should not rest on that
-	return ingestPool(sys, opts, func(work []chan ingestItem) error {
-		for i, p := range paths {
-			work[i%len(work)] <- ingestItem{index: i, path: p, source: p}
+	if ic.paths == nil { // fresh pass (resume freezes the list in the checkpoint)
+		paths, err := filepath.Glob(filepath.Join(dir, "*.darshan"))
+		if err != nil {
+			return nil, IngestResult{}, fmt.Errorf("core: listing %s: %w", dir, err)
 		}
-		for _, ch := range work {
-			close(ch)
+		sort.Strings(paths) // Glob sorts, but the determinism contract should not rest on that
+		ic.paths = paths
+	}
+
+	for ic.entriesDone < len(ic.paths) {
+		pos := ic.entriesDone
+		max := ic.batchSize()
+		if rem := len(ic.paths) - pos; max <= 0 || max > rem {
+			max = rem
 		}
-		return nil
-	})
+		res := ic.runBatch(ctx, max, func() (ingestItem, bool, error) {
+			if pos >= len(ic.paths) {
+				return ingestItem{}, false, nil
+			}
+			p := ic.paths[pos]
+			item := ingestItem{index: pos, path: p, source: p}
+			pos++
+			return item, true, nil
+		})
+		if res.cancelled {
+			return ic.cancel(ctx, &res)
+		}
+		if err := ic.fold(&res); err != nil {
+			return nil, IngestResult{}, err
+		}
+		if ic.entriesDone < len(ic.paths) {
+			if err := ic.writeCheckpoint(); err != nil {
+				return nil, IngestResult{}, err
+			}
+		}
+	}
+	ic.finish()
+	rep, ir := ic.result()
+	return rep, ir, nil
 }
 
 // IngestArchive streams the campaign archive at path through the worker
 // pool and returns the aggregate report. Entries that fail to parse are
-// counted and reported in the result, and ingestion continues with the next
-// entry (archive framing is independent of entry contents). A framing-level
-// error — truncation, a corrupt entry length — ends the stream: everything
-// ingested up to that point is still reported, alongside the non-nil error.
-func IngestArchive(sys *iosim.System, path string, opts IngestOptions) (*analysis.Report, IngestResult, error) {
+// counted, reported in the result, and (with QuarantineDir) extracted
+// aside; ingestion continues with the next entry (archive framing is
+// independent of entry contents). A framing-level error — truncation, a
+// corrupt entry length — ends the stream: everything ingested up to that
+// point is still reported, alongside the non-nil error. Cancellation
+// returns the partial report alongside ctx's error; with CheckpointPath
+// set the pass is resumable.
+func IngestArchive(ctx context.Context, sys *iosim.System, path string, opts IngestOptions) (*analysis.Report, IngestResult, error) {
 	if sys == nil {
 		return nil, IngestResult{}, fmt.Errorf("core: nil system")
+	}
+	ic, err := newIngestCoordinator(sys, opts, "archive", path)
+	if err != nil {
+		return nil, IngestResult{}, err
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, IngestResult{}, fmt.Errorf("core: opening %s: %w", path, err)
 	}
 	defer f.Close()
-	ar, err := logfmt.NewArchiveReader(f)
+	ar, err := logfmt.NewArchiveReaderWithLimits(f, ic.lim)
 	if err != nil {
 		return nil, IngestResult{}, fmt.Errorf("core: %s: %w", path, err)
 	}
-	return ingestPool(sys, opts, func(work []chan ingestItem) error {
-		defer func() {
-			for _, ch := range work {
-				close(ch)
+	// Resume: skip the completed prefix with the cheap framing walk — no
+	// inflation, no decoding.
+	for skip := 0; skip < ic.entriesDone; skip++ {
+		if _, err := ar.NextRaw(); err != nil {
+			return nil, IngestResult{}, fmt.Errorf("core: %s: skipping to entry %d: %w", path, ic.entriesDone, err)
+		}
+	}
+
+	idx := ic.entriesDone
+	eof := false
+	nextEntry := func() (ingestItem, bool, error) {
+		raw, err := ar.NextRaw()
+		if errors.Is(err, io.EOF) {
+			eof = true
+			return ingestItem{}, false, nil
+		}
+		if err != nil {
+			return ingestItem{}, false, fmt.Errorf("core: %s entry %d: %w", path, idx, err)
+		}
+		// NextRaw's slice is scratch; hand the worker its own copy.
+		item := ingestItem{
+			index: idx, raw: append([]byte(nil), raw...),
+			source: fmt.Sprintf("%s entry %d", path, idx),
+		}
+		idx++
+		return item, true, nil
+	}
+
+	for !eof {
+		res := ic.runBatch(ctx, ic.batchSize(), nextEntry)
+		if res.cancelled {
+			return ic.cancel(ctx, &res)
+		}
+		if err := ic.fold(&res); err != nil {
+			return nil, IngestResult{}, err
+		}
+		if res.streamErr != nil {
+			// Framing damage: the processed prefix is complete and
+			// checkpointable, but nothing beyond it is reachable.
+			if err := ic.writeCheckpoint(); err != nil {
+				return nil, IngestResult{}, errors.Join(res.streamErr, err)
 			}
-		}()
-		for i := 0; ; i++ {
-			raw, err := ar.NextRaw()
-			if errors.Is(err, io.EOF) {
-				return nil
+			if ic.quar != nil {
+				ic.quar.close()
 			}
-			if err != nil {
-				return fmt.Errorf("core: %s entry %d: %w", path, i, err)
-			}
-			// NextRaw's slice is scratch; hand the worker its own copy.
-			entry := make([]byte, len(raw))
-			copy(entry, raw)
-			work[i%len(work)] <- ingestItem{
-				index: i, raw: entry, source: fmt.Sprintf("%s entry %d", path, i),
+			rep, ir := ic.result()
+			return rep, ir, res.streamErr
+		}
+		if !eof {
+			if err := ic.writeCheckpoint(); err != nil {
+				return nil, IngestResult{}, err
 			}
 		}
-	})
+	}
+	ic.finish()
+	rep, ir := ic.result()
+	return rep, ir, nil
 }

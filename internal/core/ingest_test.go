@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -75,7 +76,7 @@ func TestIngestDeterministicAcrossWorkerCounts(t *testing.T) {
 
 	var baseDir, baseArchive string
 	for _, workers := range []int{1, 2, 8} {
-		rep, res, err := IngestDir(sys, dir, IngestOptions{Workers: workers})
+		rep, res, err := IngestDir(context.Background(), sys, dir, IngestOptions{Workers: workers})
 		if err != nil {
 			t.Fatalf("IngestDir workers=%d: %v", workers, err)
 		}
@@ -90,7 +91,7 @@ func TestIngestDeterministicAcrossWorkerCounts(t *testing.T) {
 			t.Errorf("IngestDir workers=%d: report differs from workers=1", workers)
 		}
 
-		rep, res, err = IngestArchive(sys, archive, IngestOptions{Workers: workers})
+		rep, res, err = IngestArchive(context.Background(), sys, archive, IngestOptions{Workers: workers})
 		if err != nil {
 			t.Fatalf("IngestArchive workers=%d: %v", workers, err)
 		}
@@ -121,7 +122,7 @@ func TestIngestDirReportsFailures(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not a darshan log at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	rep, res, err := IngestDir(systems.NewSummit(), dir, IngestOptions{Workers: 4})
+	rep, res, err := IngestDir(context.Background(), systems.NewSummit(), dir, IngestOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestIngestWrongSystemFailsPerLogInsteadOfPanicking(t *testing.T) {
 		t.Skip("campaign generation in -short mode")
 	}
 	dir, _, count := buildCorpus(t)
-	_, res, err := IngestDir(systems.NewCori(), dir, IngestOptions{Workers: 4})
+	_, res, err := IngestDir(context.Background(), systems.NewCori(), dir, IngestOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestIngestArchiveContinuesPastCorruptEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rep, res, err := IngestArchive(systems.NewSummit(), mutated, IngestOptions{Workers: 4})
+	rep, res, err := IngestArchive(context.Background(), systems.NewSummit(), mutated, IngestOptions{Workers: 4})
 	if err != nil {
 		t.Fatalf("framing is intact, ingest should not fail terminally: %v", err)
 	}
@@ -219,7 +220,7 @@ func TestIngestArchiveTruncatedSurfacesError(t *testing.T) {
 	if err := os.WriteFile(cut, raw[:len(raw)-7], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, res, err := IngestArchive(systems.NewSummit(), cut, IngestOptions{Workers: 2})
+	_, res, err := IngestArchive(context.Background(), systems.NewSummit(), cut, IngestOptions{Workers: 2})
 	if err == nil {
 		t.Fatal("expected a framing error for a truncated archive")
 	}

@@ -26,6 +26,10 @@ import (
 // ArchiveMagic identifies a campaign archive.
 var ArchiveMagic = [4]byte{'D', 'G', 'A', 'R'}
 
+// archiveHeaderSize is the byte length of the archive header (magic +
+// version).
+const archiveHeaderSize = 6
+
 // ErrNotArchive marks a stream without the archive magic.
 var ErrNotArchive = errors.New("logfmt: not a campaign archive")
 
@@ -35,9 +39,10 @@ const maxArchiveEntry = 1 << 30
 // ArchiveWriter appends logs to a campaign archive. Close writes the
 // terminator; an unterminated archive reads as truncated.
 type ArchiveWriter struct {
-	w      *bufio.Writer
-	count  int
-	closed bool
+	w       *bufio.Writer
+	count   int
+	written int64
+	closed  bool
 }
 
 // NewArchiveWriter starts an archive on w.
@@ -49,7 +54,47 @@ func NewArchiveWriter(w io.Writer) (*ArchiveWriter, error) {
 	if err := binary.Write(bw, binary.LittleEndian, Version); err != nil {
 		return nil, fmt.Errorf("logfmt: writing archive version: %w", err)
 	}
-	return &ArchiveWriter{w: bw}, nil
+	return &ArchiveWriter{w: bw, written: archiveHeaderSize}, nil
+}
+
+// OpenArchiveAppend reopens an existing unterminated archive at path for
+// further appends, truncating it to offset bytes first — the crash-recovery
+// path of a checkpointed campaign: the checkpoint records how many archive
+// bytes were durable, and everything after (partially written entries, logs
+// from jobs the checkpoint does not cover) is discarded before resuming.
+// The header is validated; count starts at entries, the caller-recorded
+// entry count at that offset. The caller owns closing the returned file
+// after Close-ing the writer.
+func OpenArchiveAppend(path string, offset int64, entries int) (*ArchiveWriter, *os.File, error) {
+	if offset < archiveHeaderSize {
+		return nil, nil, fmt.Errorf("logfmt: archive resume offset %d is inside the header", offset)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("logfmt: opening %s for append: %w", path, err)
+	}
+	var hdr [archiveHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("logfmt: %s: reading archive header: %w", path, err)
+	}
+	if [4]byte(hdr[:4]) != ArchiveMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotArchive, path)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != Version {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: archive version %d (supported: %d)", ErrVersion, v, Version)
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("logfmt: truncating %s to %d: %w", path, offset, err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("logfmt: seeking %s: %w", path, err)
+	}
+	return &ArchiveWriter{w: bufio.NewWriter(f), written: offset, count: entries}, f, nil
 }
 
 // Append adds one log to the archive.
@@ -72,11 +117,28 @@ func (aw *ArchiveWriter) Append(log *darshan.Log) error {
 		return fmt.Errorf("logfmt: writing entry: %w", err)
 	}
 	aw.count++
+	aw.written += 4 + int64(buf.Len())
 	return nil
 }
 
 // Count returns the number of logs appended so far.
 func (aw *ArchiveWriter) Count() int { return aw.count }
+
+// Offset returns the byte length of the archive body written so far
+// (header plus complete entries, no terminator). After Flush (and an fsync
+// by the file's owner) it is the durable resume point a checkpoint can
+// record: truncating the file to Offset yields a valid unterminated archive
+// containing exactly Count entries.
+func (aw *ArchiveWriter) Offset() int64 { return aw.written }
+
+// Flush pushes buffered entries to the underlying writer without
+// terminating the archive.
+func (aw *ArchiveWriter) Flush() error {
+	if err := aw.w.Flush(); err != nil {
+		return fmt.Errorf("logfmt: flushing archive: %w", err)
+	}
+	return nil
+}
 
 // Close writes the terminator and flushes. The underlying writer is not
 // closed (the caller owns it).
@@ -104,43 +166,70 @@ func (aw *ArchiveWriter) Close() error {
 // the reader stays positioned at the following entry.
 type ArchiveReader struct {
 	r     *bufio.Reader
+	lim   DecodeLimits
 	done  bool
+	off   int64  // stream offset of the next entry frame
 	entry []byte // reused raw-entry scratch
 	br    bytes.Reader
 }
 
-// NewArchiveReader validates the header and prepares iteration.
+// NewArchiveReader validates the header and prepares iteration under
+// DefaultLimits.
 func NewArchiveReader(r io.Reader) (*ArchiveReader, error) {
+	return NewArchiveReaderWithLimits(r, DefaultLimits())
+}
+
+// NewArchiveReaderWithLimits validates the header and prepares iteration.
+// lim bounds both the entry frames (MaxArchiveEntry) and, through Next, the
+// embedded logs' sections.
+func NewArchiveReaderWithLimits(r io.Reader, lim DecodeLimits) (*ArchiveReader, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading magic: %v", ErrTruncated, err)
+		return nil, decodeErrf(KindTruncated, "archive-header", 0, "reading magic: %v", err)
 	}
 	if magic != ArchiveMagic {
 		return nil, fmt.Errorf("%w: got %q", ErrNotArchive, magic[:])
 	}
 	var version uint16
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("%w: reading version: %v", ErrTruncated, err)
+		return nil, decodeErrf(KindTruncated, "archive-header", 0, "reading version: %v", err)
 	}
 	if version != Version {
-		return nil, fmt.Errorf("%w: archive version %d (supported: %d)", ErrVersion, version, Version)
+		return nil, decodeErrf(KindBadVersion, "archive-header", 0,
+			"archive version %d (supported: %d)", version, Version)
 	}
-	return &ArchiveReader{r: br}, nil
+	return &ArchiveReader{r: br, lim: lim.sanitize(), off: archiveHeaderSize}, nil
 }
 
+// Damaged reports whether a framing error ended iteration: the stream
+// position is lost and nothing after the damage point is reachable. It is
+// false for per-entry parse errors, after which the reader remains usable.
+func (ar *ArchiveReader) Damaged() bool { return ar.done }
+
+// InputOffset returns the stream offset of the next entry frame.
+func (ar *ArchiveReader) InputOffset() int64 { return ar.off }
+
 // Next returns the next log, or io.EOF after the terminator. A parse error
-// inside a well-framed entry reports that single bad entry; the reader
-// remains usable and the next call yields the following entry. Framing
-// errors (truncation, an impossible entry length) end iteration: subsequent
-// calls return io.EOF.
+// inside a well-framed entry reports that single bad entry as a
+// *DecodeError (classified per the embedded log's damage: a log that ends
+// mid-section inside its frame is KindTruncated even though the archive
+// framing is intact — the streaming and recovery paths agree on this); the
+// reader remains usable and the next call yields the following entry.
+// Framing errors (truncation, an impossible entry length) end iteration:
+// subsequent calls return io.EOF.
 func (ar *ArchiveReader) Next() (*darshan.Log, error) {
+	entryStart := ar.off
 	raw, err := ar.NextRaw()
 	if err != nil {
 		return nil, err
 	}
 	ar.br.Reset(raw)
-	return Read(&ar.br)
+	log, err := ReadWithLimits(&ar.br, ar.lim)
+	if err != nil {
+		return nil, asDecodeError(err, "entry", entryStart)
+	}
+	return log, nil
 }
 
 // NextRaw returns the next entry's undecoded bytes, or io.EOF after the
@@ -148,29 +237,34 @@ func (ar *ArchiveReader) Next() (*darshan.Log, error) {
 // only until the following Next/NextRaw call; callers that retain it must
 // copy. This is the hand-off point for parallel ingestion: the framing walk
 // stays sequential and cheap while the expensive inflate+decode of each
-// entry can run elsewhere.
+// entry can run elsewhere. Framing failures are *DecodeErrors at the
+// entry-frame offset.
 func (ar *ArchiveReader) NextRaw() ([]byte, error) {
 	if ar.done {
 		return nil, io.EOF
 	}
+	entryStart := ar.off
 	var n uint32
 	if err := binary.Read(ar.r, binary.LittleEndian, &n); err != nil {
 		ar.done = true
-		return nil, fmt.Errorf("%w: reading entry length: %v", ErrTruncated, err)
+		return nil, decodeErrf(KindTruncated, "entry-frame", entryStart, "reading entry length: %v", err)
 	}
 	if n == 0 {
 		ar.done = true
 		return nil, io.EOF
 	}
-	if n > maxArchiveEntry {
-		ar.done = true // framing lost: the claimed length cannot be skipped
-		return nil, fmt.Errorf("%w: entry claims %d bytes", ErrCorrupt, n)
+	if int64(n) > int64(ar.lim.MaxArchiveEntry) {
+		ar.done = true // framing lost: the claimed length cannot be trusted
+		return nil, decodeErrf(KindLimitExceeded, "entry-frame", entryStart,
+			"entry claims %d bytes (limit %d)", n, ar.lim.MaxArchiveEntry)
 	}
 	ar.entry = grow(ar.entry, int(n))
 	if _, err := io.ReadFull(ar.r, ar.entry); err != nil {
 		ar.done = true
-		return nil, fmt.Errorf("%w: reading %d-byte entry: %v", ErrTruncated, n, err)
+		return nil, decodeErrf(KindTruncated, "entry-frame", entryStart,
+			"reading %d-byte entry: %v", n, err)
 	}
+	ar.off += 4 + int64(n)
 	return ar.entry, nil
 }
 
@@ -203,8 +297,12 @@ func WriteArchiveFile(path string, logs []*darshan.Log) error {
 
 // RecoverArchiveFile salvages the complete entries of a damaged or
 // unterminated archive — the state a crash mid-collection leaves behind. It
-// returns every log that parses and the error that stopped recovery
-// (io.EOF-equivalent clean ends return a nil error).
+// returns every log that parses and the framing error that stopped recovery
+// (io.EOF-equivalent clean ends return a nil error). Well-framed entries
+// whose embedded log fails to parse are skipped, exactly as the streaming
+// path (ReadArchiveFunc) skips them, so recovery and streaming agree on
+// which entries a damaged archive yields and on how each failure is
+// classified.
 func RecoverArchiveFile(path string) ([]*darshan.Log, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -222,8 +320,11 @@ func RecoverArchiveFile(path string) ([]*darshan.Log, error) {
 			return logs, nil
 		}
 		if err != nil {
-			// Damage point reached: everything before it is saved.
-			return logs, err
+			if ar.Damaged() {
+				// Damage point reached: everything before it is saved.
+				return logs, err
+			}
+			continue // corrupt entry inside intact framing: skip it
 		}
 		logs = append(logs, log)
 	}
@@ -237,11 +338,11 @@ var ErrStop = errors.New("logfmt: stop iteration")
 // order. Memory stays bounded: at most one decoded log exists at a time and
 // the raw-entry scratch is reused, so archives far larger than RAM are
 // ingestible. For an entry that fails to parse, fn receives a nil log and
-// the parse error, and iteration continues with the following entry (entry
-// framing is independent of entry contents). If fn returns ErrStop,
-// iteration ends immediately with a nil error; any other non-nil return
-// aborts with that error. Stream-level damage (truncation, a corrupt entry
-// length) ends iteration with the framing error.
+// the parse error (a *DecodeError), and iteration continues with the
+// following entry (entry framing is independent of entry contents). If fn
+// returns ErrStop, iteration ends immediately with a nil error; any other
+// non-nil return aborts with that error. Stream-level damage (truncation, a
+// corrupt entry length) ends iteration with the framing error.
 func ReadArchiveFunc(path string, fn func(index int, log *darshan.Log, err error) error) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -257,7 +358,7 @@ func ReadArchiveFunc(path string, fn func(index int, log *darshan.Log, err error
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
-		if err != nil && ar.done {
+		if err != nil && ar.Damaged() {
 			// Framing error: the stream position is lost, nothing after
 			// this point is reachable.
 			return fmt.Errorf("logfmt: %s entry %d: %w", path, i, err)

@@ -126,7 +126,7 @@ func TestCorruptDXTSegmentCountRejected(t *testing.T) {
 	// Segment count lives after count(4)+module(1)+record(8)+rank(4).
 	payload[4+1+8+4] = 0xFF
 	payload[4+1+8+4+1] = 0xFF
-	if _, err := decodeDXT(payload); err == nil {
+	if _, err := decodeDXT(payload, DefaultLimits(), 0); err == nil {
 		t.Error("expected error for inflated segment count")
 	}
 }

@@ -62,10 +62,9 @@ var (
 	ErrTruncated = errors.New("logfmt: truncated log")
 )
 
-const (
-	maxStringLen   = 1 << 16 // strings are u16-length prefixed
-	maxSectionSize = 1 << 30 // sanity bound on section payloads
-)
+// maxStringLen is the format's hard cap: strings are u16-length prefixed.
+// Decode-side bounds (including tighter string limits) live in DecodeLimits.
+const maxStringLen = 1 << 16
 
 // Write serializes a log to w. All codec and scratch state is pooled, so
 // steady-state writing allocates almost nothing per log.
@@ -88,8 +87,8 @@ func Write(w io.Writer, log *darshan.Log) error {
 		return fmt.Errorf("logfmt: writing header: %w", err)
 	}
 
-	scratch := getBuf()     // section payload under construction
-	compressed := getBuf()  // its deflated form
+	scratch := getBuf()    // section payload under construction
+	compressed := getBuf() // its deflated form
 	zw := getZlibWriter(io.Discard)
 	defer func() {
 		putZlibWriter(zw)

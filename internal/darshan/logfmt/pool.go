@@ -91,7 +91,7 @@ type readState struct {
 
 var readStatePool = sync.Pool{New: func() any { return new(readState) }}
 
-func getReadState() *readState  { return readStatePool.Get().(*readState) }
+func getReadState() *readState { return readStatePool.Get().(*readState) }
 func putReadState(rs *readState) {
 	if cap(rs.compressed) > maxPooledBuf || cap(rs.payload) > maxPooledBuf {
 		return

@@ -11,27 +11,58 @@ import (
 	"iolayers/internal/darshan"
 )
 
-// Read parses a log from r. Unknown section types are skipped. For module
-// sections, counters are remapped by name into the current module layout, so
-// logs written by older or newer revisions of a module remain readable as
-// long as counter names persist.
+// countReader tracks the byte offset of the underlying stream so decode
+// errors can locate the damaged structure.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// Read parses a log from r under DefaultLimits. Unknown section types are
+// skipped. For module sections, counters are remapped by name into the
+// current module layout, so logs written by older or newer revisions of a
+// module remain readable as long as counter names persist.
 func Read(r io.Reader) (*darshan.Log, error) {
+	return ReadWithLimits(r, DefaultLimits())
+}
+
+// ReadWithLimits parses a log from r, treating it as untrusted: every
+// declared length, count, and size is validated against lim and against
+// what the input could actually hold before anything is allocated. Failures
+// return a *DecodeError classifying the damage (truncated vs corrupt vs
+// limit-exceeded) with the byte offset of the damaged section; the error
+// also unwraps to the matching package sentinel.
+//
+// Classification contract (shared with the archive paths): input that ends
+// before a structure it promised is KindTruncated; bytes that are present
+// but wrong — CRC mismatches, impossible counts, malformed payloads — are
+// KindCorrupt; well-formed input demanding more than lim allows is
+// KindLimitExceeded.
+func ReadWithLimits(r io.Reader, lim DecodeLimits) (*darshan.Log, error) {
+	lim = lim.sanitize()
+	cr := &countReader{r: r}
 	var magic [4]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading magic: %v", ErrTruncated, err)
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, decodeErrf(KindTruncated, "header", 0, "reading magic: %v", err)
 	}
 	if magic != Magic {
-		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, magic[:])
+		return nil, decodeErrf(KindBadMagic, "header", 0, "got %q", magic[:])
 	}
 	var version, sectionCount uint16
-	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("%w: reading version: %v", ErrTruncated, err)
+	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
+		return nil, decodeErrf(KindTruncated, "header", 0, "reading version: %v", err)
 	}
 	if version != Version {
-		return nil, fmt.Errorf("%w: version %d (supported: %d)", ErrVersion, version, Version)
+		return nil, decodeErrf(KindBadVersion, "header", 0, "version %d (supported: %d)", version, Version)
 	}
-	if err := binary.Read(r, binary.LittleEndian, &sectionCount); err != nil {
-		return nil, fmt.Errorf("%w: reading section count: %v", ErrTruncated, err)
+	if err := binary.Read(cr, binary.LittleEndian, &sectionCount); err != nil {
+		return nil, decodeErrf(KindTruncated, "header", 0, "reading section count: %v", err)
 	}
 
 	log := &darshan.Log{Names: map[darshan.RecordID]string{}}
@@ -39,30 +70,31 @@ func Read(r io.Reader) (*darshan.Log, error) {
 	rs := getReadState()
 	defer putReadState(rs)
 	for s := 0; s < int(sectionCount); s++ {
-		sectionType, module, payload, err := rs.readSection(r)
+		sectionStart := cr.n
+		sectionType, module, payload, err := rs.readSection(cr, lim, sectionStart)
 		if err != nil {
 			return nil, err
 		}
 		switch sectionType {
 		case sectionJob:
-			job, err := decodeJob(payload)
+			job, err := decodeJob(payload, lim, sectionStart)
 			if err != nil {
 				return nil, err
 			}
 			log.Job = job
 			sawJob = true
 		case sectionNames:
-			if err := decodeNames(payload, log.Names); err != nil {
+			if err := decodeNames(payload, log.Names, lim, sectionStart); err != nil {
 				return nil, err
 			}
 		case sectionModule:
-			recs, err := decodeModule(darshan.ModuleID(module), payload)
+			recs, err := decodeModule(darshan.ModuleID(module), payload, lim, sectionStart)
 			if err != nil {
 				return nil, err
 			}
 			log.Records = append(log.Records, recs...)
 		case sectionDXT:
-			traces, err := decodeDXT(payload)
+			traces, err := decodeDXT(payload, lim, sectionStart)
 			if err != nil {
 				return nil, err
 			}
@@ -72,64 +104,104 @@ func Read(r io.Reader) (*darshan.Log, error) {
 		}
 	}
 	if !sawJob {
-		return nil, fmt.Errorf("%w: no job section", ErrCorrupt)
+		return nil, decodeErrf(KindCorrupt, "header", 0, "no job section among %d sections", sectionCount)
 	}
 	return log, nil
 }
 
 // ReadFile reads and parses the log at path.
 func ReadFile(path string) (*darshan.Log, error) {
+	return ReadFileWithLimits(path, DefaultLimits())
+}
+
+// ReadFileWithLimits is ReadWithLimits over the file at path.
+func ReadFileWithLimits(path string, lim DecodeLimits) (*darshan.Log, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("logfmt: opening %s: %w", path, err)
 	}
 	defer f.Close()
-	log, err := Read(f)
+	log, err := ReadWithLimits(f, lim)
 	if err != nil {
 		return nil, fmt.Errorf("logfmt: parsing %s: %w", path, err)
 	}
 	return log, nil
 }
 
+// sectionName renders a section type for error messages.
+func sectionName(t uint8) string {
+	switch t {
+	case sectionJob:
+		return "job"
+	case sectionNames:
+		return "names"
+	case sectionModule:
+		return "module"
+	case sectionDXT:
+		return "dxt"
+	default:
+		return fmt.Sprintf("section-%d", t)
+	}
+}
+
 // readSection reads one section into the pooled scratch. The returned
 // payload aliases rs.payload and is valid only until the next readSection
-// call on the same state; decoders copy out everything they keep.
-func (rs *readState) readSection(r io.Reader) (sectionType, module uint8, payload []byte, err error) {
+// call on the same state; decoders copy out everything they keep. The
+// declared sizes are validated against lim before any allocation, which is
+// what stops a zlib bomb: a section claiming a huge uncompressed size is
+// rejected without inflating a single byte.
+func (rs *readState) readSection(r io.Reader, lim DecodeLimits, start int64) (sectionType, module uint8, payload []byte, err error) {
 	if _, err := io.ReadFull(r, rs.hdr[:]); err != nil {
-		return 0, 0, nil, fmt.Errorf("%w: section header: %v", ErrTruncated, err)
+		return 0, 0, nil, decodeErrf(KindTruncated, "section", start, "section header: %v", err)
 	}
 	sectionType = rs.hdr[0]
 	module = rs.hdr[1]
+	name := sectionName(sectionType)
 	uncompressedLen := binary.LittleEndian.Uint32(rs.hdr[2:])
 	compressedLen := binary.LittleEndian.Uint32(rs.hdr[6:])
 	wantCRC := binary.LittleEndian.Uint32(rs.hdr[10:])
-	if uncompressedLen > maxSectionSize || compressedLen > maxSectionSize {
-		return 0, 0, nil, fmt.Errorf("%w: section claims %d/%d bytes", ErrCorrupt, uncompressedLen, compressedLen)
+	if int64(uncompressedLen) > int64(lim.MaxSectionBytes) {
+		return 0, 0, nil, decodeErrf(KindLimitExceeded, name, start,
+			"section claims %d uncompressed bytes (limit %d)", uncompressedLen, lim.MaxSectionBytes)
+	}
+	if int64(compressedLen) > int64(lim.MaxCompressedBytes) {
+		return 0, 0, nil, decodeErrf(KindLimitExceeded, name, start,
+			"section claims %d compressed bytes (limit %d)", compressedLen, lim.MaxCompressedBytes)
 	}
 	rs.compressed = grow(rs.compressed, int(compressedLen))
 	if _, err := io.ReadFull(r, rs.compressed); err != nil {
-		return 0, 0, nil, fmt.Errorf("%w: section payload: %v", ErrTruncated, err)
+		return 0, 0, nil, decodeErrf(KindTruncated, name, start, "section payload: %v", err)
 	}
 	if crc := crc32.ChecksumIEEE(rs.compressed); crc != wantCRC {
-		return 0, 0, nil, fmt.Errorf("%w: section %d crc mismatch (got %08x want %08x)",
-			ErrCorrupt, sectionType, crc, wantCRC)
+		return 0, 0, nil, decodeErrf(KindCorrupt, name, start,
+			"crc mismatch (got %08x want %08x)", crc, wantCRC)
 	}
 	if err := rs.resetInflater(); err != nil {
-		return 0, 0, nil, fmt.Errorf("%w: section %d: %v", ErrCorrupt, sectionType, err)
+		return 0, 0, nil, decodeErrf(KindCorrupt, name, start, "zlib: %v", err)
 	}
 	rs.payload = grow(rs.payload, int(uncompressedLen))
 	if _, err := io.ReadFull(rs.zr, rs.payload); err != nil {
-		return 0, 0, nil, fmt.Errorf("%w: decompressing section %d: %v", ErrCorrupt, sectionType, err)
+		return 0, 0, nil, decodeErrf(KindCorrupt, name, start, "decompressing: %v", err)
 	}
 	return sectionType, module, rs.payload, nil
 }
 
 // decoder consumes little-endian primitives from a payload, reporting
-// malformed input through a sticky error.
+// malformed input through a sticky *DecodeError carrying the section name
+// and its byte offset in the stream.
 type decoder struct {
-	buf []byte
-	off int
-	err error
+	buf     []byte
+	off     int
+	err     error
+	lim     DecodeLimits
+	section string
+	base    int64
+}
+
+func (d *decoder) fail(kind ErrorKind, format string, args ...any) {
+	if d.err == nil {
+		d.err = decodeErrf(kind, d.section, d.base, format, args...)
+	}
 }
 
 func (d *decoder) need(n int) bool {
@@ -137,10 +209,30 @@ func (d *decoder) need(n int) bool {
 		return false
 	}
 	if d.off+n > len(d.buf) {
-		d.err = fmt.Errorf("%w: payload ends at %d, need %d more bytes", ErrCorrupt, d.off, n)
+		d.fail(KindCorrupt, "payload ends at %d, need %d more bytes", d.off, n)
 		return false
 	}
 	return true
+}
+
+// boundCount validates a declared element count against both the configured
+// cap and the payload bytes actually remaining (minSize bytes per element),
+// so a crafted count can neither allocate past the limits nor past what the
+// input could possibly hold.
+func (d *decoder) boundCount(what string, n, minSize, limit int) int {
+	if d.err != nil {
+		return 0
+	}
+	if n > limit {
+		d.fail(KindLimitExceeded, "%s count %d exceeds limit %d", what, n, limit)
+		return 0
+	}
+	if remaining := (len(d.buf) - d.off) / minSize; n > remaining {
+		d.fail(KindCorrupt, "%s count %d impossible: %d bytes of payload remain",
+			what, n, len(d.buf)-d.off)
+		return 0
+	}
+	return n
 }
 
 func (d *decoder) u16() uint16 {
@@ -178,6 +270,10 @@ func (d *decoder) f64() float64 {
 
 func (d *decoder) str() string {
 	n := int(d.u16())
+	if n > d.lim.MaxStringLen {
+		d.fail(KindLimitExceeded, "string of %d bytes exceeds limit %d", n, d.lim.MaxStringLen)
+		return ""
+	}
 	if !d.need(n) {
 		return ""
 	}
@@ -191,6 +287,10 @@ func (d *decoder) str() string {
 // section's decode).
 func (d *decoder) strBytes() []byte {
 	n := int(d.u16())
+	if n > d.lim.MaxStringLen {
+		d.fail(KindLimitExceeded, "string of %d bytes exceeds limit %d", n, d.lim.MaxStringLen)
+		return nil
+	}
 	if !d.need(n) {
 		return nil
 	}
@@ -199,8 +299,8 @@ func (d *decoder) strBytes() []byte {
 	return b
 }
 
-func decodeJob(payload []byte) (darshan.JobHeader, error) {
-	d := &decoder{buf: payload}
+func decodeJob(payload []byte, lim DecodeLimits, base int64) (darshan.JobHeader, error) {
+	d := &decoder{buf: payload, lim: lim, section: "job", base: base}
 	job := darshan.JobHeader{
 		JobID:     d.u64(),
 		UserID:    d.u64(),
@@ -209,7 +309,8 @@ func decodeJob(payload []byte) (darshan.JobHeader, error) {
 		EndTime:   d.i64(),
 		Exe:       d.str(),
 	}
-	n := int(d.u16())
+	// A metadata pair is at least two empty strings (two u16 lengths).
+	n := d.boundCount("metadata pair", int(d.u16()), 4, lim.MaxMetadataPairs)
 	if n > 0 {
 		job.Metadata = make(map[string]string, n)
 		for i := 0; i < n; i++ {
@@ -222,28 +323,30 @@ func decodeJob(payload []byte) (darshan.JobHeader, error) {
 		}
 	}
 	if d.err != nil {
-		return darshan.JobHeader{}, fmt.Errorf("job section: %w", d.err)
+		return darshan.JobHeader{}, d.err
 	}
 	return job, nil
 }
 
-func decodeNames(payload []byte, into map[darshan.RecordID]string) error {
-	d := &decoder{buf: payload}
-	n := int(d.u32())
+func decodeNames(payload []byte, into map[darshan.RecordID]string, lim DecodeLimits, base int64) error {
+	d := &decoder{buf: payload, lim: lim, section: "names", base: base}
+	// A name-table entry is at least a record ID plus an empty string.
+	n := d.boundCount("name-table entry", int(d.u32()), 10, lim.MaxNames)
 	for i := 0; i < n; i++ {
 		id := darshan.RecordID(d.u64())
 		path := d.str()
 		if d.err != nil {
-			return fmt.Errorf("names section entry %d: %w", i, d.err)
+			return d.err
 		}
 		into[id] = path
 	}
 	return d.err
 }
 
-func decodeDXT(payload []byte) ([]darshan.DXTTrace, error) {
-	d := &decoder{buf: payload}
-	n := int(d.u32())
+func decodeDXT(payload []byte, lim DecodeLimits, base int64) ([]darshan.DXTTrace, error) {
+	d := &decoder{buf: payload, lim: lim, section: "dxt", base: base}
+	// A trace is at least module + record + rank + segment count (17 bytes).
+	n := d.boundCount("DXT trace", int(d.u32()), 17, lim.MaxDXTTraces)
 	traces := make([]darshan.DXTTrace, 0, n)
 	for i := 0; i < n; i++ {
 		var b [1]byte
@@ -256,12 +359,11 @@ func decodeDXT(payload []byte) ([]darshan.DXTTrace, error) {
 			Record: darshan.RecordID(d.u64()),
 			Rank:   d.i32(),
 		}
-		nSegs := int(d.u32())
-		// Bound segment allocation by the remaining payload (33 bytes per
-		// segment) so a corrupt count cannot force a huge allocation.
-		if remaining := (len(d.buf) - d.off) / 33; nSegs > remaining {
-			return nil, fmt.Errorf("%w: DXT trace %d claims %d segments, only %d possible",
-				ErrCorrupt, i, nSegs, remaining)
+		// A segment is 33 bytes; the count is bounded by the remaining
+		// payload and the configured cap before any allocation.
+		nSegs := d.boundCount("DXT segment", int(d.u32()), 33, lim.MaxDXTSegments)
+		if d.err != nil {
+			return nil, d.err
 		}
 		tr.Segments = make([]darshan.DXTSegment, 0, nSegs)
 		for s := 0; s < nSegs; s++ {
@@ -279,15 +381,15 @@ func decodeDXT(payload []byte) ([]darshan.DXTTrace, error) {
 			})
 		}
 		if d.err != nil {
-			return nil, fmt.Errorf("DXT trace %d: %w", i, d.err)
+			return nil, d.err
 		}
 		traces = append(traces, tr)
 	}
 	return traces, d.err
 }
 
-func decodeModule(m darshan.ModuleID, payload []byte) ([]*darshan.FileRecord, error) {
-	d := &decoder{buf: payload}
+func decodeModule(m darshan.ModuleID, payload []byte, lim DecodeLimits, base int64) ([]*darshan.FileRecord, error) {
+	d := &decoder{buf: payload, lim: lim, section: "module", base: base}
 	// Build index remaps from the on-disk layout to the current layout.
 	// Names absent from the current layout are dropped; current counters
 	// absent from the file stay zero. An entirely unknown module keeps the
@@ -300,11 +402,18 @@ func decodeModule(m darshan.ModuleID, payload []byte) ([]*darshan.FileRecord, er
 	nFCounters := int(d.u16())
 	fcounterRemap := decodeNameTable(d, nFCounters, darshan.FCounterNames(m))
 	if d.err != nil {
-		return nil, fmt.Errorf("module %v name tables: %w", m, d.err)
+		return nil, d.err
 	}
 	known := darshan.NumCounters(m) > 0
 
-	nRecords := int(d.u32())
+	// A record is id + rank plus its counters; bounding the declared record
+	// count by the remaining payload stops a crafted count from forcing a
+	// giant slice allocation out of a tiny file.
+	recSize := 12 + 8*(nCounters+nFCounters)
+	nRecords := d.boundCount("record", int(d.u32()), recSize, lim.MaxRecords)
+	if d.err != nil {
+		return nil, d.err
+	}
 	records := make([]*darshan.FileRecord, 0, nRecords)
 	for i := 0; i < nRecords; i++ {
 		id := darshan.RecordID(d.u64())
@@ -338,7 +447,7 @@ func decodeModule(m darshan.ModuleID, payload []byte) ([]*darshan.FileRecord, er
 			}
 		}
 		if d.err != nil {
-			return nil, fmt.Errorf("module %v record %d: %w", m, i, d.err)
+			return nil, d.err
 		}
 		records = append(records, rec)
 	}
@@ -350,6 +459,8 @@ func decodeModule(m darshan.ModuleID, payload []byte) ([]*darshan.FileRecord, er
 // (identity). The identity check compares name bytes in place, so the hot
 // path allocates nothing; only layout drift pays for strings and a map.
 func decodeNameTable(d *decoder, n int, dst []string) []int {
+	// A table entry is at least an empty string (one u16 length).
+	n = d.boundCount("counter name", n, 2, d.lim.MaxNames)
 	start := d.off
 	identity := n == len(dst)
 	for i := 0; i < n; i++ {

@@ -8,6 +8,7 @@
 package probes
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -77,12 +78,22 @@ func NewHarness(sys *iosim.System, seed uint64, probes ...Probe) *Harness {
 // Run executes every probe `samples` times on every layer and returns the
 // full time series, deterministic for a given harness seed.
 func (h *Harness) Run(samples int) []Sample {
+	out, _ := h.RunContext(context.Background(), samples)
+	return out
+}
+
+// RunContext is Run under a context: cancellation stops between probe
+// series and returns the samples collected so far alongside ctx's error.
+func (h *Harness) RunContext(ctx context.Context, samples int) ([]Sample, error) {
 	if samples <= 0 {
 		panic(fmt.Sprintf("probes: samples %d must be positive", samples))
 	}
 	var out []Sample
 	for li, layer := range h.sys.Layers() {
 		for pi, p := range h.probes {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			r := dist.Stream(h.seed, uint64(li)*1000+uint64(pi))
 			path := fmt.Sprintf("%s/probe/%s.dat", layer.Mount(), p.Name)
 			for s := 0; s < samples; s++ {
@@ -97,7 +108,7 @@ func (h *Harness) Run(samples int) []Sample {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Variability summarizes one (probe, layer) series the way TOKIO reports

@@ -13,6 +13,7 @@ package sched
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 )
@@ -102,6 +103,19 @@ func (h *eventHeap) Pop() any {
 // placements (in completion order) and aggregate metrics. Jobs larger than
 // the machine are rejected with an error.
 func Simulate(cfg Config, jobs []Job) ([]Placement, Metrics, error) {
+	return SimulateContext(context.Background(), cfg, jobs)
+}
+
+// cancelCheckInterval is how many clock events the simulation loop advances
+// between context checks — often enough that cancellation lands promptly,
+// rarely enough that the check costs nothing against heap operations.
+const cancelCheckInterval = 1024
+
+// SimulateContext is Simulate under a context: cancellation stops the event
+// loop and returns the placements completed so far, metrics over them, and
+// ctx's error. A partial schedule's metrics describe a truncated campaign
+// and are not comparable to a complete run's.
+func SimulateContext(ctx context.Context, cfg Config, jobs []Job) ([]Placement, Metrics, error) {
 	if cfg.Nodes <= 0 {
 		return nil, Metrics{}, fmt.Errorf("sched: machine needs nodes, got %d", cfg.Nodes)
 	}
@@ -215,7 +229,14 @@ func Simulate(cfg Config, jobs []Job) ([]Placement, Metrics, error) {
 		}
 	}
 
-	for events.Len() > 0 {
+	var stopErr error
+	for tick := 0; events.Len() > 0; tick++ {
+		if tick%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				stopErr = err
+				break
+			}
+		}
 		ev := heap.Pop(&events).(event)
 		now = ev.at
 		switch ev.kind {
@@ -253,7 +274,7 @@ func Simulate(cfg Config, jobs []Job) ([]Placement, Metrics, error) {
 			m.MeanUtilization = busyNS / (float64(cfg.Nodes) * m.Makespan)
 		}
 	}
-	return place, m, nil
+	return place, m, stopErr
 }
 
 // backfillSpan is the wall-clock a backfill candidate would occupy nodes:
