@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck govulncheck build test race bench fuzz
+.PHONY: check vet staticcheck govulncheck build test race race-short bench benchcheck fuzz
 
 ## check: the full CI gate — vet, staticcheck + govulncheck (when
 ## installed), build, and the test suite under the race detector
@@ -36,9 +36,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+## race-short: the fast half of the CI matrix — race detector over the
+## tests that skip campaign generation
+race-short:
+	$(GO) test -race -short ./...
+
 ## bench: the paper-artifact and ingestion benchmarks with allocation stats
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+## benchcheck: allocation-regression gate — reruns the ingestion and
+## observability benchmarks and compares allocs/op and B/op against
+## bench_baseline.json (regenerate with `go run ./cmd/benchcheck -update`
+## when a change moves the numbers on purpose)
+benchcheck:
+	$(GO) run ./cmd/benchcheck
 
 ## fuzz: short fuzzing smoke over the untrusted-input decoders; -fuzz must
 ## match exactly one target, hence two invocations

@@ -1,0 +1,230 @@
+// Command benchcheck is the allocation-regression gate: it runs the
+// ingestion and observability benchmarks and compares their allocs/op and
+// B/op against the committed baseline (bench_baseline.json), failing when
+// a hot path started allocating more than the tolerance allows. Wall time
+// (ns/op) is reported but never gated — it is machine-dependent; the
+// allocation counts are what the code controls.
+//
+// Usage:
+//
+//	benchcheck [-baseline bench_baseline.json] [-update]
+//	           [-bench 'ArchiveIngest|ObsvOverhead'] [-allocs-tol 0.05]
+//
+// With -update the baseline is rewritten from the current run (do this
+// when an intentional change moves the numbers, and say why in the
+// commit). Benchmarks present on only one side are reported but do not
+// fail the gate — GOMAXPROCS-dependent variants come and go with the
+// host. Exit status: 0 clean, 1 regression, 2 usage/run errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's gated numbers.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	Note       string                 `json:"note"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench_baseline.json", "baseline file to compare against")
+		update       = flag.Bool("update", false, "rewrite the baseline from the current run")
+		benchRe      = flag.String("bench", "ArchiveIngest|ObsvOverhead", "benchmark regex passed to go test -bench")
+		benchtime    = flag.String("benchtime", "", "go test -benchtime value (empty = default)")
+		allocsTol    = flag.Float64("allocs-tol", 0.05, "allowed fractional allocs/op growth")
+		bytesTol     = flag.Float64("bytes-tol", 0.25, "allowed fractional B/op growth")
+	)
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{".", "./internal/obsv"}
+	}
+
+	out, err := runBenchmarks(*benchRe, *benchtime, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n%s\n", err, out)
+		os.Exit(2)
+	}
+	current := ParseBenchOutput(out)
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark results parsed")
+		os.Exit(2)
+	}
+
+	if *update {
+		b := Baseline{
+			Note:       "allocation baseline for `make benchcheck`; regenerate with: go run ./cmd/benchcheck -update",
+			Benchmarks: current,
+		}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchcheck: wrote %s (%d benchmarks)\n", *baselinePath, len(current))
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v (bootstrap with -update)\n", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+
+	regressions := Compare(base.Benchmarks, current, *allocsTol, *bytesTol, os.Stdout)
+	if regressions > 0 {
+		fmt.Printf("benchcheck: %d regression(s) vs %s\n", regressions, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmarks within tolerance of %s\n", len(current), *baselinePath)
+}
+
+func runBenchmarks(benchRe, benchtime string, pkgs []string) (string, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem", "-count", "1"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// ParseBenchOutput extracts per-benchmark measurements from `go test
+// -bench` output. Keys are "<pkg>/<name>" with the trailing -GOMAXPROCS
+// suffix stripped, so runs on hosts with different core counts compare.
+func ParseBenchOutput(out string) map[string]Measurement {
+	results := map[string]Measurement{}
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := stripProcsSuffix(fields[0])
+		var m Measurement
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp, seen = v, true
+			case "B/op":
+				m.BytesPerOp, seen = v, true
+			case "allocs/op":
+				m.AllocsPerOp, seen = v, true
+			}
+		}
+		if seen {
+			results[pkg+"/"+name] = m
+		}
+	}
+	return results
+}
+
+// stripProcsSuffix removes the -N GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkFoo/bar-16" → "BenchmarkFoo/bar").
+func stripProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, r := range suffix {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// Compare prints a per-benchmark report and returns the number of gated
+// regressions. Only allocs/op and B/op gate; ns/op is informational.
+func Compare(base, current map[string]Measurement, allocsTol, bytesTol float64, w *os.File) int {
+	names := make([]string, 0, len(current))
+	for n := range current {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		cur := current[name]
+		ref, ok := base[name]
+		if !ok {
+			fmt.Fprintf(w, "  new      %-60s allocs=%.0f (no baseline — add with -update)\n", name, cur.AllocsPerOp)
+			continue
+		}
+		bad := false
+		if exceeds(cur.AllocsPerOp, ref.AllocsPerOp, allocsTol) {
+			fmt.Fprintf(w, "  REGRESS  %-60s allocs/op %.0f -> %.0f (>%+.0f%%)\n",
+				name, ref.AllocsPerOp, cur.AllocsPerOp, allocsTol*100)
+			bad = true
+		}
+		if exceeds(cur.BytesPerOp, ref.BytesPerOp, bytesTol) {
+			fmt.Fprintf(w, "  REGRESS  %-60s B/op %.0f -> %.0f (>%+.0f%%)\n",
+				name, ref.BytesPerOp, cur.BytesPerOp, bytesTol*100)
+			bad = true
+		}
+		if bad {
+			regressions++
+			continue
+		}
+		fmt.Fprintf(w, "  ok       %-60s allocs=%.0f (base %.0f)  ns/op %.0f (base %.0f)\n",
+			name, cur.AllocsPerOp, ref.AllocsPerOp, cur.NsPerOp, ref.NsPerOp)
+	}
+	for name := range base {
+		if _, ok := current[name]; !ok {
+			fmt.Fprintf(w, "  missing  %s (in baseline, not in this run)\n", name)
+		}
+	}
+	return regressions
+}
+
+// exceeds reports whether cur grew past ref by more than tol. A zero ref
+// is a hard floor: any growth at all fails (the zero-allocation paths).
+func exceeds(cur, ref, tol float64) bool {
+	if ref == 0 {
+		return cur > 0
+	}
+	return cur > ref*(1+tol)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: iolayers
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkArchiveIngest/sequential         	       8	 140919786 ns/op	      5216 logs/op	20985574 B/op	  217933 allocs/op
+BenchmarkArchiveIngest/workers=4+metrics-16  	       8	 137452407 ns/op	      5216 logs/op	21530199 B/op	  219182 allocs/op
+PASS
+ok  	iolayers	4.903s
+pkg: iolayers/internal/obsv
+BenchmarkObsvOverhead/counter-nil-4 	829570444	         1.445 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got := ParseBenchOutput(sampleOutput)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	seq, ok := got["iolayers/BenchmarkArchiveIngest/sequential"]
+	if !ok {
+		t.Fatal("sequential variant missing")
+	}
+	if seq.AllocsPerOp != 217933 || seq.BytesPerOp != 20985574 || seq.NsPerOp != 140919786 {
+		t.Errorf("sequential = %+v", seq)
+	}
+	// The -16 GOMAXPROCS suffix must strip, the "=4+metrics" part must stay.
+	if _, ok := got["iolayers/BenchmarkArchiveIngest/workers=4+metrics"]; !ok {
+		t.Errorf("workers=4+metrics not normalized: %v", got)
+	}
+	nilC, ok := got["iolayers/internal/obsv/BenchmarkObsvOverhead/counter-nil"]
+	if !ok {
+		t.Fatalf("obsv benchmark missing or suffix mis-stripped: %v", got)
+	}
+	if nilC.AllocsPerOp != 0 {
+		t.Errorf("counter-nil allocs = %v, want 0", nilC.AllocsPerOp)
+	}
+}
+
+func TestStripProcsSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-16":                     "BenchmarkFoo",
+		"BenchmarkFoo/bar-4":                  "BenchmarkFoo/bar",
+		"BenchmarkFoo/workers=4+metrics-8":    "BenchmarkFoo/workers=4+metrics",
+		"BenchmarkObsvOverhead/counter-nil-4": "BenchmarkObsvOverhead/counter-nil",
+		"BenchmarkNoSuffix":                   "BenchmarkNoSuffix",
+	}
+	for in, want := range cases {
+		if got := stripProcsSuffix(in); got != want {
+			t.Errorf("stripProcsSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	base := map[string]Measurement{
+		"a": {AllocsPerOp: 1000, BytesPerOp: 100000},
+		"z": {AllocsPerOp: 0, BytesPerOp: 0},
+	}
+	// Within tolerance: +4% allocs under a 5% gate.
+	ok := map[string]Measurement{
+		"a": {AllocsPerOp: 1040, BytesPerOp: 100000},
+		"z": {AllocsPerOp: 0, BytesPerOp: 0},
+	}
+	if n := Compare(base, ok, 0.05, 0.25, devnull); n != 0 {
+		t.Errorf("within-tolerance run flagged %d regressions", n)
+	}
+	// Allocation regression past the gate.
+	bad := map[string]Measurement{
+		"a": {AllocsPerOp: 1100, BytesPerOp: 100000},
+	}
+	if n := Compare(base, bad, 0.05, 0.25, devnull); n != 1 {
+		t.Errorf("alloc regression not flagged (n=%d)", n)
+	}
+	// A zero-alloc baseline is a hard floor: one allocation fails.
+	floor := map[string]Measurement{
+		"z": {AllocsPerOp: 1},
+	}
+	if n := Compare(base, floor, 0.05, 0.25, devnull); n != 1 {
+		t.Errorf("zero-alloc floor not enforced (n=%d)", n)
+	}
+	// New benchmarks (no baseline) and missing ones never fail the gate.
+	extra := map[string]Measurement{
+		"brand-new": {AllocsPerOp: 5},
+	}
+	if n := Compare(base, extra, 0.05, 0.25, devnull); n != 0 {
+		t.Errorf("unmatched benchmarks should not gate (n=%d)", n)
+	}
+}

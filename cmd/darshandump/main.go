@@ -16,14 +16,17 @@ import (
 	"iolayers/internal/cli"
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/obsv"
 )
 
 func main() {
+	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar on this address while running")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: darshandump file.darshan [...]")
 		os.Exit(2)
 	}
+	defer cli.StartDebug("darshandump", *debugAddr, obsv.New())()
 	ctx, cancel := cli.SignalContext("darshandump")
 	defer cancel()
 	exit := 0

@@ -16,15 +16,18 @@ import (
 	"iolayers/internal/cli"
 	"iolayers/internal/darshan/logfmt"
 	"iolayers/internal/dxtan"
+	"iolayers/internal/obsv"
 )
 
 func main() {
 	gap := flag.Float64("gap", 1.0, "idle seconds separating I/O phases")
+	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar on this address while running")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: dxtview [-gap seconds] file.darshan [...]")
 		os.Exit(2)
 	}
+	defer cli.StartDebug("dxtview", *debugAddr, obsv.New())()
 	ctx, cancel := cli.SignalContext("dxtview")
 	defer cancel()
 	exit := 0

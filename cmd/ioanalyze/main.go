@@ -37,6 +37,7 @@ import (
 	"iolayers/internal/cli"
 	"iolayers/internal/core"
 	"iolayers/internal/iosim/systems"
+	"iolayers/internal/obsv"
 	"iolayers/internal/report"
 )
 
@@ -50,14 +51,24 @@ func main() {
 		ckptPath   = flag.String("checkpoint", "", "persist resumable progress to this file while ingesting")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "logs between checkpoint writes (0 = default)")
 		resumePath = flag.String("resume", "", "resume an interrupted pass from this checkpoint file")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof, expvar, and /metrics on this address while running")
+		metricsOut = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file and print the observability section")
 	)
 	flag.Parse()
+
+	var metrics *obsv.Registry
+	if *debugAddr != "" || *metricsOut != "" {
+		metrics = obsv.New()
+	}
+	stopDebug := cli.StartDebug("ioanalyze", *debugAddr, metrics)
+	defer stopDebug()
 
 	opts := core.IngestOptions{
 		Workers:         *workers,
 		QuarantineDir:   *quarantine,
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
+		Metrics:         metrics,
 	}
 	if *resumePath != "" {
 		ck, err := core.LoadIngestCheckpoint(*resumePath)
@@ -149,6 +160,10 @@ func main() {
 		res.Parsed, res.Failed, source)
 	if rep != nil {
 		fmt.Println(report.Everything(rep))
+	}
+	if metrics != nil {
+		fmt.Println(report.Observability(metrics.Snapshot()))
+		cli.WriteMetrics("ioanalyze", *metricsOut, metrics)
 	}
 	if interrupted {
 		os.Exit(cli.ExitInterrupted)

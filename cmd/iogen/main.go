@@ -23,17 +23,21 @@ import (
 	"iolayers/internal/core"
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/obsv"
+	"iolayers/internal/report"
 	"iolayers/internal/workload"
 )
 
 func main() {
 	var (
-		system    = flag.String("system", "summit", "system profile: summit or cori")
-		out       = flag.String("out", "", "output directory (required)")
-		scale     = flag.Float64("scale", 0.0005, "job-count scale")
-		fileScale = flag.Float64("filescale", 0.02, "per-log file-count scale")
-		seed      = flag.Uint64("seed", 1, "campaign seed")
-		archive   = flag.Bool("archive", false, "write one .dgar campaign archive instead of per-log files")
+		system     = flag.String("system", "summit", "system profile: summit or cori")
+		out        = flag.String("out", "", "output directory (required)")
+		scale      = flag.Float64("scale", 0.0005, "job-count scale")
+		fileScale  = flag.Float64("filescale", 0.02, "per-log file-count scale")
+		seed       = flag.Uint64("seed", 1, "campaign seed")
+		archive    = flag.Bool("archive", false, "write one .dgar campaign archive instead of per-log files")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof, expvar, and /metrics on this address while running")
+		metricsOut = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file and print the observability section")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -102,7 +106,13 @@ func main() {
 	}
 	ctx, cancel := cli.SignalContext("iogen")
 	defer cancel()
-	rep, err := campaign.RunContext(ctx, sink)
+	var metrics *obsv.Registry
+	if *debugAddr != "" || *metricsOut != "" {
+		metrics = obsv.New()
+	}
+	stopDebug := cli.StartDebug("iogen", *debugAddr, metrics)
+	defer stopDebug()
+	rep, err := campaign.RunCheckpointed(ctx, core.RunOptions{Sink: sink, Metrics: metrics})
 	interrupted := cli.Interrupted(err)
 	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "iogen:", err)
@@ -113,6 +123,11 @@ func main() {
 	if err := finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "iogen:", err)
 		os.Exit(1)
+	}
+	if metrics != nil {
+		logfmt.PublishMetrics(metrics)
+		fmt.Println(report.Observability(metrics.Snapshot()))
+		cli.WriteMetrics("iogen", *metricsOut, metrics)
 	}
 	if interrupted {
 		fmt.Fprintf(os.Stderr, "iogen: interrupted — %d logs written to %s (partial campaign)\n",

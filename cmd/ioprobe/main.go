@@ -14,16 +14,19 @@ import (
 
 	"iolayers/internal/cli"
 	"iolayers/internal/iosim/systems"
+	"iolayers/internal/obsv"
 	"iolayers/internal/probes"
 )
 
 func main() {
 	var (
-		system  = flag.String("system", "summit", "system to probe: summit or cori")
-		samples = flag.Int("samples", 100, "probe repetitions per layer")
-		seed    = flag.Uint64("seed", 1, "probe seed")
+		system    = flag.String("system", "summit", "system to probe: summit or cori")
+		samples   = flag.Int("samples", 100, "probe repetitions per layer")
+		seed      = flag.Uint64("seed", 1, "probe seed")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address while running")
 	)
 	flag.Parse()
+	defer cli.StartDebug("ioprobe", *debugAddr, obsv.New())()
 	sys := systems.ByName(*system)
 	if sys == nil {
 		fmt.Fprintf(os.Stderr, "ioprobe: unknown system %q\n", *system)

@@ -21,6 +21,7 @@ import (
 	"iolayers/internal/cli"
 	"iolayers/internal/dist"
 	"iolayers/internal/iosim/faults"
+	"iolayers/internal/obsv"
 	"iolayers/internal/sched"
 	"iolayers/internal/workload"
 )
@@ -33,8 +34,10 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "job-stream seed")
 		faultSpec = flag.String("faults", "", `fault schedule: "production" or k=v list; empty = no faults`)
 		faultSeed = flag.Uint64("faultseed", 0, "fault-schedule seed (0 = job-stream seed)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address while running")
 	)
 	flag.Parse()
+	defer cli.StartDebug("iosched", *debugAddr, obsv.New())()
 	if *days <= 0 {
 		// Scale the submission window with the job count so the simulated
 		// machine sees its production load density.

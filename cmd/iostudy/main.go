@@ -36,6 +36,13 @@
 // degraded intervals appear in -serverstats, per-job failures are reported
 // instead of crashing the study, and the report gains a fault/retry section
 // (also available alone via -experiment faults).
+//
+// Observability: -debug-addr serves net/http/pprof, expvar, and the live
+// metrics registry (/metrics, /metrics.json) while the study runs; -metrics
+// writes a schema-versioned JSON snapshot of the run's counters, histograms,
+// and stage spans at exit and prints the observability section alongside
+// the report. Metrics collection is off (and costs nothing) unless one of
+// the two flags is given.
 package main
 
 import (
@@ -55,6 +62,7 @@ import (
 	"iolayers/internal/iosim/faults"
 	"iolayers/internal/iosim/serverstats"
 	"iolayers/internal/iosim/systems"
+	"iolayers/internal/obsv"
 	"iolayers/internal/report"
 	"iolayers/internal/workload"
 )
@@ -79,22 +87,31 @@ func main() {
 		resumePath = flag.String("resume", "", "resume an interrupted run from this checkpoint file")
 		faultSpec  = flag.String("faults", "", `fault schedule: "production" or k=v list (slowdowns,outages,storms,frac,severity,latfactor,duration,errrate); empty = no faults`)
 		faultSeed  = flag.Uint64("faultseed", 0, "fault-schedule seed (0 = campaign seed)")
+		debugAddr  = flag.String("debug-addr", "", "serve pprof, expvar, and /metrics on this address while running")
+		metricsOut = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file and print the observability section")
 	)
 	flag.Parse()
 
 	ctx, cancel := cli.SignalContext("iostudy")
 	defer cancel()
 
+	var metrics *obsv.Registry
+	if *debugAddr != "" || *metricsOut != "" {
+		metrics = obsv.New()
+	}
+	stopDebug := cli.StartDebug("iostudy", *debugAddr, metrics)
+	defer stopDebug()
+
 	if *from != "" {
 		analyzeArchive(ctx, *from, *system, *workers, *experiment, *format, ingestCkptOptions{
 			quarantine: *quarantine, ckptPath: *ckptPath, ckptEvery: *ckptEvery, resumePath: *resumePath,
-		})
+		}, metrics, *metricsOut)
 		return
 	}
 
 	if *resumePath != "" {
 		resumeCampaign(ctx, *resumePath, *ckptPath, *ckptEvery, *workers, *save,
-			*experiment, *format, *serverSide)
+			*experiment, *format, *serverSide, metrics, *metricsOut)
 		return
 	}
 
@@ -148,7 +165,8 @@ func main() {
 		if *serverSide {
 			collectors = iosim.AttachCollectors(campaign.System)
 		}
-		opts := core.RunOptions{CheckpointPath: *ckptPath, CheckpointEvery: *ckptEvery}
+		opts := core.RunOptions{CheckpointPath: *ckptPath, CheckpointEvery: *ckptEvery,
+			Metrics: metrics}
 		var arch *archiveSink
 		if *save != "" {
 			arch = newArchiveSink(*save)
@@ -163,6 +181,8 @@ func main() {
 			if rep != nil {
 				printReport(name, rep, *scale, *fileScale, *seed, *experiment, *format, *serverSide, collectors)
 			}
+			publishCollectors(metrics, collectors)
+			emitMetrics(metrics, *metricsOut)
 			os.Exit(cli.ExitInterrupted)
 		}
 		if err != nil {
@@ -177,6 +197,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "iostudy: campaign archived to %s\n", *save)
 		}
 		printReport(name, rep, *scale, *fileScale, *seed, *experiment, *format, *serverSide, collectors)
+		publishCollectors(metrics, collectors)
 		if *whatIf {
 			altCfg := cfg
 			altCfg.WhatIfAggregation = true
@@ -197,6 +218,30 @@ func main() {
 			fmt.Println(report.WhatIf(rep, altRep))
 		}
 	}
+	emitMetrics(metrics, *metricsOut)
+}
+
+// publishCollectors folds per-server load tallies into the metrics registry
+// (no-op when either side is absent).
+func publishCollectors(m *obsv.Registry, collectors map[string]*serverstats.Collector) {
+	if m == nil {
+		return
+	}
+	for _, c := range collectors {
+		c.Publish(m)
+	}
+}
+
+// emitMetrics closes out the observability story for a run: pool gauges are
+// published, the human-readable section printed, and the JSON snapshot
+// written for -metrics.
+func emitMetrics(m *obsv.Registry, path string) {
+	if m == nil {
+		return
+	}
+	logfmt.PublishMetrics(m)
+	fmt.Println(report.Observability(m.Snapshot()))
+	cli.WriteMetrics("iostudy", path, m)
 }
 
 // resumeCampaign continues a synthesis run from a campaign checkpoint: the
@@ -204,7 +249,7 @@ func main() {
 // are consulted. A campaign that was saving an archive must be given -save
 // again; the archive is truncated to the checkpoint's durable offset.
 func resumeCampaign(ctx context.Context, resumePath, ckptPath string, ckptEvery, workers int,
-	save, experiment, format string, serverSide bool) {
+	save, experiment, format string, serverSide bool, metrics *obsv.Registry, metricsOut string) {
 	ck, err := core.LoadCampaignCheckpoint(resumePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iostudy:", err)
@@ -224,7 +269,8 @@ func resumeCampaign(ctx context.Context, resumePath, ckptPath string, ckptEvery,
 	fmt.Fprintf(os.Stderr, "iostudy: resuming %s campaign, %d of %d jobs done\n",
 		ck.Meta.SystemName, ck.JobsDone(), len(ck.Done))
 
-	opts := core.RunOptions{CheckpointPath: ckptPath, CheckpointEvery: ckptEvery, Resume: ck}
+	opts := core.RunOptions{CheckpointPath: ckptPath, CheckpointEvery: ckptEvery, Resume: ck,
+		Metrics: metrics}
 	var arch *archiveSink
 	if ck.ArchiveEntries > 0 || ck.ArchiveBytes > 0 {
 		if save == "" {
@@ -249,6 +295,7 @@ func resumeCampaign(ctx context.Context, resumePath, ckptPath string, ckptEvery,
 			printReport(ck.Meta.SystemName, rep, cfg.JobScale, cfg.FileScale, cfg.Seed,
 				experiment, format, false, nil)
 		}
+		emitMetrics(metrics, metricsOut)
 		os.Exit(cli.ExitInterrupted)
 	}
 	if err != nil {
@@ -265,6 +312,7 @@ func resumeCampaign(ctx context.Context, resumePath, ckptPath string, ckptEvery,
 	_ = serverSide // collectors cannot span an interrupted run; not offered on resume
 	printReport(ck.Meta.SystemName, rep, cfg.JobScale, cfg.FileScale, cfg.Seed,
 		experiment, format, false, nil)
+	emitMetrics(metrics, metricsOut)
 }
 
 // reportInterrupted tells the user how to pick the run back up.
@@ -384,12 +432,14 @@ type ingestCkptOptions struct {
 
 // analyzeArchive is the -from path: parallel streaming ingestion of an
 // existing campaign archive, rendered like a freshly synthesized study.
-func analyzeArchive(ctx context.Context, path, system string, workers int, experiment, format string, ck ingestCkptOptions) {
+func analyzeArchive(ctx context.Context, path, system string, workers int, experiment, format string, ck ingestCkptOptions,
+	metrics *obsv.Registry, metricsOut string) {
 	opts := core.IngestOptions{
 		Workers:         workers,
 		QuarantineDir:   ck.quarantine,
 		CheckpointPath:  ck.ckptPath,
 		CheckpointEvery: ck.ckptEvery,
+		Metrics:         metrics,
 	}
 	if ck.resumePath != "" {
 		ickpt, err := core.LoadIngestCheckpoint(ck.resumePath)
@@ -454,6 +504,7 @@ func analyzeArchive(ctx context.Context, path, system string, workers int, exper
 	fmt.Printf("==== %s (from %s, %d logs, %d unreadable) ====\n\n",
 		sys.Name, path, res.Parsed, res.Failed)
 	fmt.Println(out)
+	emitMetrics(metrics, metricsOut)
 	if interrupted {
 		os.Exit(cli.ExitInterrupted)
 	}

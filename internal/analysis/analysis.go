@@ -267,6 +267,19 @@ func NewAggregator(sys *iosim.System) *Aggregator {
 	}
 }
 
+// TotalBytes returns the transferred volume folded in so far, summed over
+// both layers and both directions. Exact while totals stay below 2^53 (the
+// per-layer tallies are integer-valued float64 sums).
+func (a *Aggregator) TotalBytes() float64 {
+	var t float64
+	for _, ls := range a.layers {
+		for d := range ls.Bytes {
+			t += ls.Bytes[d]
+		}
+	}
+	return t
+}
+
 // modView folds the per-rank records of one (file, module) pair down to the
 // few quantities the accounting rules consume — byte totals, busy time, and
 // sharedness — without materializing a merged FileRecord (the old

@@ -1,0 +1,121 @@
+package analysis_test
+
+import (
+	"sync"
+	"testing"
+
+	"iolayers/internal/core"
+	"iolayers/internal/darshan"
+	"iolayers/internal/fidelity"
+	"iolayers/internal/workload"
+)
+
+// The reference campaigns are the expensive part (a few seconds per
+// system), so both fidelity tests share one run.
+var (
+	refOnce  sync.Once
+	refSuite *fidelity.Suite
+	refErr   error
+)
+
+func referenceSuite(t *testing.T) *fidelity.Suite {
+	t.Helper()
+	refOnce.Do(func() {
+		cfg := workload.Config{
+			Seed:      fidelity.RefSeed,
+			JobScale:  fidelity.RefJobScale,
+			FileScale: fidelity.RefFileScale,
+		}
+		refSuite = &fidelity.Suite{}
+		for _, name := range []string{"Summit", "Cori"} {
+			c, err := core.NewCampaign(name, cfg)
+			if err != nil {
+				refErr = err
+				return
+			}
+			rep, err := c.Run(nil)
+			if err != nil {
+				refErr = err
+				return
+			}
+			if name == "Summit" {
+				refSuite.Summit = rep
+			} else {
+				refSuite.Cori = rep
+			}
+		}
+	})
+	if refErr != nil {
+		t.Fatalf("building reference suite: %v", refErr)
+	}
+	return refSuite
+}
+
+// TestFidelityReferenceRun is the paper-fidelity regression suite: the
+// seeded reference campaign (the EXPERIMENTS.md run at 0.5% scale) must
+// land inside every enforced verdict band. A failure here means a model or
+// calibration change broke a finding EXPERIMENTS.md claims to reproduce —
+// fix the regression or re-justify the row (and its verdict) there.
+func TestFidelityReferenceRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference campaign in -short mode")
+	}
+	s := referenceSuite(t)
+	results := fidelity.Evaluate(s)
+	if len(results) < 15 {
+		t.Fatalf("only %d checks evaluated", len(results))
+	}
+	for _, r := range results {
+		if r.OK {
+			t.Log(r.String())
+			continue
+		}
+		t.Error(r.String())
+	}
+}
+
+// TestFidelityDetectsPerturbation demonstrates the suite's power: an
+// injected calibration drift — the kind of silent change the suite exists
+// to catch — must trip at least the check watching that quantity.
+func TestFidelityDetectsPerturbation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference campaign in -short mode")
+	}
+	s := referenceSuite(t)
+
+	failsWith := func(wantName string) {
+		t.Helper()
+		bad := fidelity.Failures(fidelity.Evaluate(s))
+		for _, r := range bad {
+			if r.Check.Name == wantName {
+				return
+			}
+		}
+		t.Errorf("perturbation not caught: no failure named %q in %v", wantName, bad)
+	}
+
+	// Log inflation: doubles Summit's logs-per-job ratio.
+	orig := s.Summit.Summary.Logs
+	s.Summit.Summary.Logs *= 2
+	failsWith("Summit logs per job")
+	s.Summit.Summary.Logs = orig
+
+	// Burst-buffer file-count drift: collapses Cori's PFS/CBB file ratio.
+	origFiles := s.Cori.Layers[1].Stats.Files
+	s.Cori.Layers[1].Stats.Files *= 5
+	failsWith("Cori PFS/CBB file ratio")
+	s.Cori.Layers[1].Stats.Files = origFiles
+
+	// Interface-mix drift: shifts Summit's PFS POSIX share out of band.
+	ls := s.Summit.Layers[0].Stats
+	origPosix := ls.InterfaceFiles[darshan.ModulePOSIX]
+	ls.InterfaceFiles[darshan.ModulePOSIX] = origPosix * 3
+	failsWith("Summit PFS POSIX file share")
+	ls.InterfaceFiles[darshan.ModulePOSIX] = origPosix
+
+	// After restoring, the suite must be green again (guards against the
+	// perturbations leaking into other tests via the shared suite).
+	if bad := fidelity.Failures(fidelity.Evaluate(s)); len(bad) != 0 {
+		t.Fatalf("suite still failing after restore: %v", bad)
+	}
+}

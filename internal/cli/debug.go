@@ -1,0 +1,38 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"iolayers/internal/obsv"
+)
+
+// StartDebug starts the opt-in observability endpoint every binary exposes
+// behind -debug-addr: net/http/pprof, expvar, and the registry's /metrics
+// views. An empty addr is a no-op (the common case — no listener, no
+// goroutine). The returned function shuts the listener down.
+func StartDebug(name, addr string, r *obsv.Registry) func() {
+	if addr == "" {
+		return func() {}
+	}
+	bound, shutdown, err := obsv.Serve(name, addr, r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: debug endpoint: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s: debug endpoint on http://%s (/debug/pprof, /debug/vars, /metrics)\n",
+		name, bound)
+	return shutdown
+}
+
+// WriteMetrics renders the registry's snapshot as schema-versioned JSON into
+// path (the -metrics flag). Nil registry or empty path is a no-op.
+func WriteMetrics(name, path string, r *obsv.Registry) {
+	if path == "" || r == nil {
+		return
+	}
+	if err := os.WriteFile(path, r.Snapshot().JSON(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: writing metrics: %v\n", name, err)
+		os.Exit(1)
+	}
+}

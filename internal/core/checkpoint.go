@@ -28,6 +28,7 @@ import (
 
 	"iolayers/internal/analysis"
 	"iolayers/internal/checkpoint"
+	"iolayers/internal/obsv"
 	"iolayers/internal/workload"
 )
 
@@ -59,6 +60,10 @@ type CampaignCheckpoint struct {
 	// before appending (jobs after it are not in Done and regenerate).
 	ArchiveBytes   int64
 	ArchiveEntries int
+	// Metrics is the deterministic slice of the run's obsv registry, so a
+	// resumed run's stripped metrics snapshot is byte-identical to an
+	// uninterrupted one. Nil when the run carried no registry.
+	Metrics *obsv.State
 }
 
 // JobsDone counts completed jobs.
@@ -115,6 +120,11 @@ type RunOptions struct {
 	// the sink to durable storage; the returned byte offset and entry
 	// count are recorded in the checkpoint (see ArchiveBytes).
 	SyncSink func() (bytes int64, entries int, err error)
+	// Metrics receives the run's self-instrumentation: the "generate" stage
+	// span plus run.* counters, folded in at batch boundaries from
+	// per-worker tallies (never from inside worker loops). Nil disables
+	// metrics at zero cost.
+	Metrics *obsv.Registry
 }
 
 // defaultCheckpointEvery is the batch size when the caller enables
@@ -154,6 +164,7 @@ func (c *Campaign) RunCheckpointed(ctx context.Context, opts RunOptions) (*analy
 				return nil, err
 			}
 		}
+		opts.Metrics.RestoreState(ck.Metrics)
 	}
 	var pending []int
 	for i := 0; i < n; i++ {
@@ -167,6 +178,12 @@ func (c *Campaign) RunCheckpointed(ctx context.Context, opts RunOptions) (*analy
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// Stage instrumentation: nil Metrics makes every call below a no-op.
+	genSpan := opts.Metrics.Span("generate")
+	genTimer := genSpan.Begin()
+	defer genTimer.End()
+	genSpan.SetWorkers(workers)
+
 	writeCk := func() error {
 		if opts.CheckpointPath == "" {
 			return nil
@@ -177,6 +194,7 @@ func (c *Campaign) RunCheckpointed(ctx context.Context, opts RunOptions) (*analy
 			FailedJobs: append([]int(nil), failedJobs...),
 			Fault:      foTotal,
 			Agg:        total.State(),
+			Metrics:    opts.Metrics.State(),
 		}
 		if opts.SyncSink != nil {
 			b, e, err := opts.SyncSink()
@@ -217,6 +235,7 @@ func (c *Campaign) RunCheckpointed(ctx context.Context, opts RunOptions) (*analy
 		errsW := make([]error, w)
 		doneBy := make([][]int, w)
 		failBy := make([][]int, w)
+		logsBy := make([]int64, w) // plain per-worker tallies, folded below
 		var wg sync.WaitGroup
 		for wi := 0; wi < w; wi++ {
 			aggs[wi] = analysis.NewAggregator(c.System)
@@ -239,6 +258,7 @@ func (c *Campaign) RunCheckpointed(ctx context.Context, opts RunOptions) (*analy
 						continue
 					}
 					fouts[wi].Merge(&fo)
+					logsBy[wi] += int64(len(logs))
 					for li, log := range logs {
 						if opts.Sink != nil {
 							if err := opts.Sink(i, li, log); err != nil {
@@ -257,18 +277,36 @@ func (c *Campaign) RunCheckpointed(ctx context.Context, opts RunOptions) (*analy
 		// Fold the batch in worker-index order. The report does not depend
 		// on this order (all statistics are partition-invariant); the fixed
 		// order keeps the fold itself deterministic.
+		var batchJobs, batchFails, batchLogs int64
+		var batchRetried, batchAttempts int64
+		var batchBytes float64
 		for wi := 0; wi < w; wi++ {
+			batchBytes += aggs[wi].TotalBytes()
+			batchRetried += fouts[wi].OpsRetried
+			batchAttempts += fouts[wi].RetryAttempts
 			total.Merge(aggs[wi])
 			foTotal.Merge(&fouts[wi])
+			batchLogs += logsBy[wi]
 			for _, i := range doneBy[wi] {
 				done[i] = true
 			}
+			batchJobs += int64(len(doneBy[wi]))
 			for _, i := range failBy[wi] {
 				done[i] = true
 				failedJobs = append(failedJobs, i)
 			}
+			batchFails += int64(len(failBy[wi]))
 		}
 		sort.Ints(failedJobs)
+		if m := opts.Metrics; m != nil {
+			m.Counter("run.jobs_done").Add(batchJobs)
+			m.Counter("run.jobs_failed").Add(batchFails)
+			m.Counter("run.logs_generated").Add(batchLogs)
+			m.Counter("run.ops_retried").Add(batchRetried)
+			m.Counter("run.retry_attempts").Add(batchAttempts)
+			genSpan.AddOps(batchJobs)
+			genSpan.AddBytes(int64(batchBytes))
+		}
 		for wi := 0; wi < w; wi++ {
 			if errsW[wi] != nil {
 				// A sink failure poisons the persisted campaign; do not

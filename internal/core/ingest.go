@@ -44,6 +44,7 @@ import (
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
 	"iolayers/internal/iosim"
+	"iolayers/internal/obsv"
 )
 
 // IngestOptions configures a parallel ingestion pass.
@@ -69,6 +70,10 @@ type IngestOptions struct {
 	CheckpointEvery int
 	// Resume continues a prior pass from its checkpoint.
 	Resume *IngestCheckpoint
+	// Metrics receives the pass's self-instrumentation: the "ingest" stage
+	// span plus ingest.* counters and histograms, folded in at batch
+	// boundaries from per-worker tallies. Nil disables metrics at zero cost.
+	Metrics *obsv.Registry
 }
 
 // defaultIngestBatch is the checkpoint batch size when the caller enables
@@ -122,6 +127,9 @@ type IngestCheckpoint struct {
 	Failures      []IngestFailureRecord
 	LargeJobProcs int
 	Agg           *analysis.AggregatorState
+	// Metrics is the deterministic slice of the pass's obsv registry (see
+	// CampaignCheckpoint.Metrics). Nil when the pass carried no registry.
+	Metrics *obsv.State
 }
 
 // LoadIngestCheckpoint reads an ingestion checkpoint written by a prior
@@ -246,6 +254,19 @@ func consumeItem(br *bytes.Reader, agg *analysis.Aggregator, lim logfmt.DecodeLi
 	return nil
 }
 
+// numErrClasses is the metric fan-out for decode failures: the five
+// logfmt.ErrorKind values plus one "other" class for non-decode errors
+// (I/O failures, aggregation panics).
+const numErrClasses = int(logfmt.KindBadVersion) + 2
+
+// errClassName names a decode-error metric class.
+func errClassName(k int) string {
+	if k <= int(logfmt.KindBadVersion) {
+		return logfmt.ErrorKind(k).String()
+	}
+	return "other"
+}
+
 // batchResult carries one batch's outcome back to the coordinator.
 type batchResult struct {
 	aggs      []*analysis.Aggregator
@@ -255,6 +276,11 @@ type batchResult struct {
 	count     int // items dispatched
 	cancelled bool
 	streamErr error // framing error from the item source
+	// Metric tallies, merged from per-worker shards after the pool drains.
+	errClasses [numErrClasses]int64
+	rawBytes   int64
+	rawHist    [obsv.NumBuckets]uint64
+	rawHistSum int64
 }
 
 // ingestCoordinator accumulates a pass's running state across batches.
@@ -274,6 +300,7 @@ type ingestCoordinator struct {
 	failures    []IngestFailure
 	entriesDone int
 	quar        *quarantine
+	span        *obsv.Span // "ingest" stage span; nil when metrics are off
 }
 
 func newIngestCoordinator(sys *iosim.System, opts IngestOptions, mode, source string) (*ingestCoordinator, error) {
@@ -281,6 +308,7 @@ func newIngestCoordinator(sys *iosim.System, opts IngestOptions, mode, source st
 		sys: sys, opts: opts, lim: opts.Limits,
 		mode: mode, source: source,
 		total: analysis.NewAggregator(sys),
+		span:  opts.Metrics.Span("ingest"),
 	}
 	if opts.LargeJobProcs > 0 {
 		ic.total.LargeJobProcs = opts.LargeJobProcs
@@ -306,6 +334,7 @@ func newIngestCoordinator(sys *iosim.System, opts IngestOptions, mode, source st
 				return nil, err
 			}
 		}
+		opts.Metrics.RestoreState(ck.Metrics)
 	}
 	if opts.QuarantineDir != "" {
 		var err error
@@ -351,6 +380,7 @@ func (ic *ingestCoordinator) writeCheckpoint() error {
 		Parsed: ic.parsed, Failed: ic.failed, Quarantined: ic.quarantined,
 		LargeJobProcs: ic.opts.LargeJobProcs,
 		Agg:           ic.total.State(),
+		Metrics:       ic.opts.Metrics.State(),
 	}
 	for _, f := range ic.failures {
 		ck.Failures = append(ck.Failures, IngestFailureRecord{Source: f.Source, Err: f.Err.Error()})
@@ -380,6 +410,17 @@ func (ic *ingestCoordinator) runBatch(ctx context.Context, max int,
 	parsedW := make([]int, w)
 	failedW := make([]int, w)
 	failsW := make([][]indexedFailure, w)
+	// Per-worker metric shards: plain memory, no atomics, no sharing —
+	// merged into res after the pool drains (DESIGN.md §10).
+	type workerMetrics struct {
+		errClasses [numErrClasses]int64
+		rawBytes   int64
+		rawHist    [obsv.NumBuckets]uint64
+	}
+	var metricsW []workerMetrics
+	if ic.opts.Metrics != nil {
+		metricsW = make([]workerMetrics, w)
+	}
 	var wg sync.WaitGroup
 	for wi := 0; wi < w; wi++ {
 		res.aggs[wi] = analysis.NewAggregator(ic.sys)
@@ -394,8 +435,20 @@ func (ic *ingestCoordinator) runBatch(ctx context.Context, max int,
 				if ctx.Err() != nil {
 					continue // cancelled: drain without processing
 				}
+				if metricsW != nil && item.raw != nil {
+					n := int64(len(item.raw))
+					metricsW[wi].rawBytes += n
+					metricsW[wi].rawHist[obsv.BucketOf(n)]++
+				}
 				if err := consumeItem(&br, res.aggs[wi], ic.lim, item); err != nil {
 					failedW[wi]++
+					if metricsW != nil {
+						class := numErrClasses - 1
+						if k, ok := logfmt.KindOf(err); ok {
+							class = int(k)
+						}
+						metricsW[wi].errClasses[class]++
+					}
 					if keepAll || len(failsW[wi]) < MaxRecordedFailures {
 						failsW[wi] = append(failsW[wi], indexedFailure{
 							index: item.index,
@@ -444,14 +497,48 @@ dispatch:
 		res.parsed += parsedW[wi]
 		res.failed += failedW[wi]
 		res.failures = append(res.failures, failsW[wi]...)
+		if metricsW != nil {
+			for k, n := range metricsW[wi].errClasses {
+				res.errClasses[k] += n
+			}
+			res.rawBytes += metricsW[wi].rawBytes
+			res.rawHistSum += metricsW[wi].rawBytes
+			for i, n := range metricsW[wi].rawHist {
+				res.rawHist[i] += n
+			}
+		}
 	}
 	sort.Slice(res.failures, func(i, j int) bool { return res.failures[i].index < res.failures[j].index })
 	return res
 }
 
 // fold merges a completed (non-cancelled) batch into the running state:
-// aggregates, counts, recorded failures, and quarantine actions.
+// aggregates, counts, recorded failures, quarantine actions, and metrics.
+// The cancelled path deliberately skips the metric fold (see cancel): the
+// checkpoint keeps pre-batch metrics, so resume reproduces them exactly.
 func (ic *ingestCoordinator) fold(res *batchResult) error {
+	if m := ic.opts.Metrics; m != nil {
+		m.Counter("ingest.logs_parsed").Add(int64(res.parsed))
+		m.Counter("ingest.logs_failed").Add(int64(res.failed))
+		for k, n := range res.errClasses {
+			if n > 0 {
+				m.Counter("ingest.decode_errors." + errClassName(k)).Add(n)
+			}
+		}
+		if res.rawBytes > 0 {
+			m.Counter("ingest.bytes_raw").Add(res.rawBytes)
+			h := m.Histogram("ingest.entry_bytes")
+			for i, n := range res.rawHist {
+				if n > 0 {
+					h.AddBucket(i, n)
+				}
+			}
+			h.AddSum(res.rawHistSum)
+		}
+		ic.span.AddOps(int64(res.count))
+		ic.span.AddBytes(res.rawBytes)
+		logfmt.PublishMetrics(m) // refresh the (volatile) codec-pool gauges
+	}
 	for _, a := range res.aggs {
 		ic.total.Merge(a)
 	}
@@ -529,6 +616,9 @@ func IngestDir(ctx context.Context, sys *iosim.System, dir string, opts IngestOp
 	if err != nil {
 		return nil, IngestResult{}, err
 	}
+	ingestTimer := ic.span.Begin()
+	defer ingestTimer.End()
+	ic.span.SetWorkers(ic.workers())
 	if ic.paths == nil { // fresh pass (resume freezes the list in the checkpoint)
 		paths, err := filepath.Glob(filepath.Join(dir, "*.darshan"))
 		if err != nil {
@@ -587,6 +677,9 @@ func IngestArchive(ctx context.Context, sys *iosim.System, path string, opts Ing
 	if err != nil {
 		return nil, IngestResult{}, err
 	}
+	ingestTimer := ic.span.Begin()
+	defer ingestTimer.End()
+	ic.span.SetWorkers(ic.workers())
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, IngestResult{}, fmt.Errorf("core: opening %s: %w", path, err)

@@ -23,9 +23,10 @@ const maxPooledBuf = 8 << 20
 
 // bufPool holds scratch byte buffers shared by section encoding,
 // compression, and archive framing.
-var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+var bufPool = sync.Pool{New: func() any { bufNews.Add(1); return new(bytes.Buffer) }}
 
 func getBuf() *bytes.Buffer {
+	bufGets.Add(1)
 	b := bufPool.Get().(*bytes.Buffer)
 	b.Reset()
 	return b
@@ -39,9 +40,10 @@ func putBuf(b *bytes.Buffer) {
 
 // zlibWriterPool holds Reset-able deflate state. Entries are created
 // against io.Discard and re-targeted with Reset before every use.
-var zlibWriterPool = sync.Pool{New: func() any { return zlib.NewWriter(io.Discard) }}
+var zlibWriterPool = sync.Pool{New: func() any { zlibNews.Add(1); return zlib.NewWriter(io.Discard) }}
 
 func getZlibWriter(w io.Writer) *zlib.Writer {
+	zlibGets.Add(1)
 	zw := zlibWriterPool.Get().(*zlib.Writer)
 	zw.Reset(w)
 	return zw
@@ -52,7 +54,7 @@ func putZlibWriter(zw *zlib.Writer) { zlibWriterPool.Put(zw) }
 // bufioWriterPool holds the per-Write output buffer. Writes into an
 // in-memory *bytes.Buffer (the archive Append path and every benchmark)
 // skip it entirely — buffering a buffer is pure overhead.
-var bufioWriterPool = sync.Pool{New: func() any { return bufio.NewWriter(io.Discard) }}
+var bufioWriterPool = sync.Pool{New: func() any { bwNews.Add(1); return bufio.NewWriter(io.Discard) }}
 
 // buffered returns a buffered view of w plus a flush func. The release of
 // the pooled bufio.Writer happens inside flush, so callers must call it
@@ -62,6 +64,7 @@ func buffered(w io.Writer) (io.Writer, func() error) {
 	if bb, ok := w.(*bytes.Buffer); ok {
 		return bb, func() error { return nil }
 	}
+	bwGets.Add(1)
 	bw := bufioWriterPool.Get().(*bufio.Writer)
 	bw.Reset(w)
 	return bw, func() error {
@@ -89,9 +92,12 @@ type readState struct {
 	zr         io.ReadCloser // also a zlib.Resetter once created
 }
 
-var readStatePool = sync.Pool{New: func() any { return new(readState) }}
+var readStatePool = sync.Pool{New: func() any { readNews.Add(1); return new(readState) }}
 
-func getReadState() *readState { return readStatePool.Get().(*readState) }
+func getReadState() *readState {
+	readGets.Add(1)
+	return readStatePool.Get().(*readState)
+}
 func putReadState(rs *readState) {
 	if cap(rs.compressed) > maxPooledBuf || cap(rs.payload) > maxPooledBuf {
 		return

@@ -1,0 +1,328 @@
+// Package fidelity encodes EXPERIMENTS.md as a machine-checkable contract.
+//
+// Every ✓ and ▲ row of the paper-vs-measured tables (Tables 2–6 and the
+// headline figure statistics) becomes a Check: a quantity computed from the
+// reference run's reports, the paper's published value, and the tolerance
+// band inside which the row's verdict holds. The regression suite
+// (internal/analysis/fidelity_test.go) replays the reference campaign and
+// evaluates the table, so a calibration change that silently breaks a
+// reproduced finding turns into a test failure naming the EXPERIMENTS.md
+// row it contradicts.
+//
+// Bands are deliberately wider than the exact measured values: they pin the
+// *verdict* (the ratio, ordering, or share the paper reports), not the last
+// digit of one seed's draw. A check failing means the reproduction story
+// documented in EXPERIMENTS.md is no longer true.
+package fidelity
+
+import (
+	"fmt"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/darshan"
+	"iolayers/internal/iosim"
+	"iolayers/internal/units"
+)
+
+// Reference run parameters: all bands assume this campaign.
+const (
+	RefJobScale  = 0.005
+	RefFileScale = 0.05
+	RefSeed      = 42
+)
+
+// Verdict mirrors the EXPERIMENTS.md cell markers for rows the suite
+// enforces (✗ rows document known gaps and are not pinned).
+type Verdict int
+
+const (
+	// Reproduced is a ✓ row: the paper's finding holds quantitatively.
+	Reproduced Verdict = iota
+	// Directional is a ▲ row: the ordering/dominance holds with a
+	// documented magnitude gap. The band pins the direction staying right.
+	Directional
+)
+
+func (v Verdict) String() string {
+	if v == Reproduced {
+		return "✓"
+	}
+	return "▲"
+}
+
+// Suite holds the reference reports the checks read.
+type Suite struct {
+	Summit *analysis.Report
+	Cori   *analysis.Report
+}
+
+// Check pins one quantity of the reference run to the band its
+// EXPERIMENTS.md verdict requires.
+type Check struct {
+	// Table names the EXPERIMENTS.md section the row lives in.
+	Table string
+	// Name restates the row's quantity.
+	Name string
+	// Paper is the paper's published value, for the failure message.
+	Paper float64
+	// Verdict is the enforced cell marker.
+	Verdict Verdict
+	// Low and High bound the measured value (inclusive).
+	Low, High float64
+	// Value computes the quantity from the reference reports.
+	Value func(s *Suite) float64
+}
+
+// Result is one evaluated check.
+type Result struct {
+	Check Check
+	Got   float64
+	OK    bool
+}
+
+func (r Result) String() string {
+	status := "ok"
+	if !r.OK {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%s: %s [%s]: got %.4g, band [%.4g, %.4g], paper %.4g: %s",
+		r.Check.Table, r.Check.Name, r.Check.Verdict, r.Got,
+		r.Check.Low, r.Check.High, r.Check.Paper, status)
+}
+
+// Evaluate runs every check against the suite's reports.
+func Evaluate(s *Suite) []Result {
+	checks := Checks()
+	out := make([]Result, len(checks))
+	for i, c := range checks {
+		got := c.Value(s)
+		out[i] = Result{Check: c, Got: got, OK: got >= c.Low && got <= c.High}
+	}
+	return out
+}
+
+// Failures filters the evaluated results down to the broken rows.
+func Failures(results []Result) []Result {
+	var bad []Result
+	for _, r := range results {
+		if !r.OK {
+			bad = append(bad, r)
+		}
+	}
+	return bad
+}
+
+// Helper accessors. Layer 0 is the PFS, layer 1 the in-system layer
+// (analysis.Report's documented order).
+
+func pfs(r *analysis.Report) *analysis.LayerStats { return r.Layers[0].Stats }
+func ins(r *analysis.Report) *analysis.LayerStats { return r.Layers[1].Stats }
+
+func logsPerJob(r *analysis.Report) float64 {
+	return float64(r.Summary.Logs) / float64(r.Summary.Jobs)
+}
+
+// scaledFiles projects the campaign's file count back to the paper's full
+// year: files scale with both the job and per-log file scales.
+func scaledFiles(r *analysis.Report) float64 {
+	return float64(r.Summary.Files) / (RefJobScale * RefFileScale)
+}
+
+func scaledNodeHours(r *analysis.Report) float64 {
+	return r.Summary.NodeHours / RefJobScale
+}
+
+// trackedJobs is Table 5's denominator: jobs with at least one file record.
+func trackedJobs(r *analysis.Report) float64 {
+	e := r.Exclusivity
+	return float64(e.InSystemOnly + e.Both + e.PFSOnly)
+}
+
+// interfaceShare is a layer's Table 6 share for one interface.
+func interfaceShare(ls *analysis.LayerStats, m darshan.ModuleID) float64 {
+	var total int64
+	for _, mod := range darshan.InterfaceModules() {
+		total += ls.InterfaceFiles[mod]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(ls.InterfaceFiles[m]) / float64(total)
+}
+
+// stdioOverallShare is the Finding-D statistic: STDIO files across both
+// layers as a share of all interface-attributed files.
+func stdioOverallShare(r *analysis.Report) float64 {
+	var stdio, total int64
+	for _, lr := range r.Layers {
+		for _, mod := range darshan.InterfaceModules() {
+			total += lr.Stats.InterfaceFiles[mod]
+		}
+		stdio += lr.Stats.InterfaceFiles[darshan.ModuleSTDIO]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(stdio) / float64(total)
+}
+
+// cdfUnder1G is a Figure 3 point: the fraction of files whose per-direction
+// transfer is at most 1 GiB on the given layer kind.
+func cdfUnder1G(r *analysis.Report, kind iosim.LayerKind, d analysis.Direction) float64 {
+	cdf := r.TransferCDF(kind, d)
+	if len(cdf) <= int(units.TransferTo1G) {
+		return 0
+	}
+	return cdf[units.TransferTo1G]
+}
+
+// Checks returns the enforced rows. The slice is rebuilt on every call so
+// callers may not mutate shared state.
+func Checks() []Check {
+	return []Check{
+		// ---- Table 2: campaign summary ----
+		{Table: "Table 2", Name: "Summit logs per job", Paper: 27.5, Verdict: Reproduced,
+			Low: 24, High: 33,
+			Value: func(s *Suite) float64 { return logsPerJob(s.Summit) }},
+		{Table: "Table 2", Name: "Cori logs per job", Paper: 5.8, Verdict: Reproduced,
+			Low: 4.8, High: 7.2,
+			Value: func(s *Suite) float64 { return logsPerJob(s.Cori) }},
+		{Table: "Table 2", Name: "Summit files (scaled to full year)", Paper: 1.294e9, Verdict: Reproduced,
+			Low: 1.0e9, High: 1.8e9,
+			Value: func(s *Suite) float64 { return scaledFiles(s.Summit) }},
+		{Table: "Table 2", Name: "Cori files (scaled to full year)", Paper: 4.16e8, Verdict: Reproduced,
+			Low: 3.2e8, High: 5.5e8,
+			Value: func(s *Suite) float64 { return scaledFiles(s.Cori) }},
+		{Table: "Table 2", Name: "Summit node-hours (scaled)", Paper: 1.64e7, Verdict: Directional,
+			Low: 0.75e7, High: 1.7e7,
+			Value: func(s *Suite) float64 { return scaledNodeHours(s.Summit) }},
+		{Table: "Table 2", Name: "Cori node-hours (scaled)", Paper: 4.55e7, Verdict: Reproduced,
+			Low: 3.4e7, High: 5.5e7,
+			Value: func(s *Suite) float64 { return scaledNodeHours(s.Cori) }},
+
+		// ---- Table 3: files and volume per layer ----
+		{Table: "Table 3", Name: "Summit PFS/SCNL file ratio", Paper: 3.63, Verdict: Directional,
+			Low: 2.5, High: 9,
+			Value: func(s *Suite) float64 {
+				return float64(pfs(s.Summit).Files) / float64(ins(s.Summit).Files)
+			}},
+		{Table: "Table 3", Name: "Summit PFS write/read volume ratio", Paper: 41.9, Verdict: Directional,
+			Low: 4, High: 60,
+			Value: func(s *Suite) float64 {
+				ls := pfs(s.Summit)
+				return ls.Bytes[analysis.Write] / ls.Bytes[analysis.Read]
+			}},
+		{Table: "Table 3", Name: "Summit SCNL read/write volume ratio", Paper: 1.65, Verdict: Reproduced,
+			Low: 1.05, High: 2.5,
+			Value: func(s *Suite) float64 {
+				ls := ins(s.Summit)
+				return ls.Bytes[analysis.Read] / ls.Bytes[analysis.Write]
+			}},
+		{Table: "Table 3", Name: "Cori PFS/CBB file ratio", Paper: 28.87, Verdict: Reproduced,
+			Low: 18, High: 42,
+			Value: func(s *Suite) float64 {
+				return float64(pfs(s.Cori).Files) / float64(ins(s.Cori).Files)
+			}},
+		{Table: "Table 3", Name: "Cori PFS read/write volume ratio", Paper: 6.58, Verdict: Reproduced,
+			Low: 1.5, High: 10,
+			Value: func(s *Suite) float64 {
+				ls := pfs(s.Cori)
+				return ls.Bytes[analysis.Read] / ls.Bytes[analysis.Write]
+			}},
+		{Table: "Table 3", Name: "Cori CBB read/write volume ratio", Paper: 3.16, Verdict: Reproduced,
+			Low: 1.3, High: 5,
+			Value: func(s *Suite) float64 {
+				ls := ins(s.Cori)
+				return ls.Bytes[analysis.Read] / ls.Bytes[analysis.Write]
+			}},
+
+		// ---- Table 4: >1 TB files ----
+		{Table: "Table 4", Name: "Summit SCNL >1TB files (reads+writes)", Paper: 0, Verdict: Reproduced,
+			Low: 0, High: 0,
+			Value: func(s *Suite) float64 {
+				ls := ins(s.Summit)
+				return float64(ls.HugeFiles[analysis.Read] + ls.HugeFiles[analysis.Write])
+			}},
+
+		// ---- Table 5: job layer exclusivity ----
+		{Table: "Table 5", Name: "Summit in-system-only jobs", Paper: 0, Verdict: Reproduced,
+			Low: 0, High: 0,
+			Value: func(s *Suite) float64 { return float64(s.Summit.Exclusivity.InSystemOnly) }},
+		{Table: "Table 5", Name: "Summit both-layer job share", Paper: 0.0140, Verdict: Reproduced,
+			Low: 0.007, High: 0.026,
+			Value: func(s *Suite) float64 {
+				return float64(s.Summit.Exclusivity.Both) / trackedJobs(s.Summit)
+			}},
+		{Table: "Table 5", Name: "Cori CBB-exclusive job share", Paper: 0.1438, Verdict: Reproduced,
+			Low: 0.09, High: 0.19,
+			Value: func(s *Suite) float64 {
+				return float64(s.Cori.Exclusivity.InSystemOnly) / trackedJobs(s.Cori)
+			}},
+		{Table: "Table 5", Name: "Cori both-layer job share", Paper: 0.0499, Verdict: Reproduced,
+			Low: 0.02, High: 0.08,
+			Value: func(s *Suite) float64 {
+				return float64(s.Cori.Exclusivity.Both) / trackedJobs(s.Cori)
+			}},
+		{Table: "Table 5", Name: "jobs with no file records exist (Table 5 < Table 2)", Paper: 1, Verdict: Reproduced,
+			Low: 1, High: 1,
+			Value: func(s *Suite) float64 {
+				ok := s.Summit.Exclusivity.Untracked > 0 && s.Cori.Exclusivity.Untracked > 0
+				if ok {
+					return 1
+				}
+				return 0
+			}},
+
+		// ---- Table 6: files per I/O interface ----
+		{Table: "Table 6", Name: "Summit PFS POSIX file share", Paper: 0.57, Verdict: Reproduced,
+			Low: 0.52, High: 0.62,
+			Value: func(s *Suite) float64 { return interfaceShare(pfs(s.Summit), darshan.ModulePOSIX) }},
+		{Table: "Table 6", Name: "Summit PFS MPI-IO file share", Paper: 0.12, Verdict: Reproduced,
+			Low: 0.09, High: 0.15,
+			Value: func(s *Suite) float64 { return interfaceShare(pfs(s.Summit), darshan.ModuleMPIIO) }},
+		{Table: "Table 6", Name: "Summit PFS STDIO file share", Paper: 0.31, Verdict: Reproduced,
+			Low: 0.26, High: 0.36,
+			Value: func(s *Suite) float64 { return interfaceShare(pfs(s.Summit), darshan.ModuleSTDIO) }},
+		{Table: "Table 6", Name: "Summit SCNL STDIO/POSIX file ratio", Paper: 4.37, Verdict: Reproduced,
+			Low: 3.3, High: 5.6,
+			Value: func(s *Suite) float64 {
+				ls := ins(s.Summit)
+				return float64(ls.InterfaceFiles[darshan.ModuleSTDIO]) /
+					float64(ls.InterfaceFiles[darshan.ModulePOSIX])
+			}},
+		{Table: "Table 6", Name: "Cori PFS POSIX file share", Paper: 0.51, Verdict: Reproduced,
+			Low: 0.46, High: 0.56,
+			Value: func(s *Suite) float64 { return interfaceShare(pfs(s.Cori), darshan.ModulePOSIX) }},
+		{Table: "Table 6", Name: "Cori PFS MPI-IO file share", Paper: 0.34, Verdict: Reproduced,
+			Low: 0.29, High: 0.39,
+			Value: func(s *Suite) float64 { return interfaceShare(pfs(s.Cori), darshan.ModuleMPIIO) }},
+		{Table: "Table 6", Name: "Cori PFS STDIO file share", Paper: 0.15, Verdict: Reproduced,
+			Low: 0.11, High: 0.19,
+			Value: func(s *Suite) float64 { return interfaceShare(pfs(s.Cori), darshan.ModuleSTDIO) }},
+		{Table: "Table 6", Name: "Summit overall STDIO file share (Finding D)", Paper: 0.398, Verdict: Reproduced,
+			Low: 0.32, High: 0.45,
+			Value: func(s *Suite) float64 { return stdioOverallShare(s.Summit) }},
+		{Table: "Table 6", Name: "Cori overall STDIO file share (Finding D)", Paper: 0.142, Verdict: Reproduced,
+			Low: 0.10, High: 0.19,
+			Value: func(s *Suite) float64 { return stdioOverallShare(s.Cori) }},
+
+		// ---- Figure 3: transfer-size CDF headline points (Finding B) ----
+		{Table: "Figure 3", Name: "Summit PFS reads ≤1GB file share", Paper: 0.97, Verdict: Reproduced,
+			Low: 0.94, High: 1.0,
+			Value: func(s *Suite) float64 { return cdfUnder1G(s.Summit, iosim.ParallelFS, analysis.Read) }},
+		{Table: "Figure 3", Name: "Summit SCNL reads ≤1GB file share", Paper: 0.99, Verdict: Reproduced,
+			Low: 0.97, High: 1.0,
+			Value: func(s *Suite) float64 { return cdfUnder1G(s.Summit, iosim.InSystem, analysis.Read) }},
+		{Table: "Figure 3", Name: "Cori PFS reads ≤1GB file share", Paper: 0.9905, Verdict: Reproduced,
+			Low: 0.95, High: 1.0,
+			Value: func(s *Suite) float64 { return cdfUnder1G(s.Cori, iosim.ParallelFS, analysis.Read) }},
+
+		// ---- Figure 10 / §3.3.2 joins ----
+		{Table: "Figure 10", Name: "Summit jobs using STDIO", Paper: 0.62, Verdict: Directional,
+			Low: 0.62, High: 0.95,
+			Value: func(s *Suite) float64 { return s.Summit.StdioJobFraction }},
+		{Table: "Figure 10", Name: "Cori domain-join coverage", Paper: 0.9002, Verdict: Reproduced,
+			Low: 0.85, High: 0.94,
+			Value: func(s *Suite) float64 { return s.Cori.DomainCoverage }},
+	}
+}

@@ -1,0 +1,58 @@
+package fidelity
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableWellFormed guards the check table itself: enough coverage to be
+// a meaningful regression net, unique names, sane bands.
+func TestTableWellFormed(t *testing.T) {
+	checks := Checks()
+	if len(checks) < 15 {
+		t.Fatalf("only %d checks; the suite pins at least 15 EXPERIMENTS.md rows", len(checks))
+	}
+	seen := map[string]bool{}
+	for _, c := range checks {
+		key := c.Table + "/" + c.Name
+		if seen[key] {
+			t.Errorf("duplicate check %q", key)
+		}
+		seen[key] = true
+		if c.Low > c.High {
+			t.Errorf("%s: inverted band [%g, %g]", key, c.Low, c.High)
+		}
+		if c.Value == nil {
+			t.Errorf("%s: nil Value func", key)
+		}
+		if c.Table == "" || c.Name == "" {
+			t.Errorf("check %+v: empty table or name", c)
+		}
+	}
+}
+
+// TestEvaluateAndFailures exercises the evaluation plumbing on a synthetic
+// pass/fail split without running a campaign.
+func TestEvaluateAndFailures(t *testing.T) {
+	results := []Result{
+		{Check: Check{Table: "T", Name: "a"}, Got: 1, OK: true},
+		{Check: Check{Table: "T", Name: "b"}, Got: 9, OK: false},
+	}
+	bad := Failures(results)
+	if len(bad) != 1 || bad[0].Check.Name != "b" {
+		t.Fatalf("Failures = %v, want just b", bad)
+	}
+	if s := results[1].String(); !strings.Contains(s, "FAIL") || !strings.Contains(s, "b") {
+		t.Errorf("failure String() = %q, want FAIL marker and name", s)
+	}
+	if s := results[0].String(); !strings.Contains(s, "ok") {
+		t.Errorf("ok String() = %q, want ok marker", s)
+	}
+}
+
+// TestVerdictString pins the markers to the EXPERIMENTS.md legend.
+func TestVerdictString(t *testing.T) {
+	if Reproduced.String() != "✓" || Directional.String() != "▲" {
+		t.Fatalf("verdict markers drifted: %s %s", Reproduced, Directional)
+	}
+}

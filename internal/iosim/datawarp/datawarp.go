@@ -198,7 +198,7 @@ func (f *FS) TransferAllocAt(path string, rw iosim.RW, size units.ByteSize, proc
 	if f.collector != nil {
 		f.collector.Record(start, bbNodes, int64(size), dur)
 		if eff.Degraded {
-			f.collector.RecordDegraded(start, bbNodes)
+			f.collector.RecordDegraded(start, bbNodes, dur)
 		}
 	}
 	return dur

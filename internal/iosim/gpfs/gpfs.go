@@ -160,7 +160,7 @@ func (f *FS) TransferAt(path string, rw iosim.RW, size units.ByteSize, procs int
 	if f.collector != nil {
 		f.collector.Record(start, span, int64(size), dur)
 		if eff.Degraded {
-			f.collector.RecordDegraded(start, span)
+			f.collector.RecordDegraded(start, span, dur)
 		}
 	}
 	return dur

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/faults"
 	"iolayers/internal/units"
 )
 
@@ -112,4 +113,49 @@ func TestNewPanicsOnInvalidConfig(t *testing.T) {
 		}
 	}()
 	New(cfg)
+}
+
+// TestDegradedTimeIsObservedNotScheduled pins the fix for the server-stats
+// Degraded column: it must report the service time actually spent inside
+// fault windows (what a monitoring deployment observes), not the scheduled
+// wall-clock length of the windows. A mostly-idle campaign that issues only
+// a few short requests during a long outage window used to be charged the
+// whole window.
+func TestDegradedTimeIsObservedNotScheduled(t *testing.T) {
+	fs := idealAlpine()
+	const winStart, winEnd = 100.0, 700.0 // 600 s scheduled degradation
+	fs.SetFaultSchedule(&faults.Schedule{
+		Seed: 7,
+		Windows: []faults.Window{{
+			Kind: faults.Slowdown, Start: winStart, End: winEnd,
+			ServerFrac: 1.0, Severity: 0.5,
+		}},
+	})
+	c := fs.NewCollector()
+	fs.SetCollector(c)
+
+	r := rand.New(rand.NewPCG(42, 0))
+	var inWindow, total float64
+	for i := 0; i < 20; i++ {
+		at := float64(i) * 50 // requests at t = 0, 50, ..., 950
+		dur := fs.TransferAt("/gpfs/alpine/f", iosim.Read, 16*units.MiB, 8, at, r)
+		total += dur
+		if at >= winStart && at < winEnd {
+			inWindow += dur
+		}
+	}
+
+	got := c.DegradedBusySecs()
+	if diff := got - inWindow; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("observed degraded time %.6f s, want in-window service time %.6f s", got, inWindow)
+	}
+	// The two paths must genuinely disagree for this schedule: the window
+	// is hundreds of seconds of wall time, the requests inside it only
+	// fractions of a second of service time.
+	if scheduled := winEnd - winStart; got > scheduled/100 {
+		t.Errorf("observed degraded time %.3f s suspiciously close to scheduled window %v s — is the column back on the schedule path?", got, scheduled)
+	}
+	if got <= 0 || got > total {
+		t.Errorf("degraded time %.6f s outside (0, total=%.6f]", got, total)
+	}
 }

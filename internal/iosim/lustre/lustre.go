@@ -216,7 +216,7 @@ func (f *FS) TransferAt(path string, rw iosim.RW, size units.ByteSize, procs int
 	if f.collector != nil {
 		f.collector.Record(layout.StartOST, osts, int64(size), dur)
 		if eff.Degraded {
-			f.collector.RecordDegraded(layout.StartOST, osts)
+			f.collector.RecordDegraded(layout.StartOST, osts, dur)
 		}
 	}
 	return dur

@@ -167,7 +167,7 @@ func (f *FS) TransferAt(path string, rw iosim.RW, size units.ByteSize, procs int
 		// path-derived start so different jobs' allocations differ.
 		f.collector.Record(start, nodes, int64(size), dur)
 		if eff.Degraded {
-			f.collector.RecordDegraded(start, nodes)
+			f.collector.RecordDegraded(start, nodes, dur)
 		}
 	}
 	return dur

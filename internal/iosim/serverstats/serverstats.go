@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"iolayers/internal/obsv"
 	"iolayers/internal/stats"
 )
 
@@ -32,6 +33,11 @@ type Collector struct {
 	// injected fault window — the server-side footprint of degraded
 	// intervals (outages, slowdowns, metadata storms).
 	degraded []atomic.Int64
+	// degradedNanos accumulates the service time of those degraded
+	// requests. A monitoring deployment reports degraded *time*, not a
+	// request tally: a thousand sub-millisecond requests in a fault window
+	// matter less than one multi-minute stalled transfer.
+	degradedNanos []atomic.Int64
 }
 
 // NewCollector builds a collector for a layer with the given number of
@@ -41,11 +47,12 @@ func NewCollector(name string, servers int) *Collector {
 		panic(fmt.Sprintf("serverstats: collector %q needs at least one server, got %d", name, servers))
 	}
 	return &Collector{
-		name:      name,
-		requests:  make([]atomic.Int64, servers),
-		bytes:     make([]atomic.Int64, servers),
-		busyNanos: make([]atomic.Int64, servers),
-		degraded:  make([]atomic.Int64, servers),
+		name:          name,
+		requests:      make([]atomic.Int64, servers),
+		bytes:         make([]atomic.Int64, servers),
+		busyNanos:     make([]atomic.Int64, servers),
+		degraded:      make([]atomic.Int64, servers),
+		degradedNanos: make([]atomic.Int64, servers),
 	}
 }
 
@@ -81,9 +88,11 @@ func (c *Collector) Record(start, span int, size int64, seconds float64) {
 }
 
 // RecordDegraded notes that one request's span [start, start+span) was
-// served inside an injected fault window. Call alongside Record when the
-// fault injector reports a degraded effect.
-func (c *Collector) RecordDegraded(start, span int) {
+// served inside an injected fault window, spending `seconds` of service
+// time there (the same duration passed to Record; it divides evenly
+// across the span). Call alongside Record when the fault injector reports
+// a degraded effect.
+func (c *Collector) RecordDegraded(start, span int, seconds float64) {
 	n := len(c.degraded)
 	if span <= 0 {
 		span = 1
@@ -95,8 +104,11 @@ func (c *Collector) RecordDegraded(start, span int) {
 		start = -start
 	}
 	start %= n
+	perNanos := int64(seconds * 1e9 / float64(span))
 	for i := 0; i < span; i++ {
-		c.degraded[(start+i)%n].Add(1)
+		s := (start + i) % n
+		c.degraded[s].Add(1)
+		c.degradedNanos[s].Add(perNanos)
 	}
 }
 
@@ -110,14 +122,28 @@ func (c *Collector) DegradedRequests() int64 {
 	return total
 }
 
+// DegradedBusySecs sums the service time spent inside fault windows
+// across all servers — the observed degraded time, as opposed to the
+// scheduled fault-window duration, which counts wall time whether or not
+// any request was actually in flight.
+func (c *Collector) DegradedBusySecs() float64 {
+	var total int64
+	for i := range c.degradedNanos {
+		total += c.degradedNanos[i].Load()
+	}
+	return float64(total) / 1e9
+}
+
 // Snapshot is a point-in-time copy of one server's counters.
 type Snapshot struct {
 	Server   int
 	Requests int64
 	Bytes    int64
 	BusySecs float64
-	// Degraded counts requests this server served inside fault windows.
-	Degraded int64
+	// Degraded counts requests this server served inside fault windows;
+	// DegradedSecs is the service time those requests spent there.
+	Degraded     int64
+	DegradedSecs float64
 }
 
 // Snapshots returns every server's counters.
@@ -125,11 +151,12 @@ func (c *Collector) Snapshots() []Snapshot {
 	out := make([]Snapshot, len(c.requests))
 	for i := range out {
 		out[i] = Snapshot{
-			Server:   i,
-			Requests: c.requests[i].Load(),
-			Bytes:    c.bytes[i].Load(),
-			BusySecs: float64(c.busyNanos[i].Load()) / 1e9,
-			Degraded: c.degraded[i].Load(),
+			Server:       i,
+			Requests:     c.requests[i].Load(),
+			Bytes:        c.bytes[i].Load(),
+			BusySecs:     float64(c.busyNanos[i].Load()) / 1e9,
+			Degraded:     c.degraded[i].Load(),
+			DegradedSecs: float64(c.degradedNanos[i].Load()) / 1e9,
 		}
 	}
 	return out
@@ -202,6 +229,31 @@ func gini(vals []float64, sum float64) float64 {
 		cum += v * (2*float64(i+1) - n - 1)
 	}
 	return cum / (n * sum)
+}
+
+// Publish copies the collector's totals into the registry under
+// "iosim.<layer>.*". Request and byte tallies are deterministic (each
+// request is a pure function of its job, and integer sums are
+// order-independent), so they go in as counters; the simulated-time
+// totals are float-valued and go in as gauges. A nil registry is a no-op.
+func (c *Collector) Publish(r *obsv.Registry) {
+	if r == nil {
+		return
+	}
+	var reqs, bytes int64
+	var busy, degr int64
+	for i := range c.requests {
+		reqs += c.requests[i].Load()
+		bytes += c.bytes[i].Load()
+		busy += c.busyNanos[i].Load()
+		degr += c.degradedNanos[i].Load()
+	}
+	prefix := "iosim." + c.name + "."
+	r.Counter(prefix + "requests").Add(reqs - r.Counter(prefix+"requests").Value())
+	r.Counter(prefix + "bytes").Add(bytes - r.Counter(prefix+"bytes").Value())
+	r.Gauge(prefix + "busy_secs").Set(float64(busy) / 1e9)
+	r.Gauge(prefix + "degraded_secs").Set(float64(degr) / 1e9)
+	r.Gauge(prefix + "idle_servers").Set(float64(c.ByteImbalance().IdleServers))
 }
 
 // BusySummary returns the five-number summary of per-server busy seconds.

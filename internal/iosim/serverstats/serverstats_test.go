@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"iolayers/internal/obsv"
 )
 
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
@@ -139,5 +141,69 @@ func TestConcurrentRecord(t *testing.T) {
 func TestName(t *testing.T) {
 	if NewCollector("Alpine", 2).Name() != "Alpine" {
 		t.Error("name lost")
+	}
+}
+
+func TestRecordDegradedTracksTime(t *testing.T) {
+	c := NewCollector("x", 4)
+	// Two degraded requests on server 1, one clean one elsewhere.
+	c.Record(1, 1, 1000, 0.5)
+	c.RecordDegraded(1, 1, 0.5)
+	c.Record(1, 1, 500, 0.25)
+	c.RecordDegraded(1, 1, 0.25)
+	c.Record(3, 1, 100, 2.0)
+	if got := c.DegradedRequests(); got != 2 {
+		t.Errorf("degraded requests = %d, want 2", got)
+	}
+	if !almost(c.DegradedBusySecs(), 0.75) {
+		t.Errorf("degraded busy = %v, want 0.75", c.DegradedBusySecs())
+	}
+	snaps := c.Snapshots()
+	if !almost(snaps[1].DegradedSecs, 0.75) || snaps[1].Degraded != 2 {
+		t.Errorf("server 1 snapshot: %+v", snaps[1])
+	}
+	if snaps[3].DegradedSecs != 0 {
+		t.Errorf("clean server has degraded time: %+v", snaps[3])
+	}
+}
+
+func TestRecordDegradedSplitsAcrossSpan(t *testing.T) {
+	c := NewCollector("x", 4)
+	c.Record(3, 2, 1000, 1.0) // wraps: servers 3 and 0
+	c.RecordDegraded(3, 2, 1.0)
+	snaps := c.Snapshots()
+	if !almost(snaps[3].DegradedSecs, 0.5) || !almost(snaps[0].DegradedSecs, 0.5) {
+		t.Errorf("degraded time did not split across span: %+v", snaps)
+	}
+	if !almost(c.DegradedBusySecs(), 1.0) {
+		t.Errorf("total degraded = %v", c.DegradedBusySecs())
+	}
+}
+
+func TestPublish(t *testing.T) {
+	c := NewCollector("Alpine", 4)
+	c.Record(0, 2, 1000, 0.5)
+	c.RecordDegraded(0, 2, 0.5)
+	c.Publish(nil) // nil registry must be a no-op
+
+	r := obsv.New()
+	c.Publish(r)
+	if got := r.Counter("iosim.Alpine.requests").Value(); got != 2 {
+		t.Errorf("requests counter = %d, want 2", got)
+	}
+	if got := r.Counter("iosim.Alpine.bytes").Value(); got != 1000 {
+		t.Errorf("bytes counter = %d, want 1000", got)
+	}
+	if got := r.Gauge("iosim.Alpine.degraded_secs").Value(); !almost(got, 0.5) {
+		t.Errorf("degraded gauge = %v, want 0.5", got)
+	}
+	// Publishing again must not double-count.
+	c.Record(0, 1, 24, 0.1)
+	c.Publish(r)
+	if got := r.Counter("iosim.Alpine.requests").Value(); got != 3 {
+		t.Errorf("republished requests counter = %d, want 3", got)
+	}
+	if got := r.Counter("iosim.Alpine.bytes").Value(); got != 1024 {
+		t.Errorf("republished bytes counter = %d, want 1024", got)
 	}
 }

@@ -1,0 +1,56 @@
+package obsv
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestSnapshotGolden pins the exact JSON a snapshot renders — the schema
+// contract behind `iostudy -metrics out.json`. A diff here means the
+// snapshot layout changed: bump SchemaVersion and regenerate with
+// `go test ./internal/obsv -run Golden -update-golden`.
+func TestSnapshotGolden(t *testing.T) {
+	r := New()
+	r.Counter("ingest.logs_parsed").Add(1234)
+	r.Counter("ingest.decode_errors.truncated").Add(2)
+	r.Gauge("logfmt.pool.buf.hit_rate").Set(0.96875)
+	h := r.Histogram("ingest.entry_bytes")
+	h.Observe(4096)
+	h.Observe(4096)
+	h.Observe(70000)
+	r.TimeHistogram("ingest.entry_nanos").Observe(1500000)
+	sp := r.Span("ingest")
+	sp.AddBytes(78192)
+	sp.AddOps(3)
+	sp.SetWorkers(4)
+
+	snap := r.Snapshot()
+	// Zero the wall-clock-dependent span fields so the golden bytes are
+	// reproducible; the strip contract is tested separately.
+	for i := range snap.Spans {
+		snap.Spans[i].WallNanos = 0
+		snap.Spans[i].MaxGoroutines = 0
+	}
+	got := snap.JSON()
+
+	path := filepath.Join("testdata", "snapshot.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update-golden): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("snapshot JSON drifted from golden — schema change?\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

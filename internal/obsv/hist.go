@@ -1,0 +1,129 @@
+package obsv
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every histogram: bucket 0 holds
+// values ≤ 0 (and 1), bucket i holds values in [2^(i-1), 2^i). 64 buckets
+// cover the full int64 range, so byte sizes and nanosecond latencies share
+// one shape — the same log2 binning the paper's size-class tables use
+// (Darshan's access-size bins are log10-ish; log2 refines them without
+// losing the "which decade" readability).
+const NumBuckets = 64
+
+// Histogram is a fixed-bucket log2 histogram with atomic buckets. Observe
+// is safe for concurrent use; for hot loops, tally into a plain
+// [NumBuckets]uint64 per worker and fold with AddBucket at batch
+// boundaries.
+type Histogram struct {
+	volatile bool
+	buckets  [NumBuckets]atomic.Uint64
+	count    atomic.Int64
+	sum      atomic.Int64
+}
+
+// BucketOf returns the bucket index for a value: 0 for v ≤ 1, otherwise
+// bits.Len64(v-1) clamped to NumBuckets-1. Exact powers of two land in the
+// bucket they open: BucketOf(2^k) == k.
+func BucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1))
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// Observe adds one value. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[BucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// AddBucket folds n pre-binned observations into bucket i — the batch-merge
+// path for per-worker tallies. The sum is approximated by the bucket's
+// lower bound times n; callers that need the exact sum should AddSum
+// alongside. Safe on a nil receiver.
+func (h *Histogram) AddBucket(i int, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	h.buckets[i].Add(n)
+	h.count.Add(int64(n))
+}
+
+// AddSum folds an exact value sum accumulated out-of-band (see AddBucket).
+// Safe on a nil receiver.
+func (h *Histogram) AddSum(v int64) {
+	if h == nil {
+		return
+	}
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the observation sum; 0 on a nil receiver.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// sparse flattens the non-zero buckets as [i0, n0, i1, n1, ...], with the
+// count and sum appended as two trailing pairs keyed past NumBuckets.
+func (h *Histogram) sparse() []uint64 {
+	var out []uint64
+	for i := 0; i < NumBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			out = append(out, uint64(i), n)
+		}
+	}
+	out = append(out, NumBuckets, uint64(h.count.Load()))
+	out = append(out, NumBuckets+1, uint64(h.sum.Load()))
+	return out
+}
+
+// restoreSparse overwrites the histogram from a sparse() encoding.
+func (h *Histogram) restoreSparse(pairs []uint64) {
+	if h == nil {
+		return
+	}
+	for i := 0; i < NumBuckets; i++ {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	for k := 0; k+1 < len(pairs); k += 2 {
+		i, n := pairs[k], pairs[k+1]
+		switch {
+		case i < NumBuckets:
+			h.buckets[i].Store(n)
+		case i == NumBuckets:
+			h.count.Store(int64(n))
+		case i == NumBuckets+1:
+			h.sum.Store(int64(n))
+		}
+	}
+}

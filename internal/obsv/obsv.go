@@ -1,0 +1,236 @@
+// Package obsv is the pipeline's self-instrumentation layer: allocation-lean
+// metrics and stage tracing for the generate → simulate → encode → ingest →
+// analyze → render pipeline, in the spirit of the instrument the paper's
+// study itself rests on (Darshan is exactly an always-on, low-overhead
+// observability layer; this package gives the reproduction the same
+// property).
+//
+// Design constraints (DESIGN.md §10):
+//
+//   - Zero dependencies beyond the standard library.
+//   - Nil is off: every method on a nil *Registry, *Counter, *Gauge,
+//     *Histogram, or *Span is a no-op, so instrumented code paths carry a
+//     single pointer nil-check and zero allocations when metrics are
+//     disabled.
+//   - No contention on hot paths: parallel workers keep plain per-worker
+//     tallies and fold them into the registry at batch boundaries — the
+//     same shard-and-merge model the analysis Aggregator uses — so enabling
+//     metrics never adds a lock or a contended cache line to a worker loop.
+//     The registry's own values are atomics, safe for a concurrent HTTP
+//     snapshot while a campaign runs.
+//   - Deterministic metrics are separable from volatile ones: counters and
+//     non-volatile histograms are exact event counts that survive
+//     checkpoint/resume (State/RestoreState) and are byte-identical across
+//     worker counts; gauges, volatile histograms, and span timings are
+//     point-in-time observations that Snapshot.StripVolatile removes.
+package obsv
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. Counters are the
+// deterministic backbone of the registry: they are exact sums, merge across
+// workers by addition, and round-trip through State bit-exactly.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// store overwrites the count (State restore only).
+func (c *Counter) store(n int64) { c.v.Store(n) }
+
+// Gauge is a point-in-time observation (queue depth, pool hit rate, busy
+// seconds). Gauges hold a float64 and are volatile by definition: they do
+// not survive checkpoints and StripVolatile removes them.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the observation. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last observation; 0 on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry is a named collection of metrics and spans. The zero value is not
+// usable; construct with New. A nil *Registry is the disabled state: every
+// lookup returns nil, and nil metric handles no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    map[string]*Span
+}
+
+// New builds an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		spans:    map[string]*Span{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil registry. Resolve handles once at setup, not inside hot loops —
+// the lookup takes the registry lock.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named deterministic histogram (log2 buckets),
+// creating it on first use. Use for exact event distributions — byte sizes,
+// op counts — that must be identical across worker counts. Returns nil on a
+// nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.histogram(name, false)
+}
+
+// TimeHistogram returns the named volatile histogram, for wall-clock
+// latencies and anything else scheduling-dependent. StripVolatile removes
+// it from snapshots. Returns nil on a nil registry.
+func (r *Registry) TimeHistogram(name string) *Histogram {
+	return r.histogram(name, true)
+}
+
+func (r *Registry) histogram(name string, volatile bool) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{volatile: volatile}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Span returns the named pipeline-stage span, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.spans[name]
+	if !ok {
+		s = &Span{name: name}
+		r.spans[name] = s
+	}
+	return s
+}
+
+// State is the deterministic slice of a registry — counters and
+// non-volatile histograms — in a gob-friendly shape, so checkpoints can
+// persist metrics alongside AggregatorState and a resumed run's final
+// snapshot is byte-identical to an uninterrupted one.
+type State struct {
+	Counters map[string]int64
+	// Hists maps name → non-zero (bucket, count) pairs, flattened as
+	// [i0, n0, i1, n1, ...].
+	Hists map[string][]uint64
+	// Spans maps name → {bytes, ops}, the two deterministic span fields
+	// (timings and goroutine counts are volatile and start over on resume).
+	Spans map[string][2]int64
+}
+
+// State captures the deterministic metrics. Returns nil on a nil registry.
+func (r *Registry) State() *State {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &State{Counters: map[string]int64{}, Hists: map[string][]uint64{}, Spans: map[string][2]int64{}}
+	for name, c := range r.counters {
+		st.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		if h.volatile {
+			continue
+		}
+		st.Hists[name] = h.sparse()
+	}
+	for name, s := range r.spans {
+		st.Spans[name] = [2]int64{s.bytes.Load(), s.ops.Load()}
+	}
+	return st
+}
+
+// RestoreState overwrites the registry's deterministic metrics with a prior
+// State (checkpoint resume). A nil receiver or nil state is a no-op.
+func (r *Registry) RestoreState(st *State) {
+	if r == nil || st == nil {
+		return
+	}
+	for name, v := range st.Counters {
+		r.Counter(name).store(v)
+	}
+	for name, pairs := range st.Hists {
+		r.Histogram(name).restoreSparse(pairs)
+	}
+	for name, v := range st.Spans {
+		s := r.Span(name)
+		s.bytes.Store(v[0])
+		s.ops.Store(v[1])
+	}
+}

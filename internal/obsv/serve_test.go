@@ -1,0 +1,119 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServe(t *testing.T) {
+	r := New()
+	r.Counter("ingest.logs_parsed").Add(7)
+	addr, shutdown, err := Serve("obsvtest", "127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	base := "http://" + addr
+
+	// pprof index and a cheap profile endpoint.
+	if code, body := get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: code %d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline: code %d", code)
+	}
+
+	// expvar carries the published registry.
+	code, body := get(t, base+"/debug/vars")
+	if code != 200 {
+		t.Fatalf("expvar: code %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar not JSON: %v", err)
+	}
+	raw, ok := vars["obsvtest"]
+	if !ok {
+		t.Fatalf("expvar missing published registry; keys: %v", keysOf(vars))
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("published registry not a snapshot: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 7 {
+		t.Fatalf("expvar snapshot = %+v", snap.Counters)
+	}
+
+	// Text and JSON metrics endpoints.
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(string(body), "ingest.logs_parsed") {
+		t.Fatalf("/metrics: code %d body %q", code, body)
+	}
+	code, body = get(t, base+"/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json: code %d", code)
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics.json not a snapshot: %v", err)
+	}
+	if snap.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", snap.Schema, SchemaVersion)
+	}
+}
+
+func TestServeRepublishSameName(t *testing.T) {
+	// A restarted debug server re-publishes its expvar name; the second
+	// publish must re-target, not panic.
+	r1 := New()
+	r1.Counter("x").Add(1)
+	addr1, shutdown1, err := Serve("obsvtest-repub", "127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown1()
+	_ = addr1
+
+	r2 := New()
+	r2.Counter("x").Add(2)
+	addr2, shutdown2, err := Serve("obsvtest-repub", "127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown2()
+	_, body := get(t, "http://"+addr2+"/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(vars["obsvtest-repub"], &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 2 {
+		t.Fatalf("expvar still targets old registry: %+v", snap.Counters)
+	}
+}
+
+func keysOf(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

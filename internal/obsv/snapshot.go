@@ -1,0 +1,223 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the snapshot JSON layout. Bump only on
+// incompatible changes; the golden test pins the rendered form.
+const SchemaVersion = 1
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// BucketSnap is one non-empty histogram bucket: values in
+// [2^(index-1), 2^index) (index 0: ≤ 1).
+type BucketSnap struct {
+	Index int    `json:"index"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnap is one histogram in a snapshot.
+type HistSnap struct {
+	Name     string       `json:"name"`
+	Volatile bool         `json:"volatile"`
+	Count    int64        `json:"count"`
+	Sum      int64        `json:"sum"`
+	Buckets  []BucketSnap `json:"buckets"`
+}
+
+// SpanSnap is one pipeline-stage span in a snapshot. WallNanos, Active,
+// Workers, and MaxGoroutines are volatile; Bytes and Ops are deterministic.
+type SpanSnap struct {
+	Name          string `json:"name"`
+	WallNanos     int64  `json:"wall_nanos"`
+	Active        int64  `json:"active"`
+	Bytes         int64  `json:"bytes"`
+	Ops           int64  `json:"ops"`
+	Workers       int64  `json:"workers"`
+	MaxGoroutines int64  `json:"max_goroutines"`
+}
+
+// Snapshot is a point-in-time copy of a registry, with every slice sorted
+// by name so the rendered JSON is stable. The schema is a compatibility
+// contract: tools parse `iostudy -metrics` output.
+type Snapshot struct {
+	Schema     int           `json:"schema"`
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+	Spans      []SpanSnap    `json:"spans"`
+}
+
+// Snapshot copies the registry's current values. Returns an empty snapshot
+// (not nil) on a nil registry, so callers can render unconditionally.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Schema:     SchemaVersion,
+		Counters:   []CounterSnap{},
+		Gauges:     []GaugeSnap{},
+		Histograms: []HistSnap{},
+		Spans:      []SpanSnap{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		snap.Gauges = append(snap.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hs := HistSnap{Name: name, Volatile: h.volatile,
+			Count: h.Count(), Sum: h.Sum(), Buckets: []BucketSnap{}}
+		for i := 0; i < NumBuckets; i++ {
+			if n := h.buckets[i].Load(); n > 0 {
+				hs.Buckets = append(hs.Buckets, BucketSnap{Index: i, Count: n})
+			}
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	for name, s := range r.spans {
+		snap.Spans = append(snap.Spans, SpanSnap{
+			Name:          name,
+			WallNanos:     s.wallNanos.Load(),
+			Active:        s.active.Load(),
+			Bytes:         s.bytes.Load(),
+			Ops:           s.ops.Load(),
+			Workers:       s.workers.Load(),
+			MaxGoroutines: s.maxGoroutines.Load(),
+		})
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	sort.Slice(snap.Spans, func(i, j int) bool { return snap.Spans[i].Name < snap.Spans[j].Name })
+	return snap
+}
+
+// StripVolatile returns a copy with every scheduling-, wall-clock-, or
+// configuration-dependent field removed: gauges and volatile histograms are
+// dropped, and spans keep only their deterministic bytes/ops. What remains
+// is byte-identical across worker counts and across checkpoint/resume.
+func (s *Snapshot) StripVolatile() *Snapshot {
+	out := &Snapshot{
+		Schema:     s.Schema,
+		Counters:   append([]CounterSnap{}, s.Counters...),
+		Gauges:     []GaugeSnap{},
+		Histograms: []HistSnap{},
+		Spans:      []SpanSnap{},
+	}
+	for _, h := range s.Histograms {
+		if h.Volatile {
+			continue
+		}
+		h.Buckets = append([]BucketSnap{}, h.Buckets...)
+		out.Histograms = append(out.Histograms, h)
+	}
+	for _, sp := range s.Spans {
+		out.Spans = append(out.Spans, SpanSnap{Name: sp.Name, Bytes: sp.Bytes, Ops: sp.Ops})
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON with a trailing newline — the
+// exact bytes `iostudy -metrics out.json` writes.
+func (s *Snapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// A Snapshot is plain data; marshaling cannot fail.
+		panic(fmt.Sprintf("obsv: marshaling snapshot: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// Text renders a human-readable summary: spans with derived rates first,
+// then counters, gauges, and histogram totals.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	if len(s.Spans) > 0 {
+		fmt.Fprintf(&b, "%-12s %12s %14s %14s %10s %8s %6s\n",
+			"stage", "wall", "ops", "bytes", "ops/s", "workers", "gor")
+		for _, sp := range s.Spans {
+			wall := float64(sp.WallNanos) / 1e9
+			rate := "-"
+			if wall > 0 && sp.Ops > 0 {
+				rate = humanF(float64(sp.Ops) / wall)
+			}
+			fmt.Fprintf(&b, "%-12s %12s %14s %14s %10s %8d %6d\n",
+				sp.Name, fmt.Sprintf("%.3fs", wall),
+				humanI(sp.Ops), humanBytes(sp.Bytes), rate,
+				sp.Workers, sp.MaxGoroutines)
+		}
+	}
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%-44s %14s\n", c.Name, humanI(c.Value))
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "%-44s %14s\n", g.Name, humanF(g.Value))
+	}
+	for _, h := range s.Histograms {
+		mean := "-"
+		if h.Count > 0 {
+			mean = humanF(float64(h.Sum) / float64(h.Count))
+		}
+		fmt.Fprintf(&b, "%-44s %14s  (mean %s)\n",
+			h.Name+" [hist]", humanI(h.Count), mean)
+	}
+	return b.String()
+}
+
+func humanI(v int64) string { return humanF(float64(v)) }
+
+func humanF(v float64) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1e12:
+		return fmt.Sprintf("%.1fT", v/1e12)
+	case abs >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case abs >= 1e4:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case abs == 0:
+		return "0"
+	case abs < 0.01:
+		return fmt.Sprintf("%.2g", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func humanBytes(v int64) string {
+	f := float64(v)
+	switch {
+	case f >= 1<<40:
+		return fmt.Sprintf("%.2f TiB", f/(1<<40))
+	case f >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", f/(1<<30))
+	case f >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", f/(1<<20))
+	case f >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", f/(1<<10))
+	}
+	return fmt.Sprintf("%d B", v)
+}

@@ -1,0 +1,123 @@
+package obsv
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracks one named pipeline stage: accumulated wall time across
+// (possibly repeated) Begin/End windows, bytes and ops attributed to the
+// stage, the worker count the stage ran with, and the peak goroutine count
+// observed while it was active. Wall time, goroutines, and workers are
+// volatile (scheduling- and configuration-dependent); bytes and ops are
+// deterministic event sums.
+type Span struct {
+	name string
+	// wallNanos accumulates completed Begin→End windows.
+	wallNanos atomic.Int64
+	// active counts open Begin windows (a stage may be re-entered).
+	active atomic.Int64
+	bytes  atomic.Int64
+	ops    atomic.Int64
+	// workers records the pool size the stage ran with (Set semantics).
+	workers atomic.Int64
+	// maxGoroutines is the peak runtime.NumGoroutine observed at
+	// Begin/End edges while the span was active.
+	maxGoroutines atomic.Int64
+}
+
+// Name returns the span's stage name; "" on a nil receiver.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Timer is an open stage window. The zero Timer (from a nil span) is valid
+// and its End is a no-op, so callers never branch.
+type Timer struct {
+	s  *Span
+	t0 int64
+}
+
+// Begin opens a stage window and returns its Timer. Safe on a nil receiver.
+func (s *Span) Begin() Timer {
+	if s == nil {
+		return Timer{}
+	}
+	s.active.Add(1)
+	s.observeGoroutines()
+	return Timer{s: s, t0: time.Now().UnixNano()}
+}
+
+// End closes the window, folding its wall time into the span.
+func (t Timer) End() {
+	if t.s == nil {
+		return
+	}
+	t.s.wallNanos.Add(time.Now().UnixNano() - t.t0)
+	t.s.active.Add(-1)
+	t.s.observeGoroutines()
+}
+
+func (s *Span) observeGoroutines() {
+	n := int64(runtime.NumGoroutine())
+	for {
+		cur := s.maxGoroutines.Load()
+		if n <= cur || s.maxGoroutines.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// AddBytes attributes transferred/processed bytes to the stage. Safe on a
+// nil receiver.
+func (s *Span) AddBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.bytes.Add(n)
+}
+
+// AddOps attributes completed operations (jobs, logs, entries) to the
+// stage. Safe on a nil receiver.
+func (s *Span) AddOps(n int64) {
+	if s == nil {
+		return
+	}
+	s.ops.Add(n)
+}
+
+// SetWorkers records the stage's worker-pool size. Safe on a nil receiver.
+func (s *Span) SetWorkers(n int) {
+	if s == nil {
+		return
+	}
+	s.workers.Store(int64(n))
+}
+
+// WallNanos returns the accumulated closed-window wall time.
+func (s *Span) WallNanos() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.wallNanos.Load()
+}
+
+// Bytes returns the bytes attributed to the stage.
+func (s *Span) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.bytes.Load()
+}
+
+// Ops returns the ops attributed to the stage.
+func (s *Span) Ops() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.ops.Load()
+}

@@ -1,0 +1,17 @@
+package report
+
+import (
+	"fmt"
+
+	"iolayers/internal/obsv"
+)
+
+// Observability renders the process's metrics registry as a report section:
+// pipeline-stage spans, event counters, size/latency histograms, and pool
+// gauges. The same data lands in machine form via `-metrics out.json`.
+func Observability(s *obsv.Snapshot) string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("Observability: pipeline metrics (schema v%d)\n", s.Schema) + s.Text()
+}

@@ -500,7 +500,7 @@ func ServerStats(system string, collectors map[string]*serverstats.Collector) st
 			fmt.Sprintf("%.2f", bi.PeakRatio),
 			fmt.Sprintf("%.3f", bi.Gini),
 			fmt.Sprintf("%.2f", ri.PeakRatio),
-			HumanCount(c.DegradedRequests()),
+			fmt.Sprintf("%.1f s", c.DegradedBusySecs()),
 		})
 	}
 	return fmt.Sprintf("Server-side load (%s): per-server imbalance\n", system) +
