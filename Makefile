@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck govulncheck build test race race-short bench benchcheck fuzz
+.PHONY: check vet staticcheck govulncheck build test race race-short bench benchcheck fuzz serve-smoke
 
 ## check: the full CI gate — vet, staticcheck + govulncheck (when
 ## installed), build, and the test suite under the race detector
@@ -51,6 +51,12 @@ bench:
 ## when a change moves the numbers on purpose)
 benchcheck:
 	$(GO) run ./cmd/benchcheck
+
+## serve-smoke: end-to-end check of the ioserved query service — start it
+## on a random port, ingest the golden log, diff /v1/report bytes against
+## `ioanalyze -format json`, and require a graceful SIGTERM drain
+serve-smoke:
+	scripts/serve_smoke.sh
 
 ## fuzz: short fuzzing smoke over the untrusted-input decoders; -fuzz must
 ## match exactly one target, hence two invocations

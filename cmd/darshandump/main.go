@@ -16,19 +16,20 @@ import (
 	"iolayers/internal/cli"
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
-	"iolayers/internal/obsv"
 )
 
 func main() {
-	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar on this address while running")
+	var common cli.CommonFlags
+	common.Register(flag.CommandLine, cli.FlagDebug)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: darshandump file.darshan [...]")
 		os.Exit(2)
 	}
-	defer cli.StartDebug("darshandump", *debugAddr, obsv.New())()
 	ctx, cancel := cli.SignalContext("darshandump")
 	defer cancel()
+	act := common.Activate(ctx, "darshandump")
+	defer act.Close()
 	exit := 0
 	for _, path := range flag.Args() {
 		if ctx.Err() != nil {
@@ -40,6 +41,7 @@ func main() {
 			exit = 1
 		}
 	}
+	act.WriteMetricsOut()
 	os.Exit(exit)
 }
 

@@ -18,22 +18,23 @@ import (
 	"iolayers/internal/cli"
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
-	"iolayers/internal/obsv"
 	"iolayers/internal/report"
 	"iolayers/internal/units"
 )
 
 func main() {
 	top := flag.Int("top", 10, "files to list in the by-volume table")
-	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar on this address while running")
+	var common cli.CommonFlags
+	common.Register(flag.CommandLine, cli.FlagDebug)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: darshansummary [-top N] file.darshan [...]")
 		os.Exit(2)
 	}
-	defer cli.StartDebug("darshansummary", *debugAddr, obsv.New())()
 	ctx, cancel := cli.SignalContext("darshansummary")
 	defer cancel()
+	act := common.Activate(ctx, "darshansummary")
+	defer act.Close()
 	exit := 0
 	for _, path := range flag.Args() {
 		if ctx.Err() != nil {
@@ -45,6 +46,7 @@ func main() {
 			exit = 1
 		}
 	}
+	act.WriteMetricsOut()
 	os.Exit(exit)
 }
 

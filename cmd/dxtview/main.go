@@ -16,20 +16,21 @@ import (
 	"iolayers/internal/cli"
 	"iolayers/internal/darshan/logfmt"
 	"iolayers/internal/dxtan"
-	"iolayers/internal/obsv"
 )
 
 func main() {
 	gap := flag.Float64("gap", 1.0, "idle seconds separating I/O phases")
-	debugAddr := flag.String("debug-addr", "", "serve pprof and expvar on this address while running")
+	var common cli.CommonFlags
+	common.Register(flag.CommandLine, cli.FlagDebug)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: dxtview [-gap seconds] file.darshan [...]")
 		os.Exit(2)
 	}
-	defer cli.StartDebug("dxtview", *debugAddr, obsv.New())()
 	ctx, cancel := cli.SignalContext("dxtview")
 	defer cancel()
+	act := common.Activate(ctx, "dxtview")
+	defer act.Close()
 	exit := 0
 	for _, path := range flag.Args() {
 		if ctx.Err() != nil {
@@ -49,5 +50,6 @@ func main() {
 		}
 		fmt.Print(dxtan.Render(log, dxtan.AnalyzeLog(log, *gap)))
 	}
+	act.WriteMetricsOut()
 	os.Exit(exit)
 }

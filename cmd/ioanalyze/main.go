@@ -22,6 +22,12 @@
 //	ioanalyze -dir /path/to/logs [-system summit] [-workers 0]
 //	ioanalyze -archive campaign.dgar [-system summit] [-workers 0]
 //	ioanalyze -resume pass.ckpt [-checkpoint pass.ckpt]
+//	ioanalyze -dir /path/to/logs -format json [-section table2]
+//
+// With -format json the report is the versioned JSON document that ioserved
+// serves from /v1/report — stdout carries nothing but the document, so it
+// can be diffed byte-for-byte against the service response. -format csv
+// emits the figure series for external plotting.
 //
 // Exit status: 0 on success (even with some unreadable logs, which are
 // reported on stderr); 1 when nothing could be parsed at all or the source
@@ -37,7 +43,6 @@ import (
 	"iolayers/internal/cli"
 	"iolayers/internal/core"
 	"iolayers/internal/iosim/systems"
-	"iolayers/internal/obsv"
 	"iolayers/internal/report"
 )
 
@@ -46,32 +51,34 @@ func main() {
 		system     = flag.String("system", "summit", "system the logs came from: summit or cori")
 		dir        = flag.String("dir", "", "directory of .darshan logs")
 		archive    = flag.String("archive", "", "campaign archive (.dgar) to analyze instead of a directory")
-		workers    = flag.Int("workers", 0, "ingestion worker pool size (0 = GOMAXPROCS)")
-		quarantine = flag.String("quarantine", "", "move undecodable logs into this directory (with a MANIFEST.tsv)")
-		ckptPath   = flag.String("checkpoint", "", "persist resumable progress to this file while ingesting")
-		ckptEvery  = flag.Int("checkpoint-every", 0, "logs between checkpoint writes (0 = default)")
-		resumePath = flag.String("resume", "", "resume an interrupted pass from this checkpoint file")
-		debugAddr  = flag.String("debug-addr", "", "serve pprof, expvar, and /metrics on this address while running")
-		metricsOut = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file and print the observability section")
+		formatFlag = flag.String("format", "text", "report output format: text, json, or csv")
+		section    = flag.String("section", "", "render one section (table2..table6, figure3..figure11, users, ...; default all)")
 	)
+	var common cli.CommonFlags
+	common.Register(flag.CommandLine, cli.FlagDebug|cli.FlagWorkers|cli.FlagCheckpoint|cli.FlagQuarantine)
 	flag.Parse()
 
-	var metrics *obsv.Registry
-	if *debugAddr != "" || *metricsOut != "" {
-		metrics = obsv.New()
+	format, err := report.ParseFormat(*formatFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioanalyze:", err)
+		os.Exit(2)
 	}
-	stopDebug := cli.StartDebug("ioanalyze", *debugAddr, metrics)
-	defer stopDebug()
+
+	ctx, cancel := cli.SignalContext("ioanalyze")
+	defer cancel()
+	act := common.Activate(ctx, "ioanalyze")
+	defer act.Close()
+	metrics := act.Metrics
 
 	opts := core.IngestOptions{
-		Workers:         *workers,
-		QuarantineDir:   *quarantine,
-		CheckpointPath:  *ckptPath,
-		CheckpointEvery: *ckptEvery,
+		Workers:         common.Workers,
+		QuarantineDir:   common.QuarantineDir,
+		CheckpointPath:  common.CheckpointPath,
+		CheckpointEvery: common.CheckpointEvery,
 		Metrics:         metrics,
 	}
-	if *resumePath != "" {
-		ck, err := core.LoadIngestCheckpoint(*resumePath)
+	if common.ResumePath != "" {
+		ck, err := core.LoadIngestCheckpoint(common.ResumePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ioanalyze:", err)
 			os.Exit(2)
@@ -86,7 +93,7 @@ func main() {
 			*dir, *archive = ck.Source, ""
 		}
 		if opts.CheckpointPath == "" {
-			opts.CheckpointPath = *resumePath
+			opts.CheckpointPath = common.ResumePath
 		}
 		if opts.LargeJobProcs == 0 {
 			opts.LargeJobProcs = ck.LargeJobProcs
@@ -104,13 +111,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx, cancel := cli.SignalContext("ioanalyze")
-	defer cancel()
-
 	var (
 		rep    *analysis.Report
 		res    core.IngestResult
-		err    error
 		source string
 	)
 	if *archive != "" {
@@ -132,7 +135,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ioanalyze: ... and %d more unreadable logs\n", extra)
 	}
 	if res.Quarantined > 0 {
-		fmt.Fprintf(os.Stderr, "ioanalyze: quarantined %d logs into %s\n", res.Quarantined, *quarantine)
+		fmt.Fprintf(os.Stderr, "ioanalyze: quarantined %d logs into %s\n", res.Quarantined, common.QuarantineDir)
 	}
 	interrupted := cli.Interrupted(err)
 	if err != nil && !interrupted {
@@ -156,14 +159,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ioanalyze: resume with: ioanalyze -resume %s\n", opts.CheckpointPath)
 		}
 	}
-	fmt.Printf("ioanalyze: parsed %d logs (%d unreadable) from %s\n\n",
+	// The parse header is human progress, not report content: in text mode
+	// it leads the report on stdout as it always has, but for machine
+	// formats stdout must carry only the document, so it moves to stderr.
+	headerDst := os.Stdout
+	if format != report.FormatText {
+		headerDst = os.Stderr
+	}
+	fmt.Fprintf(headerDst, "ioanalyze: parsed %d logs (%d unreadable) from %s\n\n",
 		res.Parsed, res.Failed, source)
 	if rep != nil {
-		fmt.Println(report.Everything(rep))
+		if format == report.FormatText {
+			out, err := report.Section(rep, *section)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ioanalyze:", err)
+				os.Exit(2)
+			}
+			fmt.Println(out)
+		} else if err := report.Render(os.Stdout, rep, report.Options{Format: format, Section: *section}); err != nil {
+			fmt.Fprintln(os.Stderr, "ioanalyze:", err)
+			os.Exit(2)
+		}
 	}
 	if metrics != nil {
-		fmt.Println(report.Observability(metrics.Snapshot()))
-		cli.WriteMetrics("ioanalyze", *metricsOut, metrics)
+		fmt.Fprintln(headerDst, report.Observability(metrics.Snapshot()))
+		act.WriteMetricsOut()
 	}
 	if interrupted {
 		os.Exit(cli.ExitInterrupted)

@@ -23,22 +23,21 @@ import (
 	"iolayers/internal/core"
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
-	"iolayers/internal/obsv"
 	"iolayers/internal/report"
 	"iolayers/internal/workload"
 )
 
 func main() {
 	var (
-		system     = flag.String("system", "summit", "system profile: summit or cori")
-		out        = flag.String("out", "", "output directory (required)")
-		scale      = flag.Float64("scale", 0.0005, "job-count scale")
-		fileScale  = flag.Float64("filescale", 0.02, "per-log file-count scale")
-		seed       = flag.Uint64("seed", 1, "campaign seed")
-		archive    = flag.Bool("archive", false, "write one .dgar campaign archive instead of per-log files")
-		debugAddr  = flag.String("debug-addr", "", "serve pprof, expvar, and /metrics on this address while running")
-		metricsOut = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file and print the observability section")
+		system    = flag.String("system", "summit", "system profile: summit or cori")
+		out       = flag.String("out", "", "output directory (required)")
+		scale     = flag.Float64("scale", 0.0005, "job-count scale")
+		fileScale = flag.Float64("filescale", 0.02, "per-log file-count scale")
+		seed      = flag.Uint64("seed", 1, "campaign seed")
+		archive   = flag.Bool("archive", false, "write one .dgar campaign archive instead of per-log files")
 	)
+	var common cli.CommonFlags
+	common.Register(flag.CommandLine, cli.FlagDebug)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "iogen: -out is required")
@@ -106,12 +105,9 @@ func main() {
 	}
 	ctx, cancel := cli.SignalContext("iogen")
 	defer cancel()
-	var metrics *obsv.Registry
-	if *debugAddr != "" || *metricsOut != "" {
-		metrics = obsv.New()
-	}
-	stopDebug := cli.StartDebug("iogen", *debugAddr, metrics)
-	defer stopDebug()
+	act := common.Activate(ctx, "iogen")
+	defer act.Close()
+	metrics := act.Metrics
 	rep, err := campaign.RunCheckpointed(ctx, core.RunOptions{Sink: sink, Metrics: metrics})
 	interrupted := cli.Interrupted(err)
 	if err != nil && !interrupted {
@@ -127,7 +123,7 @@ func main() {
 	if metrics != nil {
 		logfmt.PublishMetrics(metrics)
 		fmt.Println(report.Observability(metrics.Snapshot()))
-		cli.WriteMetrics("iogen", *metricsOut, metrics)
+		act.WriteMetricsOut()
 	}
 	if interrupted {
 		fmt.Fprintf(os.Stderr, "iogen: interrupted — %d logs written to %s (partial campaign)\n",

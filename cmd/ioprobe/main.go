@@ -14,19 +14,18 @@ import (
 
 	"iolayers/internal/cli"
 	"iolayers/internal/iosim/systems"
-	"iolayers/internal/obsv"
 	"iolayers/internal/probes"
 )
 
 func main() {
 	var (
-		system    = flag.String("system", "summit", "system to probe: summit or cori")
-		samples   = flag.Int("samples", 100, "probe repetitions per layer")
-		seed      = flag.Uint64("seed", 1, "probe seed")
-		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address while running")
+		system  = flag.String("system", "summit", "system to probe: summit or cori")
+		samples = flag.Int("samples", 100, "probe repetitions per layer")
+		seed    = flag.Uint64("seed", 1, "probe seed")
 	)
+	var common cli.CommonFlags
+	common.Register(flag.CommandLine, cli.FlagDebug)
 	flag.Parse()
-	defer cli.StartDebug("ioprobe", *debugAddr, obsv.New())()
 	sys := systems.ByName(*system)
 	if sys == nil {
 		fmt.Fprintf(os.Stderr, "ioprobe: unknown system %q\n", *system)
@@ -34,6 +33,9 @@ func main() {
 	}
 	ctx, cancel := cli.SignalContext("ioprobe")
 	defer cancel()
+	act := common.Activate(ctx, "ioprobe")
+	defer act.Close()
+	defer act.WriteMetricsOut()
 	h := probes.NewHarness(sys, *seed)
 	samplesOut, err := h.RunContext(ctx, *samples)
 	if cli.Interrupted(err) {

@@ -14,30 +14,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"iolayers/internal/cli"
 	"iolayers/internal/dist"
-	"iolayers/internal/iosim/faults"
-	"iolayers/internal/obsv"
 	"iolayers/internal/sched"
 	"iolayers/internal/workload"
 )
 
 func main() {
 	var (
-		system    = flag.String("system", "cori", "system profile: summit or cori")
-		scale     = flag.Float64("scale", 0.0002, "job-count scale")
-		days      = flag.Float64("days", 0, "submission window in days (0 = scale the year like the job count)")
-		seed      = flag.Uint64("seed", 1, "job-stream seed")
-		faultSpec = flag.String("faults", "", `fault schedule: "production" or k=v list; empty = no faults`)
-		faultSeed = flag.Uint64("faultseed", 0, "fault-schedule seed (0 = job-stream seed)")
-		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address while running")
+		system = flag.String("system", "cori", "system profile: summit or cori")
+		scale  = flag.Float64("scale", 0.0002, "job-count scale")
+		days   = flag.Float64("days", 0, "submission window in days (0 = scale the year like the job count)")
+		seed   = flag.Uint64("seed", 1, "job-stream seed")
 	)
+	var common cli.CommonFlags
+	common.Register(flag.CommandLine, cli.FlagDebug|cli.FlagFaults)
 	flag.Parse()
-	defer cli.StartDebug("iosched", *debugAddr, obsv.New())()
+	act := common.Activate(context.Background(), "iosched")
+	defer act.Close()
 	if *days <= 0 {
 		// Scale the submission window with the job count so the simulated
 		// machine sees its production load density.
@@ -63,18 +62,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	var schedule *faults.Schedule
-	if *faultSpec != "" {
-		fseed := *faultSeed
-		if fseed == 0 {
-			fseed = *seed
-		}
-		gc, err := faults.ParseSpec(*faultSpec, fseed, *days*86400)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "iosched:", err)
-			os.Exit(2)
-		}
-		schedule = faults.Generate(gc)
+	schedule, err := common.FaultSchedule(*seed, *days*86400)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iosched:", err)
+		os.Exit(2)
+	}
+	if schedule != nil {
 		fmt.Fprintf(os.Stderr, "iosched: %s\n", schedule.Describe())
 	}
 

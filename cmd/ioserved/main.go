@@ -1,0 +1,151 @@
+// Command ioserved is the long-running query side of the pipeline: it
+// ingests Darshan campaigns into named in-memory datasets and answers
+// report queries over HTTP, so a year of production logs is analyzed once
+// and interrogated many times.
+//
+// Usage:
+//
+//	ioserved -listen :8080 -ingest /path/to/logs [-dataset default]
+//	         [-system summit] [-max-inflight 64] [-cache-bytes 33554432]
+//
+// Endpoints (all JSON bodies carry an explicit schema_version):
+//
+//	GET  /v1/datasets               — list datasets with campaign summaries
+//	GET  /v1/report/{dataset}       — the full report; ?section=table2
+//	                                  restricts to one section, ?format=
+//	                                  selects text (default), json, or csv.
+//	                                  The json body is byte-identical to
+//	                                  `ioanalyze -format json` over the
+//	                                  same logs.
+//	GET  /v1/compare/{a}/{b}        — two datasets' summaries side by side
+//	POST /v1/ingest                 — {"dataset","system","source"}: fold
+//	                                  more logs in; readers keep the old
+//	                                  generation until the new one lands
+//	GET  /healthz, /metrics, /metrics.json
+//
+// Rendered reports are cached (LRU, byte-bounded) keyed by dataset
+// generation, so repeated queries cost a map lookup and re-ingestion
+// invalidates naturally. Query concurrency is bounded; excess load is
+// shed immediately with 429 + Retry-After rather than queued.
+//
+// -ingest may repeat; each path (directory, .dgar archive, or single
+// .darshan log) folds into the -dataset dataset before serving starts.
+// With -addr-file the bound address is written to the given path once
+// listening — for scripts that start the service on ":0".
+//
+// On SIGINT/SIGTERM the service stops accepting connections, drains
+// in-flight requests (up to -drain-timeout), and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"iolayers/internal/cli"
+	"iolayers/internal/core"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/obsv"
+	"iolayers/internal/serve"
+)
+
+func main() {
+	var ingests []string
+	var (
+		listen      = flag.String("listen", ":8080", "address to serve the query API on")
+		dataset     = flag.String("dataset", "default", "dataset name for -ingest sources")
+		system      = flag.String("system", "summit", "system profile for -ingest sources: summit or cori")
+		addrFile    = flag.String("addr-file", "", "write the bound listen address to this file once serving")
+		maxInFlight = flag.Int("max-inflight", serve.DefaultMaxInFlight, "concurrent query bound; excess requests get 429")
+		cacheBytes  = flag.Int64("cache-bytes", serve.DefaultCacheBytes, "rendered-report cache size in bytes")
+		drain       = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Func("ingest", "ingest this source (dir, .dgar, or .darshan; repeatable) before serving", func(v string) error {
+		ingests = append(ingests, v)
+		return nil
+	})
+	var common cli.CommonFlags
+	common.Register(flag.CommandLine, cli.FlagDebug|cli.FlagWorkers)
+	flag.Parse()
+
+	// The service is always instrumented — metrics are part of the API
+	// surface (/metrics), not an opt-in debug aid.
+	metrics := obsv.New()
+	stopDebug := cli.StartDebug("ioserved", common.DebugAddr, metrics)
+	defer stopDebug()
+
+	sys := systems.ByName(*system)
+	if sys == nil {
+		fmt.Fprintf(os.Stderr, "ioserved: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	ctx, cancel := cli.SignalContext("ioserved")
+	defer cancel()
+
+	store := serve.NewStore()
+	for _, src := range ingests {
+		snap, res, err := store.Ingest(ctx, *dataset, sys, src, core.IngestOptions{
+			Workers: common.Workers, Metrics: metrics,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ioserved: ingesting %s: %v\n", src, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ioserved: dataset %q gen %d — %d logs parsed (%d unreadable) from %s\n",
+			snap.Name, snap.Gen, res.Parsed, res.Failed, src)
+	}
+
+	server := serve.New(serve.Config{
+		Store:         store,
+		Metrics:       metrics,
+		MaxInFlight:   *maxInFlight,
+		CacheBytes:    *cacheBytes,
+		IngestWorkers: common.Workers,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioserved:", err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ioserved:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ioserved: serving on http://%s (%d datasets)\n",
+		ln.Addr(), len(store.List()))
+
+	srv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		// The listener died out from under us — that is a crash, not a drain.
+		fmt.Fprintln(os.Stderr, "ioserved:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish.
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), *drain)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "ioserved: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "ioserved:", err)
+		os.Exit(1)
+	}
+	cli.WriteMetrics("ioserved", common.MetricsOut, metrics)
+	fmt.Fprintln(os.Stderr, "ioserved: drained, bye")
+}

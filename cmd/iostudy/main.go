@@ -59,7 +59,6 @@ import (
 	"iolayers/internal/darshan"
 	"iolayers/internal/darshan/logfmt"
 	"iolayers/internal/iosim"
-	"iolayers/internal/iosim/faults"
 	"iolayers/internal/iosim/serverstats"
 	"iolayers/internal/iosim/systems"
 	"iolayers/internal/obsv"
@@ -73,7 +72,6 @@ func main() {
 		scale      = flag.Float64("scale", 0.001, "job-count scale relative to the paper's campaigns")
 		fileScale  = flag.Float64("filescale", 0.05, "per-log file-count scale")
 		seed       = flag.Uint64("seed", 1, "campaign seed")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		experiment = flag.String("experiment", "all", "which table/figure to print")
 		extended   = flag.Bool("extended", false, "enable the STDIOX extension module (Recommendation 4)")
 		serverSide = flag.Bool("serverstats", false, "also print server-side load imbalance per layer")
@@ -81,26 +79,23 @@ func main() {
 		format     = flag.String("format", "text", "output format: text, or csv (figure series for plotting)")
 		save       = flag.String("save", "", "stream every generated log into this campaign archive (.dgar); single -system only")
 		from       = flag.String("from", "", "skip synthesis and analyze this campaign archive (.dgar) instead; single -system only")
-		quarantine = flag.String("quarantine", "", "with -from: move undecodable logs into this directory (with a MANIFEST.tsv)")
-		ckptPath   = flag.String("checkpoint", "", "persist resumable progress to this file")
-		ckptEvery  = flag.Int("checkpoint-every", 0, "jobs (or logs under -from) between checkpoint writes (0 = default)")
-		resumePath = flag.String("resume", "", "resume an interrupted run from this checkpoint file")
-		faultSpec  = flag.String("faults", "", `fault schedule: "production" or k=v list (slowdowns,outages,storms,frac,severity,latfactor,duration,errrate); empty = no faults`)
-		faultSeed  = flag.Uint64("faultseed", 0, "fault-schedule seed (0 = campaign seed)")
-		debugAddr  = flag.String("debug-addr", "", "serve pprof, expvar, and /metrics on this address while running")
-		metricsOut = flag.String("metrics", "", "write a metrics snapshot (JSON) to this file and print the observability section")
 	)
+	var common cli.CommonFlags
+	common.Register(flag.CommandLine, cli.FlagsAll)
 	flag.Parse()
+	workers := &common.Workers
+	quarantine := &common.QuarantineDir
+	ckptPath := &common.CheckpointPath
+	ckptEvery := &common.CheckpointEvery
+	resumePath := &common.ResumePath
 
 	ctx, cancel := cli.SignalContext("iostudy")
 	defer cancel()
 
-	var metrics *obsv.Registry
-	if *debugAddr != "" || *metricsOut != "" {
-		metrics = obsv.New()
-	}
-	stopDebug := cli.StartDebug("iostudy", *debugAddr, metrics)
-	defer stopDebug()
+	act := common.Activate(ctx, "iostudy")
+	defer act.Close()
+	metrics := act.Metrics
+	metricsOut := &common.MetricsOut
 
 	if *from != "" {
 		analyzeArchive(ctx, *from, *system, *workers, *experiment, *format, ingestCkptOptions{
@@ -117,20 +112,16 @@ func main() {
 
 	cfg := workload.Config{Seed: *seed, JobScale: *scale, FileScale: *fileScale,
 		ExtendedStdio: *extended}
-	if *faultSpec != "" {
-		fseed := *faultSeed
-		if fseed == 0 {
-			fseed = *seed
-		}
-		// The schedule spans the campaign year, the timeline job
-		// operations are stamped on.
-		const yearSeconds = 365.25 * 86400
-		gc, err := faults.ParseSpec(*faultSpec, fseed, yearSeconds)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "iostudy:", err)
-			os.Exit(2)
-		}
-		cfg.Faults = faults.Generate(gc)
+	// The schedule spans the campaign year, the timeline job operations are
+	// stamped on.
+	const yearSeconds = 365.25 * 86400
+	schedule, err := common.FaultSchedule(*seed, yearSeconds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iostudy:", err)
+		os.Exit(2)
+	}
+	if schedule != nil {
+		cfg.Faults = schedule
 		fmt.Fprintf(os.Stderr, "iostudy: %s\n", cfg.Faults.Describe())
 	}
 	var names []string
@@ -511,51 +502,7 @@ func analyzeArchive(ctx context.Context, path, system string, workers int, exper
 }
 
 func render(r *analysis.Report, experiment string) (string, error) {
-	switch experiment {
-	case "all":
-		return report.Everything(r), nil
-	case "table2":
-		return report.Table2(r), nil
-	case "table3":
-		return report.Table3(r), nil
-	case "table4":
-		return report.Table4(r), nil
-	case "table5":
-		return report.Table5(r), nil
-	case "table6":
-		return report.Table6(r), nil
-	case "figure3":
-		return report.Figure3(r), nil
-	case "figure4":
-		return report.Figure4(r, false), nil
-	case "figure5":
-		return report.Figure4(r, true), nil
-	case "figure6":
-		return report.Figure6(r, false), nil
-	case "figure7":
-		return report.Figure7(r), nil
-	case "figure8":
-		return report.Figure6(r, true), nil
-	case "figure9":
-		return report.Figure9(r), nil
-	case "figure10":
-		return report.Figure10(r), nil
-	case "figure11", "figure12":
-		return report.Figure11(r), nil
-	case "extension", "e1":
-		return report.ExtensionSTDIOX(r), nil
-	case "faults":
-		if s := report.Faults(r); s != "" {
-			return s, nil
-		}
-		return "", fmt.Errorf("no fault data in this campaign (run with -faults)")
-	case "tuning":
-		return report.Tuning(r), nil
-	case "temporal":
-		return report.Temporal(r), nil
-	case "users":
-		return report.Users(r), nil
-	default:
-		return "", fmt.Errorf("unknown experiment %q", experiment)
-	}
+	// Experiment names are section names; report.Section resolves the
+	// historical aliases (figure12, e1) itself.
+	return report.Section(r, experiment)
 }

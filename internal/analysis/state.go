@@ -215,3 +215,26 @@ func NewAggregatorFromState(sys *iosim.System, st *AggregatorState) (*Aggregator
 	}
 	return a, nil
 }
+
+// SystemName returns the name of the system profile this aggregator
+// accumulates statistics for ("Summit", "Cori").
+func (a *Aggregator) SystemName() string { return a.sys.Name }
+
+// System returns the system profile this aggregator was built over.
+func (a *Aggregator) System() *iosim.System { return a.sys }
+
+// Logs returns the number of logs folded in so far.
+func (a *Aggregator) Logs() int64 { return a.logs }
+
+// Clone returns a deep copy of the aggregator: folding logs into (or
+// merging into) either copy never alters the other. It is the basis of
+// copy-on-write re-ingestion — a service can keep serving reports from the
+// original while new logs fold into the clone.
+func (a *Aggregator) Clone() *Aggregator {
+	c, err := NewAggregatorFromState(a.sys, a.State())
+	if err != nil {
+		// State() came from this very aggregator; a mismatch is impossible.
+		panic(fmt.Sprintf("analysis: clone rejected own state: %v", err))
+	}
+	return c
+}

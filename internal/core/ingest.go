@@ -74,6 +74,14 @@ type IngestOptions struct {
 	// span plus ingest.* counters and histograms, folded in at batch
 	// boundaries from per-worker tallies. Nil disables metrics at zero cost.
 	Metrics *obsv.Registry
+	// Into, when non-nil, receives the pass: logs fold into this
+	// caller-owned aggregator instead of a fresh one, and the returned
+	// report covers everything the aggregator has ever accumulated — the
+	// basis of live re-ingestion into an existing dataset. The aggregator
+	// must be built for the same system, the caller must not touch it until
+	// the pass returns, and Into is incompatible with Resume (a checkpoint
+	// reconstructs its own aggregator).
+	Into *analysis.Aggregator
 }
 
 // defaultIngestBatch is the checkpoint batch size when the caller enables
@@ -309,6 +317,16 @@ func newIngestCoordinator(sys *iosim.System, opts IngestOptions, mode, source st
 		mode: mode, source: source,
 		total: analysis.NewAggregator(sys),
 		span:  opts.Metrics.Span("ingest"),
+	}
+	if opts.Into != nil {
+		if opts.Resume != nil {
+			return nil, fmt.Errorf("core: IngestOptions.Into cannot be combined with Resume")
+		}
+		if opts.Into.SystemName() != sys.Name {
+			return nil, fmt.Errorf("core: Into aggregator is for system %q, pass is %q",
+				opts.Into.SystemName(), sys.Name)
+		}
+		ic.total = opts.Into
 	}
 	if opts.LargeJobProcs > 0 {
 		ic.total.LargeJobProcs = opts.LargeJobProcs

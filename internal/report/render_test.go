@@ -1,0 +1,149 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRenderTextAllMatchesEverything(t *testing.T) {
+	r := smallReport(t)
+	var b bytes.Buffer
+	if err := Render(&b, r, Options{}); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	want := Everything(r)
+	if !strings.HasSuffix(want, "\n") {
+		want += "\n"
+	}
+	if b.String() != want {
+		t.Errorf("Render text/all diverged from Everything:\ngot %d bytes, want %d bytes", b.Len(), len(want))
+	}
+}
+
+func TestRenderJSONIsDeterministicAndVersioned(t *testing.T) {
+	r := smallReport(t)
+	var a, b bytes.Buffer
+	if err := Render(&a, r, Options{Format: FormatJSON}); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if err := Render(&b, r, Options{Format: FormatJSON}); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two JSON renders of the same report differ")
+	}
+	var doc Document
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.SchemaVersion != SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", doc.SchemaVersion, SchemaVersion)
+	}
+	if doc.System != "Summit" {
+		t.Errorf("system = %q, want Summit", doc.System)
+	}
+	if doc.Summary.Logs != 1 {
+		t.Errorf("summary.logs = %d, want 1", doc.Summary.Logs)
+	}
+	if len(doc.Sections) != 14 {
+		t.Errorf("full document has %d sections, want 14 (no faults in this campaign)", len(doc.Sections))
+	}
+	if doc.Section != "" {
+		t.Errorf("full document carries section = %q, want empty", doc.Section)
+	}
+	if !bytes.HasSuffix(a.Bytes(), []byte("\n")) {
+		t.Error("JSON document missing trailing newline")
+	}
+}
+
+func TestRenderJSONSingleSection(t *testing.T) {
+	r := smallReport(t)
+	var b bytes.Buffer
+	if err := Render(&b, r, Options{Format: FormatJSON, Section: "table2"}); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	var doc Document
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Section != "table2" || len(doc.Sections) != 1 || doc.Sections[0].Name != "table2" {
+		t.Errorf("section document malformed: section=%q sections=%d", doc.Section, len(doc.Sections))
+	}
+	if !strings.Contains(doc.Sections[0].Text, "Table 2") {
+		t.Error("table2 section text missing its title")
+	}
+}
+
+func TestSectionAliasesAndUnknown(t *testing.T) {
+	r := smallReport(t)
+	f11, err := Section(r, "figure11")
+	if err != nil {
+		t.Fatalf("figure11: %v", err)
+	}
+	f12, err := Section(r, "figure12")
+	if err != nil {
+		t.Fatalf("figure12: %v", err)
+	}
+	if f11 != f12 {
+		t.Error("figure12 alias does not render figure11")
+	}
+	e1, err := Section(r, "e1")
+	if err != nil {
+		t.Fatalf("e1: %v", err)
+	}
+	if e1 != ExtensionSTDIOX(r) {
+		t.Error("e1 alias does not render the extension section")
+	}
+	if _, err := Section(r, "table99"); err == nil {
+		t.Error("unknown section did not error")
+	}
+	if _, err := Section(r, "faults"); err != ErrNoFaultData {
+		t.Errorf("faults on clean campaign: err = %v, want ErrNoFaultData", err)
+	}
+}
+
+func TestSectionNamesCoverEverySection(t *testing.T) {
+	r := smallReport(t)
+	names := SectionNames()
+	if len(names) < 19 {
+		t.Fatalf("only %d sections registered", len(names))
+	}
+	for _, n := range names {
+		if n == "faults" {
+			continue // errors without fault data, by design
+		}
+		if _, err := Section(r, n); err != nil {
+			t.Errorf("Section(%q): %v", n, err)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	r := smallReport(t)
+	var b bytes.Buffer
+	if err := Render(&b, r, Options{Format: FormatCSV}); err != nil {
+		t.Fatalf("Render csv: %v", err)
+	}
+	if b.String() != CSV(r) {
+		t.Error("Render csv diverged from CSV()")
+	}
+	if err := Render(&b, r, Options{Format: FormatCSV, Section: "table2"}); err == nil {
+		t.Error("csv with section selection did not error")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{
+		"": FormatText, "text": FormatText, "JSON": FormatJSON, "csv": FormatCSV,
+	} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("ParseFormat(yaml) did not error")
+	}
+}

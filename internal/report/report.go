@@ -548,18 +548,16 @@ func Faults(r *analysis.Report) string {
 	return out
 }
 
-// Everything renders all tables and figures for one system.
+// Everything renders all tables and figures for one system. It is the text
+// rendering of the standard section set; call sites that want JSON/CSV or a
+// single section should use Render or Section instead.
 func Everything(r *analysis.Report) string {
-	sections := []string{
-		Table2(r), Table3(r), Table4(r), Table5(r), Table6(r),
-		Figure3(r), Figure4(r, false), Figure4(r, true),
-		Figure6(r, false), Figure7(r), Figure6(r, true),
-		Figure9(r), Figure10(r), Figure11(r),
+	secs := everythingSections(r)
+	parts := make([]string, len(secs))
+	for i, sec := range secs {
+		parts[i] = sec.Text
 	}
-	if s := Faults(r); s != "" {
-		sections = append(sections, s)
-	}
-	return strings.Join(sections, "\n")
+	return strings.Join(parts, "\n")
 }
 
 // LayerKindName is a small helper for CLI output.

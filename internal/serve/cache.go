@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheBytes bounds the rendered-report cache when the caller does
+// not choose a size. Full-report JSON documents run tens of kilobytes, so
+// this holds hundreds of renderings.
+const DefaultCacheBytes = 32 << 20
+
+// cacheItem is one rendered response body.
+type cacheItem struct {
+	key         string
+	contentType string
+	body        []byte
+}
+
+// Cache is a byte-bounded LRU of rendered report bodies. Keys embed the
+// dataset generation, so stale entries are never served — they simply age
+// out once their generation stops being requested.
+type Cache struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key → element whose Value is *cacheItem
+}
+
+// NewCache builds a cache bounded to maxBytes of body data (0 or negative
+// means DefaultCacheBytes).
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cache{max: maxBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached body and content type for key, marking it most
+// recently used. The returned slice is shared: callers must not modify it.
+func (c *Cache) Get(key string) ([]byte, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, "", false
+	}
+	c.ll.MoveToFront(el)
+	it := el.Value.(*cacheItem)
+	return it.body, it.contentType, true
+}
+
+// Put stores a rendered body under key, evicting least-recently-used
+// entries until the cache fits its byte bound. Bodies larger than the
+// whole bound are not cached at all.
+func (c *Cache) Put(key, contentType string, body []byte) {
+	n := int64(len(body))
+	if n > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*cacheItem)
+		c.size += n - int64(len(it.body))
+		it.body, it.contentType = body, contentType
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheItem{key: key, contentType: contentType, body: body})
+		c.size += n
+	}
+	for c.size > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		it := back.Value.(*cacheItem)
+		c.ll.Remove(back)
+		delete(c.items, it.key)
+		c.size -= int64(len(it.body))
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Size returns the cached body bytes.
+func (c *Cache) Size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCachePutGetAndEviction(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", "text/plain", make([]byte, 40))
+	c.Put("b", "text/plain", make([]byte, 40))
+	if _, _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	// a is now MRU; adding c must evict b.
+	c.Put("c", "text/plain", make([]byte, 40))
+	if _, _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction though it was LRU")
+	}
+	if _, _, ok := c.Get("a"); !ok {
+		t.Error("a evicted though it was MRU")
+	}
+	if c.Size() > 100 {
+		t.Errorf("size %d exceeds bound", c.Size())
+	}
+}
+
+func TestCacheOversizedBodyNotCached(t *testing.T) {
+	c := NewCache(10)
+	c.Put("big", "text/plain", make([]byte, 11))
+	if c.Len() != 0 {
+		t.Error("oversized body was cached")
+	}
+}
+
+func TestCacheReplaceAdjustsSize(t *testing.T) {
+	c := NewCache(100)
+	c.Put("k", "text/plain", make([]byte, 80))
+	c.Put("k", "application/json", make([]byte, 10))
+	if c.Size() != 10 || c.Len() != 1 {
+		t.Errorf("size=%d len=%d after replace", c.Size(), c.Len())
+	}
+	if _, ctype, _ := c.Get("k"); ctype != "application/json" {
+		t.Errorf("content type not replaced: %s", ctype)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(1 << 10)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%17)
+				c.Put(key, "t", []byte{byte(g)})
+				c.Get(key)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"iolayers/internal/core"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/obsv"
+	"iolayers/internal/report"
+)
+
+// DefaultMaxInFlight bounds concurrently-executing query requests when the
+// caller does not choose a bound.
+const DefaultMaxInFlight = 64
+
+// Config configures a Server.
+type Config struct {
+	// Store holds the datasets; required.
+	Store *Store
+	// Metrics receives request counters, latency histograms, cache
+	// hit/miss counters, and the in-flight gauge. Nil disables
+	// instrumentation at zero cost.
+	Metrics *obsv.Registry
+	// MaxInFlight bounds concurrently-executing query requests; excess
+	// requests are rejected immediately with 429 and Retry-After rather
+	// than queued (0 means DefaultMaxInFlight).
+	MaxInFlight int
+	// CacheBytes bounds the rendered-report LRU (0 means
+	// DefaultCacheBytes).
+	CacheBytes int64
+	// IngestWorkers is the worker-pool size for ingest passes (0 means
+	// GOMAXPROCS).
+	IngestWorkers int
+}
+
+// Server answers report queries over HTTP. Create with New, mount with
+// Handler.
+type Server struct {
+	store         *Store
+	cache         *Cache
+	sem           chan struct{}
+	metrics       *obsv.Registry
+	ingestWorkers int
+	mux           *http.ServeMux
+}
+
+// New builds a Server over cfg.Store.
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		cfg.Store = NewStore()
+	}
+	inflight := cfg.MaxInFlight
+	if inflight <= 0 {
+		inflight = DefaultMaxInFlight
+	}
+	s := &Server{
+		store:         cfg.Store,
+		cache:         NewCache(cfg.CacheBytes),
+		sem:           make(chan struct{}, inflight),
+		metrics:       cfg.Metrics,
+		ingestWorkers: cfg.IngestWorkers,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /v1/datasets", s.bounded("datasets", s.handleDatasets))
+	s.mux.HandleFunc("GET /v1/report/{dataset}", s.bounded("report", s.handleReport))
+	s.mux.HandleFunc("GET /v1/compare/{a}/{b}", s.bounded("compare", s.handleCompare))
+	s.mux.HandleFunc("POST /v1/ingest", s.instrumented("ingest", s.handleIngest))
+	if cfg.Metrics != nil {
+		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, cfg.Metrics.Snapshot().Text())
+		})
+		s.mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(cfg.Metrics.Snapshot().JSON())
+		})
+	}
+	return s
+}
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// bounded wraps a query handler with the concurrency gate: acquire a slot
+// or reject immediately with 429 + Retry-After (load-shedding beats
+// queueing for a service whose responses are cheap once cached), then
+// record latency and in-flight depth.
+func (s *Server) bounded(name string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.metrics.Counter("serve.throttled").Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, "server at capacity, retry shortly")
+			return
+		}
+		s.metrics.Gauge("serve.inflight").Set(float64(len(s.sem)))
+		defer func() {
+			<-s.sem
+			s.metrics.Gauge("serve.inflight").Set(float64(len(s.sem)))
+		}()
+		s.instrumented(name, fn)(w, r)
+	}
+}
+
+// instrumented records per-endpoint request counts and wall latency.
+func (s *Server) instrumented(name string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		fn(w, r)
+		s.metrics.Counter("serve." + name + ".requests").Add(1)
+		s.metrics.TimeHistogram("serve." + name + ".latency_us").Observe(time.Since(start).Microseconds())
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.Marshal(errorBody{Error: msg})
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// summaryJSON mirrors analysis.Summary with stable JSON names (the same
+// shape report.Document uses).
+type summaryJSON struct {
+	System    string  `json:"system"`
+	Logs      int64   `json:"logs"`
+	Jobs      int64   `json:"jobs"`
+	Files     int64   `json:"files"`
+	NodeHours float64 `json:"node_hours"`
+}
+
+func summaryOf(snap *Snapshot) summaryJSON {
+	sum := snap.Report.Summary
+	return summaryJSON{
+		System: sum.System, Logs: sum.Logs, Jobs: sum.Jobs,
+		// Canonicalized for the same reason report.Document does it: the
+		// raw sum's last bits are partition-order noise.
+		Files: sum.Files, NodeHours: report.CanonicalNodeHours(sum.NodeHours),
+	}
+}
+
+// datasetInfo is one row of the /v1/datasets listing.
+type datasetInfo struct {
+	Name       string      `json:"name"`
+	System     string      `json:"system"`
+	Generation uint64      `json:"generation"`
+	Summary    summaryJSON `json:"summary"`
+	Sources    []string    `json:"sources"`
+}
+
+type datasetsResponse struct {
+	SchemaVersion int           `json:"schema_version"`
+	Datasets      []datasetInfo `json:"datasets"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	resp := datasetsResponse{SchemaVersion: report.SchemaVersion, Datasets: []datasetInfo{}}
+	for _, snap := range s.store.List() {
+		resp.Datasets = append(resp.Datasets, datasetInfo{
+			Name: snap.Name, System: snap.System, Generation: snap.Gen,
+			Summary: summaryOf(snap), Sources: snap.Sources,
+		})
+	}
+	s.writeJSON(w, resp)
+}
+
+func contentTypeFor(f report.Format) string {
+	switch f {
+	case report.FormatJSON:
+		return "application/json"
+	case report.FormatCSV:
+		return "text/csv; charset=utf-8"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("dataset")
+	if !ValidDatasetName(name) {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dataset name %q", name))
+		return
+	}
+	format, err := report.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	section := report.CanonicalSection(r.URL.Query().Get("section"))
+	snap, ok := s.store.Get(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no dataset %q", name))
+		return
+	}
+
+	key := fmt.Sprintf("report|%s|%d|%s|%s", snap.Name, snap.Gen, section, format)
+	w.Header().Set("X-Dataset-Generation", fmt.Sprint(snap.Gen))
+	if body, ctype, ok := s.cache.Get(key); ok {
+		s.metrics.Counter("serve.cache.hits").Add(1)
+		w.Header().Set("Content-Type", ctype)
+		w.Header().Set("X-Cache", "hit")
+		w.Write(body)
+		return
+	}
+	s.metrics.Counter("serve.cache.misses").Add(1)
+	body, err := report.RenderString(snap.Report, report.Options{Format: format, Section: section})
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctype := contentTypeFor(format)
+	s.cache.Put(key, ctype, []byte(body))
+	w.Header().Set("Content-Type", ctype)
+	w.Header().Set("X-Cache", "miss")
+	fmt.Fprint(w, body)
+}
+
+// compareSide is one dataset's half of a /v1/compare response.
+type compareSide struct {
+	Name       string      `json:"name"`
+	System     string      `json:"system"`
+	Generation uint64      `json:"generation"`
+	Summary    summaryJSON `json:"summary"`
+}
+
+// compareResponse sets two datasets' campaign summaries side by side —
+// the cross-system reading the paper's Tables 2–6 are built around.
+type compareResponse struct {
+	SchemaVersion int         `json:"schema_version"`
+	A             compareSide `json:"a"`
+	B             compareSide `json:"b"`
+	// Delta is b minus a, fieldwise.
+	Delta summaryDelta `json:"delta"`
+}
+
+type summaryDelta struct {
+	Logs      int64   `json:"logs"`
+	Jobs      int64   `json:"jobs"`
+	Files     int64   `json:"files"`
+	NodeHours float64 `json:"node_hours"`
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	nameA, nameB := r.PathValue("a"), r.PathValue("b")
+	for _, n := range []string{nameA, nameB} {
+		if !ValidDatasetName(n) {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dataset name %q", n))
+			return
+		}
+	}
+	snapA, okA := s.store.Get(nameA)
+	snapB, okB := s.store.Get(nameB)
+	if !okA || !okB {
+		missing := nameA
+		if okA {
+			missing = nameB
+		}
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no dataset %q", missing))
+		return
+	}
+
+	key := fmt.Sprintf("compare|%s|%d|%s|%d", snapA.Name, snapA.Gen, snapB.Name, snapB.Gen)
+	if body, ctype, ok := s.cache.Get(key); ok {
+		s.metrics.Counter("serve.cache.hits").Add(1)
+		w.Header().Set("Content-Type", ctype)
+		w.Header().Set("X-Cache", "hit")
+		w.Write(body)
+		return
+	}
+	s.metrics.Counter("serve.cache.misses").Add(1)
+	a, b := summaryOf(snapA), summaryOf(snapB)
+	resp := compareResponse{
+		SchemaVersion: report.SchemaVersion,
+		A:             compareSide{Name: snapA.Name, System: snapA.System, Generation: snapA.Gen, Summary: a},
+		B:             compareSide{Name: snapB.Name, System: snapB.System, Generation: snapB.Gen, Summary: b},
+		Delta: summaryDelta{
+			Logs: b.Logs - a.Logs, Jobs: b.Jobs - a.Jobs,
+			Files: b.Files - a.Files, NodeHours: b.NodeHours - a.NodeHours,
+		},
+	}
+	data, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	data = append(data, '\n')
+	s.cache.Put(key, "application/json", data)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	w.Write(data)
+}
+
+// ingestRequest is the POST /v1/ingest body.
+type ingestRequest struct {
+	// Dataset names the dataset to create or extend.
+	Dataset string `json:"dataset"`
+	// System is the system profile ("summit" or "cori"); required when
+	// the dataset does not exist yet, must match when it does.
+	System string `json:"system"`
+	// Source is a directory of .darshan logs, a .dgar archive, or a
+	// single .darshan file on the server's filesystem.
+	Source string `json:"source"`
+}
+
+type ingestResponse struct {
+	SchemaVersion int         `json:"schema_version"`
+	Dataset       string      `json:"dataset"`
+	System        string      `json:"system"`
+	Generation    uint64      `json:"generation"`
+	Parsed        int         `json:"parsed"`
+	Failed        int         `json:"failed"`
+	Summary       summaryJSON `json:"summary"`
+}
+
+// maxIngestBody bounds the ingest request document.
+const maxIngestBody = 1 << 20
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad ingest request: %v", err))
+		return
+	}
+	if !ValidDatasetName(req.Dataset) {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dataset name %q", req.Dataset))
+		return
+	}
+	if req.Source == "" {
+		s.writeError(w, http.StatusBadRequest, "source is required")
+		return
+	}
+	systemName := req.System
+	if cur, ok := s.store.Get(req.Dataset); ok && systemName == "" {
+		systemName = cur.System
+	}
+	sys := systems.ByName(systemName)
+	if sys == nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown system %q", systemName))
+		return
+	}
+
+	snap, res, err := s.store.Ingest(r.Context(), req.Dataset, sys, req.Source, core.IngestOptions{
+		Workers: s.ingestWorkers,
+		Metrics: s.metrics,
+	})
+	if err != nil {
+		s.metrics.Counter("serve.ingest.errors").Add(1)
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.metrics.Counter("serve.ingest.published").Add(1)
+	s.writeJSON(w, ingestResponse{
+		SchemaVersion: report.SchemaVersion,
+		Dataset:       snap.Name,
+		System:        snap.System,
+		Generation:    snap.Gen,
+		Parsed:        res.Parsed,
+		Failed:        res.Failed,
+		Summary:       summaryOf(snap),
+	})
+}

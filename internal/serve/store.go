@@ -1,0 +1,199 @@
+// Package serve is the query side of the pipeline: a long-running service
+// that holds the merged analysis state of one or more ingested campaigns
+// ("datasets") in memory and renders the study's reports on demand.
+//
+// The concurrency discipline is copy-on-write. Each dataset publishes an
+// immutable Snapshot — a frozen aggregator plus its derived report — and
+// readers render from whatever snapshot they load, with no locks held
+// while rendering. Re-ingestion clones the frozen aggregator, folds the
+// new logs into the clone off to the side, and atomically publishes the
+// clone as the next generation. Readers mid-render keep their old
+// snapshot; the generation counter feeds the response cache key, so a
+// publish naturally invalidates every cached rendering of the dataset.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/core"
+	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/iosim"
+)
+
+// datasetNameRE bounds what a dataset may be called: names appear in URL
+// paths and cache keys, so they are kept to a filename-safe alphabet.
+var datasetNameRE = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
+
+// ValidDatasetName reports whether name is usable as a dataset name.
+func ValidDatasetName(name string) bool { return datasetNameRE.MatchString(name) }
+
+// Snapshot is one published generation of a dataset. It is immutable:
+// every field is frozen at publish time, and the aggregator behind it is
+// never folded into again (re-ingestion works on a clone).
+type Snapshot struct {
+	Name   string
+	System string
+	// Gen increments on every successful ingest into the dataset; it is
+	// the cache-invalidation token for everything rendered from this
+	// snapshot.
+	Gen     uint64
+	Report  *analysis.Report
+	Sources []string
+
+	agg *analysis.Aggregator // frozen; clone base for the next generation
+}
+
+// entry is the mutable cell a dataset lives in. Readers load cur without
+// any lock; writers serialize on ingestMu.
+type entry struct {
+	ingestMu sync.Mutex
+	cur      atomic.Pointer[Snapshot]
+}
+
+// Store maps dataset names to their current snapshots.
+type Store struct {
+	mu       sync.RWMutex
+	datasets map[string]*entry
+}
+
+// NewStore builds an empty store.
+func NewStore() *Store {
+	return &Store{datasets: map[string]*entry{}}
+}
+
+// Get returns the current snapshot of the named dataset.
+func (s *Store) Get(name string) (*Snapshot, bool) {
+	s.mu.RLock()
+	e := s.datasets[name]
+	s.mu.RUnlock()
+	if e == nil {
+		return nil, false
+	}
+	snap := e.cur.Load()
+	if snap == nil {
+		return nil, false // created but first ingest hasn't published yet
+	}
+	return snap, true
+}
+
+// List returns the current snapshot of every dataset, sorted by name.
+func (s *Store) List() []*Snapshot {
+	s.mu.RLock()
+	entries := make([]*entry, 0, len(s.datasets))
+	for _, e := range s.datasets {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	out := make([]*Snapshot, 0, len(entries))
+	for _, e := range entries {
+		if snap := e.cur.Load(); snap != nil {
+			out = append(out, snap)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (s *Store) getOrCreate(name string) *entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.datasets[name]
+	if !ok {
+		e = &entry{}
+		s.datasets[name] = e
+	}
+	return e
+}
+
+// Ingest folds the logs at source (a directory of .darshan logs, a .dgar
+// archive, or a single .darshan file) into the named dataset and publishes
+// the result as its next generation. Concurrent ingests into the same
+// dataset serialize; concurrent readers keep rendering from the previous
+// generation until the new one is published. On error nothing is
+// published and the dataset keeps its current generation.
+func (s *Store) Ingest(ctx context.Context, name string, sys *iosim.System, source string, opts core.IngestOptions) (*Snapshot, core.IngestResult, error) {
+	if !ValidDatasetName(name) {
+		return nil, core.IngestResult{}, fmt.Errorf("serve: invalid dataset name %q", name)
+	}
+	if sys == nil {
+		return nil, core.IngestResult{}, fmt.Errorf("serve: nil system")
+	}
+	e := s.getOrCreate(name)
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+
+	cur := e.cur.Load()
+	var base *analysis.Aggregator
+	var sources []string
+	if cur != nil {
+		if cur.System != sys.Name {
+			return nil, core.IngestResult{}, fmt.Errorf("serve: dataset %q is %s data, cannot ingest %s logs",
+				name, cur.System, sys.Name)
+		}
+		base = cur.agg.Clone()
+		sources = append(append([]string(nil), cur.Sources...), source)
+	} else {
+		base = analysis.NewAggregator(sys)
+		sources = []string{source}
+	}
+	opts.Into = base
+	opts.Resume = nil
+
+	rep, res, err := ingestSource(ctx, sys, source, opts)
+	if err != nil {
+		return nil, res, err
+	}
+	next := &Snapshot{
+		Name:    name,
+		System:  sys.Name,
+		Gen:     genAfter(cur),
+		Report:  rep,
+		Sources: sources,
+		agg:     base,
+	}
+	e.cur.Store(next)
+	return next, res, nil
+}
+
+func genAfter(cur *Snapshot) uint64 {
+	if cur == nil {
+		return 1
+	}
+	return cur.Gen + 1
+}
+
+// ingestSource dispatches on what the path is: directory, campaign
+// archive, or a single log file.
+func ingestSource(ctx context.Context, sys *iosim.System, source string, opts core.IngestOptions) (*analysis.Report, core.IngestResult, error) {
+	fi, err := os.Stat(source)
+	if err != nil {
+		return nil, core.IngestResult{}, fmt.Errorf("serve: %w", err)
+	}
+	switch {
+	case fi.IsDir():
+		rep, res, err := core.IngestDir(ctx, sys, source, opts)
+		if err == nil && res.Parsed == 0 && res.Failed == 0 {
+			return nil, res, fmt.Errorf("serve: no .darshan logs in %s", source)
+		}
+		return rep, res, err
+	case strings.HasSuffix(source, ".dgar"):
+		return core.IngestArchive(ctx, sys, source, opts)
+	default:
+		// A single log: decode it under the same limits the pool would use
+		// and fold it straight into the Into aggregator.
+		log, err := logfmt.ReadFileWithLimits(source, opts.Limits)
+		if err != nil {
+			return nil, core.IngestResult{Failed: 1}, err
+		}
+		opts.Into.AddLog(log)
+		return opts.Into.Report(), core.IngestResult{Parsed: 1}, nil
+	}
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+
+	"iolayers/internal/core"
+	"iolayers/internal/darshan"
+	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/units"
+)
+
+// corpusDir writes n small hand-built Summit logs into a temp directory.
+func corpusDir(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	sys := systems.NewSummit()
+	for i := 0; i < n; i++ {
+		rt := darshan.NewRuntime(darshan.JobHeader{
+			JobID: uint64(1000 + i), UserID: uint64(1 + i%3), NProcs: 8,
+			StartTime: int64(i) * 3600, EndTime: int64(i)*3600 + 1800,
+			Metadata: map[string]string{"domain": "Physics"},
+		})
+		c := iosim.NewClient(sys, rt, rand.New(rand.NewPCG(uint64(i), 7)))
+		c.Write(darshan.ModulePOSIX, fmt.Sprintf("/gpfs/alpine/phys/out%d.h5", i), 0, units.MiB, 0)
+		c.Read(darshan.ModuleSTDIO, "/mnt/bb/phys/run.log", 0, 64*units.KiB, 0)
+		path := filepath.Join(dir, fmt.Sprintf("job%05d.darshan", i))
+		if err := logfmt.WriteFile(path, rt.Finalize()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestStoreIngestPublishesGenerations(t *testing.T) {
+	dir := corpusDir(t, 4)
+	sys := systems.NewSummit()
+	st := NewStore()
+
+	snap1, res, err := st.Ingest(context.Background(), "prod", sys, dir, core.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap1.Gen != 1 || res.Parsed != 4 {
+		t.Fatalf("gen=%d parsed=%d", snap1.Gen, res.Parsed)
+	}
+	got, ok := st.Get("prod")
+	if !ok || got != snap1 {
+		t.Fatal("Get did not return the published snapshot")
+	}
+
+	// Second ingest: new generation, old snapshot untouched.
+	snap2, _, err := st.Ingest(context.Background(), "prod", sys, dir, core.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Gen != 2 {
+		t.Errorf("gen = %d, want 2", snap2.Gen)
+	}
+	if snap2.Report.Summary.Logs != 2*snap1.Report.Summary.Logs {
+		t.Errorf("gen2 logs = %d, want %d", snap2.Report.Summary.Logs, 2*snap1.Report.Summary.Logs)
+	}
+	if snap1.Report.Summary.Logs != 4 {
+		t.Error("re-ingest mutated the frozen generation-1 snapshot")
+	}
+	if len(snap2.Sources) != 2 {
+		t.Errorf("sources = %v", snap2.Sources)
+	}
+}
+
+func TestStoreIngestSingleFileAndMissingSource(t *testing.T) {
+	dir := corpusDir(t, 2)
+	sys := systems.NewSummit()
+	st := NewStore()
+
+	one := filepath.Join(dir, "job00000.darshan")
+	snap, res, err := st.Ingest(context.Background(), "single", sys, one, core.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parsed != 1 || snap.Report.Summary.Logs != 1 {
+		t.Errorf("parsed=%d logs=%d", res.Parsed, snap.Report.Summary.Logs)
+	}
+
+	if _, _, err := st.Ingest(context.Background(), "single", sys, filepath.Join(dir, "nope"), core.IngestOptions{}); err == nil {
+		t.Error("missing source accepted")
+	}
+	// The failed ingest must not have published.
+	if got, _ := st.Get("single"); got.Gen != 1 {
+		t.Errorf("failed ingest bumped generation to %d", got.Gen)
+	}
+}
+
+func TestStoreRejectsBadNamesAndSystemMismatch(t *testing.T) {
+	dir := corpusDir(t, 1)
+	st := NewStore()
+	summit, cori := systems.NewSummit(), systems.NewCori()
+
+	for _, bad := range []string{"", "a b", "x/y", "née", string(make([]byte, 65))} {
+		if _, _, err := st.Ingest(context.Background(), bad, summit, dir, core.IngestOptions{}); err == nil {
+			t.Errorf("dataset name %q accepted", bad)
+		}
+	}
+	if !ValidDatasetName("prod-2020.v1_x") {
+		t.Error("legitimate name rejected")
+	}
+
+	if _, _, err := st.Ingest(context.Background(), "ds", summit, dir, core.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Ingest(context.Background(), "ds", cori, dir, core.IngestOptions{}); err == nil {
+		t.Error("cross-system ingest into an existing dataset accepted")
+	}
+}
+
+func TestStoreListSorted(t *testing.T) {
+	dir := corpusDir(t, 1)
+	sys := systems.NewSummit()
+	st := NewStore()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, _, err := st.Ingest(context.Background(), name, sys, dir, core.IngestOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := st.List()
+	if len(list) != 3 || list[0].Name != "alpha" || list[1].Name != "mid" || list[2].Name != "zeta" {
+		names := make([]string, len(list))
+		for i, s := range list {
+			names[i] = s.Name
+		}
+		t.Errorf("list order = %v", names)
+	}
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the ioserved query service: start it on a
+# random port, ingest the golden log, and require that /v1/report serves
+# byte-for-byte what `ioanalyze -format json` renders over the same logs —
+# cached renders included — then SIGTERM it and require a graceful exit 0.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GOLDEN=internal/darshan/logfmt/testdata/golden_v1.darshan
+TMP=$(mktemp -d)
+SERVED=
+cleanup() {
+    [ -n "$SERVED" ] && kill "$SERVED" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    [ -f "$TMP/ioserved.err" ] && sed 's/^/serve-smoke:   ioserved: /' "$TMP/ioserved.err" >&2
+    exit 1
+}
+
+fetch() { # fetch URL OUTFILE [HEADERFILE]
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS -D "${3:-/dev/null}" -o "$2" "$1"
+    else
+        wget -q -S -O "$2" "$1" 2>"${3:-/dev/null}"
+    fi
+}
+
+echo "serve-smoke: building ioserved and ioanalyze"
+go build -o "$TMP/ioserved" ./cmd/ioserved
+go build -o "$TMP/ioanalyze" ./cmd/ioanalyze
+
+mkdir "$TMP/logs"
+cp "$GOLDEN" "$TMP/logs/"
+
+echo "serve-smoke: rendering the reference report with ioanalyze"
+"$TMP/ioanalyze" -dir "$TMP/logs" -format json >"$TMP/want.json" 2>/dev/null
+[ -s "$TMP/want.json" ] || fail "ioanalyze produced no report"
+
+echo "serve-smoke: starting ioserved on a random port"
+"$TMP/ioserved" -listen 127.0.0.1:0 -addr-file "$TMP/addr" \
+    -dataset golden -system summit -ingest "$TMP/logs" 2>"$TMP/ioserved.err" &
+SERVED=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$TMP/addr" ] && break
+    kill -0 "$SERVED" 2>/dev/null || fail "ioserved died during startup"
+    sleep 0.1
+done
+[ -s "$TMP/addr" ] || fail "ioserved never wrote its address file"
+ADDR=$(head -n1 "$TMP/addr")
+echo "serve-smoke: up on $ADDR"
+
+fetch "http://$ADDR/healthz" "$TMP/health" || fail "healthz unreachable"
+
+fetch "http://$ADDR/v1/report/golden?format=json" "$TMP/got.json" "$TMP/h1" \
+    || fail "report fetch failed"
+diff -u "$TMP/want.json" "$TMP/got.json" \
+    || fail "served report drifted from ioanalyze output"
+
+# The second fetch comes from the render cache and must be identical bytes.
+fetch "http://$ADDR/v1/report/golden?format=json" "$TMP/got2.json" "$TMP/h2" \
+    || fail "cached report fetch failed"
+grep -qi 'x-cache: hit' "$TMP/h2" || fail "second fetch was not a cache hit"
+cmp -s "$TMP/got.json" "$TMP/got2.json" || fail "cached render differs from first render"
+
+fetch "http://$ADDR/v1/datasets" "$TMP/datasets.json" || fail "datasets fetch failed"
+grep -q '"golden"' "$TMP/datasets.json" || fail "dataset listing missing the golden dataset"
+
+echo "serve-smoke: draining with SIGTERM"
+kill -TERM "$SERVED"
+code=0
+wait "$SERVED" || code=$?
+SERVED=
+[ "$code" -eq 0 ] || fail "ioserved exited $code after SIGTERM, want graceful 0"
+
+echo "serve-smoke: PASS"
