@@ -485,34 +485,7 @@ func BenchmarkLogFormat(b *testing.B) {
 // concurrency guarantees themselves.
 func BenchmarkArchiveIngest(b *testing.B) {
 	sys := systems.NewSummit()
-	campaign, err := core.NewCampaign("Summit", benchConfig)
-	if err != nil {
-		b.Fatal(err)
-	}
-	path := filepath.Join(b.TempDir(), "bench.dgar")
-	f, err := os.Create(path)
-	if err != nil {
-		b.Fatal(err)
-	}
-	aw, err := logfmt.NewArchiveWriter(f)
-	if err != nil {
-		b.Fatal(err)
-	}
-	var mu sync.Mutex
-	if _, err := campaign.Run(func(jobIdx, logIdx int, log *darshan.Log) error {
-		mu.Lock()
-		defer mu.Unlock()
-		return aw.Append(log)
-	}); err != nil {
-		b.Fatal(err)
-	}
-	if err := aw.Close(); err != nil {
-		b.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		b.Fatal(err)
-	}
-	nLogs := aw.Count()
+	path, nLogs := buildBenchArchive(b)
 
 	run := func(b *testing.B, workers int, metrics bool) {
 		b.ReportAllocs()
@@ -544,6 +517,117 @@ func BenchmarkArchiveIngest(b *testing.B) {
 	if n := runtime.GOMAXPROCS(0); n > 4 {
 		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) { run(b, n, false) })
 	}
+}
+
+// buildBenchArchive synthesizes the benchmark campaign once into a .dgar
+// archive and returns its path and log count — the shared corpus for the
+// archive-ingest and columnar benchmarks.
+func buildBenchArchive(b *testing.B) (string, int) {
+	b.Helper()
+	campaign, err := core.NewCampaign("Summit", benchConfig)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.dgar")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aw, err := logfmt.NewArchiveWriter(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mu sync.Mutex
+	if _, err := campaign.Run(func(jobIdx, logIdx int, log *darshan.Log) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return aw.Append(log)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path, aw.Count()
+}
+
+// BenchmarkConvertArchive measures the one-time cost of converting a
+// campaign archive to its columnar sibling — the price paid once so every
+// later re-render runs an order of magnitude faster.
+func BenchmarkConvertArchive(b *testing.B) {
+	path, nLogs := buildBenchArchive(b)
+	dir := b.TempDir()
+	b.ReportAllocs()
+	var res core.ConvertResult
+	for i := 0; i < b.N; i++ {
+		dst := filepath.Join(dir, fmt.Sprintf("bench%d.dgc", i))
+		var err error
+		res, err = core.ConvertArchive(context.Background(), path, dst, core.ConvertOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Logs != nLogs {
+			b.Fatalf("converted %d of %d logs", res.Logs, nLogs)
+		}
+		os.Remove(dst)
+	}
+	b.ReportMetric(float64(nLogs), "logs/op")
+	b.ReportMetric(float64(res.BytesOut), "bytes/file")
+}
+
+// BenchmarkColumnarRender measures re-rendering from a columnar campaign —
+// the workload the format exists for. The narrow variants answer a
+// ≤4-counter question (per-file volume totals) by decoding only the files
+// group and skipping stats-pruned columns and segments; compare against
+// BenchmarkArchiveIngest, which must re-inflate and re-decode every log to
+// answer anything. The fold variants rebuild the full report through
+// FoldBatch and are the re-render path ioanalyze/iostudy/ioserved use.
+func BenchmarkColumnarRender(b *testing.B) {
+	sys := systems.NewSummit()
+	path, nLogs := buildBenchArchive(b)
+	columnar := filepath.Join(b.TempDir(), "bench.dgc")
+	if _, err := core.ConvertArchive(context.Background(), path, columnar, core.ConvertOptions{}); err != nil {
+		b.Fatal(err)
+	}
+
+	narrow := func(b *testing.B, minBytes int64) {
+		b.ReportAllocs()
+		var tot core.ColumnarTotals
+		for i := 0; i < b.N; i++ {
+			var err error
+			tot, err = core.QueryColumnarTotals(context.Background(), columnar,
+				core.ColumnarQuery{MinFileBytes: minBytes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tot.Files == 0 && minBytes == 0 {
+				b.Fatal("scan saw no file rows")
+			}
+		}
+		b.ReportMetric(float64(tot.SegmentsPruned), "segs-pruned/op")
+	}
+	b.Run("narrow-totals", func(b *testing.B) { narrow(b, 0) })
+	b.Run("narrow-totals-tail", func(b *testing.B) { narrow(b, int64(units.TiB)+1) })
+
+	fold := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, res, err := core.IngestColumnar(context.Background(), sys, columnar,
+				core.IngestOptions{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Parsed != nLogs {
+				b.Fatalf("folded %d of %d logs", res.Parsed, nLogs)
+			}
+		}
+		b.ReportMetric(float64(nLogs), "logs/op")
+	}
+	b.Run("fold/sequential", func(b *testing.B) { fold(b, 1) })
+	b.Run("fold/workers=4", func(b *testing.B) { fold(b, 4) })
 }
 
 // BenchmarkScheduler measures the EASY-backfill scheduler on a month of the

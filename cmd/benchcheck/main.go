@@ -8,7 +8,8 @@
 // Usage:
 //
 //	benchcheck [-baseline bench_baseline.json] [-update]
-//	           [-bench 'ArchiveIngest|ObsvOverhead'] [-allocs-tol 0.05]
+//	           [-bench 'ArchiveIngest|ColumnarRender|ConvertArchive|ObsvOverhead']
+//	           [-allocs-tol 0.05]
 //
 // With -update the baseline is rewritten from the current run (do this
 // when an intentional change moves the numbers, and say why in the
@@ -45,7 +46,7 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "bench_baseline.json", "baseline file to compare against")
 		update       = flag.Bool("update", false, "rewrite the baseline from the current run")
-		benchRe      = flag.String("bench", "ArchiveIngest|ObsvOverhead", "benchmark regex passed to go test -bench")
+		benchRe      = flag.String("bench", "ArchiveIngest|ColumnarRender|ConvertArchive|ObsvOverhead", "benchmark regex passed to go test -bench")
 		benchtime    = flag.String("benchtime", "", "go test -benchtime value (empty = default)")
 		allocsTol    = flag.Float64("allocs-tol", 0.05, "allowed fractional allocs/op growth")
 		bytesTol     = flag.Float64("bytes-tol", 0.25, "allowed fractional B/op growth")

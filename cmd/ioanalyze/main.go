@@ -21,8 +21,17 @@
 //
 //	ioanalyze -dir /path/to/logs [-system summit] [-workers 0]
 //	ioanalyze -archive campaign.dgar [-system summit] [-workers 0]
+//	ioanalyze -archive campaign.dgc [-system summit] [-workers 0]
 //	ioanalyze -resume pass.ckpt [-checkpoint pass.ckpt]
 //	ioanalyze -dir /path/to/logs -format json [-section table2]
+//	ioanalyze -archive campaign.dgar -convert campaign.dgc
+//
+// -archive accepts both row-oriented campaign archives (.dgar) and columnar
+// campaign files (.dgc); the format is sniffed from the file header, and a
+// columnar source folds whole pre-aggregated segments instead of re-parsing
+// logs. -convert writes the columnar image of -dir or -archive to the given
+// path (atomically; the file appears only on success) and exits without
+// rendering a report.
 //
 // With -format json the report is the versioned JSON document that ioserved
 // serves from /v1/report — stdout carries nothing but the document, so it
@@ -42,6 +51,7 @@ import (
 	"iolayers/internal/analysis"
 	"iolayers/internal/cli"
 	"iolayers/internal/core"
+	"iolayers/internal/darshan/colfmt"
 	"iolayers/internal/iosim/systems"
 	"iolayers/internal/report"
 )
@@ -53,6 +63,7 @@ func main() {
 		archive    = flag.String("archive", "", "campaign archive (.dgar) to analyze instead of a directory")
 		formatFlag = flag.String("format", "text", "report output format: text, json, or csv")
 		section    = flag.String("section", "", "render one section (table2..table6, figure3..figure11, users, ...; default all)")
+		convert    = flag.String("convert", "", "convert the source to a columnar campaign file (.dgc) at this path and exit")
 	)
 	var common cli.CommonFlags
 	common.Register(flag.CommandLine, cli.FlagDebug|cli.FlagWorkers|cli.FlagCheckpoint|cli.FlagQuarantine)
@@ -69,6 +80,39 @@ func main() {
 	act := common.Activate(ctx, "ioanalyze")
 	defer act.Close()
 	metrics := act.Metrics
+
+	if *convert != "" {
+		if (*dir == "") == (*archive == "") {
+			fmt.Fprintln(os.Stderr, "ioanalyze: -convert needs exactly one of -dir or -archive")
+			os.Exit(2)
+		}
+		cvOpts := core.ConvertOptions{Metrics: metrics}
+		var (
+			res    core.ConvertResult
+			source string
+		)
+		if *archive != "" {
+			source = *archive
+			res, err = core.ConvertArchive(ctx, *archive, *convert, cvOpts)
+		} else {
+			source = *dir
+			res, err = core.ConvertDir(ctx, *dir, *convert, cvOpts)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ioanalyze:", err)
+			if cli.Interrupted(err) {
+				os.Exit(cli.ExitInterrupted)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ioanalyze: converted %d logs from %s into %d segments at %s (%d -> %d bytes)\n",
+			res.Logs, source, res.Segments, *convert, res.BytesIn, res.BytesOut)
+		if metrics != nil {
+			fmt.Println(report.Observability(metrics.Snapshot()))
+			act.WriteMetricsOut()
+		}
+		return
+	}
 
 	opts := core.IngestOptions{
 		Workers:         common.Workers,
@@ -87,7 +131,7 @@ func main() {
 		// The checkpoint pins the source and system; flags must not
 		// silently redirect a resumed pass.
 		*system = ck.System
-		if ck.Mode == "archive" {
+		if ck.Mode == "archive" || ck.Mode == "columnar" {
 			*archive, *dir = ck.Source, ""
 		} else {
 			*dir, *archive = ck.Source, ""
@@ -118,7 +162,13 @@ func main() {
 	)
 	if *archive != "" {
 		source = *archive
-		rep, res, err = core.IngestArchive(ctx, sys, *archive, opts)
+		// The header, not the filename, decides the format: a columnar
+		// campaign folds pre-aggregated segments, an archive re-parses logs.
+		if colfmt.SniffFile(*archive) {
+			rep, res, err = core.IngestColumnar(ctx, sys, *archive, opts)
+		} else {
+			rep, res, err = core.IngestArchive(ctx, sys, *archive, opts)
+		}
 	} else {
 		source = *dir
 		rep, res, err = core.IngestDir(ctx, sys, *dir, opts)

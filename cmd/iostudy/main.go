@@ -13,10 +13,13 @@
 // Cori), and extension (the STDIOX statistics; pair with -extended).
 //
 // Persistence detours: -save streams every generated log into a campaign
-// archive while the study runs; -from skips synthesis entirely and
-// re-renders the experiments from an existing archive via the parallel
-// streaming ingester (same deterministic worker-pool model as the study
-// engine). Both take a single -system, not "both".
+// archive while the study runs; -save-columnar streams the campaign into a
+// columnar file (.dgc) instead, which later re-renders order-of-magnitude
+// faster; -from skips synthesis entirely and re-renders the experiments
+// from an existing archive — row-oriented or columnar, sniffed from the
+// file header — via the parallel streaming ingester (same deterministic
+// worker-pool model as the study engine). All three take a single -system,
+// not "both".
 //
 // Crash safety: SIGINT/SIGTERM stops the campaign at a job boundary and
 // still renders a valid partial report. With -checkpoint, progress persists
@@ -50,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -57,6 +61,7 @@ import (
 	"iolayers/internal/cli"
 	"iolayers/internal/core"
 	"iolayers/internal/darshan"
+	"iolayers/internal/darshan/colfmt"
 	"iolayers/internal/darshan/logfmt"
 	"iolayers/internal/iosim"
 	"iolayers/internal/iosim/serverstats"
@@ -78,7 +83,8 @@ func main() {
 		whatIf     = flag.Bool("whatif", false, "also run the Recommendation-2 counterfactual (middleware aggregation) and print the comparison")
 		format     = flag.String("format", "text", "output format: text, or csv (figure series for plotting)")
 		save       = flag.String("save", "", "stream every generated log into this campaign archive (.dgar); single -system only")
-		from       = flag.String("from", "", "skip synthesis and analyze this campaign archive (.dgar) instead; single -system only")
+		saveCol    = flag.String("save-columnar", "", "stream the campaign into this columnar file (.dgc); single -system only, not resumable")
+		from       = flag.String("from", "", "skip synthesis and analyze this campaign archive (.dgar or .dgc) instead; single -system only")
 	)
 	var common cli.CommonFlags
 	common.Register(flag.CommandLine, cli.FlagsAll)
@@ -136,8 +142,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "iostudy: unknown system %q\n", *system)
 		os.Exit(2)
 	}
-	if *save != "" && len(names) != 1 {
-		fmt.Fprintln(os.Stderr, "iostudy: -save needs a single -system (an archive holds one system's campaign)")
+	if (*save != "" || *saveCol != "") && len(names) != 1 {
+		fmt.Fprintln(os.Stderr, "iostudy: -save/-save-columnar needs a single -system (an archive holds one system's campaign)")
+		os.Exit(2)
+	}
+	if *save != "" && *saveCol != "" {
+		fmt.Fprintln(os.Stderr, "iostudy: -save and -save-columnar are exclusive (convert the archive afterwards with ioanalyze -convert)")
+		os.Exit(2)
+	}
+	if *saveCol != "" && *ckptPath != "" {
+		fmt.Fprintln(os.Stderr, "iostudy: -save-columnar cannot checkpoint (a columnar save is not resumable; use -save, then ioanalyze -convert)")
 		os.Exit(2)
 	}
 	if *ckptPath != "" && len(names) != 1 {
@@ -163,11 +177,19 @@ func main() {
 			arch = newArchiveSink(*save)
 			opts.Sink, opts.SyncSink = arch.sink, arch.sync
 		}
+		var colSink *columnarSink
+		if *saveCol != "" {
+			colSink = newColumnarSink(*saveCol)
+			opts.Sink = colSink.sink
+		}
 		rep, err := campaign.RunCheckpointed(ctx, opts)
 		if cli.Interrupted(err) {
 			reportInterrupted(*ckptPath, *save)
 			if arch != nil {
 				arch.abandon()
+			}
+			if colSink != nil {
+				colSink.abandon()
 			}
 			if rep != nil {
 				printReport(name, rep, *scale, *fileScale, *seed, *experiment, *format, *serverSide, collectors)
@@ -186,6 +208,14 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "iostudy: campaign archived to %s\n", *save)
+		}
+		if colSink != nil {
+			if err := colSink.close(); err != nil {
+				fmt.Fprintln(os.Stderr, "iostudy:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "iostudy: campaign saved columnar to %s (%d segments)\n",
+				*saveCol, colSink.segments)
 		}
 		printReport(name, rep, *scale, *fileScale, *seed, *experiment, *format, *serverSide, collectors)
 		publishCollectors(metrics, collectors)
@@ -413,6 +443,79 @@ func (s *archiveSink) abandon() {
 	s.f.Close()
 }
 
+// columnarSink streams generated logs straight into a columnar campaign
+// file. The writer accumulates a segment at a time onto a temp file that
+// is fsynced and renamed into place only on a clean close, so the target
+// path never holds a half-written campaign — which is also why a columnar
+// save is not resumable (there is no durable mid-run offset to truncate
+// back to).
+type columnarSink struct {
+	mu       sync.Mutex
+	f        *os.File
+	cw       *colfmt.Writer
+	dst      string
+	segments int
+}
+
+func newColumnarSink(path string) *columnarSink {
+	f, err := os.CreateTemp(filepath.Dir(path), ".iostudy-colsave-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iostudy:", err)
+		os.Exit(1)
+	}
+	cw, err := colfmt.NewWriter(f, 0)
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		fmt.Fprintln(os.Stderr, "iostudy:", err)
+		os.Exit(1)
+	}
+	return &columnarSink{f: f, cw: cw, dst: path}
+}
+
+func (s *columnarSink) sink(jobIdx, logIdx int, log *darshan.Log) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cw.Append(log)
+}
+
+// close finishes the columnar file — terminator, fsync — and commits it to
+// its destination path atomically.
+func (s *columnarSink) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.cw.Close(); err != nil {
+		s.f.Close()
+		os.Remove(s.f.Name())
+		return err
+	}
+	s.segments = s.cw.Segments()
+	if err := s.f.Chmod(0o644); err != nil {
+		s.f.Close()
+		os.Remove(s.f.Name())
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		os.Remove(s.f.Name())
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		os.Remove(s.f.Name())
+		return err
+	}
+	return os.Rename(s.f.Name(), s.dst)
+}
+
+// abandon discards the temp file of an interrupted columnar save; the
+// destination path is left untouched.
+func (s *columnarSink) abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Close()
+	os.Remove(s.f.Name())
+}
+
 // ingestCkptOptions carries the robustness flags into the -from path.
 type ingestCkptOptions struct {
 	quarantine string
@@ -438,7 +541,7 @@ func analyzeArchive(ctx context.Context, path, system string, workers int, exper
 			fmt.Fprintln(os.Stderr, "iostudy:", err)
 			os.Exit(2)
 		}
-		if ickpt.Mode != "archive" {
+		if ickpt.Mode != "archive" && ickpt.Mode != "columnar" {
 			fmt.Fprintf(os.Stderr, "iostudy: %s is a %q ingestion checkpoint; -from resumes archives\n", ck.resumePath, ickpt.Mode)
 			os.Exit(2)
 		}
@@ -459,7 +562,11 @@ func analyzeArchive(ctx context.Context, path, system string, workers int, exper
 		fmt.Fprintf(os.Stderr, "iostudy: unknown system %q\n", system)
 		os.Exit(2)
 	}
-	rep, res, err := core.IngestArchive(ctx, sys, path, opts)
+	ingest := core.IngestArchive
+	if colfmt.SniffFile(path) {
+		ingest = core.IngestColumnar
+	}
+	rep, res, err := ingest(ctx, sys, path, opts)
 	for _, f := range res.Failures {
 		fmt.Fprintf(os.Stderr, "iostudy: skipping %s: %v\n", f.Source, f.Err)
 	}

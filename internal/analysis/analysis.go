@@ -315,31 +315,41 @@ type fileView struct {
 	posix, mpiio, stdio modView
 }
 
-// AddLog folds one log into the aggregate.
-func (a *Aggregator) AddLog(log *darshan.Log) {
-	if log == nil {
-		panic("analysis: nil log")
-	}
+// logContext carries the per-log state that the per-file fold consumes. It
+// is produced by beginLog and threaded through foldFile — the shared spine
+// of the row-oriented AddLog path and the columnar FoldBatch path, which
+// must stay arithmetically identical (reports are byte-diffed across the
+// two).
+type logContext struct {
+	jv     *jobView
+	ds     *DomainStats
+	month  int
+	large  bool
+	userID uint64
+}
+
+// beginLog folds one log's job-level statistics — log count, node-hours,
+// seasonality, job view, domain attribution — and returns the context the
+// per-file accounting needs.
+func (a *Aggregator) beginLog(job darshan.JobHeader, domain string) logContext {
 	a.logs++
-	a.nodeHours += log.Job.NodeHours(a.sys.ProcsPerNode)
-	a.observeTuning(log)
-	month := int(time.Unix(log.Job.StartTime, 0).UTC().Month()) - 1
+	a.nodeHours += job.NodeHours(a.sys.ProcsPerNode)
+	month := int(time.Unix(job.StartTime, 0).UTC().Month()) - 1
 	a.monthlyLogs[month]++
 
-	jv, ok := a.jobs[log.Job.JobID]
+	jv, ok := a.jobs[job.JobID]
 	if !ok {
 		jv = &jobView{}
-		a.jobs[log.Job.JobID] = jv
+		a.jobs[job.JobID] = jv
 	}
 
-	domain := log.Job.Metadata["domain"]
 	if domain != "" {
-		a.domainCovered[log.Job.JobID] = true
+		a.domainCovered[job.JobID] = true
 		if jv.domain == "" {
 			jv.domain = domain
 		}
 	} else {
-		a.domainUncovered[log.Job.JobID] = true
+		a.domainUncovered[job.JobID] = true
 	}
 	var ds *DomainStats
 	if domain != "" {
@@ -350,7 +360,42 @@ func (a *Aggregator) AddLog(log *darshan.Log) {
 		}
 	}
 
-	large := log.Job.NProcs > a.LargeJobProcs
+	return logContext{
+		jv:     jv,
+		ds:     ds,
+		month:  month,
+		large:  job.NProcs > a.LargeJobProcs,
+		userID: job.UserID,
+	}
+}
+
+// foldFile folds one accounted file into the per-layer, per-job, per-month,
+// and per-user statistics. The before/after volume delta is computed with
+// the exact float operations both fold paths share, so the monthly and
+// per-user tallies are bit-identical however the file arrived.
+func (a *Aggregator) foldFile(lc logContext, fv *fileView, kind iosim.LayerKind) {
+	li := layerIndex(kind)
+	ls := a.layers[li]
+	lc.jv.layers[li] = true
+	if fv.stdio.present() {
+		lc.jv.usedStdio = true
+	}
+
+	before := ls.Bytes[Read] + ls.Bytes[Write]
+	a.accountFile(ls, lc.ds, fv, kind, lc.large)
+	moved := ls.Bytes[Read] + ls.Bytes[Write] - before
+	a.monthlyBytes[lc.month] += moved
+	a.userBytes[lc.userID] += moved
+	a.userFiles[lc.userID]++
+}
+
+// AddLog folds one log into the aggregate.
+func (a *Aggregator) AddLog(log *darshan.Log) {
+	if log == nil {
+		panic("analysis: nil log")
+	}
+	lc := a.beginLog(log.Job, log.Job.Metadata["domain"])
+	a.observeTuning(log)
 
 	// Group records per file, into scratch reused across AddLog calls.
 	clear(a.scratchIdx)
@@ -389,20 +434,7 @@ func (a *Aggregator) AddLog(log *darshan.Log) {
 		if path == "" {
 			continue // unresolvable record (truncated log)
 		}
-		layer := a.sys.LayerFor(path)
-		li := layerIndex(layer.Kind())
-		ls := a.layers[li]
-		jv.layers[li] = true
-		if fv.stdio.present() {
-			jv.usedStdio = true
-		}
-
-		before := ls.Bytes[Read] + ls.Bytes[Write]
-		a.accountFile(ls, ds, fv, layer.Kind(), large)
-		moved := ls.Bytes[Read] + ls.Bytes[Write] - before
-		a.monthlyBytes[month] += moved
-		a.userBytes[log.Job.UserID] += moved
-		a.userFiles[log.Job.UserID]++
+		a.foldFile(lc, fv, a.sys.LayerFor(path).Kind())
 	}
 
 	// Extended-STDIO records, when present, feed the Recommendation 4
@@ -434,7 +466,7 @@ func (a *Aggregator) AddLog(log *darshan.Log) {
 				writes := uint64(rec.Counters[darshan.PosixSizeWrite0To100+b])
 				ls.RequestHist[Read].Add(b, reads)
 				ls.RequestHist[Write].Add(b, writes)
-				if large {
+				if lc.large {
 					ls.LargeJobRequestHist[Read].Add(b, reads)
 					ls.LargeJobRequestHist[Write].Add(b, writes)
 				}

@@ -1,0 +1,401 @@
+// Columnar campaign storage: converting row-oriented logfmt archives into
+// colfmt files and folding/querying them at batch granularity.
+//
+// ConvertArchive/ConvertDir stream a campaign through a colfmt.Writer —
+// one log in memory at a time — and commit the output atomically (temp
+// file + rename). IngestColumnar is the vectorized sibling of
+// IngestArchive: the unit of work handed to the worker pool is a raw
+// segment (a few hundred pre-folded logs) instead of one zlib'd log, and
+// each worker folds decoded column batches straight into its private
+// aggregator via analysis.FoldBatch. Determinism carries over unchanged —
+// segment k goes to worker k mod workers and partials merge in worker
+// order — so the rendered report is byte-identical to the logfmt path at
+// any worker count, and the "columnar" checkpoint mode gives the same
+// kill/resume guarantees as the row path.
+//
+// QueryColumnarTotals is the narrow-query fast path: it decodes only the
+// per-file byte columns (flags, path, six counters) and, when a volume
+// predicate is set, skips whole segments whose stats block proves no file
+// can match — the Table 4 >1 TiB tail scan without touching histogram or
+// time columns.
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/darshan/colfmt"
+	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/iosim"
+	"iolayers/internal/obsv"
+	"iolayers/internal/units"
+)
+
+// ConvertOptions configures a logfmt → colfmt conversion.
+type ConvertOptions struct {
+	// SegmentLogs is the number of logs per columnar segment
+	// (0 = colfmt.DefaultSegmentLogs).
+	SegmentLogs int
+	// Limits bounds what the log decoder will allocate; zero fields take
+	// logfmt.DefaultLimits.
+	Limits logfmt.DecodeLimits
+	// Metrics receives the "convert" stage span plus convert.* counters.
+	// Nil disables metrics at zero cost.
+	Metrics *obsv.Registry
+}
+
+// ConvertResult summarizes a conversion.
+type ConvertResult struct {
+	Logs     int
+	Segments int
+	// BytesIn is the raw input consumed; BytesOut the columnar file size
+	// produced.
+	BytesIn  int64
+	BytesOut int64
+}
+
+// convertInto runs feed against a fresh colfmt.Writer on a temp file and
+// commits dst atomically on success. Conversion is strict: any undecodable
+// log aborts it — a columnar file must be a faithful image of its source,
+// so damaged campaigns should be ingested with a QuarantineDir first and
+// the cleaned archive converted. On error (including cancellation) dst is
+// untouched.
+func convertInto(ctx context.Context, dst string, opts ConvertOptions,
+	feed func(w *colfmt.Writer) (int64, error)) (ConvertResult, error) {
+
+	span := opts.Metrics.Span("convert")
+	timer := span.Begin()
+	defer timer.End()
+
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".convert-*")
+	if err != nil {
+		return ConvertResult{}, fmt.Errorf("core: creating temp output: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	w, err := colfmt.NewWriter(tmp, opts.SegmentLogs)
+	if err != nil {
+		return ConvertResult{}, err
+	}
+	bytesIn, err := feed(w)
+	if err != nil {
+		return ConvertResult{}, err
+	}
+	if err := w.Close(); err != nil {
+		return ConvertResult{}, err
+	}
+	res := ConvertResult{Logs: w.Count(), Segments: w.Segments(), BytesIn: bytesIn}
+	if fi, err := tmp.Stat(); err == nil {
+		res.BytesOut = fi.Size()
+	}
+	if err := tmp.Sync(); err != nil {
+		return ConvertResult{}, fmt.Errorf("core: syncing temp output: %w", err)
+	}
+	// CreateTemp opens 0600; the committed campaign should be as readable
+	// as any other generated artifact.
+	if err := tmp.Chmod(0o644); err != nil {
+		return ConvertResult{}, fmt.Errorf("core: chmod temp output: %w", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return ConvertResult{}, fmt.Errorf("core: closing %s: %w", dst, err)
+	}
+	tmp = nil
+	if err := os.Rename(name, dst); err != nil {
+		os.Remove(name)
+		return ConvertResult{}, fmt.Errorf("core: committing %s: %w", dst, err)
+	}
+	if m := opts.Metrics; m != nil {
+		m.Counter("convert.logs").Add(int64(res.Logs))
+		m.Counter("convert.segments").Add(int64(res.Segments))
+		span.AddOps(int64(res.Logs))
+		span.AddBytes(res.BytesIn)
+		logfmt.PublishMetrics(m)
+		colfmt.PublishMetrics(m)
+	}
+	return res, nil
+}
+
+// ConvertArchive converts the logfmt campaign archive at src into a
+// columnar file at dst, streaming entry by entry.
+func ConvertArchive(ctx context.Context, src, dst string, opts ConvertOptions) (ConvertResult, error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return ConvertResult{}, fmt.Errorf("core: opening %s: %w", src, err)
+	}
+	defer f.Close()
+	ar, err := logfmt.NewArchiveReaderWithLimits(f, opts.Limits)
+	if err != nil {
+		return ConvertResult{}, fmt.Errorf("core: %s: %w", src, err)
+	}
+	return convertInto(ctx, dst, opts, func(w *colfmt.Writer) (int64, error) {
+		var br bytes.Reader
+		var bytesIn int64
+		for idx := 0; ; idx++ {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			raw, err := ar.NextRaw()
+			if errors.Is(err, io.EOF) {
+				return bytesIn, nil
+			}
+			if err != nil {
+				return 0, fmt.Errorf("core: %s entry %d: %w", src, idx, err)
+			}
+			br.Reset(raw)
+			log, err := logfmt.ReadWithLimits(&br, opts.Limits)
+			if err != nil {
+				return 0, fmt.Errorf("core: %s entry %d: %w", src, idx, err)
+			}
+			if err := w.Append(log); err != nil {
+				return 0, err
+			}
+			bytesIn += int64(len(raw))
+		}
+	})
+}
+
+// ConvertDir converts every *.darshan log under dir (in sorted order, the
+// same order IngestDir consumes them) into a columnar file at dst.
+func ConvertDir(ctx context.Context, dir, dst string, opts ConvertOptions) (ConvertResult, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.darshan"))
+	if err != nil {
+		return ConvertResult{}, fmt.Errorf("core: listing %s: %w", dir, err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return ConvertResult{}, fmt.Errorf("core: no .darshan logs in %s", dir)
+	}
+	return convertInto(ctx, dst, opts, func(w *colfmt.Writer) (int64, error) {
+		var bytesIn int64
+		for _, p := range paths {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			log, err := logfmt.ReadFileWithLimits(p, opts.Limits)
+			if err != nil {
+				return 0, fmt.Errorf("core: %s: %w", p, err)
+			}
+			if err := w.Append(log); err != nil {
+				return 0, err
+			}
+			if fi, err := os.Stat(p); err == nil {
+				bytesIn += fi.Size()
+			}
+		}
+		return bytesIn, nil
+	})
+}
+
+// IngestColumnar folds the columnar campaign file at path into an
+// aggregate report through the standard worker pool: raw segments are
+// dispatched segment k → worker k mod workers and each worker decodes and
+// batch-folds privately, so the report is byte-identical to the logfmt
+// path at any worker count. Parsed counts logs (not segments); a segment
+// that fails to decode or fold counts as one failure. Checkpointing,
+// resume, quarantine, and cancellation behave exactly as IngestArchive,
+// under checkpoint mode "columnar".
+func IngestColumnar(ctx context.Context, sys *iosim.System, path string, opts IngestOptions) (*analysis.Report, IngestResult, error) {
+	if sys == nil {
+		return nil, IngestResult{}, fmt.Errorf("core: nil system")
+	}
+	ic, err := newIngestCoordinator(sys, opts, "columnar", path)
+	if err != nil {
+		return nil, IngestResult{}, err
+	}
+	foldTimer := ic.span.Begin()
+	defer foldTimer.End()
+	ic.span.SetWorkers(ic.workers())
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, IngestResult{}, fmt.Errorf("core: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	cr, err := colfmt.NewReaderWithLimits(f, ic.lim)
+	if err != nil {
+		return nil, IngestResult{}, fmt.Errorf("core: %s: %w", path, err)
+	}
+	// Resume: skip the completed prefix with the cheap framing walk — no
+	// checksum is verified beyond the frame CRC, no column is decoded.
+	for skip := 0; skip < ic.entriesDone; skip++ {
+		if _, err := cr.NextRaw(); err != nil {
+			return nil, IngestResult{}, fmt.Errorf("core: %s: skipping to segment %d: %w", path, ic.entriesDone, err)
+		}
+	}
+
+	idx := ic.entriesDone
+	eof := false
+	nextSegment := func() (ingestItem, bool, error) {
+		raw, err := cr.NextRaw()
+		if errors.Is(err, io.EOF) {
+			eof = true
+			return ingestItem{}, false, nil
+		}
+		if err != nil {
+			return ingestItem{}, false, fmt.Errorf("core: %s segment %d: %w", path, idx, err)
+		}
+		// NextRaw's slice is scratch; hand the worker its own copy.
+		item := ingestItem{
+			index: idx, raw: append([]byte(nil), raw...),
+			source:   fmt.Sprintf("%s segment %d", path, idx),
+			columnar: true,
+		}
+		idx++
+		return item, true, nil
+	}
+
+	for !eof {
+		res := ic.runBatch(ctx, ic.batchSize(), nextSegment)
+		if res.cancelled {
+			return ic.cancel(ctx, &res)
+		}
+		if err := ic.fold(&res); err != nil {
+			return nil, IngestResult{}, err
+		}
+		if res.streamErr != nil {
+			// Framing damage: the processed prefix is complete and
+			// checkpointable, but nothing beyond it is reachable.
+			if err := ic.writeCheckpoint(); err != nil {
+				return nil, IngestResult{}, errors.Join(res.streamErr, err)
+			}
+			if ic.quar != nil {
+				ic.quar.close()
+			}
+			rep, ir := ic.result()
+			return rep, ir, res.streamErr
+		}
+		if !eof {
+			if err := ic.writeCheckpoint(); err != nil {
+				return nil, IngestResult{}, err
+			}
+		}
+	}
+	ic.finish()
+	rep, ir := ic.result()
+	return rep, ir, nil
+}
+
+// ColumnarQuery selects what QueryColumnarTotals scans.
+type ColumnarQuery struct {
+	// MinFileBytes, when positive, restricts the scan to files whose
+	// larger per-direction POSIX-preferred volume is at least this many
+	// bytes — and lets the stats block skip whole segments that cannot
+	// contain one (the >1 TiB tail query of Table 4 sets units.TiB + 1).
+	MinFileBytes int64
+	// Limits bounds decoder allocations; zero fields take defaults.
+	Limits logfmt.DecodeLimits
+	// Metrics receives the "prune" stage span and the colfmt.segments_*
+	// counters. Nil disables metrics.
+	Metrics *obsv.Registry
+}
+
+// ColumnarTotals is a narrow per-file volume scan over a columnar file.
+type ColumnarTotals struct {
+	// Files counts accounted file rows that met the query's threshold;
+	// ReadBytes/WriteBytes sum their POSIX-preferred per-direction
+	// volumes.
+	Files      int64
+	ReadBytes  int64
+	WriteBytes int64
+	// HugeRead/HugeWrite count matching files whose per-direction volume
+	// exceeds 1 TiB (Table 4's tail).
+	HugeRead  int64
+	HugeWrite int64
+	// SegmentsScanned and SegmentsPruned split the file's segments into
+	// decoded versus skipped-by-stats.
+	SegmentsScanned int64
+	SegmentsPruned  int64
+}
+
+// QueryColumnarTotals scans the columnar file at path and returns
+// POSIX-preferred per-file volume totals, decoding only the GroupFiles
+// columns. With MinFileBytes set, segments whose stats prove every file is
+// below the threshold are skipped without decoding a single column.
+func QueryColumnarTotals(ctx context.Context, path string, q ColumnarQuery) (ColumnarTotals, error) {
+	span := q.Metrics.Span("prune")
+	timer := span.Begin()
+	defer timer.End()
+
+	f, err := os.Open(path)
+	if err != nil {
+		return ColumnarTotals{}, fmt.Errorf("core: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	cr, err := colfmt.NewReaderWithLimits(f, q.Limits)
+	if err != nil {
+		return ColumnarTotals{}, fmt.Errorf("core: %s: %w", path, err)
+	}
+
+	var tot ColumnarTotals
+	for seg := 0; ; seg++ {
+		if err := ctx.Err(); err != nil {
+			return ColumnarTotals{}, err
+		}
+		raw, err := cr.NextRaw()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return ColumnarTotals{}, fmt.Errorf("core: %s segment %d: %w", path, seg, err)
+		}
+		if q.MinFileBytes > 0 {
+			info, err := colfmt.PeekSegment(raw, q.Limits)
+			if err != nil {
+				return ColumnarTotals{}, fmt.Errorf("core: %s segment %d: %w", path, seg, err)
+			}
+			if info.MaxFileBytes() < q.MinFileBytes {
+				tot.SegmentsPruned++
+				continue
+			}
+		}
+		b, err := colfmt.DecodeSegment(raw, colfmt.GroupFiles, q.Limits)
+		if err != nil {
+			return ColumnarTotals{}, fmt.Errorf("core: %s segment %d: %w", path, seg, err)
+		}
+		tot.SegmentsScanned++
+		for r := 0; r < b.FileRows; r++ {
+			flags := colfmt.At(b.FileFlags, r)
+			var readB, writeB int64
+			switch {
+			case flags&colfmt.FlagPosix != 0:
+				readB, writeB = colfmt.At(b.PosixReadB, r), colfmt.At(b.PosixWriteB, r)
+			case flags&colfmt.FlagStdio != 0:
+				readB, writeB = colfmt.At(b.StdioReadB, r), colfmt.At(b.StdioWriteB, r)
+			default:
+				readB, writeB = colfmt.At(b.MpiioReadB, r), colfmt.At(b.MpiioWriteB, r)
+			}
+			if q.MinFileBytes > 0 && readB < q.MinFileBytes && writeB < q.MinFileBytes {
+				continue
+			}
+			tot.Files++
+			tot.ReadBytes += readB
+			tot.WriteBytes += writeB
+			if units.ByteSize(readB) > units.TiB {
+				tot.HugeRead++
+			}
+			if units.ByteSize(writeB) > units.TiB {
+				tot.HugeWrite++
+			}
+		}
+	}
+	if m := q.Metrics; m != nil {
+		m.Counter("colfmt.segments_scanned").Add(tot.SegmentsScanned)
+		m.Counter("colfmt.segments_pruned").Add(tot.SegmentsPruned)
+		span.AddOps(tot.SegmentsScanned + tot.SegmentsPruned)
+	}
+	return tot, nil
+}

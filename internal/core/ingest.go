@@ -42,6 +42,7 @@ import (
 	"iolayers/internal/analysis"
 	"iolayers/internal/checkpoint"
 	"iolayers/internal/darshan"
+	"iolayers/internal/darshan/colfmt"
 	"iolayers/internal/darshan/logfmt"
 	"iolayers/internal/iosim"
 	"iolayers/internal/obsv"
@@ -147,19 +148,21 @@ func LoadIngestCheckpoint(path string) (*IngestCheckpoint, error) {
 	if err := checkpoint.Load(path, &ck); err != nil {
 		return nil, err
 	}
-	if ck.Mode != "dir" && ck.Mode != "archive" {
+	if ck.Mode != "dir" && ck.Mode != "archive" && ck.Mode != "columnar" {
 		return nil, fmt.Errorf("core: %s is not an ingestion checkpoint", path)
 	}
 	return &ck, nil
 }
 
-// ingestItem is one unit of work: either a path to open (directory mode) or
-// a raw undecoded archive entry (archive mode).
+// ingestItem is one unit of work: a path to open (directory mode), a raw
+// undecoded archive entry (archive mode), or a raw undecoded columnar
+// segment (columnar mode).
 type ingestItem struct {
-	index  int
-	path   string
-	raw    []byte
-	source string
+	index    int
+	path     string
+	raw      []byte
+	source   string
+	columnar bool
 }
 
 // indexedFailure keeps input order across workers for deterministic
@@ -214,7 +217,11 @@ func (q *quarantine) add(fail indexedFailure) error {
 			return fmt.Errorf("core: quarantining %s: %w", fail.item.path, err)
 		}
 	} else {
-		dst = filepath.Join(q.dir, fmt.Sprintf("entry-%06d.darshan", fail.index))
+		name := fmt.Sprintf("entry-%06d.darshan", fail.index)
+		if fail.item.columnar {
+			name = fmt.Sprintf("segment-%06d.dgcseg", fail.index)
+		}
+		dst = filepath.Join(q.dir, name)
 		if err := os.WriteFile(dst, fail.item.raw, 0o644); err != nil {
 			return fmt.Errorf("core: quarantining %s: %w", fail.f.Source, err)
 		}
@@ -242,12 +249,26 @@ func (q *quarantine) close() { q.manifest.Close() }
 // already treat a report with failures as best-effort, and the common
 // wrong-system case fails every log, which IngestDir/IngestArchive callers
 // reject outright (Parsed == 0).
-func consumeItem(br *bytes.Reader, agg *analysis.Aggregator, lim logfmt.DecodeLimits, item ingestItem) (err error) {
+// It returns how many logs the item contributed (1 for a log, the segment's
+// log count for a columnar segment) plus the columns the segment's stats
+// block let the decoder skip.
+func consumeItem(br *bytes.Reader, agg *analysis.Aggregator, lim logfmt.DecodeLimits, item ingestItem) (logs int, colsPruned int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			logs, colsPruned = 0, 0
 			err = fmt.Errorf("core: analyzing log: %v", r)
 		}
 	}()
+	if item.columnar {
+		batch, err := colfmt.DecodeSegment(item.raw, colfmt.ProjectAll, lim)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := agg.FoldBatch(batch); err != nil {
+			return 0, 0, err
+		}
+		return batch.NumLogs, batch.ColumnsPruned, nil
+	}
 	var log *darshan.Log
 	if item.path != "" {
 		log, err = logfmt.ReadFileWithLimits(item.path, lim)
@@ -256,10 +277,10 @@ func consumeItem(br *bytes.Reader, agg *analysis.Aggregator, lim logfmt.DecodeLi
 		log, err = logfmt.ReadWithLimits(br, lim)
 	}
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	agg.AddLog(log)
-	return nil
+	return 1, 0, nil
 }
 
 // numErrClasses is the metric fan-out for decode failures: the five
@@ -289,6 +310,7 @@ type batchResult struct {
 	rawBytes   int64
 	rawHist    [obsv.NumBuckets]uint64
 	rawHistSum int64
+	colsPruned int64
 }
 
 // ingestCoordinator accumulates a pass's running state across batches.
@@ -312,11 +334,15 @@ type ingestCoordinator struct {
 }
 
 func newIngestCoordinator(sys *iosim.System, opts IngestOptions, mode, source string) (*ingestCoordinator, error) {
+	spanName := "ingest"
+	if mode == "columnar" {
+		spanName = "fold" // the columnar pass is a pure batch fold, no inflate/decode of logs
+	}
 	ic := &ingestCoordinator{
 		sys: sys, opts: opts, lim: opts.Limits,
 		mode: mode, source: source,
 		total: analysis.NewAggregator(sys),
-		span:  opts.Metrics.Span("ingest"),
+		span:  opts.Metrics.Span(spanName),
 	}
 	if opts.Into != nil {
 		if opts.Resume != nil {
@@ -434,6 +460,7 @@ func (ic *ingestCoordinator) runBatch(ctx context.Context, max int,
 		errClasses [numErrClasses]int64
 		rawBytes   int64
 		rawHist    [obsv.NumBuckets]uint64
+		colsPruned int64
 	}
 	var metricsW []workerMetrics
 	if ic.opts.Metrics != nil {
@@ -458,7 +485,8 @@ func (ic *ingestCoordinator) runBatch(ctx context.Context, max int,
 					metricsW[wi].rawBytes += n
 					metricsW[wi].rawHist[obsv.BucketOf(n)]++
 				}
-				if err := consumeItem(&br, res.aggs[wi], ic.lim, item); err != nil {
+				logs, pruned, err := consumeItem(&br, res.aggs[wi], ic.lim, item)
+				if err != nil {
 					failedW[wi]++
 					if metricsW != nil {
 						class := numErrClasses - 1
@@ -476,7 +504,10 @@ func (ic *ingestCoordinator) runBatch(ctx context.Context, max int,
 					}
 					continue
 				}
-				parsedW[wi]++
+				parsedW[wi] += logs
+				if metricsW != nil {
+					metricsW[wi].colsPruned += int64(pruned)
+				}
 			}
 		}(wi)
 	}
@@ -524,6 +555,7 @@ dispatch:
 			for i, n := range metricsW[wi].rawHist {
 				res.rawHist[i] += n
 			}
+			res.colsPruned += metricsW[wi].colsPruned
 		}
 	}
 	sort.Slice(res.failures, func(i, j int) bool { return res.failures[i].index < res.failures[j].index })
@@ -556,6 +588,13 @@ func (ic *ingestCoordinator) fold(res *batchResult) error {
 		ic.span.AddOps(int64(res.count))
 		ic.span.AddBytes(res.rawBytes)
 		logfmt.PublishMetrics(m) // refresh the (volatile) codec-pool gauges
+		if ic.mode == "columnar" {
+			m.Counter("colfmt.columns_pruned").Add(res.colsPruned)
+			// Registered even when zero so /metrics always carries the
+			// pruning counters for a columnar dataset.
+			m.Counter("colfmt.segments_pruned").Add(0)
+			colfmt.PublishMetrics(m)
+		}
 	}
 	for _, a := range res.aggs {
 		ic.total.Merge(a)

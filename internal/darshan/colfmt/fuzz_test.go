@@ -1,0 +1,87 @@
+package colfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"iolayers/internal/darshan/logfmt"
+)
+
+// fuzzLimits bounds what a crafted input can make the harness allocate,
+// while staying loose enough that the seed files decode cleanly.
+func fuzzLimits() logfmt.DecodeLimits {
+	return logfmt.DecodeLimits{
+		MaxRecords:      1 << 12,
+		MaxNames:        1 << 12,
+		MaxStringLen:    1 << 12,
+		MaxArchiveEntry: 1 << 20,
+	}
+}
+
+// FuzzColumnRead feeds arbitrary bytes through the whole columnar read
+// pipeline: header, frame walk, header peek, and full-projection decode.
+// Properties: no panic, no unbounded allocation (every count the input
+// controls is capped by fuzzLimits), iteration always terminates, and
+// every failure is a structured *logfmt.DecodeError carrying exactly one
+// sentinel — the same taxonomy contract logfmt's FuzzRead enforces.
+func FuzzColumnRead(f *testing.F) {
+	valid := encodeFile(f, 5, 2)
+	f.Add(valid)
+	// A truncated and a bit-flipped variant steer coverage into the error
+	// paths from the start.
+	f.Add(valid[:len(valid)-7])
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	hdr := []byte(Magic)
+	hdr = binary.LittleEndian.AppendUint16(hdr, Version)
+	hdr = binary.LittleEndian.AppendUint32(hdr, 0) // terminator, no segments
+	f.Add(hdr)
+
+	lim := fuzzLimits()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReaderWithLimits(bytes.NewReader(data), lim)
+		if err != nil {
+			checkDecodeErr(t, err)
+			return
+		}
+		lastOff := r.InputOffset()
+		for {
+			raw, err := r.NextRaw()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				checkDecodeErr(t, err)
+				return
+			}
+			if off := r.InputOffset(); off <= lastOff {
+				t.Fatalf("no forward progress: offset %d after %d", off, lastOff)
+			} else {
+				lastOff = off
+			}
+			info, perr := PeekSegment(raw, lim)
+			b, derr := DecodeSegment(raw, ProjectAll, lim)
+			if derr != nil {
+				checkDecodeErr(t, derr)
+				continue
+			}
+			// A decodable segment must also peek, and the two must agree on
+			// shape — pruning decisions rest on that agreement.
+			if perr != nil {
+				t.Fatalf("decodable segment failed PeekSegment: %v", perr)
+			}
+			if info.NumLogs != b.NumLogs || info.FileRows != b.FileRows ||
+				info.PosixRows != b.PosixRows || info.StdioXRows != b.StdioXRows {
+				t.Fatalf("peek shape (%d,%d,%d,%d) != decode shape (%d,%d,%d,%d)",
+					info.NumLogs, info.FileRows, info.PosixRows, info.StdioXRows,
+					b.NumLogs, b.FileRows, b.PosixRows, b.StdioXRows)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package colfmt
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"iolayers/internal/obsv"
+)
+
+// Codec pooling, mirroring logfmt's discipline: segment encode and decode
+// both need large scratch buffers (a segment body is hundreds of KiB), and
+// a campaign-scale convert or fold touches thousands of segments. The
+// scratch is Reset-able, so it is shared through a pool and the per-segment
+// cost amortizes to (almost) zero steady-state allocations.
+
+// maxPooledBuf caps the scratch capacity the pool will retain. A one-off
+// giant segment should not pin its buffer forever.
+const maxPooledBuf = 8 << 20
+
+var (
+	bufGets atomic.Int64
+	bufNews atomic.Int64
+)
+
+// bufPool holds scratch byte buffers shared by segment framing and
+// column encoding.
+var bufPool = sync.Pool{New: func() any { bufNews.Add(1); return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer {
+	bufGets.Add(1)
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuf {
+		bufPool.Put(b)
+	}
+}
+
+// PublishMetrics copies the codec-pool tallies into the registry as
+// "colfmt.pool.*" gauges: raw get counts plus the steady-state hit rate
+// (1 − news/gets). The tallies are package globals, monotone, and
+// scheduling-dependent — whether a Get hits pooled state depends on GC
+// timing — so they are published as gauges, never as deterministic
+// counters. A nil registry is a no-op.
+func PublishMetrics(r *obsv.Registry) {
+	if r == nil {
+		return
+	}
+	gets, news := bufGets.Load(), bufNews.Load()
+	r.Gauge("colfmt.pool.buf.gets").Set(float64(gets))
+	hit := 0.0
+	if gets > 0 {
+		hit = 1 - float64(news)/float64(gets)
+	}
+	r.Gauge("colfmt.pool.buf.hit_rate").Set(hit)
+}

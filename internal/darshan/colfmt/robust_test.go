@@ -1,0 +1,206 @@
+package colfmt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iolayers/internal/darshan/logfmt"
+)
+
+// writeTemp puts data in a temp file and returns its path.
+func writeTemp(t testing.TB, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "campaign.dgc")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// checkDecodeErr asserts colfmt's error contract: every failure is a
+// structured *logfmt.DecodeError that unwraps to exactly one sentinel and
+// names a colfmt section.
+func checkDecodeErr(t *testing.T, err error) {
+	t.Helper()
+	var de *logfmt.DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("decode failure is not a *logfmt.DecodeError: %v", err)
+	}
+	sentinels := 0
+	for _, s := range []error{logfmt.ErrTruncated, logfmt.ErrCorrupt, logfmt.ErrLimit,
+		logfmt.ErrBadMagic, logfmt.ErrVersion} {
+		if errors.Is(err, s) {
+			sentinels++
+		}
+	}
+	if sentinels != 1 {
+		t.Fatalf("error matches %d sentinels, want exactly 1: %v", sentinels, err)
+	}
+	if de.Section == "" {
+		t.Fatalf("DecodeError without section: %v", err)
+	}
+}
+
+// segmentEnds decodes the intact file once, recording the stream offset
+// after each complete segment frame.
+func segmentEnds(t *testing.T, data []byte) []int64 {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []int64
+	for {
+		if _, err := r.NextRaw(); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatal(err)
+			}
+			return ends
+		}
+		ends = append(ends, r.InputOffset())
+	}
+}
+
+// TestTruncationEveryByte cuts a three-segment file at every byte boundary
+// and asserts the robustness contract: no panic, every segment wholly
+// before the cut still decodes, the damage classifies as truncation, and a
+// cut file is never mistaken for a cleanly terminated one.
+func TestTruncationEveryByte(t *testing.T) {
+	data := encodeFile(t, 6, 2)
+	ends := segmentEnds(t, data)
+	const headerSize = 6
+	for cut := 0; cut <= len(data); cut++ {
+		prefix := data[:cut]
+		wantSegs := 0
+		for _, end := range ends {
+			if int64(cut) >= end {
+				wantSegs++
+			}
+		}
+		r, err := NewReader(bytes.NewReader(prefix))
+		if err != nil {
+			if cut >= headerSize {
+				t.Fatalf("cut=%d: complete header rejected: %v", cut, err)
+			}
+			if !errors.Is(err, logfmt.ErrTruncated) {
+				t.Fatalf("cut=%d: header error = %v, want ErrTruncated", cut, err)
+			}
+			continue
+		}
+		if cut < headerSize {
+			t.Fatalf("cut=%d: incomplete header accepted", cut)
+		}
+		got := 0
+		var finalErr error
+		for {
+			raw, err := r.NextRaw()
+			if err != nil {
+				finalErr = err
+				break
+			}
+			if _, err := DecodeSegment(raw, ProjectAll, logfmt.DecodeLimits{}); err != nil {
+				t.Fatalf("cut=%d: intact segment %d failed to decode: %v", cut, got, err)
+			}
+			got++
+		}
+		if got != wantSegs {
+			t.Fatalf("cut=%d: salvaged %d segments, want %d", cut, got, wantSegs)
+		}
+		if cut == len(data) {
+			if !errors.Is(finalErr, io.EOF) {
+				t.Fatalf("intact file ended with %v, want io.EOF", finalErr)
+			}
+			continue
+		}
+		if errors.Is(finalErr, io.EOF) {
+			t.Fatalf("cut=%d: truncated file reported clean EOF", cut)
+		}
+		checkDecodeErr(t, finalErr)
+		if !errors.Is(finalErr, logfmt.ErrTruncated) {
+			t.Fatalf("cut=%d: error = %v, want ErrTruncated", cut, finalErr)
+		}
+	}
+}
+
+// TestBitFlipsNeverPanic flips every byte of a small file in turn and runs
+// the full read pipeline. The frame CRC catches most flips; whatever it
+// cannot (flips inside the length/CRC words themselves) must surface as a
+// structured error — never a panic, never unbounded allocation (the fuzz
+// limits cap every count).
+func TestBitFlipsNeverPanic(t *testing.T) {
+	data := encodeFile(t, 4, 2)
+	lim := fuzzLimits()
+	for i := range data {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0x40
+		r, err := NewReaderWithLimits(bytes.NewReader(mut), lim)
+		if err != nil {
+			checkDecodeErr(t, err)
+			continue
+		}
+		for {
+			raw, err := r.NextRaw()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				checkDecodeErr(t, err)
+				break
+			}
+			if _, err := DecodeSegment(raw, ProjectAll, lim); err != nil {
+				checkDecodeErr(t, err)
+				break
+			}
+		}
+	}
+}
+
+// TestSegmentCorruptionCaughtByCRC verifies a body flip is caught at the
+// framing layer before DecodeSegment ever sees the payload.
+func TestSegmentCorruptionCaughtByCRC(t *testing.T) {
+	data := encodeFile(t, 2, 2)
+	mut := bytes.Clone(data)
+	mut[len(mut)-12] ^= 0x01 // inside the last segment's body
+	r, err := NewReader(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finalErr error
+	for {
+		if _, err := r.NextRaw(); err != nil {
+			finalErr = err
+			break
+		}
+	}
+	if !errors.Is(finalErr, logfmt.ErrCorrupt) {
+		t.Fatalf("flip error = %v, want ErrCorrupt", finalErr)
+	}
+	var de *logfmt.DecodeError
+	if !errors.As(finalErr, &de) || de.Section != "colfmt-frame" {
+		t.Fatalf("corruption not located in the frame section: %v", finalErr)
+	}
+}
+
+// TestOversizeSegmentRejected checks the MaxArchiveEntry limit stops a
+// frame that claims more bytes than the limit allows, before allocation.
+func TestOversizeSegmentRejected(t *testing.T) {
+	data := encodeFile(t, 2, 2)
+	mut := bytes.Clone(data)
+	mut[6] = 0xFF // frame length low byte → huge claimed length
+	mut[7] = 0xFF
+	mut[8] = 0xFF
+	mut[9] = 0x7F
+	lim := logfmt.DecodeLimits{MaxArchiveEntry: 1 << 16}
+	r, err := NewReaderWithLimits(bytes.NewReader(mut), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.NextRaw()
+	if !errors.Is(err, logfmt.ErrLimit) {
+		t.Fatalf("oversize frame error = %v, want ErrLimit", err)
+	}
+}

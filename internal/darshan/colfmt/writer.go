@@ -1,0 +1,640 @@
+package colfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"iolayers/internal/darshan"
+)
+
+// DefaultSegmentLogs is how many logs one segment spans when the caller
+// does not choose: large enough to amortize per-segment framing and give
+// the stats block real pruning power, small enough that a worker's
+// decoded Batch stays modest.
+const DefaultSegmentLogs = 256
+
+// Writer streams logs into a columnar campaign file. Append extracts one
+// log's accounting rows into the open segment; every SegmentLogs logs the
+// segment's columns are encoded and framed out. Close flushes the final
+// partial segment and writes the terminator. Writer is not safe for
+// concurrent use.
+type Writer struct {
+	w       io.Writer
+	err     error // sticky
+	count   int   // logs appended over the file's lifetime
+	segments int
+	segLogs int
+
+	seg segment
+
+	// Per-Append scratch, reused so extraction allocates nothing
+	// steady-state (the same discipline as Aggregator.AddLog).
+	scratchIdx   map[darshan.RecordID]int32
+	scratchOrder []darshan.RecordID
+	scratchViews []fileView
+	histIdx      map[int64]int32 // dict id → the open log's POSIX bin row
+	sxIdx        map[int64]int32 // dict id → the open log's StdioX row
+}
+
+// modView mirrors analysis's per-(file, module) fold: record count, the
+// single record's rank (collapsing to 0 once ranks merge), and byte/time
+// totals. Kept in sync by the round-trip property tests — the byte
+// identity of columnar reports rests on this matching AddLog's grouping.
+type modView struct {
+	n             int
+	rank          int32
+	readB, writeB int64
+	readT, writeT float64
+}
+
+func (mv *modView) add(rec *darshan.FileRecord, cRead, cWrite, fRead, fWrite int) {
+	mv.n++
+	if mv.n == 1 {
+		mv.rank = rec.Rank
+	} else {
+		mv.rank = 0
+	}
+	mv.readB += rec.Counters[cRead]
+	mv.writeB += rec.Counters[cWrite]
+	mv.readT += rec.FCounters[fRead]
+	mv.writeT += rec.FCounters[fWrite]
+}
+
+func (mv *modView) present() bool { return mv.n > 0 }
+func (mv *modView) shared() bool  { return mv.rank == darshan.SharedRank }
+
+type fileView struct {
+	posix, mpiio, stdio modView
+}
+
+// segment is the column builder for the open segment.
+type segment struct {
+	dict    []string
+	dictIdx map[string]int64
+
+	logs int
+
+	jobID, userID, nprocs []int64
+	start, end            []int64
+	domain                []int64
+	tuneStripe            []int64
+	tuneColl, tuneIndep   []int64
+	fileEnd, posixEnd, stdioxEnd []int64
+
+	fileFlags, filePath []int64
+	pReadB, pWriteB     []int64
+	mReadB, mWriteB     []int64
+	sReadB, sWriteB     []int64
+	pReadT, pWriteT     []float64
+	mReadT, mWriteT     []float64
+	sReadT, sWriteT     []float64
+
+	phPath []int64
+	phBins [numBins][]int64
+
+	sxPath                []int64
+	sxBins                [numBins][]int64
+	sxRewrite, sxUnique   []int64
+}
+
+func (s *segment) reset() {
+	s.dict = append(s.dict[:0], "")
+	if s.dictIdx == nil {
+		s.dictIdx = map[string]int64{}
+	} else {
+		clear(s.dictIdx)
+	}
+	s.dictIdx[""] = 0
+	s.logs = 0
+	for _, c := range s.intCols() {
+		*c = (*c)[:0]
+	}
+	for _, c := range s.floatCols() {
+		*c = (*c)[:0]
+	}
+}
+
+func (s *segment) intCols() []*[]int64 {
+	cols := []*[]int64{
+		&s.jobID, &s.userID, &s.nprocs, &s.start, &s.end, &s.domain,
+		&s.tuneStripe, &s.tuneColl, &s.tuneIndep,
+		&s.fileEnd, &s.posixEnd, &s.stdioxEnd,
+		&s.fileFlags, &s.filePath,
+		&s.pReadB, &s.pWriteB, &s.mReadB, &s.mWriteB, &s.sReadB, &s.sWriteB,
+		&s.phPath, &s.sxPath, &s.sxRewrite, &s.sxUnique,
+	}
+	for b := 0; b < numBins; b++ {
+		cols = append(cols, &s.phBins[b], &s.sxBins[b])
+	}
+	return cols
+}
+
+func (s *segment) floatCols() []*[]float64 {
+	return []*[]float64{&s.pReadT, &s.pWriteT, &s.mReadT, &s.mWriteT, &s.sReadT, &s.sWriteT}
+}
+
+// dictID interns a string into the segment dictionary.
+func (s *segment) dictID(str string) int64 {
+	if id, ok := s.dictIdx[str]; ok {
+		return id
+	}
+	id := int64(len(s.dict))
+	s.dict = append(s.dict, str)
+	s.dictIdx[str] = id
+	return id
+}
+
+// rows returns a table's current row count.
+func (s *segment) rows(t tableKind) int {
+	switch t {
+	case tblDict:
+		return len(s.dict)
+	case tblLogs:
+		return s.logs
+	case tblFiles:
+		return len(s.fileFlags)
+	case tblPosix:
+		return len(s.phPath)
+	default:
+		return len(s.sxPath)
+	}
+}
+
+// column resolves a schema column to the builder's data slice.
+func (s *segment) column(id byte) (ints []int64, floats []float64) {
+	switch id {
+	case colJobID:
+		return s.jobID, nil
+	case colUserID:
+		return s.userID, nil
+	case colNProcs:
+		return s.nprocs, nil
+	case colStartTime:
+		return s.start, nil
+	case colEndTime:
+		return s.end, nil
+	case colDomain:
+		return s.domain, nil
+	case colTuneStripe:
+		return s.tuneStripe, nil
+	case colTuneColl:
+		return s.tuneColl, nil
+	case colTuneIndep:
+		return s.tuneIndep, nil
+	case colFileEnd:
+		return s.fileEnd, nil
+	case colPosixEnd:
+		return s.posixEnd, nil
+	case colStdioXEnd:
+		return s.stdioxEnd, nil
+	case colFileFlags:
+		return s.fileFlags, nil
+	case colFilePath:
+		return s.filePath, nil
+	case colPosixReadB:
+		return s.pReadB, nil
+	case colPosixWriteB:
+		return s.pWriteB, nil
+	case colMpiioReadB:
+		return s.mReadB, nil
+	case colMpiioWriteB:
+		return s.mWriteB, nil
+	case colStdioReadB:
+		return s.sReadB, nil
+	case colStdioWriteB:
+		return s.sWriteB, nil
+	case colPosixReadT:
+		return nil, s.pReadT
+	case colPosixWriteT:
+		return nil, s.pWriteT
+	case colMpiioReadT:
+		return nil, s.mReadT
+	case colMpiioWriteT:
+		return nil, s.mWriteT
+	case colStdioReadT:
+		return nil, s.sReadT
+	case colStdioWriteT:
+		return nil, s.sWriteT
+	case colPosixHistPath:
+		return s.phPath, nil
+	case colStdioXPath:
+		return s.sxPath, nil
+	case colStdioXRewrite:
+		return s.sxRewrite, nil
+	case colStdioXUnique:
+		return s.sxUnique, nil
+	}
+	if id >= colPosixBins && id < colPosixBins+numBins {
+		return s.phBins[id-colPosixBins], nil
+	}
+	if id >= colStdioXBins && id < colStdioXBins+numBins {
+		return s.sxBins[id-colStdioXBins], nil
+	}
+	panic(fmt.Sprintf("colfmt: no builder column for id %d", id))
+}
+
+// NewWriter starts a columnar file on w: the header is written
+// immediately. segmentLogs ≤ 0 takes DefaultSegmentLogs.
+func NewWriter(w io.Writer, segmentLogs int) (*Writer, error) {
+	if segmentLogs <= 0 {
+		segmentLogs = DefaultSegmentLogs
+	}
+	cw := &Writer{
+		w:          w,
+		segLogs:    segmentLogs,
+		scratchIdx: map[darshan.RecordID]int32{},
+		histIdx:    map[int64]int32{},
+		sxIdx:      map[int64]int32{},
+	}
+	cw.seg.reset()
+	var hdr [6]byte
+	copy(hdr[:], Magic)
+	binary.LittleEndian.PutUint16(hdr[4:], Version)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("colfmt: writing header: %w", err)
+	}
+	return cw, nil
+}
+
+// Count returns the number of logs appended so far.
+func (w *Writer) Count() int { return w.count }
+
+// Segments returns the number of segments flushed so far.
+func (w *Writer) Segments() int { return w.segments }
+
+// Append extracts one log into the open segment, flushing the segment
+// when it reaches the configured log count.
+func (w *Writer) Append(log *darshan.Log) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.extract(log)
+	w.count++
+	if w.seg.logs >= w.segLogs {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// extract folds one log into the segment builder. The grouping pass is a
+// deliberate structural copy of Aggregator.AddLog: records group per
+// RecordID in first-appearance order, only files with a POSIX, MPI-IO, or
+// STDIO view and a resolvable non-empty path become accounting rows.
+func (w *Writer) extract(log *darshan.Log) {
+	s := &w.seg
+
+	clear(w.scratchIdx)
+	order := w.scratchOrder[:0]
+	views := w.scratchViews[:0]
+	var tuneStripe, tuneColl, tuneIndep int64
+	for _, rec := range log.Records {
+		idx, ok := w.scratchIdx[rec.Record]
+		if !ok {
+			views = append(views, fileView{})
+			idx = int32(len(views) - 1)
+			w.scratchIdx[rec.Record] = idx
+			order = append(order, rec.Record)
+		}
+		fv := &views[idx]
+		switch rec.Module {
+		case darshan.ModulePOSIX:
+			fv.posix.add(rec, darshan.PosixBytesRead, darshan.PosixBytesWritten,
+				darshan.PosixFReadTime, darshan.PosixFWriteTime)
+		case darshan.ModuleMPIIO:
+			fv.mpiio.add(rec, darshan.MpiioBytesRead, darshan.MpiioBytesWritten,
+				darshan.MpiioFReadTime, darshan.MpiioFWriteTime)
+			tuneColl += rec.Counters[darshan.MpiioCollReads] +
+				rec.Counters[darshan.MpiioCollWrites] + rec.Counters[darshan.MpiioCollOpens]
+			tuneIndep += rec.Counters[darshan.MpiioIndepReads] +
+				rec.Counters[darshan.MpiioIndepWrites] + rec.Counters[darshan.MpiioIndepOpens]
+		case darshan.ModuleSTDIO:
+			fv.stdio.add(rec, darshan.StdioBytesRead, darshan.StdioBytesWritten,
+				darshan.StdioFReadTime, darshan.StdioFWriteTime)
+		case darshan.ModuleLustre:
+			if sw := rec.Counters[darshan.LustreStripeWidth]; sw > tuneStripe {
+				tuneStripe = sw
+			}
+		}
+	}
+	w.scratchOrder = order
+	w.scratchViews = views
+
+	for i, id := range order {
+		fv := &views[i]
+		if !fv.posix.present() && !fv.stdio.present() && !fv.mpiio.present() {
+			continue // Lustre- or StdioX-only entry
+		}
+		path := log.PathOf(id)
+		if path == "" {
+			continue // unresolvable record (truncated log)
+		}
+		var flags int64
+		setFlags := func(mv *modView, present, shared int64) {
+			if mv.present() {
+				flags |= present
+				if mv.shared() {
+					flags |= shared
+				}
+			}
+		}
+		setFlags(&fv.posix, FlagPosix, FlagPosixShared)
+		setFlags(&fv.mpiio, FlagMpiio, FlagMpiioShared)
+		setFlags(&fv.stdio, FlagStdio, FlagStdioShared)
+		s.fileFlags = append(s.fileFlags, flags)
+		s.filePath = append(s.filePath, s.dictID(path))
+		s.pReadB = append(s.pReadB, fv.posix.readB)
+		s.pWriteB = append(s.pWriteB, fv.posix.writeB)
+		s.mReadB = append(s.mReadB, fv.mpiio.readB)
+		s.mWriteB = append(s.mWriteB, fv.mpiio.writeB)
+		s.sReadB = append(s.sReadB, fv.stdio.readB)
+		s.sWriteB = append(s.sWriteB, fv.stdio.writeB)
+		s.pReadT = append(s.pReadT, fv.posix.readT)
+		s.pWriteT = append(s.pWriteT, fv.posix.writeT)
+		s.mReadT = append(s.mReadT, fv.mpiio.readT)
+		s.mWriteT = append(s.mWriteT, fv.mpiio.writeT)
+		s.sReadT = append(s.sReadT, fv.stdio.readT)
+		s.sWriteT = append(s.sWriteT, fv.stdio.writeT)
+	}
+
+	// Access-size bin rows, pre-summed per (log, path). Integer bin adds
+	// commute, so per-record and per-path folds agree exactly (the
+	// histogram counters add with uint64 wrapping, a ring homomorphism
+	// from int64 sums).
+	clear(w.histIdx)
+	clear(w.sxIdx)
+	for _, rec := range log.Records {
+		switch rec.Module {
+		case darshan.ModulePOSIX:
+			path := log.PathOf(rec.Record)
+			if path == "" {
+				continue
+			}
+			row := w.histRow(path)
+			for b := 0; b < numBins/2; b++ {
+				s.phBins[b][row] += rec.Counters[darshan.PosixSizeRead0To100+b]
+				s.phBins[numBins/2+b][row] += rec.Counters[darshan.PosixSizeWrite0To100+b]
+			}
+		case darshan.ModuleStdioX:
+			path := log.PathOf(rec.Record)
+			if path == "" {
+				continue
+			}
+			row := w.sxRow(path)
+			for b := 0; b < numBins/2; b++ {
+				s.sxBins[b][row] += rec.Counters[darshan.StdioXSizeRead0To100+b]
+				s.sxBins[numBins/2+b][row] += rec.Counters[darshan.StdioXSizeWrite0To100+b]
+			}
+			s.sxRewrite[row] += rec.Counters[darshan.StdioXRewriteBytes]
+			s.sxUnique[row] += rec.Counters[darshan.StdioXUniqueBytes]
+		}
+	}
+
+	// The per-log row last: its row-end offsets cover everything above.
+	s.jobID = append(s.jobID, int64(log.Job.JobID))
+	s.userID = append(s.userID, int64(log.Job.UserID))
+	s.nprocs = append(s.nprocs, int64(log.Job.NProcs))
+	s.start = append(s.start, log.Job.StartTime)
+	s.end = append(s.end, log.Job.EndTime)
+	s.domain = append(s.domain, s.dictID(log.Job.Metadata["domain"]))
+	s.tuneStripe = append(s.tuneStripe, tuneStripe)
+	s.tuneColl = append(s.tuneColl, tuneColl)
+	s.tuneIndep = append(s.tuneIndep, tuneIndep)
+	s.fileEnd = append(s.fileEnd, int64(len(s.fileFlags)))
+	s.posixEnd = append(s.posixEnd, int64(len(s.phPath)))
+	s.stdioxEnd = append(s.stdioxEnd, int64(len(s.sxPath)))
+	s.logs++
+}
+
+// histRow returns the open log's POSIX bin row for path, creating it on
+// first sight.
+func (w *Writer) histRow(path string) int {
+	s := &w.seg
+	id := s.dictID(path)
+	if row, ok := w.histIdx[id]; ok {
+		return int(row)
+	}
+	s.phPath = append(s.phPath, id)
+	for b := range s.phBins {
+		s.phBins[b] = append(s.phBins[b], 0)
+	}
+	row := len(s.phPath) - 1
+	w.histIdx[id] = int32(row)
+	return row
+}
+
+// sxRow is histRow for the extended-STDIO table.
+func (w *Writer) sxRow(path string) int {
+	s := &w.seg
+	id := s.dictID(path)
+	if row, ok := w.sxIdx[id]; ok {
+		return int(row)
+	}
+	s.sxPath = append(s.sxPath, id)
+	for b := range s.sxBins {
+		s.sxBins[b] = append(s.sxBins[b], 0)
+	}
+	s.sxRewrite = append(s.sxRewrite, 0)
+	s.sxUnique = append(s.sxUnique, 0)
+	row := len(s.sxPath) - 1
+	w.sxIdx[id] = int32(row)
+	return row
+}
+
+// Flush encodes and frames out the open segment, if it holds any logs.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.seg.logs == 0 {
+		return nil
+	}
+	if err := w.writeSegment(); err != nil {
+		w.err = err
+		return err
+	}
+	w.segments++
+	w.seg.reset()
+	return nil
+}
+
+// Close flushes the final segment and writes the zero terminator. The
+// underlying writer is the caller's to close.
+func (w *Writer) Close() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	var term [4]byte
+	if _, err := w.w.Write(term[:]); err != nil {
+		w.err = fmt.Errorf("colfmt: writing terminator: %w", err)
+		return w.err
+	}
+	w.err = fmt.Errorf("colfmt: writer closed")
+	return nil
+}
+
+// colHeaderSize is the fixed per-column header: id, encoding, offset,
+// length, and the stats block.
+const colHeaderSize = 1 + 1 + 4 + 4 + 4 + 4 + 8 + 8
+
+// writeSegment encodes every non-empty table's columns and writes one
+// framed segment: u32 payload length, u32 CRC-32 (IEEE) of the payload,
+// payload. Empty tables contribute no columns at all; all-zero columns in
+// non-empty tables are written (a run of varint zeros is near-free) so
+// readers exercise stats-based pruning instead of special-casing absence.
+func (w *Writer) writeSegment() error {
+	s := &w.seg
+	body := getBuf()
+	defer putBuf(body)
+
+	type colOut struct {
+		spec     colSpec
+		off, len int
+		st       Stats
+	}
+	cols := make([]colOut, 0, len(specs))
+	for _, spec := range specs {
+		if spec.tbl != tblDict && s.rows(spec.tbl) == 0 {
+			continue
+		}
+		off := body.Len()
+		var st Stats
+		switch {
+		case spec.enc == encStrings:
+			st = encodeStrings(body, s.dict)
+		case spec.float:
+			_, floats := s.column(spec.id)
+			st = encodeFloats(body, floats)
+		default:
+			ints, _ := s.column(spec.id)
+			st = encodeInts(body, ints, spec.enc)
+		}
+		cols = append(cols, colOut{spec: spec, off: off, len: body.Len() - off, st: st})
+	}
+
+	hdr := getBuf()
+	defer putBuf(hdr)
+	putU32(hdr, uint32(s.logs))
+	putU32(hdr, uint32(len(s.fileFlags)))
+	putU32(hdr, uint32(len(s.phPath)))
+	putU32(hdr, uint32(len(s.sxPath)))
+	putU16(hdr, uint16(len(cols)))
+	for _, c := range cols {
+		hdr.WriteByte(c.spec.id)
+		hdr.WriteByte(c.spec.enc)
+		putU32(hdr, uint32(c.off))
+		putU32(hdr, uint32(c.len))
+		putU32(hdr, c.st.Count)
+		putU32(hdr, c.st.Nonzero)
+		putU64(hdr, uint64(c.st.Min))
+		putU64(hdr, uint64(c.st.Max))
+	}
+
+	crc := crc32.ChecksumIEEE(hdr.Bytes())
+	crc = crc32.Update(crc, crc32.IEEETable, body.Bytes())
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:], uint32(hdr.Len()+body.Len()))
+	binary.LittleEndian.PutUint32(frame[4:], crc)
+	if _, err := w.w.Write(frame[:]); err != nil {
+		return fmt.Errorf("colfmt: writing segment frame: %w", err)
+	}
+	if _, err := w.w.Write(hdr.Bytes()); err != nil {
+		return fmt.Errorf("colfmt: writing segment header: %w", err)
+	}
+	if _, err := w.w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("colfmt: writing segment body: %w", err)
+	}
+	return nil
+}
+
+func putU16(b *bytes.Buffer, v uint16) {
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], v)
+	b.Write(t[:])
+}
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	b.Write(t[:])
+}
+
+func putU64(b *bytes.Buffer, v uint64) {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	b.Write(t[:])
+}
+
+// encodeInts appends vals under enc and returns the column stats.
+func encodeInts(dst *bytes.Buffer, vals []int64, enc byte) Stats {
+	st := intStats(vals)
+	var tmp [binary.MaxVarintLen64]byte
+	switch enc {
+	case encVarint:
+		for _, v := range vals {
+			dst.Write(tmp[:binary.PutUvarint(tmp[:], uint64(v))])
+		}
+	case encZigzag:
+		for _, v := range vals {
+			dst.Write(tmp[:binary.PutVarint(tmp[:], v)])
+		}
+	case encDelta:
+		prev := int64(0)
+		for _, v := range vals {
+			dst.Write(tmp[:binary.PutVarint(tmp[:], v-prev)])
+			prev = v
+		}
+	default:
+		panic(fmt.Sprintf("colfmt: encoding %d is not an integer encoding", enc))
+	}
+	return st
+}
+
+func intStats(vals []int64) Stats {
+	st := Stats{Count: uint32(len(vals))}
+	for i, v := range vals {
+		if v != 0 {
+			st.Nonzero++
+		}
+		if i == 0 || v < st.Min {
+			st.Min = v
+		}
+		if i == 0 || v > st.Max {
+			st.Max = v
+		}
+	}
+	return st
+}
+
+// encodeFloats appends vals raw. Min/Max stay zero: they are defined for
+// integer columns only.
+func encodeFloats(dst *bytes.Buffer, vals []float64) Stats {
+	st := Stats{Count: uint32(len(vals))}
+	for _, v := range vals {
+		if v != 0 {
+			st.Nonzero++
+		}
+		putU64(dst, math.Float64bits(v))
+	}
+	return st
+}
+
+// encodeStrings appends the dictionary block.
+func encodeStrings(dst *bytes.Buffer, strs []string) Stats {
+	st := Stats{Count: uint32(len(strs))}
+	var tmp [binary.MaxVarintLen64]byte
+	dst.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(strs)))])
+	for _, s := range strs {
+		if s != "" {
+			st.Nonzero++
+		}
+		dst.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(s)))])
+		dst.WriteString(s)
+	}
+	return st
+}

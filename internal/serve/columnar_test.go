@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"iolayers/internal/core"
+	"iolayers/internal/darshan"
+	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/report"
+	"iolayers/internal/units"
+)
+
+// corpusArchive writes n small Summit logs into a campaign archive and
+// returns its path (inside a fresh temp dir, so tests can plant siblings).
+func corpusArchive(t *testing.T, dir string, n int) string {
+	t.Helper()
+	sys := systems.NewSummit()
+	path := filepath.Join(dir, "campaign.dgar")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := logfmt.NewArchiveWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rt := darshan.NewRuntime(darshan.JobHeader{
+			JobID: uint64(2000 + i), UserID: uint64(1 + i%3), NProcs: 8,
+			StartTime: int64(i) * 3600, EndTime: int64(i)*3600 + 1800,
+			Metadata: map[string]string{"domain": "Chemistry"},
+		})
+		c := iosim.NewClient(sys, rt, rand.New(rand.NewPCG(uint64(i), 11)))
+		c.Write(darshan.ModulePOSIX, fmt.Sprintf("/gpfs/alpine/chem/out%d.h5", i), 0, units.MiB, 0)
+		c.Read(darshan.ModuleSTDIO, "/mnt/bb/chem/run.log", 0, 64*units.KiB, 0)
+		if err := aw.Append(rt.Finalize()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestStoreIngestColumnar checks a .dgc source routes through the columnar
+// fold and publishes a report byte-identical to the row-oriented archive.
+func TestStoreIngestColumnar(t *testing.T) {
+	dir := t.TempDir()
+	archive := corpusArchive(t, dir, 4)
+	columnar := filepath.Join(dir, "other.dgc")
+	if _, err := core.ConvertArchive(context.Background(), archive, columnar, core.ConvertOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sys := systems.NewSummit()
+	st := NewStore()
+
+	row, rowRes, err := st.Ingest(context.Background(), "row", sys, archive, core.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, colRes, err := st.Ingest(context.Background(), "col", sys, columnar, core.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowRes.Parsed != 4 || colRes.Parsed != 4 {
+		t.Fatalf("parsed row=%d col=%d, want 4", rowRes.Parsed, colRes.Parsed)
+	}
+	if report.Everything(row.Report) != report.Everything(col.Report) {
+		t.Error("columnar ingest rendered a different report than the archive")
+	}
+}
+
+// TestStoreArchivePrefersColumnarSibling checks the sibling rule: an
+// archive with an up-to-date .dgc twin ingests through the twin, while a
+// stale twin (older than the archive) is ignored.
+func TestStoreArchivePrefersColumnarSibling(t *testing.T) {
+	dir := t.TempDir()
+	archive := corpusArchive(t, dir, 3)
+	// The sibling deliberately holds fewer logs than the archive so the
+	// published Summary.Logs reveals which file was actually read.
+	shortDir := t.TempDir()
+	short := corpusArchive(t, shortDir, 1)
+	sibling := filepath.Join(dir, "campaign.dgc")
+	if _, err := core.ConvertArchive(context.Background(), short, sibling, core.ConvertOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sys := systems.NewSummit()
+
+	fresh := time.Now().Add(time.Hour)
+	if err := os.Chtimes(sibling, fresh, fresh); err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore()
+	snap, _, err := st.Ingest(context.Background(), "ds", sys, archive, core.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Report.Summary.Logs != 1 {
+		t.Errorf("fresh sibling ignored: %d logs folded, want the sibling's 1", snap.Report.Summary.Logs)
+	}
+
+	stale := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(sibling, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	st = NewStore()
+	snap, _, err = st.Ingest(context.Background(), "ds", sys, archive, core.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Report.Summary.Logs != 3 {
+		t.Errorf("stale sibling used: %d logs folded, want the archive's 3", snap.Report.Summary.Logs)
+	}
+}

@@ -2,7 +2,10 @@
 # End-to-end smoke test for the ioserved query service: start it on a
 # random port, ingest the golden log, and require that /v1/report serves
 # byte-for-byte what `ioanalyze -format json` renders over the same logs —
-# cached renders included — then SIGTERM it and require a graceful exit 0.
+# cached renders included. A second dataset is ingested from a columnar
+# (.dgc) conversion of the same campaign and its report must match the
+# row-oriented reference byte for byte too. Finally SIGTERM it and require
+# a graceful exit 0.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,6 +29,16 @@ fetch() { # fetch URL OUTFILE [HEADERFILE]
         curl -fsS -D "${3:-/dev/null}" -o "$2" "$1"
     else
         wget -q -S -O "$2" "$1" 2>"${3:-/dev/null}"
+    fi
+}
+
+post_json() { # post_json URL BODY OUTFILE
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS -X POST -H 'Content-Type: application/json' \
+            -d "$2" -o "$3" "$1"
+    else
+        wget -q -O "$3" --header='Content-Type: application/json' \
+            --post-data="$2" "$1"
     fi
 }
 
@@ -69,6 +82,25 @@ cmp -s "$TMP/got.json" "$TMP/got2.json" || fail "cached render differs from firs
 
 fetch "http://$ADDR/v1/datasets" "$TMP/datasets.json" || fail "datasets fetch failed"
 grep -q '"golden"' "$TMP/datasets.json" || fail "dataset listing missing the golden dataset"
+
+# Columnar leg: convert the same campaign to a .dgc, ingest it as a second
+# dataset over the API, and require its report to match the row-oriented
+# reference byte for byte.
+echo "serve-smoke: converting the campaign to a columnar file"
+"$TMP/ioanalyze" -dir "$TMP/logs" -convert "$TMP/campaign.dgc" 2>/dev/null \
+    || fail "columnar conversion failed"
+[ -s "$TMP/campaign.dgc" ] || fail "conversion produced an empty .dgc"
+
+echo "serve-smoke: ingesting the columnar campaign as a second dataset"
+post_json "http://$ADDR/v1/ingest" \
+    "{\"dataset\":\"columnar\",\"system\":\"summit\",\"source\":\"$TMP/campaign.dgc\"}" \
+    "$TMP/ingest.json" || fail "columnar ingest over the API failed"
+
+fetch "http://$ADDR/v1/report/columnar?format=json" "$TMP/got-col.json" \
+    || fail "columnar report fetch failed"
+diff -u "$TMP/want.json" "$TMP/got-col.json" \
+    || fail "columnar dataset report drifted from the row-oriented reference"
+echo "serve-smoke: columnar report is byte-identical to the row-oriented one"
 
 echo "serve-smoke: draining with SIGTERM"
 kill -TERM "$SERVED"
