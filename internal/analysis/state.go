@@ -216,6 +216,22 @@ func NewAggregatorFromState(sys *iosim.System, st *AggregatorState) (*Aggregator
 	return a, nil
 }
 
+// MergeState folds a serialized AggregatorState — a lake segment, a
+// checkpoint, any gob round trip of State() — into the aggregator, as if
+// the logs behind the snapshot had been folded in directly. The state must
+// be for the same system profile. Because gob round-trips float64
+// bit-exactly and Merge is the same operation the parallel worker pool
+// uses on its partials, an aggregator rebuilt by merging persisted
+// segments renders the identical report to one that never left memory.
+func (a *Aggregator) MergeState(st *AggregatorState) error {
+	other, err := NewAggregatorFromState(a.sys, st)
+	if err != nil {
+		return err
+	}
+	a.Merge(other)
+	return nil
+}
+
 // SystemName returns the name of the system profile this aggregator
 // accumulates statistics for ("Summit", "Cori").
 func (a *Aggregator) SystemName() string { return a.sys.Name }

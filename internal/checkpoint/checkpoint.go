@@ -14,6 +14,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 )
 
 // magic identifies a checkpoint file and versions its envelope.
@@ -22,12 +24,58 @@ var magic = [8]byte{'D', 'G', 'C', 'K', 'P', 'T', 0, 1}
 // ErrNotCheckpoint marks a file without the checkpoint magic.
 var ErrNotCheckpoint = errors.New("checkpoint: not a checkpoint file")
 
+// staleTempAge is how old an abandoned temp file must be before Save
+// sweeps it. A crash between CreateTemp and the rename orphans the temp;
+// age-gating the sweep keeps Save from deleting a temp another in-flight
+// writer of the same path created moments ago.
+const staleTempAge = time.Hour
+
+// SweepTemps removes abandoned checkpoint/journal temp files — the
+// `<base>.tmp<random>` residue of a crash between CreateTemp and the
+// rename — from dir, keeping only those younger than olderThan. An empty
+// base sweeps temps of every base name in dir (recovery-time cleanup);
+// olderThan 0 sweeps regardless of age. Returns how many were removed.
+func SweepTemps(dir, base string, olderThan time.Duration) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-olderThan)
+	removed := 0
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if base != "" {
+			if !strings.HasPrefix(name, base+".tmp") {
+				continue
+			}
+		} else if !strings.Contains(name, ".tmp") {
+			continue
+		}
+		if olderThan > 0 {
+			fi, err := de.Info()
+			if err != nil || fi.ModTime().After(cutoff) {
+				continue
+			}
+		}
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
 // Save atomically writes v (gob-encoded) to path. The temp file lives in
 // path's directory so the rename cannot cross filesystems; it is fsynced
 // before the rename, and the directory is fsynced after, so a crash
-// immediately after Save returns still finds the new checkpoint.
+// immediately after Save returns still finds the new checkpoint. Stale
+// temps a crashed predecessor left behind for the same path are swept
+// first, so orphaned `<base>.tmp*` files cannot accumulate forever.
 func Save(path string, v any) (err error) {
 	dir := filepath.Dir(path)
+	SweepTemps(dir, filepath.Base(path), staleTempAge)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: creating temp file: %w", err)

@@ -1,0 +1,276 @@
+package checkpoint
+
+// The journal is the second durability primitive this package provides,
+// alongside Save/Load's whole-file atomic snapshots: an append-only record
+// log for state that grows monotonically (a commit history) rather than
+// being replaced wholesale. Each record is an independently-framed gob
+// stream protected by a CRC-32; every append is fsynced before it returns,
+// so a record that Append acknowledged survives any later crash. A crash
+// *during* an append leaves a torn tail, which OpenJournal detects and
+// truncates — replay never sees a partial record, and the journal's
+// contents are always the exact prefix of acknowledged appends.
+//
+// Records are framed, not streamed through one gob encoder, deliberately:
+// a single encoder carries type-definition state across records, so a
+// truncated tail would poison decoding of everything after the first torn
+// byte on the next open. Independent frames cost a few bytes of repeated
+// type definitions per record and buy torn-tail recovery by simple
+// truncation.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// journalMagic identifies a journal file and versions its envelope.
+var journalMagic = [8]byte{'D', 'G', 'J', 'R', 'N', 'L', 0, 1}
+
+// ErrNotJournal marks a file without the journal magic.
+var ErrNotJournal = errors.New("checkpoint: not a journal file")
+
+// MaxJournalRecord bounds one record's payload. A frame length beyond it
+// is treated as corruption (the length field itself is untrusted bytes
+// after a crash), not an allocation request.
+const MaxJournalRecord = 64 << 20
+
+// journalFrameHeader is u32 payload length + u32 CRC-32 (IEEE) of payload.
+const journalFrameHeader = 8
+
+// Journal is an open append-only record log. Append is not goroutine-safe;
+// callers serialize (the serve lake holds a mutex across commits).
+type Journal struct {
+	path string
+	f    *os.File
+	off  int64 // offset after the last durable record
+}
+
+// OpenJournal opens the journal at path for appending, creating it if
+// absent. Existing records are validated front to back; a torn tail — the
+// residue of a crash mid-append — is truncated away so the file ends on a
+// record boundary.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: opening journal: %w", err)
+	}
+	end, err := scanJournal(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: seeking journal end: %w", err)
+	}
+	return &Journal{path: path, f: f, off: end}, nil
+}
+
+// scanJournal verifies the header (writing one into an empty file) and
+// walks the frames, returning the offset just past the last valid record.
+func scanJournal(f *os.File, path string) (int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: stat journal: %w", err)
+	}
+	size := fi.Size()
+	if size < int64(len(journalMagic)) {
+		// Empty, or a crash tore the header write itself. Either way no
+		// record can exist yet; reset to a fresh header.
+		var head [len(journalMagic)]byte
+		n, _ := f.ReadAt(head[:], 0)
+		if !bytes.HasPrefix(journalMagic[:], head[:n]) {
+			return 0, fmt.Errorf("%w: %s", ErrNotJournal, path)
+		}
+		if err := f.Truncate(0); err != nil {
+			return 0, fmt.Errorf("checkpoint: resetting journal: %w", err)
+		}
+		if _, err := f.WriteAt(journalMagic[:], 0); err != nil {
+			return 0, fmt.Errorf("checkpoint: writing journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return 0, fmt.Errorf("checkpoint: syncing journal header: %w", err)
+		}
+		return int64(len(journalMagic)), nil
+	}
+	var head [len(journalMagic)]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		return 0, fmt.Errorf("checkpoint: reading journal header: %w", err)
+	}
+	if head != journalMagic {
+		return 0, fmt.Errorf("%w: %s", ErrNotJournal, path)
+	}
+	off := int64(len(journalMagic))
+	var hdr [journalFrameHeader]byte
+	for {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return off, nil // short header: torn tail
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxJournalRecord {
+			return off, nil // corrupt length: treat as tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(io.NewSectionReader(f, off+journalFrameHeader, int64(length)), payload); err != nil {
+			return off, nil // short payload: torn tail
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return off, nil // torn or bit-flipped: stop at the last good record
+		}
+		off += journalFrameHeader + int64(length)
+		if off >= size {
+			return off, nil
+		}
+	}
+}
+
+// Append gob-encodes v as one record, writes its frame, and fsyncs before
+// returning: once Append returns nil the record is durable. On a write
+// error the journal rolls the file back to the last durable boundary so a
+// failed append never leaves a torn middle.
+func (j *Journal) Append(v any) error {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, journalFrameHeader)) // frame header placeholder
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("checkpoint: encoding journal record: %w", err)
+	}
+	frame := buf.Bytes()
+	payload := frame[journalFrameHeader:]
+	if len(payload) > MaxJournalRecord {
+		return fmt.Errorf("checkpoint: journal record of %d bytes exceeds limit", len(payload))
+	}
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := j.f.WriteAt(frame, j.off); err != nil {
+		j.f.Truncate(j.off) // best effort: restore the record boundary
+		return fmt.Errorf("checkpoint: appending journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.f.Truncate(j.off)
+		return fmt.Errorf("checkpoint: syncing journal: %w", err)
+	}
+	j.off += int64(len(frame))
+	return nil
+}
+
+// Size returns the journal's durable length in bytes.
+func (j *Journal) Size() int64 { return j.off }
+
+// Close releases the journal's file handle. Appends after Close fail.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// ReplayJournal reads the journal at path front to back, calling decode
+// once per complete record with a decoder positioned over that record's
+// payload. A missing file is an empty journal (nil error); a torn tail
+// ends the replay silently — exactly the records whose Append was
+// acknowledged are delivered. Errors returned by decode abort the replay.
+func ReplayJournal(path string, decode func(dec *gob.Decoder) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: opening journal: %w", err)
+	}
+	defer f.Close()
+	var head [len(journalMagic)]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return nil // shorter than a header: nothing committed
+	}
+	if head != journalMagic {
+		return fmt.Errorf("%w: %s", ErrNotJournal, path)
+	}
+	var hdr [journalFrameHeader]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxJournalRecord {
+			return nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil
+		}
+		if err := decode(gob.NewDecoder(bytes.NewReader(payload))); err != nil {
+			return fmt.Errorf("checkpoint: decoding journal record: %w", err)
+		}
+	}
+}
+
+// RewriteJournal atomically replaces the journal at path with the records
+// the write callback emits through its append argument — the truncation
+// half of a compaction. The replacement is built in a temp file in path's
+// directory and committed with the same fsync+rename discipline as Save,
+// so a crash at any instant leaves either the old journal or the complete
+// new one. Any open Journal on path must be closed first and reopened
+// after.
+func RewriteJournal(path string, write func(append func(v any) error) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating journal temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(journalMagic[:]); err != nil {
+		return fmt.Errorf("checkpoint: writing journal header: %w", err)
+	}
+	appendRec := func(v any) error {
+		var buf bytes.Buffer
+		buf.Write(make([]byte, journalFrameHeader))
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			return fmt.Errorf("checkpoint: encoding journal record: %w", err)
+		}
+		frame := buf.Bytes()
+		payload := frame[journalFrameHeader:]
+		if len(payload) > MaxJournalRecord {
+			return fmt.Errorf("checkpoint: journal record of %d bytes exceeds limit", len(payload))
+		}
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+		_, werr := tmp.Write(frame)
+		return werr
+	}
+	if err = write(appendRec); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing journal temp: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing journal temp: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: renaming journal into place: %w", err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

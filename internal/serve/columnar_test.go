@@ -123,4 +123,24 @@ func TestStoreArchivePrefersColumnarSibling(t *testing.T) {
 	if snap.Report.Summary.Logs != 3 {
 		t.Errorf("stale sibling used: %d logs folded, want the archive's 3", snap.Report.Summary.Logs)
 	}
+
+	// Regression: equal mtimes mean doubt, and doubt means the archive.
+	// On a coarse-mtime filesystem a regenerated archive can land in the
+	// same second as its outdated .dgc twin; an at-least-as-new rule would
+	// silently serve the stale conversion.
+	afi, err := os.Stat(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(sibling, afi.ModTime(), afi.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	st = NewStore()
+	snap, _, err = st.Ingest(context.Background(), "ds", sys, archive, core.IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Report.Summary.Logs != 3 {
+		t.Errorf("equal-mtime sibling shadowed the archive: %d logs folded, want 3", snap.Report.Summary.Logs)
+	}
 }

@@ -1,0 +1,358 @@
+package serve
+
+// The dataset lake is what makes ioserved's datasets survive the process.
+// Every successful ingest appends an immutable *segment* — the ingested
+// source folded into a fresh aggregator and persisted as a gob-framed
+// analysis.AggregatorState via the checkpoint package — under the lake
+// directory, then records the commit in an fsync'd append-only journal.
+// The journal append is the commit point: a generation whose record is
+// durable will be recovered byte-identically after any crash; a crash
+// before the append loses only the in-flight ingest (the orphaned segment
+// file is swept on the next recovery).
+//
+// On-disk layout:
+//
+//	<lake>/journal                       — commit journal (checkpoint.Journal)
+//	<lake>/datasets/<name>/seg-<gen>.ckpt          — one ingest's delta state
+//	<lake>/datasets/<name>/seg-<gen>-compact.ckpt  — a compaction's frozen fold
+//
+// Recovery replays the journal, rebuilds each dataset's aggregator by
+// merging its committed segments in commit order (analysis.MergeState —
+// the same merge the parallel worker pool is already proven byte-exact
+// on), and republishes the last committed generation. Compaction bounds
+// that cost: once a dataset accumulates CompactEvery segments, the current
+// frozen aggregator state — by construction the fold of every committed
+// segment — is written as a single compact segment and the journal is
+// atomically rewritten to start from it, after which the superseded
+// segment files are deleted. Every crash window leaves either the old
+// journal with the old segments intact, or the new journal with the
+// compact segment; orphans from the windows in between are swept at
+// recovery.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/checkpoint"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/obsv"
+)
+
+// DefaultCompactEvery is how many committed segments a dataset accumulates
+// before compaction folds them into one, when the caller does not choose.
+const DefaultCompactEvery = 16
+
+// lakeJournalName is the commit journal's filename inside the lake dir.
+const lakeJournalName = "journal"
+
+// LakeConfig configures OpenLake.
+type LakeConfig struct {
+	// Dir is the lake directory; created if absent. Required.
+	Dir string
+	// CompactEvery is the per-dataset segment count that triggers
+	// compaction after a commit (0 means DefaultCompactEvery, negative
+	// disables compaction).
+	CompactEvery int
+	// Metrics receives lake counters and recovery/compaction spans. Nil
+	// disables instrumentation at zero cost.
+	Metrics *obsv.Registry
+}
+
+// lakeRecord is one journal entry: the durable fact that generation Gen of
+// Dataset is the fold of the previous generation plus the state in
+// Segment. A Compact record instead asserts Segment alone reconstructs
+// generation Gen, superseding every earlier record for the dataset.
+type lakeRecord struct {
+	Dataset string
+	System  string
+	Gen     uint64
+	// Segment is the state file's path relative to the lake directory.
+	Segment string
+	// Sources is the dataset's cumulative source list as of Gen.
+	Sources []string
+	Compact bool
+}
+
+// Lake is the disk half of a Store: a commit journal plus the segment
+// files it references. All methods are safe for concurrent use; commits
+// for different datasets interleave in journal order.
+type Lake struct {
+	dir          string
+	compactEvery int
+	metrics      *obsv.Registry
+
+	mu      sync.Mutex
+	journal *checkpoint.Journal
+	// commits holds each dataset's live records in commit order — the
+	// replay view, maintained incrementally as commits land.
+	commits map[string][]lakeRecord
+}
+
+// OpenLake opens (creating if needed) the lake at cfg.Dir and loads its
+// commit history: after OpenLake, Recover rebuilds the datasets. A torn
+// journal tail from a crash mid-commit is truncated; the half-committed
+// generation it described is gone, exactly as if the ingest never ran.
+func OpenLake(cfg LakeConfig) (*Lake, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: lake directory is required")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, "datasets"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating lake: %w", err)
+	}
+	compactEvery := cfg.CompactEvery
+	if compactEvery == 0 {
+		compactEvery = DefaultCompactEvery
+	}
+	l := &Lake{
+		dir:          cfg.Dir,
+		compactEvery: compactEvery,
+		metrics:      cfg.Metrics,
+		commits:      map[string][]lakeRecord{},
+	}
+	jpath := filepath.Join(cfg.Dir, lakeJournalName)
+	err := checkpoint.ReplayJournal(jpath, func(dec *gob.Decoder) error {
+		var rec lakeRecord
+		if err := dec.Decode(&rec); err != nil {
+			return err
+		}
+		if rec.Compact {
+			l.commits[rec.Dataset] = l.commits[rec.Dataset][:0]
+		}
+		l.commits[rec.Dataset] = append(l.commits[rec.Dataset], rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if l.journal, err = checkpoint.OpenJournal(jpath); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Close releases the lake's journal handle.
+func (l *Lake) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.journal.Close()
+}
+
+// Dir returns the lake directory.
+func (l *Lake) Dir() string { return l.dir }
+
+func (l *Lake) segmentPath(rel string) string { return filepath.Join(l.dir, rel) }
+
+// commit persists one ingest: the delta state as a segment file, then the
+// journal record. Only when Append returns — the record fsync'd — is the
+// generation committed; an error at any earlier point leaves the journal
+// untouched and at worst an orphan segment file for recovery to sweep.
+func (l *Lake) commit(dataset, system string, gen uint64, sources []string, delta *analysis.AggregatorState) error {
+	rel := filepath.Join("datasets", dataset, fmt.Sprintf("seg-%08d.ckpt", gen))
+	abs := l.segmentPath(rel)
+	if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+		return fmt.Errorf("serve: lake dataset dir: %w", err)
+	}
+	if err := checkpoint.Save(abs, delta); err != nil {
+		return fmt.Errorf("serve: writing lake segment: %w", err)
+	}
+	rec := lakeRecord{Dataset: dataset, System: system, Gen: gen, Segment: rel, Sources: sources}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.journal.Append(&rec); err != nil {
+		os.Remove(abs) // roll the orphan segment back eagerly
+		return err
+	}
+	l.commits[dataset] = append(l.commits[dataset], rec)
+	l.metrics.Counter("serve.lake.segments_written").Add(1)
+	return nil
+}
+
+// maybeCompact folds the dataset's committed segments into one frozen
+// segment once enough have accumulated. snap must be the just-published
+// generation — its frozen aggregator *is* the fold of every committed
+// segment, so compaction costs one State() walk and one atomic journal
+// rewrite, never a re-fold. Runs after the commit that tripped the
+// threshold; a failure is recorded but does not fail the ingest (the
+// un-compacted history is still fully recoverable).
+func (l *Lake) maybeCompact(snap *Snapshot) {
+	l.mu.Lock()
+	live := len(l.commits[snap.Name])
+	l.mu.Unlock()
+	if l.compactEvery < 0 || live < l.compactEvery {
+		return
+	}
+	if err := l.compact(snap); err != nil {
+		l.metrics.Counter("serve.lake.compact_errors").Add(1)
+		return
+	}
+	l.metrics.Counter("serve.lake.compactions").Add(1)
+}
+
+func (l *Lake) compact(snap *Snapshot) error {
+	timer := l.metrics.Span("lake-compact").Begin()
+	defer timer.End()
+	rel := filepath.Join("datasets", snap.Name, fmt.Sprintf("seg-%08d-compact.ckpt", snap.Gen))
+	if err := checkpoint.Save(l.segmentPath(rel), snap.agg.State()); err != nil {
+		return fmt.Errorf("serve: writing compact segment: %w", err)
+	}
+	rec := lakeRecord{Dataset: snap.Name, System: snap.System, Gen: snap.Gen,
+		Segment: rel, Sources: snap.Sources, Compact: true}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	superseded := append([]lakeRecord(nil), l.commits[snap.Name]...)
+	next := map[string][]lakeRecord{}
+	for ds, recs := range l.commits {
+		if ds == snap.Name {
+			next[ds] = []lakeRecord{rec}
+		} else {
+			next[ds] = append([]lakeRecord(nil), recs...)
+		}
+	}
+	// Atomically swap the journal for one that starts from the compact
+	// record. The live handle must be closed across the rename.
+	if err := l.journal.Close(); err != nil {
+		return fmt.Errorf("serve: closing journal for compaction: %w", err)
+	}
+	jpath := filepath.Join(l.dir, lakeJournalName)
+	err := checkpoint.RewriteJournal(jpath, func(app func(v any) error) error {
+		for _, ds := range sortedKeys(next) {
+			for i := range next[ds] {
+				if err := app(&next[ds][i]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		l.commits = next
+		// The old delta segments are unreferenced now; losing this cleanup
+		// to a crash only leaves orphans recovery will sweep.
+		for _, old := range superseded {
+			os.Remove(l.segmentPath(old.Segment))
+		}
+	}
+	// Reopen whichever journal the rewrite left in place — the new one on
+	// success, the old (still valid) one on failure.
+	j, jerr := checkpoint.OpenJournal(jpath)
+	if jerr != nil {
+		if err == nil {
+			err = jerr
+		}
+		return err
+	}
+	l.journal = j
+	return err
+}
+
+// Recover rebuilds every committed dataset into store and publishes each
+// at its last committed generation. It also sweeps debris from crash
+// windows: segment files no journal record references and stale
+// checkpoint temp files. Recover is called once, before the store serves
+// traffic.
+func (l *Lake) Recover(store *Store) error {
+	timer := l.metrics.Span("lake-recover").Begin()
+	defer timer.End()
+	l.mu.Lock()
+	commits := make(map[string][]lakeRecord, len(l.commits))
+	for ds, recs := range l.commits {
+		commits[ds] = append([]lakeRecord(nil), recs...)
+	}
+	l.mu.Unlock()
+
+	for _, ds := range sortedKeys(commits) {
+		recs := commits[ds]
+		last := recs[len(recs)-1]
+		sys := systems.ByName(last.System)
+		if sys == nil {
+			return fmt.Errorf("serve: lake dataset %q is for unknown system %q", ds, last.System)
+		}
+		var agg *analysis.Aggregator
+		for _, rec := range recs {
+			var st analysis.AggregatorState
+			if err := checkpoint.Load(l.segmentPath(rec.Segment), &st); err != nil {
+				return fmt.Errorf("serve: lake segment for %s gen %d: %w", ds, rec.Gen, err)
+			}
+			if agg == nil {
+				a, err := analysis.NewAggregatorFromState(sys, &st)
+				if err != nil {
+					return fmt.Errorf("serve: lake segment for %s gen %d: %w", ds, rec.Gen, err)
+				}
+				agg = a
+			} else if err := agg.MergeState(&st); err != nil {
+				return fmt.Errorf("serve: lake segment for %s gen %d: %w", ds, rec.Gen, err)
+			}
+			l.metrics.Counter("serve.lake.recovered_segments").Add(1)
+		}
+		store.publishRecovered(&Snapshot{
+			Name:    ds,
+			System:  sys.Name,
+			Gen:     last.Gen,
+			Report:  agg.Report(),
+			Sources: last.Sources,
+			agg:     agg,
+		})
+		l.metrics.Counter("serve.lake.recovered_datasets").Add(1)
+	}
+	l.sweep(commits)
+	return nil
+}
+
+// sweep deletes files under datasets/ that no live journal record
+// references — segments whose commit never became durable, delta segments
+// a compaction superseded before crashing, and abandoned checkpoint
+// temps. Only ever called from Recover, before any ingest can race with
+// it.
+func (l *Lake) sweep(commits map[string][]lakeRecord) {
+	live := map[string]bool{}
+	for _, recs := range commits {
+		for _, rec := range recs {
+			live[l.segmentPath(rec.Segment)] = true
+		}
+	}
+	root := filepath.Join(l.dir, "datasets")
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	swept := 0
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		dsDir := filepath.Join(root, d.Name())
+		swept += checkpoint.SweepTemps(dsDir, "", 0)
+		files, err := os.ReadDir(dsDir)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			p := filepath.Join(dsDir, f.Name())
+			if f.IsDir() || live[p] {
+				continue
+			}
+			if os.Remove(p) == nil {
+				swept++
+			}
+		}
+	}
+	swept += checkpoint.SweepTemps(l.dir, lakeJournalName, 0)
+	if swept > 0 {
+		l.metrics.Counter("serve.lake.orphans_swept").Add(int64(swept))
+	}
+}
+
+func sortedKeys(m map[string][]lakeRecord) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

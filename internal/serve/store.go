@@ -52,9 +52,13 @@ type Snapshot struct {
 }
 
 // entry is the mutable cell a dataset lives in. Readers load cur without
-// any lock; writers serialize on ingestMu.
+// any lock; writers serialize on ingestMu. dead marks an entry that was
+// garbage-collected after a failed first ingest — it is only ever set
+// under ingestMu, and a writer that acquires the lock on a dead entry must
+// drop it and re-create the dataset cell.
 type entry struct {
 	ingestMu sync.Mutex
+	dead     bool
 	cur      atomic.Pointer[Snapshot]
 }
 
@@ -62,11 +66,33 @@ type entry struct {
 type Store struct {
 	mu       sync.RWMutex
 	datasets map[string]*entry
+	// lake, when non-nil, makes generations durable: each ingest commits a
+	// segment + journal record before publishing (see lake.go).
+	lake *Lake
 }
 
-// NewStore builds an empty store.
+// NewStore builds an empty, memory-only store.
 func NewStore() *Store {
 	return &Store{datasets: map[string]*entry{}}
+}
+
+// NewStoreWithLake builds a store backed by the lake: every committed
+// dataset is recovered and republished at its last committed generation
+// before the store is returned, and every subsequent ingest is made
+// durable before it is visible.
+func NewStoreWithLake(l *Lake) (*Store, error) {
+	s := NewStore()
+	s.lake = l
+	if err := l.Recover(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// publishRecovered installs a lake-recovered snapshot. Recovery runs
+// before the store serves traffic, so there is no generation to race.
+func (s *Store) publishRecovered(snap *Snapshot) {
+	s.getOrCreate(snap.Name).cur.Store(snap)
 }
 
 // Get returns the current snapshot of the named dataset.
@@ -113,12 +139,50 @@ func (s *Store) getOrCreate(name string) *entry {
 	return e
 }
 
+// lockEntry returns the dataset's entry with its ingest lock held,
+// re-fetching if the entry was garbage-collected between the map lookup
+// and the lock acquisition (a concurrent first ingest that failed).
+func (s *Store) lockEntry(name string) *entry {
+	for {
+		e := s.getOrCreate(name)
+		e.ingestMu.Lock()
+		if !e.dead {
+			return e
+		}
+		e.ingestMu.Unlock()
+	}
+}
+
+// gcIfEmpty reclaims an entry whose first ingest failed before anything
+// was published: left in place it would be a permanent phantom —
+// invisible to Get and List (nil snapshot) yet growing Store.datasets on
+// every repeated bad upload. Called with e.ingestMu held.
+func (s *Store) gcIfEmpty(name string, e *entry) {
+	if e.cur.Load() != nil {
+		return // an earlier generation exists; the dataset stays
+	}
+	e.dead = true
+	s.mu.Lock()
+	if s.datasets[name] == e {
+		delete(s.datasets, name)
+	}
+	s.mu.Unlock()
+}
+
 // Ingest folds the logs at source (a directory of .darshan logs, a .dgar
 // archive, a .dgc columnar campaign, or a single .darshan file) into the
-// named dataset and publishes the result as its next generation. Concurrent ingests into the same
-// dataset serialize; concurrent readers keep rendering from the previous
-// generation until the new one is published. On error nothing is
-// published and the dataset keeps its current generation.
+// named dataset and publishes the result as its next generation.
+// Concurrent ingests into the same dataset serialize; concurrent readers
+// keep rendering from the previous generation until the new one is
+// published. On error nothing is published (and nothing is committed to
+// the lake) and the dataset keeps its current generation.
+//
+// The source always folds into a fresh aggregator — the ingest's *delta* —
+// which then merges into a clone of the current generation. Merging
+// partial aggregates is the worker pool's own accumulation step, already
+// proven byte-identical to a sequential fold at any partitioning, and the
+// delta is exactly what a lake-backed store persists as the generation's
+// segment.
 func (s *Store) Ingest(ctx context.Context, name string, sys *iosim.System, source string, opts core.IngestOptions) (*Snapshot, core.IngestResult, error) {
 	if !ValidDatasetName(name) {
 		return nil, core.IngestResult{}, fmt.Errorf("serve: invalid dataset name %q", name)
@@ -126,40 +190,53 @@ func (s *Store) Ingest(ctx context.Context, name string, sys *iosim.System, sour
 	if sys == nil {
 		return nil, core.IngestResult{}, fmt.Errorf("serve: nil system")
 	}
-	e := s.getOrCreate(name)
-	e.ingestMu.Lock()
+	e := s.lockEntry(name)
 	defer e.ingestMu.Unlock()
 
 	cur := e.cur.Load()
-	var base *analysis.Aggregator
 	var sources []string
 	if cur != nil {
 		if cur.System != sys.Name {
 			return nil, core.IngestResult{}, fmt.Errorf("serve: dataset %q is %s data, cannot ingest %s logs",
 				name, cur.System, sys.Name)
 		}
-		base = cur.agg.Clone()
 		sources = append(append([]string(nil), cur.Sources...), source)
 	} else {
-		base = analysis.NewAggregator(sys)
 		sources = []string{source}
 	}
-	opts.Into = base
+	delta := analysis.NewAggregator(sys)
+	opts.Into = delta
 	opts.Resume = nil
 
-	rep, res, err := ingestSource(ctx, sys, source, opts)
+	_, res, err := ingestSource(ctx, sys, source, opts)
 	if err != nil {
+		s.gcIfEmpty(name, e)
 		return nil, res, err
+	}
+	gen := genAfter(cur)
+	if s.lake != nil {
+		if err := s.lake.commit(name, sys.Name, gen, sources, delta.State()); err != nil {
+			s.gcIfEmpty(name, e)
+			return nil, res, err
+		}
+	}
+	base := delta
+	if cur != nil {
+		base = cur.agg.Clone()
+		base.Merge(delta)
 	}
 	next := &Snapshot{
 		Name:    name,
 		System:  sys.Name,
-		Gen:     genAfter(cur),
-		Report:  rep,
+		Gen:     gen,
+		Report:  base.Report(),
 		Sources: sources,
 		agg:     base,
 	}
 	e.cur.Store(next)
+	if s.lake != nil {
+		s.lake.maybeCompact(next)
+	}
 	return next, res, nil
 }
 
@@ -196,10 +273,18 @@ func ingestSource(ctx context.Context, sys *iosim.System, source string, opts co
 		return core.IngestArchive(ctx, sys, source, opts)
 	default:
 		// A single log: decode it under the same limits the pool would use
-		// and fold it straight into the Into aggregator.
+		// and fold it straight into the Into aggregator. The pooled paths
+		// honor cancellation at batch boundaries; this path must honor it
+		// too — a drained server must not keep decoding and folding.
+		if err := ctx.Err(); err != nil {
+			return nil, core.IngestResult{}, err
+		}
 		log, err := logfmt.ReadFileWithLimits(source, opts.Limits)
 		if err != nil {
 			return nil, core.IngestResult{Failed: 1}, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, core.IngestResult{}, err
 		}
 		opts.Into.AddLog(log)
 		return opts.Into.Report(), core.IngestResult{Parsed: 1}, nil
@@ -207,13 +292,15 @@ func ingestSource(ctx context.Context, sys *iosim.System, source string, opts co
 }
 
 // columnarSibling returns the path of an archive's columnar twin when one
-// exists and is at least as new as the archive itself; a stale sibling
-// (older than the archive it mirrors) is ignored so a regenerated archive
-// is never shadowed by an outdated conversion.
+// exists and is strictly newer than the archive itself; any doubt falls
+// back to the archive. Strictly newer matters: filesystems with coarse
+// mtime granularity can stamp a regenerated archive with the *same*
+// second as its stale .dgc twin, and an equal-mtime rule would silently
+// shadow the new archive with the outdated conversion.
 func columnarSibling(archive string, fi os.FileInfo) string {
 	sib := strings.TrimSuffix(archive, ".dgar") + ".dgc"
 	sfi, err := os.Stat(sib)
-	if err != nil || sfi.IsDir() || sfi.ModTime().Before(fi.ModTime()) {
+	if err != nil || sfi.IsDir() || !sfi.ModTime().After(fi.ModTime()) {
 		return ""
 	}
 	return sib

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"path/filepath"
@@ -93,6 +94,72 @@ func TestStoreIngestSingleFileAndMissingSource(t *testing.T) {
 	// The failed ingest must not have published.
 	if got, _ := st.Get("single"); got.Gen != 1 {
 		t.Errorf("failed ingest bumped generation to %d", got.Gen)
+	}
+}
+
+// TestStoreFailedFirstIngestLeavesNoPhantom is the regression test for
+// the phantom-entry leak: Ingest used to create the dataset's entry
+// before ingesting, so a failed *first* ingest left a permanent cell in
+// Store.datasets — invisible to Get and List, never reclaimed, growing
+// the map on every repeated bad upload.
+func TestStoreFailedFirstIngestLeavesNoPhantom(t *testing.T) {
+	dir := corpusDir(t, 1)
+	sys := systems.NewSummit()
+	st := NewStore()
+
+	entryCount := func() int {
+		st.mu.RLock()
+		defer st.mu.RUnlock()
+		return len(st.datasets)
+	}
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("bad%d", i)
+		if _, _, err := st.Ingest(context.Background(), name, sys, filepath.Join(dir, "missing"), core.IngestOptions{}); err == nil {
+			t.Fatal("missing source accepted")
+		}
+	}
+	if n := entryCount(); n != 0 {
+		t.Errorf("5 failed first ingests left %d phantom entries", n)
+	}
+
+	// A failed re-ingest into an existing dataset must NOT reclaim it.
+	if _, _, err := st.Ingest(context.Background(), "ok", sys, dir, core.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Ingest(context.Background(), "ok", sys, filepath.Join(dir, "missing"), core.IngestOptions{}); err == nil {
+		t.Fatal("missing source accepted")
+	}
+	if n := entryCount(); n != 1 {
+		t.Errorf("failed re-ingest changed the entry count to %d", n)
+	}
+	if snap, ok := st.Get("ok"); !ok || snap.Gen != 1 {
+		t.Error("failed re-ingest disturbed the published generation")
+	}
+
+	// And the garbage-collected name is fully reusable.
+	if snap, _, err := st.Ingest(context.Background(), "bad0", sys, dir, core.IngestOptions{}); err != nil || snap.Gen != 1 {
+		t.Errorf("reusing a GC'd name: gen=%v err=%v", snap, err)
+	}
+}
+
+// TestStoreIngestCancelledContext is the regression test for the
+// single-log path ignoring ctx: a cancelled (drained) server must refuse
+// the ingest without decoding or folding, for every source kind.
+func TestStoreIngestCancelledContext(t *testing.T) {
+	dir := corpusDir(t, 2)
+	one := filepath.Join(dir, "job00000.darshan")
+	sys := systems.NewSummit()
+	st := NewStore()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, src := range []string{one, dir} {
+		if _, _, err := st.Ingest(ctx, "ds", sys, src, core.IngestOptions{}); !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled ingest of %s returned %v, want context.Canceled", src, err)
+		}
+	}
+	if _, ok := st.Get("ds"); ok {
+		t.Error("cancelled ingest published a snapshot")
 	}
 }
 

@@ -4,8 +4,11 @@
 # byte-for-byte what `ioanalyze -format json` renders over the same logs —
 # cached renders included. A second dataset is ingested from a columnar
 # (.dgc) conversion of the same campaign and its report must match the
-# row-oriented reference byte for byte too. Finally SIGTERM it and require
-# a graceful exit 0.
+# row-oriented reference byte for byte too. Then SIGTERM it and require a
+# graceful exit 0. Finally the durability leg: a lake-backed ioserved is
+# killed with SIGKILL and restarted on the same -lake with no -ingest —
+# the dataset must come back at the same generation (recovered, not
+# re-ingested) serving a byte-identical report.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -108,5 +111,67 @@ code=0
 wait "$SERVED" || code=$?
 SERVED=
 [ "$code" -eq 0 ] || fail "ioserved exited $code after SIGTERM, want graceful 0"
+
+# Durability leg: ingest into a lake-backed server, kill -9 it, restart on
+# the same lake without any -ingest flag, and require the same generation
+# back with byte-identical report bytes — recovery, not re-ingestion.
+echo "serve-smoke: starting a lake-backed ioserved"
+rm -f "$TMP/addr"
+"$TMP/ioserved" -listen 127.0.0.1:0 -addr-file "$TMP/addr" -lake "$TMP/lake" \
+    -dataset golden -system summit -ingest "$TMP/logs" 2>"$TMP/ioserved.err" &
+SERVED=$!
+for _ in $(seq 1 100); do
+    [ -s "$TMP/addr" ] && break
+    kill -0 "$SERVED" 2>/dev/null || fail "lake-backed ioserved died during startup"
+    sleep 0.1
+done
+[ -s "$TMP/addr" ] || fail "lake-backed ioserved never wrote its address file"
+ADDR=$(head -n1 "$TMP/addr")
+
+fetch "http://$ADDR/v1/report/golden?format=json" "$TMP/pre-kill.json" "$TMP/h-pre" \
+    || fail "pre-kill report fetch failed"
+diff -u "$TMP/want.json" "$TMP/pre-kill.json" \
+    || fail "lake-backed report drifted from ioanalyze output"
+PRE_GEN=$(grep -i '^x-dataset-generation:' "$TMP/h-pre" | tr -dc '0-9')
+[ -n "$PRE_GEN" ] || fail "no generation header on the pre-kill report"
+
+echo "serve-smoke: kill -9 and restart on the same lake"
+kill -9 "$SERVED"
+wait "$SERVED" 2>/dev/null || true
+SERVED=
+
+rm -f "$TMP/addr"
+"$TMP/ioserved" -listen 127.0.0.1:0 -addr-file "$TMP/addr" -lake "$TMP/lake" \
+    2>"$TMP/ioserved.err" &
+SERVED=$!
+for _ in $(seq 1 100); do
+    [ -s "$TMP/addr" ] && break
+    kill -0 "$SERVED" 2>/dev/null || fail "restarted ioserved died during recovery"
+    sleep 0.1
+done
+[ -s "$TMP/addr" ] || fail "restarted ioserved never wrote its address file"
+ADDR=$(head -n1 "$TMP/addr")
+
+fetch "http://$ADDR/v1/report/golden?format=json" "$TMP/post-kill.json" "$TMP/h-post" \
+    || fail "post-restart report fetch failed"
+cmp -s "$TMP/pre-kill.json" "$TMP/post-kill.json" \
+    || fail "report after kill -9 + lake recovery is not byte-identical"
+POST_GEN=$(grep -i '^x-dataset-generation:' "$TMP/h-post" | tr -dc '0-9')
+[ "$POST_GEN" = "$PRE_GEN" ] \
+    || fail "generation changed across restart ($PRE_GEN -> $POST_GEN): dataset was re-ingested, not recovered"
+
+fetch "http://$ADDR/metrics.json" "$TMP/metrics.json" || fail "metrics fetch failed"
+RECOVERED=$(tr -d ' \n' <"$TMP/metrics.json" \
+    | grep -o '"name":"serve.lake.recovered_datasets","value":[0-9]*' | tr -dc '0-9' || true)
+[ -n "$RECOVERED" ] && [ "$RECOVERED" -gt 0 ] \
+    || fail "recovery counter serve.lake.recovered_datasets not > 0 (got '$RECOVERED')"
+echo "serve-smoke: recovered gen $POST_GEN byte-identical after kill -9"
+
+echo "serve-smoke: draining the recovered server"
+kill -TERM "$SERVED"
+code=0
+wait "$SERVED" || code=$?
+SERVED=
+[ "$code" -eq 0 ] || fail "recovered ioserved exited $code after SIGTERM, want graceful 0"
 
 echo "serve-smoke: PASS"
