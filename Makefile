@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck govulncheck build test race race-short bench benchcheck fuzz serve-smoke
+.PHONY: check vet staticcheck govulncheck build test race race-short bench benchcheck fuzz serve-smoke cluster-smoke
 
 ## check: the full CI gate — vet, staticcheck + govulncheck (when
 ## installed), build, and the test suite under the race detector
@@ -57,6 +57,13 @@ benchcheck:
 ## `ioanalyze -format json`, and require a graceful SIGTERM drain
 serve-smoke:
 	scripts/serve_smoke.sh
+
+## cluster-smoke: end-to-end check of the iorouter cluster — three
+## lake-backed replicas behind the router (rf=2, API keys), kill -9 each
+## owner in turn while requiring byte-identical reports, restart killed
+## replicas on their lakes, and require a graceful router drain
+cluster-smoke:
+	scripts/cluster_smoke.sh
 
 ## fuzz: short fuzzing smoke over the untrusted-input decoders; -fuzz must
 ## match exactly one target, hence two invocations

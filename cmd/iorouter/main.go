@@ -1,0 +1,162 @@
+// Command iorouter fronts a fleet of ioserved replicas with one resilient
+// query endpoint. Datasets are sharded across the fleet by consistent
+// hashing with a replication factor, so every dataset is queryable from
+// more than one replica; the router health-checks the fleet, wraps each
+// replica in a circuit breaker, and fails queries over to the next owner
+// when a replica is dark, tripped, saturated, or answering 5xx.
+//
+// Usage:
+//
+//	iorouter -listen :8090 -replica host1:8080 -replica host2:8080 \
+//	         -replica host3:8080 [-replication 2] \
+//	         [-apikey key=tenant:rate[:burst]] [-apikeys file]
+//
+// The router speaks the same /v1 API as a single ioserved and relays
+// bodies byte-identically:
+//
+//	GET  /v1/report/{dataset}       — relayed from an owner, with failover
+//	GET  /v1/datasets               — union of every replica's listing
+//	GET  /v1/compare/{a}/{b}        — scatter/gather across the two shards
+//	POST /v1/ingest                 — fanned out to every owner
+//	GET  /v1/cluster[?dataset=d]    — replica health, breakers, ownership
+//	GET  /healthz                   — router liveness
+//	GET  /readyz                    — 200 iff ≥1 replica is healthy
+//	GET  /metrics, /metrics.json
+//
+// With -apikey (repeatable) or -apikeys, every /v1 request must present a
+// registered key (X-API-Key header or Authorization: Bearer), and each
+// tenant's request rate is token-bucket limited at the edge: 401 for
+// unknown keys, 429 + Retry-After when a tenant is over its rate. Without
+// keys the cluster is open, like a bare ioserved.
+//
+// On SIGINT/SIGTERM the router drains like ioserved does: stop accepting,
+// finish in-flight relays (up to -drain-timeout), exit 0 — or exit 1 with
+// "drain incomplete".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"iolayers/internal/cli"
+	"iolayers/internal/cluster"
+	"iolayers/internal/obsv"
+)
+
+func main() {
+	var replicas, keySpecs []string
+	var (
+		listen      = flag.String("listen", ":8090", "address to serve the cluster query API on")
+		addrFile    = flag.String("addr-file", "", "write the bound listen address to this file once serving")
+		replication = flag.Int("replication", cluster.DefaultReplication, "how many replicas own each dataset")
+		vnodes      = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per replica on the hash ring")
+		maxPerBE    = flag.Int("max-inflight-per-replica", cluster.DefaultMaxInFlightPerBackend, "concurrent requests held open against one replica")
+		attemptTO   = flag.Duration("attempt-timeout", cluster.DefaultAttemptTimeout, "per-replica query attempt deadline before failing over")
+		ingestTO    = flag.Duration("ingest-timeout", cluster.DefaultIngestTimeout, "per-replica ingest attempt deadline")
+		probeEvery  = flag.Duration("probe-every", cluster.DefaultProbeInterval, "active health probe cadence")
+		probeTO     = flag.Duration("probe-timeout", cluster.DefaultProbeTimeout, "active health probe deadline")
+		brkThresh   = flag.Int("breaker-threshold", cluster.DefaultBreakerThreshold, "consecutive failures that trip a replica's circuit breaker")
+		brkOpen     = flag.Duration("breaker-open", cluster.DefaultBreakerOpenBase, "first breaker open interval (doubles per consecutive trip)")
+		brkOpenMax  = flag.Duration("breaker-open-max", cluster.DefaultBreakerOpenMax, "breaker open interval cap")
+		keyFile     = flag.String("apikeys", "", "file of key=tenant:rate[:burst] lines (# comments); enables the auth edge")
+		drain       = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Func("replica", "an ioserved replica URL or host:port (repeatable, required)", func(v string) error {
+		replicas = append(replicas, v)
+		return nil
+	})
+	flag.Func("apikey", "key=tenant:rate[:burst] — register an API key (repeatable); enables the auth edge", func(v string) error {
+		keySpecs = append(keySpecs, v)
+		return nil
+	})
+	var common cli.CommonFlags
+	common.Register(flag.CommandLine, cli.FlagDebug)
+	flag.Parse()
+
+	if len(replicas) == 0 {
+		fmt.Fprintln(os.Stderr, "iorouter: at least one -replica is required")
+		os.Exit(2)
+	}
+
+	metrics := obsv.New()
+	stopDebug := cli.StartDebug("iorouter", common.DebugAddr, metrics)
+	defer stopDebug()
+
+	var keyring *cluster.Keyring
+	if len(keySpecs) > 0 || *keyFile != "" {
+		keyring = cluster.NewKeyring(nil)
+		if *keyFile != "" {
+			if err := keyring.LoadKeyFile(*keyFile); err != nil {
+				fmt.Fprintf(os.Stderr, "iorouter: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		for _, spec := range keySpecs {
+			key, tenant, err := cluster.ParseKeySpec(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iorouter: %v\n", err)
+				os.Exit(2)
+			}
+			if err := keyring.Add(key, tenant); err != nil {
+				fmt.Fprintf(os.Stderr, "iorouter: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	router, err := cluster.NewRouter(cluster.Config{
+		Replicas:              replicas,
+		Replication:           *replication,
+		VirtualNodes:          *vnodes,
+		MaxInFlightPerBackend: *maxPerBE,
+		AttemptTimeout:        *attemptTO,
+		IngestTimeout:         *ingestTO,
+		ProbeInterval:         *probeEvery,
+		ProbeTimeout:          *probeTO,
+		Breaker: cluster.BreakerConfig{
+			Threshold: *brkThresh, OpenBase: *brkOpen, OpenMax: *brkOpenMax,
+		},
+		Keyring: keyring,
+		Metrics: metrics,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iorouter: %v\n", err)
+		os.Exit(2)
+	}
+	router.Start()
+	defer router.Close()
+
+	ctx, cancel := cli.SignalContext("iorouter")
+	defer cancel()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iorouter:", err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "iorouter:", err)
+			os.Exit(1)
+		}
+	}
+	auth := "open"
+	if keyring != nil {
+		auth = fmt.Sprintf("%d API keys", keyring.Len())
+	}
+	fmt.Fprintf(os.Stderr, "iorouter: routing http://%s over %d replicas (rf=%d, %s): %s\n",
+		ln.Addr(), len(replicas), *replication, auth, strings.Join(replicas, ", "))
+
+	srv := &http.Server{Handler: router.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	svc := cli.StartHTTP("iorouter", srv, ln, os.Stderr)
+	if code := svc.WaitAndDrain(ctx, *drain, nil); code != 0 {
+		os.Exit(code)
+	}
+	cli.WriteMetrics("iorouter", common.MetricsOut, metrics)
+	fmt.Fprintln(os.Stderr, "iorouter: drained, bye")
+}

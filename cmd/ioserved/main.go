@@ -8,6 +8,7 @@
 //	ioserved -listen :8080 -ingest /path/to/logs [-dataset default]
 //	         [-system summit] [-max-inflight 64] [-cache-bytes 33554432]
 //	         [-lake /var/lib/ioserved] [-compact-every 16]
+//	         [-query-timeout 30s]
 //
 // Endpoints (all JSON bodies carry an explicit schema_version):
 //
@@ -22,33 +23,42 @@
 //	POST /v1/ingest                 — {"dataset","system","source"}: fold
 //	                                  more logs in; readers keep the old
 //	                                  generation until the new one lands
-//	GET  /healthz, /metrics, /metrics.json
+//	GET  /healthz                   — liveness: 200 while the process runs
+//	GET  /readyz                    — readiness: 503 during lake replay,
+//	                                  boot ingests, compaction, and drain
+//	GET  /metrics, /metrics.json
 //
 // Rendered reports are cached (LRU, byte-bounded) keyed by dataset
 // generation, so repeated queries cost a map lookup and re-ingestion
 // invalidates naturally. Query concurrency is bounded; excess load is
-// shed immediately with 429 + Retry-After rather than queued.
+// shed immediately with 429 + Retry-After rather than queued. Each query
+// also gets a server-side deadline (-query-timeout): a query that cannot
+// render in time gets 503 and releases its concurrency slot instead of
+// wedging it.
 //
 // -ingest may repeat; each path (directory, .dgar archive, or single
-// .darshan log) folds into the -dataset dataset before serving starts.
-// With -addr-file the bound address is written to the given path once
-// listening — for scripts that start the service on ":0".
+// .darshan log) folds into the -dataset dataset before the server reports
+// ready. With -addr-file the bound address is written to the given path
+// once the server is ready — for scripts that start the service on ":0".
 //
 // With -lake the datasets are durable: every ingest commits an immutable
 // segment plus an fsync'd journal record under the lake directory before
 // it becomes visible, and a restart with the same -lake replays the
 // journal and republishes every dataset at its last committed generation
-// — byte-identical reports, no re-ingest, even after a kill -9.
-// -compact-every bounds recovery cost by folding a dataset's segments
-// into one once that many accumulate (negative disables compaction).
+// — byte-identical reports, no re-ingest, even after a kill -9. The
+// listener binds before the replay: /healthz answers immediately while
+// /readyz holds 503 until recovery completes, so supervisors can tell
+// "starting" from "dead". -compact-every bounds recovery cost by folding
+// a dataset's segments into one once that many accumulate (negative
+// disables compaction).
 //
-// On SIGINT/SIGTERM the service stops accepting connections, drains
-// in-flight requests (up to -drain-timeout), and exits 0.
+// On SIGINT/SIGTERM the service flips /readyz to not-ready, stops
+// accepting connections, drains in-flight requests (up to
+// -drain-timeout), and exits 0 — or exits 1 with "drain incomplete" when
+// requests were still in flight at the deadline.
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -69,9 +79,10 @@ func main() {
 		listen      = flag.String("listen", ":8080", "address to serve the query API on")
 		dataset     = flag.String("dataset", "default", "dataset name for -ingest sources")
 		system      = flag.String("system", "summit", "system profile for -ingest sources: summit or cori")
-		addrFile    = flag.String("addr-file", "", "write the bound listen address to this file once serving")
+		addrFile    = flag.String("addr-file", "", "write the bound listen address to this file once ready")
 		maxInFlight = flag.Int("max-inflight", serve.DefaultMaxInFlight, "concurrent query bound; excess requests get 429")
 		cacheBytes  = flag.Int64("cache-bytes", serve.DefaultCacheBytes, "rendered-report cache size in bytes")
+		queryTO     = flag.Duration("query-timeout", serve.DefaultQueryTimeout, "server-side deadline per query; late queries get 503 (<0 disables)")
 		drain       = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 		lakeDir     = flag.String("lake", "", "durable dataset lake directory: commit every ingest, recover datasets on boot")
 		compactEach = flag.Int("compact-every", serve.DefaultCompactEvery, "fold a dataset's lake segments into one after this many commits (<0 disables)")
@@ -99,9 +110,14 @@ func main() {
 	ctx, cancel := cli.SignalContext("ioserved")
 	defer cancel()
 
+	// Bind and serve before any recovery or boot ingest: liveness is
+	// answerable the moment the process is up, while /readyz holds 503
+	// until the datasets are actually queryable.
 	store := serve.NewStore()
+	var lake *serve.Lake
 	if *lakeDir != "" {
-		lake, err := serve.OpenLake(serve.LakeConfig{
+		var err error
+		lake, err = serve.OpenLake(serve.LakeConfig{
 			Dir: *lakeDir, CompactEvery: *compactEach, Metrics: metrics,
 		})
 		if err != nil {
@@ -109,7 +125,29 @@ func main() {
 			os.Exit(1)
 		}
 		defer lake.Close()
-		if store, err = serve.NewStoreWithLake(lake); err != nil {
+		store = serve.NewStoreAttached(lake)
+	}
+
+	server := serve.New(serve.Config{
+		Store:         store,
+		Metrics:       metrics,
+		MaxInFlight:   *maxInFlight,
+		CacheBytes:    *cacheBytes,
+		QueryTimeout:  *queryTO,
+		IngestWorkers: common.Workers,
+	})
+	server.SetReady(false)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioserved:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	svc := cli.StartHTTP("ioserved", srv, ln, os.Stderr)
+
+	if lake != nil {
+		if err := store.RecoverLake(); err != nil {
 			fmt.Fprintf(os.Stderr, "ioserved: recovering lake: %v\n", err)
 			os.Exit(1)
 		}
@@ -129,20 +167,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ioserved: dataset %q gen %d — %d logs parsed (%d unreadable) from %s\n",
 			snap.Name, snap.Gen, res.Parsed, res.Failed, src)
 	}
+	server.SetReady(true)
 
-	server := serve.New(serve.Config{
-		Store:         store,
-		Metrics:       metrics,
-		MaxInFlight:   *maxInFlight,
-		CacheBytes:    *cacheBytes,
-		IngestWorkers: common.Workers,
-	})
-
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ioserved:", err)
-		os.Exit(1)
-	}
+	// The addr-file is the ready signal scripts wait on: written only once
+	// every recovered and boot-ingested dataset is queryable.
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "ioserved:", err)
@@ -152,28 +180,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ioserved: serving on http://%s (%d datasets)\n",
 		ln.Addr(), len(store.List()))
 
-	srv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 5 * time.Second}
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.Serve(ln) }()
-
-	select {
-	case err := <-errCh:
-		// The listener died out from under us — that is a crash, not a drain.
-		fmt.Fprintln(os.Stderr, "ioserved:", err)
-		os.Exit(1)
-	case <-ctx.Done():
-	}
-
-	// Graceful drain: stop accepting, let in-flight requests finish.
-	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), *drain)
-	defer cancelShutdown()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "ioserved: drain incomplete: %v\n", err)
-		os.Exit(1)
-	}
-	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "ioserved:", err)
-		os.Exit(1)
+	if code := svc.WaitAndDrain(ctx, *drain, func() { server.SetReady(false) }); code != 0 {
+		os.Exit(code)
 	}
 	cli.WriteMetrics("ioserved", common.MetricsOut, metrics)
 	fmt.Fprintln(os.Stderr, "ioserved: drained, bye")

@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTPService is a serving HTTP listener plus the drain discipline every
+// long-running binary in this repo shares (ioserved, iorouter). It exists
+// so the shutdown path — the code that only runs when something is
+// already going wrong — is written once and regression-tested, instead of
+// re-derived per binary. The historical failure mode it guards against:
+// a drain that times out with requests still in flight must exit non-zero
+// and must not print the clean-exit line, or supervisors restart nothing
+// and operators trust a log that is lying to them.
+type HTTPService struct {
+	name   string
+	srv    *http.Server
+	errCh  chan error
+	stderr io.Writer
+}
+
+// StartHTTP begins serving srv on ln in a background goroutine and
+// returns the handle the caller waits on. The caller keeps ownership of
+// srv's configuration; StartHTTP only runs it.
+func StartHTTP(name string, srv *http.Server, ln net.Listener, stderr io.Writer) *HTTPService {
+	h := &HTTPService{name: name, srv: srv, errCh: make(chan error, 1), stderr: stderr}
+	go func() { h.errCh <- srv.Serve(ln) }()
+	return h
+}
+
+// WaitAndDrain blocks until the context is cancelled (the signal path) or
+// the server dies on its own (the crash path), then drains and returns
+// the process exit code: 0 for a complete drain, 1 for anything less.
+//
+// On cancellation, beforeDrain (if non-nil) runs first — the hook where a
+// server flips its /readyz to not-ready so load balancers stop sending
+// traffic before the listener closes. Then in-flight requests get up to
+// drain to finish; an incomplete drain reports "drain incomplete" on
+// stderr and returns 1 without ever claiming a clean exit.
+func (h *HTTPService) WaitAndDrain(ctx context.Context, drain time.Duration, beforeDrain func()) int {
+	select {
+	case err := <-h.errCh:
+		// The listener died out from under us — a crash, not a drain.
+		fmt.Fprintf(h.stderr, "%s: %v\n", h.name, err)
+		return 1
+	case <-ctx.Done():
+	}
+	if beforeDrain != nil {
+		beforeDrain()
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := h.srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(h.stderr, "%s: drain incomplete: %v\n", h.name, err)
+		return 1
+	}
+	if err := <-h.errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(h.stderr, "%s: %v\n", h.name, err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A clean drain — no requests in flight — exits 0 and reports nothing.
+func TestWaitAndDrainClean(t *testing.T) {
+	var stderr bytes.Buffer
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})}
+	h := StartHTTP("svc", srv, ln, &stderr)
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	flipped := false
+	if code := h.WaitAndDrain(ctx, time.Second, func() { flipped = true }); code != 0 {
+		t.Fatalf("clean drain exit code = %d, stderr: %s", code, stderr.String())
+	}
+	if !flipped {
+		t.Error("beforeDrain hook did not run")
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("clean drain wrote to stderr: %s", stderr.String())
+	}
+}
+
+// Regression: a drain that times out with a request still in flight must
+// exit non-zero and say so — not report success. (The failure mode this
+// locks out: a supervisor sees exit 0, restarts nothing, and the hung
+// request's caller waits forever against a half-dead process.)
+func TestWaitAndDrainIncompleteExitsNonZero(t *testing.T) {
+	var stderr bytes.Buffer
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enterOnce sync.Once
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		enterOnce.Do(func() { close(entered) })
+		<-release // stuck until the test lets go
+		fmt.Fprintln(w, "late")
+	})}
+	h := StartHTTP("svc", srv, ln, &stderr)
+	defer close(release)
+
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered // the stuck request is in flight
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code := h.WaitAndDrain(ctx, 50*time.Millisecond, nil)
+	if code == 0 {
+		t.Fatal("incomplete drain exited 0 — the regression this test exists to catch")
+	}
+	if !strings.Contains(stderr.String(), "drain incomplete") {
+		t.Errorf("stderr = %q, want a drain-incomplete report", stderr.String())
+	}
+}
+
+// The crash path: a listener dying on its own (not via Shutdown) is a
+// non-zero exit.
+func TestWaitAndDrainListenerDeath(t *testing.T) {
+	var stderr bytes.Buffer
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.NewServeMux()}
+	h := StartHTTP("svc", srv, ln, &stderr)
+	ln.Close() // kill the listener out from under Serve
+	if code := h.WaitAndDrain(context.Background(), time.Second, nil); code != 1 {
+		t.Fatalf("listener death exit code = %d", code)
+	}
+	if stderr.Len() == 0 {
+		t.Error("listener death reported nothing")
+	}
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+
+	"iolayers/internal/obsv"
+)
+
+// Prober defaults: fast enough that a flapped replica is benched within a
+// second, slow enough to be free.
+const (
+	DefaultProbeInterval = 1 * time.Second
+	DefaultProbeTimeout  = 1 * time.Second
+	// DefaultProbePath is what the prober GETs: readiness, not liveness —
+	// a replica that is alive but still replaying its lake must not
+	// receive traffic yet.
+	DefaultProbePath = "/readyz"
+)
+
+// prober actively health-checks every backend on a fixed cadence. Probe
+// results flow into the same accounting live traffic uses (the health bit
+// and the breaker), so a replica with no traffic still recovers: the
+// probe is the trial request its breaker is waiting for.
+type prober struct {
+	backends []*Backend
+	client   *http.Client
+	path     string
+	interval time.Duration
+	metrics  probeMetrics
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// probeMetrics are the prober's counters; nil handles are the disabled
+// state, per the obsv convention.
+type probeMetrics struct {
+	ok   *obsv.Counter
+	fail *obsv.Counter
+}
+
+func newProber(backends []*Backend, timeout, interval time.Duration, path string, m probeMetrics) *prober {
+	if timeout <= 0 {
+		timeout = DefaultProbeTimeout
+	}
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	if path == "" {
+		path = DefaultProbePath
+	}
+	return &prober{
+		backends: backends,
+		client:   &http.Client{Timeout: timeout},
+		path:     path,
+		interval: interval,
+		metrics:  m,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+func (p *prober) run() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	p.sweep()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			p.sweep()
+		}
+	}
+}
+
+// sweep fires one probe per backend, each in its own goroutine so one
+// stalled replica does not delay the others' probes. A backend whose
+// previous probe is still in flight is skipped — its timeout will settle
+// the verdict.
+func (p *prober) sweep() {
+	for _, be := range p.backends {
+		if !be.probing.CompareAndSwap(false, true) {
+			continue
+		}
+		go func(be *Backend) {
+			defer be.probing.Store(false)
+			p.probe(be)
+		}(be)
+	}
+}
+
+func (p *prober) probe(be *Backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.client.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, be.URL(p.path), nil)
+	if err != nil {
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.metrics.fail.Add(1)
+		be.healthy.Store(false)
+		be.breaker.Failure()
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Not-ready (503 during lake replay/compaction) or any other
+		// surprise: bench the replica but leave the breaker alone — the
+		// process is alive and answering, it just asked not to be routed
+		// to.
+		p.metrics.fail.Add(1)
+		be.healthy.Store(false)
+		return
+	}
+	p.metrics.ok.Add(1)
+	be.healthy.Store(true)
+	be.breaker.Success()
+}
+
+func (p *prober) close() {
+	close(p.stop)
+	<-p.done
+}

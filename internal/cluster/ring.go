@@ -1,0 +1,139 @@
+// Package cluster is the scale-out serving layer: a thin router in front
+// of N ioserved replicas that keeps answering queries byte-identically
+// while individual replicas go slow or dark — the serving-side mirror of
+// the degraded-server behavior the paper measured on production I/O
+// subsystems (individual servers flap, the aggregate keeps delivering).
+//
+// The pieces, bottom up:
+//
+//   - Ring: a consistent-hash ring assigning each dataset to a stable,
+//     ordered set of owner replicas (replication factor ≥ 2), so losing a
+//     replica moves only that replica's share of the keyspace.
+//   - Breaker: a closed/open/half-open circuit breaker with jittered
+//     exponential backoff, one per backend, fed by both live traffic and
+//     active health probes.
+//   - Backend: one replica as the router sees it — base URL, breaker,
+//     bounded in-flight slots, and a health bit maintained by the prober.
+//   - Router: the HTTP front door. Reports route to the dataset's owners
+//     with failover; /v1/compare scatter/gathers across the shards that
+//     own each side; ingests fan out to every owner; per-tenant API keys
+//     and token-bucket rate limits are enforced at the edge.
+//
+// Everything upstream-visible stays byte-identical to a single ioserved:
+// the router never rewrites report bodies, and the gathered compare
+// document is built by the same serve code that renders it single-node.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-replica virtual-node count when the
+// caller does not choose: high enough that ownership splits evenly across
+// a handful of replicas, cheap enough to rebuild instantly.
+const DefaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over replica names. Keys
+// (dataset names) hash onto the ring and are owned by the next distinct
+// replicas clockwise — so each key has a stable owner order, and removing
+// a replica only reassigns the keys it owned.
+type Ring struct {
+	names  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int // index into names
+}
+
+// NewRing builds a ring over the given replica names with vnodes virtual
+// nodes per replica (0 means DefaultVirtualNodes). Names must be non-empty
+// and unique — ownership is a pure function of the name set, independent
+// of order.
+func NewRing(names []string, vnodes int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one replica")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := map[string]bool{}
+	r := &Ring{
+		names:  append([]string(nil), names...),
+		points: make([]ringPoint, 0, len(names)*vnodes),
+	}
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("cluster: empty replica name")
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate replica name %q", name)
+		}
+		seen[name] = true
+		h := hash64(name)
+		for v := 0; v < vnodes; v++ {
+			// Derive each virtual point from the replica's own hash so the
+			// point set — and therefore ownership — does not depend on the
+			// order replicas were listed in.
+			r.points = append(r.points, ringPoint{hash: splitmix(h ^ uint64(v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.names[r.points[a].idx] < r.names[r.points[b].idx]
+	})
+	return r, nil
+}
+
+// Len returns the number of replicas on the ring.
+func (r *Ring) Len() int { return len(r.names) }
+
+// Owners returns the indices (into the name list NewRing was given) of
+// the rf distinct replicas owning key, primary first. rf is clamped to
+// the replica count.
+func (r *Ring) Owners(key string, rf int) []int {
+	if rf <= 0 {
+		rf = 1
+	}
+	if rf > len(r.names) {
+		rf = len(r.names)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]int, 0, rf)
+	taken := make(map[int]bool, rf)
+	for i := 0; i < len(r.points) && len(owners) < rf; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !taken[p.idx] {
+			taken[p.idx] = true
+			owners = append(owners, p.idx)
+		}
+	}
+	return owners
+}
+
+// hash64 is FNV-1a finished with a SplitMix64 avalanche — FNV alone mixes
+// short keys poorly in the high bits the ring search keys on.
+func hash64(s string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return splitmix(h)
+}
+
+// splitmix is the SplitMix64 finalizer (the same mixer the fault injector
+// uses for deterministic membership).
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

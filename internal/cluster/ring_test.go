@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingRejectsBadNames(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	names := []string{"r0:8080", "r1:8080", "r2:8080"}
+	ring, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		owners := ring.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("key %q: %d owners, want 2", key, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("key %q: duplicate owner %d", key, owners[0])
+		}
+		// Stability: asking again gives the same answer.
+		again := ring.Owners(key, 2)
+		if owners[0] != again[0] || owners[1] != again[1] {
+			t.Fatalf("key %q: owners not stable: %v then %v", key, owners, again)
+		}
+	}
+}
+
+func TestRingOwnersClamped(t *testing.T) {
+	ring, err := NewRing([]string{"a", "b"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.Owners("k", 5); len(got) != 2 {
+		t.Errorf("rf=5 over 2 replicas gave %d owners", len(got))
+	}
+	if got := ring.Owners("k", 0); len(got) != 1 {
+		t.Errorf("rf=0 gave %d owners, want 1", len(got))
+	}
+}
+
+// Ownership is a function of the name set, not the order replicas were
+// listed in — two routers configured with the same fleet in different
+// orders must agree on every dataset's owners.
+func TestRingOrderIndependent(t *testing.T) {
+	a, err := NewRing([]string{"r0", "r1", "r2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"r2", "r0", "r1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("ds-%d", i)
+		oa, ob := a.Owners(key, 2), b.Owners(key, 2)
+		for j := range oa {
+			if nameOf(a, oa[j]) != nameOf(b, ob[j]) {
+				t.Fatalf("key %q: owner %d differs by listing order: %s vs %s",
+					key, j, nameOf(a, oa[j]), nameOf(b, ob[j]))
+			}
+		}
+	}
+}
+
+func nameOf(r *Ring, idx int) string { return r.names[idx] }
+
+// Removing one replica must only move the keys it owned: every key whose
+// primary survives keeps that primary.
+func TestRingMinimalReshuffle(t *testing.T) {
+	full, err := NewRing([]string{"r0", "r1", "r2", "r3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := NewRing([]string{"r0", "r1", "r2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("ds-%d", i)
+		before := nameOf(full, full.Owners(key, 1)[0])
+		after := nameOf(smaller, smaller.Owners(key, 1)[0])
+		if before == "r3" {
+			continue // its keys had to move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d/%d keys with a surviving primary still moved", moved, n)
+	}
+}
+
+// The ring spreads primaries roughly evenly: no replica should own a
+// wildly disproportionate share of the keyspace.
+func TestRingBalance(t *testing.T) {
+	names := []string{"r0", "r1", "r2", "r3", "r4"}
+	ring, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(names))
+	const n = 5000
+	for i := 0; i < n; i++ {
+		counts[ring.Owners(fmt.Sprintf("ds-%d", i), 1)[0]]++
+	}
+	want := float64(n) / float64(len(names))
+	for i, c := range counts {
+		if ratio := float64(c) / want; math.Abs(ratio-1) > 0.5 {
+			t.Errorf("replica %s owns %d/%d primaries (%.0f%% of fair share)",
+				names[i], c, n, ratio*100)
+		}
+	}
+}

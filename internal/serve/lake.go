@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"iolayers/internal/analysis"
 	"iolayers/internal/checkpoint"
@@ -85,6 +86,10 @@ type Lake struct {
 	dir          string
 	compactEvery int
 	metrics      *obsv.Registry
+
+	// compacting counts compaction passes in flight, feeding the store's
+	// maintenance view of readiness.
+	compacting atomic.Int32
 
 	mu      sync.Mutex
 	journal *checkpoint.Journal
@@ -186,12 +191,17 @@ func (l *Lake) maybeCompact(snap *Snapshot) {
 	if l.compactEvery < 0 || live < l.compactEvery {
 		return
 	}
+	l.compacting.Add(1)
+	defer l.compacting.Add(-1)
 	if err := l.compact(snap); err != nil {
 		l.metrics.Counter("serve.lake.compact_errors").Add(1)
 		return
 	}
 	l.metrics.Counter("serve.lake.compactions").Add(1)
 }
+
+// Compacting reports whether a compaction pass is in flight.
+func (l *Lake) Compacting() bool { return l.compacting.Load() > 0 }
 
 func (l *Lake) compact(snap *Snapshot) error {
 	timer := l.metrics.Span("lake-compact").Begin()

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"iolayers/internal/core"
@@ -15,6 +18,11 @@ import (
 // DefaultMaxInFlight bounds concurrently-executing query requests when the
 // caller does not choose a bound.
 const DefaultMaxInFlight = 64
+
+// DefaultQueryTimeout bounds one query handler's execution when the caller
+// does not choose: long enough for any honest render, short enough that a
+// wedged one cannot hold a concurrency slot for the life of the process.
+const DefaultQueryTimeout = 30 * time.Second
 
 // Config configures a Server.
 type Config struct {
@@ -28,6 +36,11 @@ type Config struct {
 	// requests are rejected immediately with 429 and Retry-After rather
 	// than queued (0 means DefaultMaxInFlight).
 	MaxInFlight int
+	// QueryTimeout bounds each query handler's execution: a request still
+	// running at the deadline gets 503 + Retry-After and releases its
+	// concurrency slot immediately, so a stuck render can never pin the
+	// server's capacity (0 means DefaultQueryTimeout, negative disables).
+	QueryTimeout time.Duration
 	// CacheBytes bounds the rendered-report LRU (0 means
 	// DefaultCacheBytes).
 	CacheBytes int64
@@ -38,16 +51,30 @@ type Config struct {
 
 // Server answers report queries over HTTP. Create with New, mount with
 // Handler.
+//
+// Liveness and readiness are distinct surfaces: /healthz answers "the
+// process is up" unconditionally, while /readyz answers "route traffic
+// here" — false while the caller holds readiness down (SetReady, e.g.
+// before the initial lake replay and ingests finish) and while the store
+// is inside a maintenance pass such as lake compaction.
 type Server struct {
 	store         *Store
 	cache         *Cache
 	sem           chan struct{}
 	metrics       *obsv.Registry
 	ingestWorkers int
+	queryTimeout  time.Duration
+	ready         atomic.Bool
 	mux           *http.ServeMux
+
+	// testStall, when set by tests, runs inside the deadline-bounded
+	// goroutine before the handler — the hook for simulating a wedged
+	// render.
+	testStall func(endpoint string, r *http.Request)
 }
 
-// New builds a Server over cfg.Store.
+// New builds a Server over cfg.Store. The server starts ready; callers
+// that recover state before serving flip readiness with SetReady.
 func New(cfg Config) *Server {
 	if cfg.Store == nil {
 		cfg.Store = NewStore()
@@ -56,18 +83,25 @@ func New(cfg Config) *Server {
 	if inflight <= 0 {
 		inflight = DefaultMaxInFlight
 	}
+	timeout := cfg.QueryTimeout
+	if timeout == 0 {
+		timeout = DefaultQueryTimeout
+	}
 	s := &Server{
 		store:         cfg.Store,
 		cache:         NewCache(cfg.CacheBytes),
 		sem:           make(chan struct{}, inflight),
 		metrics:       cfg.Metrics,
 		ingestWorkers: cfg.IngestWorkers,
+		queryTimeout:  timeout,
 	}
+	s.ready.Store(true)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /v1/datasets", s.bounded("datasets", s.handleDatasets))
 	s.mux.HandleFunc("GET /v1/report/{dataset}", s.bounded("report", s.handleReport))
 	s.mux.HandleFunc("GET /v1/compare/{a}/{b}", s.bounded("compare", s.handleCompare))
@@ -88,11 +122,38 @@ func New(cfg Config) *Server {
 // Handler returns the service's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// SetReady flips the readiness gate /readyz reports. It does not affect
+// query handling — a not-ready server still answers whatever it has —
+// only what the server advertises to routers and load balancers.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports whether the server currently advertises readiness:
+// the gate is up and the store is not inside a maintenance pass.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.store.InMaintenance() }
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case !s.ready.Load():
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready: recovering")
+	case s.store.InMaintenance():
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready: maintenance")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
 // bounded wraps a query handler with the concurrency gate: acquire a slot
 // or reject immediately with 429 + Retry-After (load-shedding beats
 // queueing for a service whose responses are cheap once cached), then
-// record latency and in-flight depth.
+// record latency and in-flight depth. Inside the slot the handler runs
+// under the query deadline.
 func (s *Server) bounded(name string, fn http.HandlerFunc) http.HandlerFunc {
+	timed := s.deadlined(name, fn)
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
@@ -107,8 +168,67 @@ func (s *Server) bounded(name string, fn http.HandlerFunc) http.HandlerFunc {
 			<-s.sem
 			s.metrics.Gauge("serve.inflight").Set(float64(len(s.sem)))
 		}()
-		s.instrumented(name, fn)(w, r)
+		s.instrumented(name, timed)(w, r)
 	}
+}
+
+// deadlined bounds one query handler's execution with the server's query
+// timeout. The handler runs in its own goroutine against a buffered
+// response; if it beats the deadline the buffer is flushed verbatim, and
+// if not the caller gets 503 + Retry-After while the stuck goroutine is
+// abandoned to finish against the buffer — crucially *after* the
+// concurrency slot is released, so a wedged render costs one goroutine,
+// not a semaphore slot forever.
+func (s *Server) deadlined(name string, fn http.HandlerFunc) http.HandlerFunc {
+	if s.queryTimeout <= 0 {
+		return fn
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		buf := &bufferedResponse{header: http.Header{}, code: http.StatusOK}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if s.testStall != nil {
+				s.testStall(name, r)
+			}
+			fn(buf, r)
+		}()
+		select {
+		case <-done:
+			buf.flush(w)
+		case <-ctx.Done():
+			s.metrics.Counter("serve.query_timeouts").Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("query exceeded the %v server-side deadline", s.queryTimeout))
+		}
+	}
+}
+
+// bufferedResponse is the in-memory ResponseWriter a deadlined handler
+// renders into, so a timed-out handler can never race the real connection.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) { b.code = code }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+func (b *bufferedResponse) flush(w http.ResponseWriter) {
+	dst := w.Header()
+	for k, vs := range b.header {
+		dst[k] = vs
+	}
+	w.WriteHeader(b.code)
+	w.Write(b.body.Bytes())
 }
 
 // instrumented records per-endpoint request counts and wall latency.
@@ -134,56 +254,19 @@ func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {
-	data, err := json.MarshalIndent(v, "", "  ")
+	data, err := MarshalDoc(v)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(append(data, '\n'))
-}
-
-// summaryJSON mirrors analysis.Summary with stable JSON names (the same
-// shape report.Document uses).
-type summaryJSON struct {
-	System    string  `json:"system"`
-	Logs      int64   `json:"logs"`
-	Jobs      int64   `json:"jobs"`
-	Files     int64   `json:"files"`
-	NodeHours float64 `json:"node_hours"`
-}
-
-func summaryOf(snap *Snapshot) summaryJSON {
-	sum := snap.Report.Summary
-	return summaryJSON{
-		System: sum.System, Logs: sum.Logs, Jobs: sum.Jobs,
-		// Canonicalized for the same reason report.Document does it: the
-		// raw sum's last bits are partition-order noise.
-		Files: sum.Files, NodeHours: report.CanonicalNodeHours(sum.NodeHours),
-	}
-}
-
-// datasetInfo is one row of the /v1/datasets listing.
-type datasetInfo struct {
-	Name       string      `json:"name"`
-	System     string      `json:"system"`
-	Generation uint64      `json:"generation"`
-	Summary    summaryJSON `json:"summary"`
-	Sources    []string    `json:"sources"`
-}
-
-type datasetsResponse struct {
-	SchemaVersion int           `json:"schema_version"`
-	Datasets      []datasetInfo `json:"datasets"`
+	w.Write(data)
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
-	resp := datasetsResponse{SchemaVersion: report.SchemaVersion, Datasets: []datasetInfo{}}
+	resp := DatasetsDoc{SchemaVersion: report.SchemaVersion, Datasets: []DatasetRow{}}
 	for _, snap := range s.store.List() {
-		resp.Datasets = append(resp.Datasets, datasetInfo{
-			Name: snap.Name, System: snap.System, Generation: snap.Gen,
-			Summary: summaryOf(snap), Sources: snap.Sources,
-		})
+		resp.Datasets = append(resp.Datasets, RowOf(snap))
 	}
 	s.writeJSON(w, resp)
 }
@@ -239,31 +322,6 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, body)
 }
 
-// compareSide is one dataset's half of a /v1/compare response.
-type compareSide struct {
-	Name       string      `json:"name"`
-	System     string      `json:"system"`
-	Generation uint64      `json:"generation"`
-	Summary    summaryJSON `json:"summary"`
-}
-
-// compareResponse sets two datasets' campaign summaries side by side —
-// the cross-system reading the paper's Tables 2–6 are built around.
-type compareResponse struct {
-	SchemaVersion int         `json:"schema_version"`
-	A             compareSide `json:"a"`
-	B             compareSide `json:"b"`
-	// Delta is b minus a, fieldwise.
-	Delta summaryDelta `json:"delta"`
-}
-
-type summaryDelta struct {
-	Logs      int64   `json:"logs"`
-	Jobs      int64   `json:"jobs"`
-	Files     int64   `json:"files"`
-	NodeHours float64 `json:"node_hours"`
-}
-
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	nameA, nameB := r.PathValue("a"), r.PathValue("b")
 	for _, n := range []string{nameA, nameB} {
@@ -292,22 +350,11 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Counter("serve.cache.misses").Add(1)
-	a, b := summaryOf(snapA), summaryOf(snapB)
-	resp := compareResponse{
-		SchemaVersion: report.SchemaVersion,
-		A:             compareSide{Name: snapA.Name, System: snapA.System, Generation: snapA.Gen, Summary: a},
-		B:             compareSide{Name: snapB.Name, System: snapB.System, Generation: snapB.Gen, Summary: b},
-		Delta: summaryDelta{
-			Logs: b.Logs - a.Logs, Jobs: b.Jobs - a.Jobs,
-			Files: b.Files - a.Files, NodeHours: b.NodeHours - a.NodeHours,
-		},
-	}
-	data, err := json.MarshalIndent(resp, "", "  ")
+	data, err := CompareDocument(RowOf(snapA), RowOf(snapB))
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	data = append(data, '\n')
 	s.cache.Put(key, "application/json", data)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", "miss")
@@ -327,13 +374,13 @@ type ingestRequest struct {
 }
 
 type ingestResponse struct {
-	SchemaVersion int         `json:"schema_version"`
-	Dataset       string      `json:"dataset"`
-	System        string      `json:"system"`
-	Generation    uint64      `json:"generation"`
-	Parsed        int         `json:"parsed"`
-	Failed        int         `json:"failed"`
-	Summary       summaryJSON `json:"summary"`
+	SchemaVersion int        `json:"schema_version"`
+	Dataset       string     `json:"dataset"`
+	System        string     `json:"system"`
+	Generation    uint64     `json:"generation"`
+	Parsed        int        `json:"parsed"`
+	Failed        int        `json:"failed"`
+	Summary       SummaryDoc `json:"summary"`
 }
 
 // maxIngestBody bounds the ingest request document.

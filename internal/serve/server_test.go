@@ -241,7 +241,7 @@ func TestDatasetsAndCompare(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("datasets status %d", resp.StatusCode)
 	}
-	var dsResp datasetsResponse
+	var dsResp DatasetsDoc
 	if err := json.Unmarshal(body, &dsResp); err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestDatasetsAndCompare(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("compare status %d: %s", resp.StatusCode, body)
 	}
-	var cmp compareResponse
+	var cmp CompareDoc
 	if err := json.Unmarshal(body, &cmp); err != nil {
 		t.Fatal(err)
 	}

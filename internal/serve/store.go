@@ -69,6 +69,10 @@ type Store struct {
 	// lake, when non-nil, makes generations durable: each ingest commits a
 	// segment + journal record before publishing (see lake.go).
 	lake *Lake
+	// maint counts maintenance passes in flight — lake replay and
+	// compaction — the phases during which the server's /readyz reports
+	// not-ready so routers stop sending traffic here.
+	maint atomic.Int32
 }
 
 // NewStore builds an empty, memory-only store.
@@ -81,12 +85,41 @@ func NewStore() *Store {
 // before the store is returned, and every subsequent ingest is made
 // durable before it is visible.
 func NewStoreWithLake(l *Lake) (*Store, error) {
-	s := NewStore()
-	s.lake = l
-	if err := l.Recover(s); err != nil {
+	s := NewStoreAttached(l)
+	if err := s.RecoverLake(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// NewStoreAttached builds a store wired to the lake without recovering
+// it — for servers that want to start answering health checks first and
+// replay the journal behind a not-ready /readyz (call RecoverLake before
+// accepting query traffic for the recovered datasets).
+func NewStoreAttached(l *Lake) *Store {
+	s := NewStore()
+	s.lake = l
+	return s
+}
+
+// RecoverLake replays the attached lake's journal, republishing every
+// committed dataset at its last committed generation. The store counts
+// as in maintenance for the duration. No-op without a lake.
+func (s *Store) RecoverLake() error {
+	if s.lake == nil {
+		return nil
+	}
+	s.maint.Add(1)
+	defer s.maint.Add(-1)
+	return s.lake.Recover(s)
+}
+
+// InMaintenance reports whether a maintenance pass — lake replay or
+// compaction — is in flight. Readiness, not liveness: queries still
+// answer from whatever is published, but routers should prefer replicas
+// that are not mid-maintenance.
+func (s *Store) InMaintenance() bool {
+	return s.maint.Load() > 0 || (s.lake != nil && s.lake.Compacting())
 }
 
 // publishRecovered installs a lake-recovered snapshot. Recovery runs
