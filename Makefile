@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet staticcheck govulncheck build test race race-short bench benchcheck fuzz serve-smoke cluster-smoke
+.PHONY: check vet staticcheck govulncheck build test race race-short bench benchcheck fuzz serve-smoke cluster-smoke load-smoke
 
 ## check: the full CI gate — vet, staticcheck + govulncheck (when
 ## installed), build, and the test suite under the race detector
@@ -64,6 +64,14 @@ serve-smoke:
 ## replicas on their lakes, and require a graceful router drain
 cluster-smoke:
 	scripts/cluster_smoke.sh
+
+## load-smoke: the SLO gate — three fixture-booted replicas behind the
+## router, ioloadtest's open-loop 1k-client scenario checked against
+## slo_baseline.json (zero byte-divergent 200s, bounded error rate), and
+## a degraded replica that must FAIL the gate. Scale up with
+## LOAD_SCALE=10 for a local 10k-client soak.
+load-smoke:
+	scripts/load_smoke.sh
 
 ## fuzz: short fuzzing smoke over the untrusted-input decoders; -fuzz must
 ## match exactly one target, hence two invocations

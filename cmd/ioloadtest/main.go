@@ -1,0 +1,190 @@
+// Command ioloadtest is the open-loop load generator and SLO gate for
+// the query tier: it offers a declared request mix (report renders,
+// compare scatter/gathers, dataset listings, periodic ingest bursts,
+// rotating multi-tenant API keys) at a fixed arrival rate against an
+// ioserved or iorouter URL, measures per-endpoint latency distributions
+// in HDR histograms from each request's *scheduled* arrival time (no
+// coordinated omission), and classifies every outcome: ok, throttled
+// (429 — the router doing its job, not an error), shed (the generator's
+// own client cap), unauthorized, client/server/network errors, and
+// byte-divergent 200s (two bodies for the same URL at the same dataset
+// generation — a replica-identity bug, always fatal to the SLO gate).
+//
+// Usage:
+//
+//	ioloadtest -target http://host:port -scenario scenario.toml
+//	           [-duration 10s] [-rate 2000] [-clients 1000] [-seed 7]
+//	           [-scale 1.0] [-apikey KEY]... [-out summary.json]
+//	           [-check slo_baseline.json [-update]] [-q]
+//	ioloadtest -make-fixture DIR [-fixture-logs 32] [-fixture-seed 1]
+//	           [-system summit]
+//
+// The scenario file is a small declarative TOML subset (see
+// internal/loadtest); -duration/-rate/-clients/-seed override its
+// fields, and -scale multiplies rate and clients so the same committed
+// scenario serves a 1k-client CI gate and a 10k-client local soak.
+// Same seed, same schedule: the arrival timeline and request sequence
+// replay exactly.
+//
+// With -check the run is gated against a committed SLO baseline:
+// per-scenario p50/p99/p999 latency bands, max error rate, min
+// throughput, and a zero-divergence pin, with a tolerance multiplier
+// that scales latency/throughput bands but never excuses errors.
+// -update regenerates the scenario's baseline entry from this run (3x
+// latency headroom, half-throughput floor) instead of checking.
+//
+// -make-fixture writes a deterministic corpus (same bytes for the same
+// seed, see serve.WriteFixture) and exits — scripts use it to build the
+// source directory that ingest-burst scenarios POST through the router.
+//
+// Exit status: 0 clean, 1 SLO violation, 2 usage or run errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iolayers/internal/cli"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/loadtest"
+	"iolayers/internal/serve"
+)
+
+func main() {
+	var apikeys []string
+	var (
+		target      = flag.String("target", "", "base URL of the ioserved or iorouter under test")
+		scenarioF   = flag.String("scenario", "", "scenario TOML file (required unless -make-fixture)")
+		duration    = flag.Duration("duration", 0, "override the scenario duration")
+		rate        = flag.Float64("rate", 0, "override the offered arrival rate (req/s)")
+		clients     = flag.Int("clients", 0, "override the concurrent client cap")
+		seed        = flag.Uint64("seed", 0, "override the scenario seed")
+		scale       = flag.Float64("scale", 1, "multiply rate and clients (0.1 = one tenth the load)")
+		ingestSrc   = flag.String("ingest-source", "", "override the corpus path ingest operations POST (scenario files cannot know per-run temp dirs)")
+		out         = flag.String("out", "", "write the summary JSON here")
+		check       = flag.String("check", "", "gate the run against this SLO baseline file")
+		update      = flag.Bool("update", false, "with -check: regenerate the baseline entry from this run")
+		quiet       = flag.Bool("q", false, "suppress per-second progress lines")
+		makeFixture = flag.String("make-fixture", "", "write a deterministic fixture corpus to this directory and exit")
+		fxLogs      = flag.Int("fixture-logs", 32, "with -make-fixture: how many logs to write")
+		fxSeed      = flag.Uint64("fixture-seed", 1, "with -make-fixture: corpus seed")
+		system      = flag.String("system", "summit", "with -make-fixture: system profile")
+	)
+	flag.Func("apikey", "rotate this API key into requests (repeatable; overrides the scenario's list)", func(v string) error {
+		apikeys = append(apikeys, v)
+		return nil
+	})
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ioloadtest: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	if *makeFixture != "" {
+		sys := systems.ByName(*system)
+		if sys == nil {
+			fail("unknown system %q", *system)
+		}
+		if err := serve.WriteFixture(*makeFixture, sys, *fxLogs, *fxSeed); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ioloadtest: wrote %d fixture logs (seed %d) to %s\n",
+			*fxLogs, *fxSeed, *makeFixture)
+		return
+	}
+
+	if *scenarioF == "" {
+		fail("need -scenario (or -make-fixture)")
+	}
+	if *target == "" {
+		fail("need -target")
+	}
+	sc, err := loadtest.ParseScenarioFile(*scenarioF)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *duration > 0 {
+		sc.Duration = *duration
+	}
+	if *rate > 0 {
+		sc.Rate = *rate
+	}
+	if *clients > 0 {
+		sc.Clients = *clients
+	}
+	if *seed > 0 {
+		sc.Seed = *seed
+	}
+	if len(apikeys) > 0 {
+		sc.APIKeys = apikeys
+	}
+	if *ingestSrc != "" {
+		sc.IngestSource = *ingestSrc
+	}
+	if *scale != 1 {
+		if err := sc.Scale(*scale); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	ctx, cancel := cli.SignalContext("ioloadtest")
+	defer cancel()
+	opts := loadtest.Options{Target: *target}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ioloadtest: "+format+"\n", args...)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ioloadtest: scenario %q -> %s: %.0f req/s x %v, %d clients, seed %d\n",
+		sc.Name, *target, sc.Rate, sc.Duration, sc.Clients, sc.Seed)
+	res, err := loadtest.Run(ctx, sc, opts)
+	if err != nil {
+		fail("%v", err)
+	}
+	res.Render(os.Stdout)
+
+	if *out != "" {
+		if err := res.WriteJSONFile(*out); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ioloadtest: summary written to %s\n", *out)
+	}
+
+	if *check == "" {
+		return
+	}
+	if *update {
+		base := &loadtest.Baseline{}
+		if prev, err := loadtest.LoadBaseline(*check); err == nil {
+			base = prev
+		} else if !os.IsNotExist(err) {
+			// A malformed existing baseline should not be silently
+			// replaced; an absent one is the bootstrap case.
+			if _, statErr := os.Stat(*check); statErr == nil {
+				fail("%v", err)
+			}
+		}
+		base.UpdateFrom(res)
+		if err := base.WriteJSONFile(*check); err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ioloadtest: baseline %s updated for scenario %q\n", *check, sc.Name)
+		return
+	}
+	base, err := loadtest.LoadBaseline(*check)
+	if err != nil {
+		fail("%v", err)
+	}
+	violations := base.Check(res)
+	if len(violations) == 0 {
+		fmt.Fprintf(os.Stderr, "ioloadtest: SLO check passed against %s\n", *check)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "ioloadtest: %d SLO violation(s) against %s:\n", len(violations), *check)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
+	os.Exit(1)
+}

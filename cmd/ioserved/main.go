@@ -38,8 +38,13 @@
 //
 // -ingest may repeat; each path (directory, .dgar archive, or single
 // .darshan log) folds into the -dataset dataset before the server reports
-// ready. With -addr-file the bound address is written to the given path
-// once the server is ready — for scripts that start the service on ":0".
+// ready. -fixture name:logs[:seed] (repeatable) synthesizes a
+// deterministic corpus (serve.WriteFixture — a pure function of system,
+// count, and seed) and ingests it at boot: replicas started with the
+// same spec publish byte-identical datasets, which is what the load-test
+// harness's divergence check leans on. With -addr-file the bound address
+// is written to the given path once the server is ready — for scripts
+// that start the service on ":0".
 //
 // With -lake the datasets are durable: every ingest commits an immutable
 // segment plus an fsync'd journal record under the lake directory before
@@ -89,6 +94,15 @@ func main() {
 	)
 	flag.Func("ingest", "ingest this source (dir, .dgar, or .darshan; repeatable) before serving", func(v string) error {
 		ingests = append(ingests, v)
+		return nil
+	})
+	var fixtures []serve.FixtureSpec
+	flag.Func("fixture", "synthesize a deterministic dataset at boot: name:logs[:seed] (repeatable; for load testing)", func(v string) error {
+		f, err := serve.ParseFixtureSpec(v)
+		if err != nil {
+			return err
+		}
+		fixtures = append(fixtures, f)
 		return nil
 	})
 	var common cli.CommonFlags
@@ -154,6 +168,34 @@ func main() {
 		for _, snap := range store.List() {
 			fmt.Fprintf(os.Stderr, "ioserved: recovered dataset %q gen %d (%d logs) from %s\n",
 				snap.Name, snap.Gen, snap.Report.Summary.Logs, *lakeDir)
+		}
+	}
+	// Fixture datasets first: a deterministic corpus is synthesized into a
+	// scratch directory and folded in like any other boot ingest. Replicas
+	// booted with the same -fixture spec publish byte-identical datasets —
+	// the load-test harness's ground truth.
+	for _, fx := range fixtures {
+		dir, err := os.MkdirTemp("", "ioserved-fixture-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ioserved: fixture scratch dir: %v\n", err)
+			os.Exit(1)
+		}
+		err = serve.WriteFixture(dir, sys, fx.Logs, fx.Seed)
+		if err == nil {
+			var snap *serve.Snapshot
+			var res core.IngestResult
+			snap, res, err = store.Ingest(ctx, fx.Name, sys, dir, core.IngestOptions{
+				Workers: common.Workers, Metrics: metrics,
+			})
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "ioserved: fixture dataset %q gen %d — %d deterministic logs (seed %d)\n",
+					snap.Name, snap.Gen, res.Parsed, fx.Seed)
+			}
+		}
+		os.RemoveAll(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ioserved: fixture %q: %v\n", fx.Name, err)
+			os.Exit(1)
 		}
 	}
 	for _, src := range ingests {

@@ -1,0 +1,186 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"iolayers/internal/obsv"
+)
+
+// ResultSchemaVersion stamps the summary JSON so downstream tooling can
+// detect shape changes.
+const ResultSchemaVersion = 1
+
+// OpResult is the measured outcome of one operation class (or, for
+// Result.Totals, of everything). The taxonomy is deliberate:
+//
+//   - Shed requests never left the generator (every client was busy) —
+//     offered load the service never saw.
+//   - Throttled (429) responses are the service working as designed
+//     under multi-tenant limits; they are not errors.
+//   - Unauthorized / ClientErrors / ServerErrors / NetErrors / Divergent
+//     are hard errors: ErrorRate counts exactly these.
+type OpResult struct {
+	Arrivals     uint64 `json:"arrivals"`
+	Shed         uint64 `json:"shed"`
+	OK           uint64 `json:"ok"`
+	Throttled    uint64 `json:"throttled"`
+	Unauthorized uint64 `json:"unauthorized"`
+	ClientErrors uint64 `json:"client_errors"`
+	ServerErrors uint64 `json:"server_errors"`
+	NetErrors    uint64 `json:"net_errors"`
+	Divergent    uint64 `json:"divergent"`
+
+	// ErrorRate is hard errors over completed (non-shed) requests.
+	ErrorRate float64 `json:"error_rate"`
+	// Throughput is successful (200) responses per wall-clock second.
+	Throughput float64 `json:"throughput_rps"`
+	// LatencyUS summarizes the operation's latency distribution in
+	// microseconds, measured from each request's scheduled arrival.
+	LatencyUS obsv.HDRQuantiles `json:"latency_us"`
+}
+
+// HardErrors is the error-taxonomy sum ErrorRate is computed over.
+func (o *OpResult) HardErrors() uint64 {
+	return o.Unauthorized + o.ClientErrors + o.ServerErrors + o.NetErrors + o.Divergent
+}
+
+// Completed is every arrival that actually ran: arrivals minus shed.
+func (o *OpResult) Completed() uint64 { return o.Arrivals - o.Shed }
+
+// Result is one load run's summary — what -out writes as JSON and what
+// the SLO gate checks.
+type Result struct {
+	SchemaVersion int     `json:"schema_version"`
+	Scenario      string  `json:"scenario"`
+	Seed          uint64  `json:"seed"`
+	Target        string  `json:"target"`
+	RateOffered   float64 `json:"rate_offered_rps"`
+	Clients       int     `json:"clients"`
+	DurationSec   float64 `json:"duration_sec"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+
+	Ops    map[string]*OpResult `json:"ops"`
+	Totals OpResult             `json:"totals"`
+
+	// DivergenceSamples holds the first few byte-identity violations,
+	// for the human reading a failed run.
+	DivergenceSamples []string `json:"divergence_samples,omitempty"`
+}
+
+// collect freezes the runner's counters into a Result.
+func (r *runner) collect(elapsed time.Duration) *Result {
+	res := &Result{
+		SchemaVersion: ResultSchemaVersion,
+		Scenario:      r.sc.Name,
+		Seed:          r.sc.Seed,
+		Target:        r.opts.Target,
+		RateOffered:   r.sc.Rate,
+		Clients:       r.sc.Clients,
+		DurationSec:   r.sc.Duration.Seconds(),
+		ElapsedSec:    elapsed.Seconds(),
+		Ops:           map[string]*OpResult{},
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := &obsv.HDR{}
+	for _, op := range Ops {
+		oc := r.ops[op]
+		if oc.arrivals == 0 {
+			continue
+		}
+		o := &OpResult{
+			Arrivals:     oc.arrivals,
+			Shed:         oc.shed,
+			OK:           oc.ok,
+			Throttled:    oc.throttled,
+			Unauthorized: oc.unauthorized,
+			ClientErrors: oc.clientErrors,
+			ServerErrors: oc.serverErrors,
+			NetErrors:    oc.netErrors,
+			Divergent:    oc.divergent,
+			LatencyUS:    oc.latency.Quantiles(),
+		}
+		finish(o, res.ElapsedSec)
+		res.Ops[string(op)] = o
+		res.Totals.Arrivals += o.Arrivals
+		res.Totals.Shed += o.Shed
+		res.Totals.OK += o.OK
+		res.Totals.Throttled += o.Throttled
+		res.Totals.Unauthorized += o.Unauthorized
+		res.Totals.ClientErrors += o.ClientErrors
+		res.Totals.ServerErrors += o.ServerErrors
+		res.Totals.NetErrors += o.NetErrors
+		res.Totals.Divergent += o.Divergent
+		total.Merge(oc.latency)
+	}
+	res.Totals.LatencyUS = total.Quantiles()
+	finish(&res.Totals, res.ElapsedSec)
+	res.DivergenceSamples = append([]string(nil), r.samples...)
+	return res
+}
+
+func finish(o *OpResult, elapsedSec float64) {
+	if c := o.Completed(); c > 0 {
+		o.ErrorRate = float64(o.HardErrors()) / float64(c)
+	}
+	if elapsedSec > 0 {
+		o.Throughput = float64(o.OK) / elapsedSec
+	}
+}
+
+// WriteJSON writes the summary with stable formatting (trailing newline,
+// two-space indent) so committed artifacts diff cleanly.
+func (res *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// WriteJSONFile writes the summary to path.
+func (res *Result) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("loadtest: %w", err)
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("loadtest: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Render writes the human summary table.
+func (res *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s  seed %d  target %s\n", res.Scenario, res.Seed, res.Target)
+	fmt.Fprintf(w, "offered %.0f req/s x %.0fs, %d clients; ran %.1fs\n",
+		res.RateOffered, res.DurationSec, res.Clients, res.ElapsedSec)
+	fmt.Fprintf(w, "%-10s %9s %7s %9s %7s %7s %8s %10s %10s %10s\n",
+		"op", "arrivals", "shed", "ok", "throttl", "errors", "err-rate", "p50(ms)", "p99(ms)", "p999(ms)")
+	names := make([]string, 0, len(res.Ops))
+	for name := range res.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	row := func(name string, o *OpResult) {
+		fmt.Fprintf(w, "%-10s %9d %7d %9d %7d %7d %7.2f%% %10.2f %10.2f %10.2f\n",
+			name, o.Arrivals, o.Shed, o.OK, o.Throttled, o.HardErrors(), o.ErrorRate*100,
+			float64(o.LatencyUS.P50)/1000, float64(o.LatencyUS.P99)/1000, float64(o.LatencyUS.P999)/1000)
+	}
+	for _, name := range names {
+		row(name, res.Ops[name])
+	}
+	row("TOTAL", &res.Totals)
+	fmt.Fprintf(w, "throughput %.1f ok/s, error rate %.3f%%, %d divergent bodies\n",
+		res.Totals.Throughput, res.Totals.ErrorRate*100, res.Totals.Divergent)
+	if len(res.DivergenceSamples) > 0 {
+		fmt.Fprintln(w, "divergence samples:")
+		for _, s := range res.DivergenceSamples {
+			fmt.Fprintf(w, "  %s\n", s)
+		}
+	}
+}

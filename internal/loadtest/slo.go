@@ -1,0 +1,192 @@
+package loadtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// BaselineSchemaVersion stamps slo_baseline.json.
+const BaselineSchemaVersion = 1
+
+// SLO is the committed service-level band for one operation class of one
+// scenario. Zero-valued fields are unchecked, so a baseline can pin only
+// what matters (CI pins error rate and throughput tightly but leaves
+// latency bands generous — shared runners have terrible clocks).
+type SLO struct {
+	// MaxErrorRate caps OpResult.ErrorRate. Note 429s are throttles,
+	// not errors — a tenant hitting its own limit is the router working.
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MinThroughput floors successful responses per second.
+	MinThroughput float64 `json:"min_throughput_rps,omitempty"`
+	// MaxP50US / MaxP99US / MaxP999US cap the latency quantiles, in
+	// microseconds measured from scheduled arrival.
+	MaxP50US  int64 `json:"max_p50_us,omitempty"`
+	MaxP99US  int64 `json:"max_p99_us,omitempty"`
+	MaxP999US int64 `json:"max_p999_us,omitempty"`
+	// MaxDivergent caps byte-identity violations; it defaults to zero —
+	// a single divergent 200 is a correctness bug, never acceptable.
+	MaxDivergent uint64 `json:"max_divergent"`
+}
+
+// Baseline is the committed SLO file: per-scenario, per-op bands plus a
+// shared tolerance.
+type Baseline struct {
+	SchemaVersion int `json:"schema_version"`
+	// Tolerance scales every latency and throughput band at check time:
+	// a quantile passes while observed <= band * Tolerance, throughput
+	// while observed >= floor / Tolerance. Error-rate and divergence
+	// caps are absolute — tolerance does not excuse errors. Zero means
+	// 1.0 (no slack).
+	Tolerance float64 `json:"tolerance"`
+	// Scenarios maps scenario name → op name (or "totals") → band.
+	Scenarios map[string]map[string]SLO `json:"scenarios"`
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("loadtest: parsing %s: %w", path, err)
+	}
+	if b.SchemaVersion != BaselineSchemaVersion {
+		return nil, fmt.Errorf("loadtest: %s has schema_version %d, this binary expects %d",
+			path, b.SchemaVersion, BaselineSchemaVersion)
+	}
+	return &b, nil
+}
+
+// Violation is one SLO breach, already formatted for humans.
+type Violation struct {
+	Scenario string `json:"scenario"`
+	Op       string `json:"op"`
+	Detail   string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s/%s: %s", v.Scenario, v.Op, v.Detail)
+}
+
+// Check compares a run against the baseline. A scenario missing from the
+// baseline is itself a violation — an ungated scenario silently passing
+// is how SLO gates rot. Ops present in the baseline but absent from the
+// run are violations too (the load never exercised what the gate pins).
+func (b *Baseline) Check(res *Result) []Violation {
+	tol := b.Tolerance
+	if tol <= 0 {
+		tol = 1
+	}
+	bands, ok := b.Scenarios[res.Scenario]
+	if !ok {
+		return []Violation{{Scenario: res.Scenario, Op: "-",
+			Detail: "scenario has no committed SLO baseline"}}
+	}
+	var out []Violation
+	names := make([]string, 0, len(bands))
+	for name := range bands {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		slo := bands[name]
+		var o *OpResult
+		if name == "totals" {
+			o = &res.Totals
+		} else {
+			o = res.Ops[name]
+		}
+		add := func(format string, args ...any) {
+			out = append(out, Violation{Scenario: res.Scenario, Op: name,
+				Detail: fmt.Sprintf(format, args...)})
+		}
+		if o == nil || o.Arrivals == 0 {
+			add("baseline pins this op but the run never issued it")
+			continue
+		}
+		if o.ErrorRate > slo.MaxErrorRate {
+			add("error rate %.4f exceeds max %.4f (%d hard errors / %d completed)",
+				o.ErrorRate, slo.MaxErrorRate, o.HardErrors(), o.Completed())
+		}
+		if o.Divergent > slo.MaxDivergent {
+			add("%d divergent 200s exceed max %d — replicas disagreed byte-for-byte",
+				o.Divergent, slo.MaxDivergent)
+		}
+		if slo.MinThroughput > 0 && o.Throughput < slo.MinThroughput/tol {
+			add("throughput %.1f ok/s below floor %.1f/tolerance %.2f = %.1f",
+				o.Throughput, slo.MinThroughput, tol, slo.MinThroughput/tol)
+		}
+		lat := func(name string, got, band int64) {
+			if band > 0 && float64(got) > float64(band)*tol {
+				add("%s %dus exceeds band %dus x tolerance %.2f", name, got, band, tol)
+			}
+		}
+		lat("p50", o.LatencyUS.P50, slo.MaxP50US)
+		lat("p99", o.LatencyUS.P99, slo.MaxP99US)
+		lat("p999", o.LatencyUS.P999, slo.MaxP999US)
+	}
+	return out
+}
+
+// UpdateFrom regenerates the baseline entry for res's scenario from its
+// measured numbers, with headroom: latency bands at 3x observed,
+// throughput floor at half observed, error-rate cap at twice observed
+// (but at least 0.5%), divergence pinned to zero regardless. The
+// headroom is what makes a regenerated baseline survive runner noise;
+// the tolerance field then absorbs machine-to-machine spread.
+func (b *Baseline) UpdateFrom(res *Result) {
+	if b.SchemaVersion == 0 {
+		b.SchemaVersion = BaselineSchemaVersion
+	}
+	if b.Tolerance == 0 {
+		b.Tolerance = 1.5
+	}
+	if b.Scenarios == nil {
+		b.Scenarios = map[string]map[string]SLO{}
+	}
+	bands := map[string]SLO{}
+	derive := func(o *OpResult) SLO {
+		rate := o.ErrorRate * 2
+		if rate < 0.005 {
+			rate = 0.005
+		}
+		return SLO{
+			MaxErrorRate:  rate,
+			MinThroughput: o.Throughput / 2,
+			MaxP50US:      o.LatencyUS.P50 * 3,
+			MaxP99US:      o.LatencyUS.P99 * 3,
+			MaxP999US:     o.LatencyUS.P999 * 3,
+			MaxDivergent:  0,
+		}
+	}
+	for name, o := range res.Ops {
+		bands[name] = derive(o)
+	}
+	bands["totals"] = derive(&res.Totals)
+	b.Scenarios[res.Scenario] = bands
+}
+
+// WriteJSON writes the baseline with stable formatting for committing.
+func (b *Baseline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteJSONFile writes the baseline to path.
+func (b *Baseline) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("loadtest: %w", err)
+	}
+	if err := b.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("loadtest: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

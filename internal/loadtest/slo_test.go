@@ -1,0 +1,176 @@
+package loadtest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iolayers/internal/obsv"
+)
+
+func cleanResult() *Result {
+	return &Result{
+		SchemaVersion: ResultSchemaVersion,
+		Scenario:      "smoke",
+		ElapsedSec:    10,
+		Ops: map[string]*OpResult{
+			"report": {
+				Arrivals: 1000, OK: 990, Throttled: 10,
+				Throughput: 99,
+				LatencyUS:  obsv.HDRQuantiles{P50: 2000, P99: 9000, P999: 20000, Count: 1000},
+			},
+		},
+		Totals: OpResult{
+			Arrivals: 1000, OK: 990, Throttled: 10,
+			Throughput: 99,
+			LatencyUS:  obsv.HDRQuantiles{P50: 2000, P99: 9000, P999: 20000, Count: 1000},
+		},
+	}
+}
+
+func baselineFor(res *Result) *Baseline {
+	b := &Baseline{}
+	b.UpdateFrom(res)
+	return b
+}
+
+func TestBaselineUpdateThenCheckPasses(t *testing.T) {
+	res := cleanResult()
+	b := baselineFor(res)
+	if v := b.Check(res); len(v) != 0 {
+		t.Fatalf("self-check violations: %v", v)
+	}
+	// The derived bands carry headroom.
+	slo := b.Scenarios["smoke"]["report"]
+	if slo.MaxP99US != 27000 || slo.MinThroughput != 49.5 || slo.MaxDivergent != 0 {
+		t.Errorf("derived bands %+v", slo)
+	}
+	if slo.MaxErrorRate < 0.005 {
+		t.Errorf("error-rate floor missing: %v", slo.MaxErrorRate)
+	}
+}
+
+func TestBaselineCatchesRegressions(t *testing.T) {
+	b := baselineFor(cleanResult())
+	find := func(res *Result, want string) {
+		t.Helper()
+		vs := b.Check(res)
+		for _, v := range vs {
+			if strings.Contains(v.Detail, want) {
+				return
+			}
+		}
+		t.Errorf("no violation mentioning %q in %v", want, vs)
+	}
+
+	deg := cleanResult()
+	deg.Ops["report"].ServerErrors = 200
+	deg.Ops["report"].OK = 790
+	finish(deg.Ops["report"], deg.ElapsedSec)
+	find(deg, "error rate")
+
+	slow := cleanResult()
+	slow.Ops["report"].LatencyUS.P99 = 100000
+	find(slow, "p99")
+
+	starved := cleanResult()
+	starved.Ops["report"].Throughput = 1
+	find(starved, "throughput")
+
+	split := cleanResult()
+	split.Ops["report"].Divergent = 1
+	find(split, "divergent")
+
+	unknown := cleanResult()
+	unknown.Scenario = "never-baselined"
+	find(unknown, "no committed SLO baseline")
+
+	missing := cleanResult()
+	delete(missing.Ops, "report")
+	find(missing, "never issued")
+}
+
+func TestBaselineToleranceSemantics(t *testing.T) {
+	res := cleanResult()
+	b := baselineFor(res)
+	b.Tolerance = 2
+
+	// 3x-band p99 is 27000; tolerance 2 admits up to 54000.
+	res.Ops["report"].LatencyUS.P99 = 50000
+	if v := b.Check(res); len(v) != 0 {
+		t.Errorf("within-tolerance latency flagged: %v", v)
+	}
+	res.Ops["report"].LatencyUS.P99 = 60000
+	if v := b.Check(res); len(v) == 0 {
+		t.Error("beyond-tolerance latency passed")
+	}
+
+	// Tolerance never excuses errors or divergence.
+	res = cleanResult()
+	res.Ops["report"].Divergent = 1
+	if v := b.Check(res); len(v) == 0 {
+		t.Error("tolerance excused a divergent body")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := baselineFor(cleanResult())
+	path := filepath.Join(t.TempDir(), "slo_baseline.json")
+	if err := b.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tolerance != b.Tolerance || len(got.Scenarios) != 1 {
+		t.Errorf("round-trip %+v", got)
+	}
+	if v := got.Check(cleanResult()); len(v) != 0 {
+		t.Errorf("round-tripped baseline violations: %v", v)
+	}
+
+	// Version and parse failures are loud.
+	if err := os.WriteFile(path, []byte(`{"schema_version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("wrong schema_version accepted")
+	}
+	if err := os.WriteFile(path, []byte(`nope`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("garbage baseline accepted")
+	}
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}
+
+func TestResultJSONAndRender(t *testing.T) {
+	res := cleanResult()
+	res.DivergenceSamples = []string{"u|1: body aa != bb"}
+	path := filepath.Join(t.TempDir(), "summary.json")
+	if err := res.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema_version": 1`, `"latency_us"`, `"error_rate"`, `"throughput_rps"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("summary JSON missing %s", want)
+		}
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"scenario smoke", "TOTAL", "p999", "divergence samples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}

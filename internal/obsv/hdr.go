@@ -1,0 +1,211 @@
+package obsv
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// hdrSubBits sets the HDR histogram's resolution: every power-of-two
+// range is split into 2^hdrSubBits linear sub-buckets, bounding the
+// relative error of any reported quantile to 1/2^hdrSubBits ≈ 3.1%.
+// That is the precision an SLO gate needs — "p99 grew from 80ms to 2s"
+// must be distinguishable from noise, while the log2 Histogram can only
+// say "somewhere between 1s and 2s".
+const hdrSubBits = 5
+
+// hdrSub is the sub-bucket count per power-of-two range.
+const hdrSub = 1 << hdrSubBits
+
+// hdrBuckets sizes the counter array: the linear region [0, 2*hdrSub)
+// plus one hdrSub-wide group per remaining power of two up to 2^63-1.
+// (Largest index: value 2^63-1 has bit length 63, shift 63-hdrSubBits-1,
+// so index (63-hdrSubBits-1)*hdrSub + 2*hdrSub - 1.)
+const hdrBuckets = (63-hdrSubBits)*hdrSub + 2*hdrSub
+
+// HDR is a high-dynamic-range histogram: fixed memory (16 KiB of
+// counters), lock-free concurrent Observe, and quantile extraction with
+// bounded ~3% relative error across the full non-negative int64 range —
+// the shape the loadtest harness records latency distributions in, after
+// Gil Tene's HdrHistogram. Values below zero clamp to zero. The zero
+// value is ready to use; a nil *HDR no-ops like every other obsv type.
+type HDR struct {
+	counts [hdrBuckets]atomic.Uint64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// hdrIndex maps a value to its sub-bucket. Values in [0, 2*hdrSub) map
+// linearly (exact); a value with bit length m > hdrSubBits+1 keeps its
+// top hdrSubBits+1 bits: index = (m-hdrSubBits-1)*hdrSub + (v >> (m-hdrSubBits-1)).
+// The mapping is continuous and monotone.
+func hdrIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	m := bits.Len64(uint64(v))
+	if m <= hdrSubBits+1 {
+		return int(v)
+	}
+	shift := uint(m - hdrSubBits - 1)
+	return int(uint64(m-hdrSubBits-1)*hdrSub + uint64(v)>>shift)
+}
+
+// hdrValue returns the largest value that maps to index i — the upper
+// bound reported for any quantile landing in that sub-bucket.
+func hdrValue(i int) int64 {
+	if i < 2*hdrSub {
+		return int64(i)
+	}
+	shift := uint(i/hdrSub - 1)
+	top := uint64(i - int(shift)*hdrSub)
+	v := (top+1)<<shift - 1
+	if v > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}
+
+// Observe adds one value. Safe for concurrent use and on a nil receiver.
+func (h *HDR) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[hdrIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *HDR) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the observation sum; 0 on a nil receiver.
+func (h *HDR) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observed value; 0 on a nil receiver or an
+// empty histogram.
+func (h *HDR) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the observation mean; 0 when empty.
+func (h *HDR) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Merge folds other's observations into h — the per-worker fold for
+// harnesses that keep one HDR per client goroutine. The max is merged
+// exactly; safe when either side is nil.
+func (h *HDR) Merge(other *HDR) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := range other.counts {
+		if n := other.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+			h.count.Add(int64(n))
+		}
+	}
+	h.sum.Add(other.sum.Load())
+	for {
+		ov, cur := other.max.Load(), h.max.Load()
+		if ov <= cur || h.max.CompareAndSwap(cur, ov) {
+			break
+		}
+	}
+}
+
+// Quantile returns an upper bound on the q-th quantile, within
+// 1/2^hdrSubBits relative error. Like Histogram.Load, the count is
+// derived from one pass over the buckets so a concurrent snapshot is
+// self-consistent; q clamps to [0, 1] and an empty histogram reports 0.
+func (h *HDR) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	var local [hdrBuckets]uint64
+	var total int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		local[i] = n
+		total += int64(n)
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range local {
+		cum += int64(n)
+		if cum >= rank {
+			return hdrValue(i)
+		}
+	}
+	return h.Max()
+}
+
+// HDRQuantiles is the standard latency digest the loadtest reports: the
+// three SLO-gated quantiles plus the observed extremes.
+type HDRQuantiles struct {
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	Count int64   `json:"count"`
+}
+
+// Quantiles extracts the standard digest in one pass per quantile.
+func (h *HDR) Quantiles() HDRQuantiles {
+	if h == nil {
+		return HDRQuantiles{}
+	}
+	return HDRQuantiles{
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		Count: h.Count(),
+	}
+}

@@ -1,0 +1,139 @@
+package obsv
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// Every non-negative value must map to an in-range index whose
+// representative upper bound is ≥ the value and within the promised
+// relative error.
+func TestHDRIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	check := func(v int64) {
+		t.Helper()
+		i := hdrIndex(v)
+		if i < 0 || i >= hdrBuckets {
+			t.Fatalf("hdrIndex(%d) = %d out of [0, %d)", v, i, hdrBuckets)
+		}
+		up := hdrValue(i)
+		if up < v {
+			t.Fatalf("hdrValue(hdrIndex(%d)) = %d < value", v, up)
+		}
+		if v > 2*hdrSub && float64(up-v) > float64(v)/hdrSub {
+			t.Fatalf("value %d: bound %d overshoots by more than 1/%d", v, up, hdrSub)
+		}
+		if i > 0 && hdrValue(i-1) >= v {
+			t.Fatalf("value %d also fits bucket %d — mapping not tight", v, i-1)
+		}
+	}
+	for _, v := range []int64{0, 1, 2, hdrSub - 1, hdrSub, 2*hdrSub - 1, 2 * hdrSub,
+		1000, 1 << 20, math.MaxInt64 - 1, math.MaxInt64} {
+		check(v)
+	}
+	for i := 0; i < 100000; i++ {
+		check(int64(rng.Uint64() >> uint(1+i%40)))
+	}
+	if got := hdrIndex(-5); got != 0 {
+		t.Errorf("negative values must clamp to bucket 0, got %d", got)
+	}
+}
+
+func TestHDRQuantileAccuracy(t *testing.T) {
+	h := &HDR{}
+	// Uniform 1..100000: exact quantiles are q*100000.
+	rng := rand.New(rand.NewPCG(7, 9))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		h.Observe(1 + rng.Int64N(100000))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := float64(h.Quantile(q))
+		want := q * 100000
+		if got < want*0.98 || got > want*1.05 {
+			t.Errorf("q%.3f = %.0f, want within [0.98, 1.05] of %.0f", q, got, want)
+		}
+	}
+	if h.Count() != n {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Max() > 100000 || h.Max() < 99000 {
+		t.Errorf("max = %d", h.Max())
+	}
+	if m := h.Mean(); m < 49000 || m > 51000 {
+		t.Errorf("mean = %.0f", m)
+	}
+}
+
+func TestHDRMergeAndNil(t *testing.T) {
+	a, b := &HDR{}, &HDR{}
+	for i := int64(1); i <= 1000; i++ {
+		a.Observe(i)
+	}
+	for i := int64(100001); i <= 101000; i++ {
+		b.Observe(i)
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if got := a.Quantile(0.25); got > 600 {
+		t.Errorf("merged p25 = %d, want low range", got)
+	}
+	if got := a.Quantile(0.75); got < 100000 {
+		t.Errorf("merged p75 = %d, want high range", got)
+	}
+	if a.Max() < 101000 {
+		t.Errorf("merged max = %d", a.Max())
+	}
+
+	var nh *HDR
+	nh.Observe(5)
+	nh.Merge(a)
+	a.Merge(nil)
+	if nh.Count() != 0 || nh.Quantile(0.5) != 0 || nh.Max() != 0 {
+		t.Error("nil HDR must no-op")
+	}
+	empty := &HDR{}
+	if empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
+		t.Error("empty HDR quantile/mean must be 0")
+	}
+}
+
+// Concurrent Observe + Quantile must be self-consistent (never panic,
+// never report a quantile above a concurrent max-bound) — run under
+// -race this is the harness's hot-path contract.
+func TestHDRConcurrent(t *testing.T) {
+	h := &HDR{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				h.Observe(int64(i%5000 + w))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			q := h.Quantile(0.99)
+			if q < 0 || q > hdrValue(hdrIndex(5008)) {
+				t.Errorf("concurrent p99 = %d out of range", q)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	// Quantiles are bucket upper bounds, so P999 may exceed the exact Max
+	// by up to one sub-bucket width; order holds among the quantiles.
+	q := h.Quantiles()
+	if q.Count != 160000 || q.P50 <= 0 || q.P999 < q.P50 || q.Max < 5000 {
+		t.Errorf("final digest inconsistent: %+v", q)
+	}
+}

@@ -91,6 +91,30 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Load copies the buckets once and derives the observation count from
+// that copy, so the pair is self-consistent even while writers are mid-
+// Observe. Reading the count atomic separately can tear: an Observe that
+// has incremented its bucket but not yet the counter (or vice versa)
+// makes count ≠ Σ buckets for the duration of the race. Deriving the
+// count from the copied buckets restores the invariant, and because each
+// bucket is monotone, successive Loads are monotone in count — the
+// property quantile extraction and the SLO gate depend on. The sum is
+// read after the buckets and clamps to observations actually counted
+// only in spirit (it may include a few values whose bucket increments
+// were not yet visible); it feeds means, never quantiles. Safe on a nil
+// receiver (zero values).
+func (h *Histogram) Load() (buckets [NumBuckets]uint64, count int64, sum int64) {
+	if h == nil {
+		return
+	}
+	for i := 0; i < NumBuckets; i++ {
+		n := h.buckets[i].Load()
+		buckets[i] = n
+		count += int64(n)
+	}
+	return buckets, count, h.sum.Load()
+}
+
 // sparse flattens the non-zero buckets as [i0, n0, i1, n1, ...], with the
 // count and sum appended as two trailing pairs keyed past NumBuckets.
 func (h *Histogram) sparse() []uint64 {

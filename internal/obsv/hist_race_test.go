@@ -1,0 +1,117 @@
+package obsv
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The satellite regression: a snapshot taken while 8 goroutines hammer
+// Observe must be self-consistent (count == Σ bucket counts) and
+// monotonic in count across successive snapshots. The old code read the
+// count atomic separately from the buckets, so a mid-Observe writer
+// could make the two disagree — a torn read that broke quantile ranks.
+func TestHistogramSnapshotUnderConcurrentObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("race.bytes")
+
+	const (
+		writers      = 8
+		perWriter    = 20000
+		snapshotters = 2
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	errs := make(chan string, 64)
+	for s := 0; s < snapshotters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastCount int64
+			for !stop.Load() {
+				snap := r.Snapshot()
+				for _, hs := range snap.Histograms {
+					var sum int64
+					for _, b := range hs.Buckets {
+						sum += int64(b.Count)
+					}
+					if sum != hs.Count {
+						select {
+						case errs <- "torn snapshot: count != Σ buckets":
+						default:
+						}
+					}
+					if hs.Count < lastCount {
+						select {
+						case errs <- "snapshot count went backwards":
+						default:
+						}
+					}
+					lastCount = hs.Count
+				}
+			}
+		}()
+	}
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(int64(w*31+i) % (1 << 20))
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	stop.Store(true)
+	wg.Wait()
+
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+
+	// Quiescent totals are exact.
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(snap.Histograms))
+	}
+	if got, want := snap.Histograms[0].Count, int64(writers*perWriter); got != want {
+		t.Fatalf("final count = %d, want %d", got, want)
+	}
+}
+
+func TestHistSnapQuantile(t *testing.T) {
+	h := &Histogram{}
+	// 90 values of 100 (bucket 7: (64,128]), 10 values of 100000
+	// (bucket 17: (65536,131072]).
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000)
+	}
+	buckets, count, sum := h.Load()
+	hs := HistSnap{Count: count, Sum: sum}
+	for i, n := range buckets {
+		if n > 0 {
+			hs.Buckets = append(hs.Buckets, BucketSnap{Index: i, Count: n})
+		}
+	}
+	if got := hs.Quantile(0.5); got != 127 {
+		t.Errorf("p50 = %d, want 127 (upper bound of the 100s bucket)", got)
+	}
+	if got := hs.Quantile(0.99); got != 131071 {
+		t.Errorf("p99 = %d, want 131071 (upper bound of the 100000s bucket)", got)
+	}
+	if got := hs.Quantile(0); got != 127 {
+		t.Errorf("p0 = %d, want 127 (rank clamps to the first observation)", got)
+	}
+	empty := HistSnap{}
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+}

@@ -3,6 +3,7 @@ package obsv
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -51,6 +52,42 @@ type SpanSnap struct {
 	MaxGoroutines int64  `json:"max_goroutines"`
 }
 
+// Quantile returns an upper bound on the q-th quantile of the histogram:
+// the largest value the bucket holding the q-th observation can contain
+// (bucket i spans [2^(i-1), 2^i), so the bound is 2^i - 1; bucket 0 is 1).
+// q is clamped to [0, 1]; a histogram with no observations reports 0.
+// The log2 buckets make this a coarse decade-grade bound — use the HDR
+// histogram when quantiles need percent-level resolution.
+func (h *HistSnap) Quantile(q float64) int64 {
+	if h.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += int64(b.Count)
+		if cum >= rank {
+			if b.Index == 0 {
+				return 1
+			}
+			if b.Index >= 63 {
+				return math.MaxInt64
+			}
+			return int64(1)<<uint(b.Index) - 1
+		}
+	}
+	// Unreachable when Count == Σ buckets, which Snapshot guarantees.
+	return math.MaxInt64
+}
+
 // Snapshot is a point-in-time copy of a registry, with every slice sorted
 // by name so the rendered JSON is stable. The schema is a compatibility
 // contract: tools parse `iostudy -metrics` output.
@@ -84,10 +121,14 @@ func (r *Registry) Snapshot() *Snapshot {
 		snap.Gauges = append(snap.Gauges, GaugeSnap{Name: name, Value: g.Value()})
 	}
 	for name, h := range r.hists {
+		// One consistent bucket copy per histogram: the count is derived
+		// from the copied buckets (not the count atomic) so concurrent
+		// Observes can never produce a snapshot where count ≠ Σ buckets.
+		buckets, count, sum := h.Load()
 		hs := HistSnap{Name: name, Volatile: h.volatile,
-			Count: h.Count(), Sum: h.Sum(), Buckets: []BucketSnap{}}
+			Count: count, Sum: sum, Buckets: []BucketSnap{}}
 		for i := 0; i < NumBuckets; i++ {
-			if n := h.buckets[i].Load(); n > 0 {
+			if n := buckets[i]; n > 0 {
 				hs.Buckets = append(hs.Buckets, BucketSnap{Index: i, Count: n})
 			}
 		}

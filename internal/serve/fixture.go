@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"iolayers/internal/darshan"
+	"iolayers/internal/darshan/logfmt"
+	"iolayers/internal/iosim"
+	"iolayers/internal/units"
+)
+
+// fixtureDomains rotate through the synthetic jobs so the report's
+// science-domain sections are non-trivial.
+var fixtureDomains = []string{"Physics", "Chemistry", "Biology", "Materials"}
+
+// WriteFixture writes n deterministic synthetic .darshan logs for sys
+// into dir, creating it if needed. The corpus is a pure function of
+// (sys, n, seed): every byte of every log — and therefore every report
+// rendered from an ingest of the directory — reproduces exactly, which
+// is what makes it a load-test fixture. Replicas booted with the same
+// fixture spec hold byte-identical datasets, so a router answering from
+// any of them must produce identical 200s, and a load harness can treat
+// any divergence as a correctness failure rather than a data skew.
+//
+// The jobs mix both modeled layers (PFS and in-system), several
+// interfaces (POSIX, STDIO, MPI-IO), per-rank and shared files, and a
+// spread of transfer sizes, so rendering the report exercises every
+// section the real campaigns do.
+func WriteFixture(dir string, sys *iosim.System, n int, seed uint64) error {
+	if sys == nil {
+		return fmt.Errorf("serve: fixture needs a system")
+	}
+	if n <= 0 {
+		return fmt.Errorf("serve: fixture size %d must be positive", n)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: fixture dir: %w", err)
+	}
+	pfs, bb := sys.PFS.Mount(), sys.InSystem.Mount()
+	for i := 0; i < n; i++ {
+		rt := darshan.NewRuntime(darshan.JobHeader{
+			JobID:     seed*1_000_000 + uint64(i),
+			UserID:    uint64(1 + i%7),
+			NProcs:    8 << (i % 3),
+			StartTime: int64(i) * 3600,
+			EndTime:   int64(i)*3600 + 1800,
+			Metadata:  map[string]string{"domain": fixtureDomains[i%len(fixtureDomains)]},
+		})
+		c := iosim.NewClient(sys, rt, rand.New(rand.NewPCG(seed, uint64(i))))
+		size := units.ByteSize(64<<(i%5)) * units.KiB
+		c.Write(darshan.ModulePOSIX, fmt.Sprintf("%s/fx/out%d_%d.h5", pfs, seed, i), 0, size, 0)
+		c.Read(darshan.ModuleSTDIO, fmt.Sprintf("%s/fx/run%d.log", bb, i%3), 0, 64*units.KiB, 0)
+		if i%2 == 0 {
+			c.SharedOpen(darshan.ModuleMPIIO, fmt.Sprintf("%s/fx/shared%d.h5", pfs, i%4), true)
+			c.SharedTransfer(darshan.ModuleMPIIO, fmt.Sprintf("%s/fx/shared%d.h5", pfs, i%4),
+				iosim.Write, units.MiB, true)
+			c.SharedClose(darshan.ModuleMPIIO, fmt.Sprintf("%s/fx/shared%d.h5", pfs, i%4))
+		}
+		path := filepath.Join(dir, fmt.Sprintf("fixture%05d.darshan", i))
+		if err := logfmt.WriteFile(path, rt.Finalize()); err != nil {
+			return fmt.Errorf("serve: fixture log %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// FixtureSpec is one parsed -fixture flag: synthesize Logs deterministic
+// logs under Seed and ingest them as dataset Name at boot.
+type FixtureSpec struct {
+	Name string
+	Logs int
+	Seed uint64
+}
+
+// ParseFixtureSpec parses "name:logs[:seed]" (the ioserved -fixture
+// flag). Seed defaults to 1 so a bare "name:logs" is still fully
+// deterministic.
+func ParseFixtureSpec(spec string) (FixtureSpec, error) {
+	bad := func() (FixtureSpec, error) {
+		return FixtureSpec{}, fmt.Errorf("serve: bad fixture spec %q, want name:logs[:seed]", spec)
+	}
+	name, rest, ok := strings.Cut(spec, ":")
+	if !ok || !ValidDatasetName(name) {
+		return bad()
+	}
+	f := FixtureSpec{Name: name, Seed: 1}
+	logsStr, seedStr, hasSeed := strings.Cut(rest, ":")
+	logs, err := strconv.Atoi(logsStr)
+	if err != nil || logs <= 0 {
+		return bad()
+	}
+	f.Logs = logs
+	if hasSeed {
+		seed, err := strconv.ParseUint(seedStr, 10, 64)
+		if err != nil {
+			return bad()
+		}
+		f.Seed = seed
+	}
+	return f, nil
+}

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Load-test smoke + SLO gate: three fixture-booted ioserved replicas
+# behind the router (replication 3, two API-keyed tenants), driven by
+# ioloadtest's open-loop 1k-client scenario and gated against the
+# committed slo_baseline.json. The run must stay inside the SLO bands
+# with zero byte-divergent 200s; then a deliberately degraded single
+# replica (-query-timeout 1ms) must FAIL the same gate — a gate that
+# cannot fail is not a gate.
+#
+# Environment knobs:
+#   LOAD_SCALE     multiply rate and clients (default 1; 10 = 10k soak)
+#   LOAD_DURATION  override the scenario duration (e.g. 30s)
+#   LOAD_SUMMARY   where to write the summary JSON (default $TMP)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+SCALE=${LOAD_SCALE:-1}
+SUMMARY=${LOAD_SUMMARY:-$TMP/load_summary.json}
+DURATION_FLAGS=()
+[ -n "${LOAD_DURATION:-}" ] && DURATION_FLAGS=(-duration "$LOAD_DURATION")
+
+fail() {
+    echo "load-smoke: FAIL: $*" >&2
+    for f in "$TMP"/*.err; do
+        [ -f "$f" ] && tail -n 5 "$f" | sed "s|^|load-smoke:   $(basename "$f" .err): |" >&2
+    done
+    exit 1
+}
+
+wait_addr() { # wait_addr ADDRFILE PID WHAT -> prints the address
+    local i
+    for i in $(seq 1 200); do
+        [ -s "$1" ] && break
+        kill -0 "$2" 2>/dev/null || fail "$3 died during startup"
+        sleep 0.1
+    done
+    [ -s "$1" ] || fail "$3 never wrote its address file"
+    head -n1 "$1"
+}
+
+echo "load-smoke: building ioserved, iorouter, ioloadtest, and ioanalyze"
+go build -o "$TMP/ioserved" ./cmd/ioserved
+go build -o "$TMP/iorouter" ./cmd/iorouter
+go build -o "$TMP/ioloadtest" ./cmd/ioloadtest
+go build -o "$TMP/ioanalyze" ./cmd/ioanalyze
+
+# The fixture corpus is a pure function of (system, logs, seed):
+# -make-fixture here and -fixture golden:32:9 inside each replica write
+# the same bytes, so ioanalyze over this directory is the ground truth
+# for what every replica must serve.
+echo "load-smoke: writing the deterministic fixture corpus"
+"$TMP/ioloadtest" -make-fixture "$TMP/corpus" -fixture-logs 32 -fixture-seed 9 \
+    2>>"$TMP/ioloadtest.err"
+"$TMP/ioanalyze" -dir "$TMP/corpus" -format json >"$TMP/want.json" 2>/dev/null
+[ -s "$TMP/want.json" ] || fail "ioanalyze produced no reference report"
+
+echo "load-smoke: starting 3 fixture-booted replicas"
+for i in 0 1 2; do
+    rm -f "$TMP/r$i.addr"
+    "$TMP/ioserved" -listen 127.0.0.1:0 -addr-file "$TMP/r$i.addr" \
+        -fixture golden:32:9 -max-inflight 256 2>>"$TMP/replica$i.err" &
+    pid=$!
+    PIDS+=("$pid")
+    addr=$(wait_addr "$TMP/r$i.addr" "$pid" "replica $i")
+    eval "R${i}_ADDR=\$addr"
+done
+
+echo "load-smoke: starting the router (replication 3, two tenants)"
+"$TMP/iorouter" -listen 127.0.0.1:0 -addr-file "$TMP/router.addr" \
+    -replica "$R0_ADDR" -replica "$R1_ADDR" -replica "$R2_ADDR" \
+    -replication 3 -probe-every 200ms -probe-timeout 1s \
+    -apikey 'loadkey-a=alpha:5000:10000' -apikey 'loadkey-b=beta:5000:10000' \
+    2>"$TMP/iorouter.err" &
+ROUTER=$!
+PIDS+=("$ROUTER")
+ADDR=$(wait_addr "$TMP/router.addr" "$ROUTER" "iorouter")
+echo "load-smoke: router up on $ADDR"
+
+# Pre-flight byte-identity: the routed report must equal ioanalyze over
+# the corpus before any load is offered.
+curl -fsS -H 'X-API-Key: loadkey-a' -o "$TMP/got.json" \
+    "http://$ADDR/v1/report/golden?format=json" || fail "pre-flight report fetch failed"
+cmp -s "$TMP/want.json" "$TMP/got.json" \
+    || fail "routed fixture report drifted from ioanalyze output"
+echo "load-smoke: routed fixture report is byte-identical to ioanalyze"
+
+echo "load-smoke: offering the smoke-1k scenario (scale $SCALE) and gating on slo_baseline.json"
+"$TMP/ioloadtest" -target "http://$ADDR" -scenario scripts/scenarios/smoke_1k.toml \
+    -scale "$SCALE" "${DURATION_FLAGS[@]}" \
+    -apikey loadkey-a -apikey loadkey-b -ingest-source "$TMP/corpus" \
+    -out "$SUMMARY" -check slo_baseline.json -q \
+    || fail "smoke-1k violated the SLO baseline (summary: $SUMMARY)"
+echo "load-smoke: SLO gate passed; summary at $SUMMARY"
+
+# Negative leg: a replica whose query deadline is already expired on
+# arrival (-query-timeout 1ns) 503s every render no matter how fast the
+# host is, so the same scenario against it MUST fail the gate.
+echo "load-smoke: starting a degraded replica (-query-timeout 1ns)"
+rm -f "$TMP/bad.addr"
+"$TMP/ioserved" -listen 127.0.0.1:0 -addr-file "$TMP/bad.addr" \
+    -fixture golden:64:9 -query-timeout 1ns 2>>"$TMP/degraded.err" &
+BAD=$!
+PIDS+=("$BAD")
+BAD_ADDR=$(wait_addr "$TMP/bad.addr" "$BAD" "degraded replica")
+
+code=0
+"$TMP/ioloadtest" -target "http://$BAD_ADDR" \
+    -scenario scripts/scenarios/smoke_1k.toml -scale 0.1 -duration 3s \
+    -ingest-source "$TMP/corpus" \
+    -check slo_baseline.json -q >"$TMP/degraded.out" 2>&1 || code=$?
+[ "$code" -eq 1 ] || fail "degraded run exited $code, want SLO failure (1); output: $(cat "$TMP/degraded.out")"
+echo "load-smoke: degraded replica correctly failed the SLO gate"
+
+echo "load-smoke: PASS"
