@@ -1,13 +1,29 @@
 GO ?= go
 
-.PHONY: check vet staticcheck govulncheck build test race race-short bench benchcheck fuzz serve-smoke cluster-smoke load-smoke
+.PHONY: check vet apilint staticcheck govulncheck build test race race-short bench benchcheck fuzz serve-smoke cluster-smoke load-smoke
 
-## check: the full CI gate — vet, staticcheck + govulncheck (when
-## installed), build, and the test suite under the race detector
-check: vet staticcheck govulncheck build race
+## check: the full CI gate — vet, apilint, staticcheck + govulncheck
+## (when installed), build, and the test suite under the race detector
+check: vet apilint staticcheck govulncheck build race
 
 vet:
 	$(GO) vet ./...
+
+## apilint: every error body the HTTP services write must go through the
+## internal/httpapi envelope — ad-hoc http.Error calls and raw
+## fmt.Fprint*(w, ...) writes in the serve and cluster handlers are how
+## the error contract rots, so they are banned outright (test files may
+## still fake misbehaving upstreams however they like)
+apilint:
+	@bad=$$(grep -rnE 'http\.Error\(|fmt\.Fprint(f|ln)?\(w[,)]' \
+		internal/serve internal/cluster --include='*.go' \
+		--exclude='*_test.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "apilint: ad-hoc HTTP error/body writes (use internal/httpapi):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi; \
+	echo "apilint: ok"
 
 ## staticcheck: runs only when the binary is on PATH, so environments
 ## without it (e.g. hermetic containers) still pass `make check`

@@ -62,7 +62,7 @@ func main() {
 		dir        = flag.String("dir", "", "directory of .darshan logs")
 		archive    = flag.String("archive", "", "campaign archive (.dgar) to analyze instead of a directory")
 		formatFlag = flag.String("format", "text", "report output format: text, json, or csv")
-		section    = flag.String("section", "", "render one section (table2..table6, figure3..figure11, users, ...; default all)")
+		section    = flag.String("section", "", "render one section (table2..table6, figure3..figure11, users, predict, ...; default all)")
 		convert    = flag.String("convert", "", "convert the source to a columnar campaign file (.dgc) at this path and exit")
 	)
 	var common cli.CommonFlags

@@ -1,14 +1,17 @@
 // Command ioloadtest is the open-loop load generator and SLO gate for
 // the query tier: it offers a declared request mix (report renders,
-// compare scatter/gathers, dataset listings, periodic ingest bursts,
-// rotating multi-tenant API keys) at a fixed arrival rate against an
-// ioserved or iorouter URL, measures per-endpoint latency distributions
-// in HDR histograms from each request's *scheduled* arrival time (no
-// coordinated omission), and classifies every outcome: ok, throttled
-// (429 — the router doing its job, not an error), shed (the generator's
-// own client cap), unauthorized, client/server/network errors, and
-// byte-divergent 200s (two bodies for the same URL at the same dataset
-// generation — a replica-identity bug, always fatal to the SLO gate).
+// compare scatter/gathers, predict documents, dataset listings,
+// periodic ingest bursts, rotating multi-tenant API keys) at a fixed
+// arrival rate against an ioserved or iorouter URL, measures
+// per-endpoint latency distributions in HDR histograms from each
+// request's *scheduled* arrival time (no coordinated omission), and
+// classifies every outcome: ok, throttled (429 — the router doing its
+// job, not an error), shed (the generator's own client cap),
+// unauthorized, client/server/network errors, byte-divergent 200s (two
+// bodies for the same URL at the same dataset generation — a
+// replica-identity bug, always fatal to the SLO gate), and non-envelope
+// error bodies (a non-200 that does not carry the structured
+// internal/httpapi envelope — a contract leak the gate pins to zero).
 //
 // Usage:
 //

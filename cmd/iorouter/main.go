@@ -14,7 +14,11 @@
 // The router speaks the same /v1 API as a single ioserved and relays
 // bodies byte-identically:
 //
+//	GET  /v1                        — route index: the ioserved surface
+//	                                  plus /v1/cluster (docs/api.md)
 //	GET  /v1/report/{dataset}       — relayed from an owner, with failover
+//	GET  /v1/predict/{dataset}      — predictive-analytics document,
+//	                                  relayed with the same failover walk
 //	GET  /v1/datasets               — union of every replica's listing
 //	GET  /v1/compare/{a}/{b}        — scatter/gather across the two shards
 //	POST /v1/ingest                 — fanned out to every owner
@@ -22,6 +26,12 @@
 //	GET  /healthz                   — router liveness
 //	GET  /readyz                    — 200 iff ≥1 replica is healthy
 //	GET  /metrics, /metrics.json
+//
+// Error bodies follow the shared structured-envelope contract
+// ({"error":{"code","message","retry_after_ms"}}, docs/api.md): errors
+// a replica answers are relayed byte-for-byte, and errors the router
+// synthesizes itself (auth, fan-out failure, owner exhaustion) use the
+// same envelope, so clients parse one error shape everywhere.
 //
 // With -apikey (repeatable) or -apikeys, every /v1 request must present a
 // registered key (X-API-Key header or Authorization: Bearer), and each

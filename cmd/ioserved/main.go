@@ -12,6 +12,10 @@
 //
 // Endpoints (all JSON bodies carry an explicit schema_version):
 //
+//	GET  /v1                        — machine-readable route index: every
+//	                                  endpoint with methods, accepted
+//	                                  query params, and document schema
+//	                                  version (see docs/api.md)
 //	GET  /v1/datasets               — list datasets with campaign summaries
 //	GET  /v1/report/{dataset}       — the full report; ?section=table2
 //	                                  restricts to one section, ?format=
@@ -20,6 +24,10 @@
 //	                                  `ioanalyze -format json` over the
 //	                                  same logs.
 //	GET  /v1/compare/{a}/{b}        — two datasets' summaries side by side
+//	GET  /v1/predict/{dataset}      — the predictive-analytics document:
+//	                                  monthly series, burst forecast with
+//	                                  confidence band, placement hints,
+//	                                  and the iosim replay of the advice
 //	POST /v1/ingest                 — {"dataset","system","source"}: fold
 //	                                  more logs in; readers keep the old
 //	                                  generation until the new one lands
@@ -27,6 +35,11 @@
 //	GET  /readyz                    — readiness: 503 during lake replay,
 //	                                  boot ingests, compaction, and drain
 //	GET  /metrics, /metrics.json
+//
+// Every non-200 carries the structured error envelope
+// {"error":{"code","message","retry_after_ms"}} with a stable code from
+// the closed taxonomy in docs/api.md; unknown query parameters are
+// rejected (400 bad_param) rather than ignored.
 //
 // Rendered reports are cached (LRU, byte-bounded) keyed by dataset
 // generation, so repeated queries cost a map lookup and re-ingestion

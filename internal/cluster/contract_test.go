@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"iolayers/internal/core"
+	"iolayers/internal/httpapi"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/serve"
+)
+
+// decodeEnvelope asserts a response body is the structured error envelope
+// and returns it.
+func decodeEnvelope(t *testing.T, where, body string) httpapi.ErrorEnvelope {
+	t.Helper()
+	env, ok := httpapi.DecodeError([]byte(body))
+	if !ok {
+		t.Fatalf("%s: body is not an error envelope: %s", where, body)
+	}
+	return env
+}
+
+// TestRouterErrorEnvelopes sweeps every error the router synthesizes
+// itself (as opposed to relaying) and requires the structured envelope
+// with the right code on each.
+func TestRouterErrorEnvelopes(t *testing.T) {
+	r, reps := testCluster(t, 2, Config{Replication: 2})
+
+	resp, body := routerGet(t, r, "/v1/predict/bad%20name", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid name status = %d", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, "invalid name", body); env.Error.Code != httpapi.CodeBadRequest {
+		t.Errorf("invalid name code = %q", env.Error.Code)
+	}
+
+	resp, body = routerGet(t, r, "/v1/cluster?verbose=1", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown param status = %d", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, "unknown param", body); env.Error.Code != httpapi.CodeBadParam ||
+		!strings.Contains(env.Error.Message, "verbose") {
+		t.Errorf("unknown param envelope = %+v", env.Error)
+	}
+
+	for _, f := range reps {
+		f.mode.Store("error")
+	}
+	resp, body = routerGet(t, r, "/v1/predict/alpha", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("owners exhausted status = %d", resp.StatusCode)
+	}
+	env := decodeEnvelope(t, "owners exhausted", body)
+	if env.Error.Code != httpapi.CodeUnavailable || env.Error.RetryAfterMS < 1000 {
+		t.Errorf("owners-exhausted envelope = %+v", env.Error)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+
+	for _, f := range reps {
+		f.mode.Store("busy")
+	}
+	resp, body = routerGet(t, r, "/v1/predict/alpha", nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("all-busy status = %d", resp.StatusCode)
+	}
+	env = decodeEnvelope(t, "all busy", body)
+	if env.Error.Code != httpapi.CodeOverCapacity || env.Error.RetryAfterMS != 7000 {
+		t.Errorf("all-busy envelope = %+v, want over_capacity honoring the upstream's 7s hint", env.Error)
+	}
+
+	for _, f := range reps {
+		f.mode.Store("error")
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest",
+		strings.NewReader(`{"dataset":"alpha","source":"/x","system":"summit"}`))
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("fanout failure status = %d", rec.Code)
+	}
+	if env := decodeEnvelope(t, "ingest fanout", rec.Body.String()); env.Error.Code != httpapi.CodeUpstreamFailed {
+		t.Errorf("fanout envelope code = %q", env.Error.Code)
+	}
+}
+
+// TestAuthEnvelopes pins the auth edge's error contract: unauthorized and
+// rate_limited, the latter carrying the bucket's actual wait.
+func TestAuthEnvelopes(t *testing.T) {
+	keys := NewKeyring(nil)
+	if err := keys.Add("k1", Tenant{Name: "acme", Rate: 0.001, Burst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := testCluster(t, 2, Config{Keyring: keys})
+
+	resp, body := routerGet(t, r, "/v1/report/alpha", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("missing key status = %d", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, "missing key", body); env.Error.Code != httpapi.CodeUnauthorized {
+		t.Errorf("missing key code = %q", env.Error.Code)
+	}
+
+	// Drain the bucket, then the envelope must say rate_limited with a
+	// positive wait in both the header and the body.
+	routerGet(t, r, "/v1/report/alpha", map[string]string{"X-API-Key": "k1"})
+	resp, body = routerGet(t, r, "/v1/report/alpha", map[string]string{"X-API-Key": "k1"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("drained tenant status = %d", resp.StatusCode)
+	}
+	env := decodeEnvelope(t, "rate limited", body)
+	if env.Error.Code != httpapi.CodeRateLimited || env.Error.RetryAfterMS < 1000 {
+		t.Errorf("rate-limit envelope = %+v", env.Error)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("rate-limit 429 without Retry-After header")
+	}
+}
+
+// TestUpstreamEnvelopeRelayedVerbatim: the router never rewrites an
+// upstream error body — a replica's envelope passes through byte for
+// byte, headers included.
+func TestUpstreamEnvelopeRelayedVerbatim(t *testing.T) {
+	r, reps := testCluster(t, 2, Config{Replication: 2})
+	for _, f := range reps {
+		f.mode.Store("notfound")
+	}
+	resp, body := routerGet(t, r, "/v1/predict/alpha", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want the upstream 404", resp.StatusCode)
+	}
+	rec := httptest.NewRecorder()
+	httpapi.WriteError(rec, http.StatusNotFound, httpapi.CodeNotFound, `no dataset "alpha"`)
+	if body != rec.Body.String() {
+		t.Errorf("upstream envelope rewritten:\n got: %q\nwant: %q", body, rec.Body.String())
+	}
+	if resp.Header.Get("Content-Type") != "application/json" {
+		t.Errorf("Content-Type = %q", resp.Header.Get("Content-Type"))
+	}
+	if resp.Header.Get("X-Io-Backend") == "" {
+		t.Error("relay without X-Io-Backend attribution")
+	}
+}
+
+// TestRouterIndex pins GET /v1 on the router: the ioserved surface plus
+// the cluster-status route.
+func TestRouterIndex(t *testing.T) {
+	r, _ := testCluster(t, 2, Config{})
+	resp, body := routerGet(t, r, "/v1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var doc httpapi.IndexDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Service != "iorouter" || doc.SchemaVersion != httpapi.IndexSchemaVersion {
+		t.Errorf("index header = v%d %q", doc.SchemaVersion, doc.Service)
+	}
+	seen := map[string]bool{}
+	for _, rt := range doc.Routes {
+		seen[rt.Path] = true
+	}
+	for _, want := range []string{"/v1/cluster", "/v1/predict/{dataset}", "/v1/report/{dataset}"} {
+		if !seen[want] {
+			t.Errorf("index missing %s (got %v)", want, doc.Routes)
+		}
+	}
+}
+
+// TestAPIDocCoversSurface is the doc-drift gate: every route the
+// cluster mounts (the full ioserved surface plus the router's own) and
+// every error code in the taxonomy must appear in docs/api.md. Adding
+// an endpoint or a code without documenting it fails the build.
+func TestAPIDocCoversSurface(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "api.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	r, _ := testCluster(t, 1, Config{})
+	for _, rt := range r.Routes() {
+		if !strings.Contains(text, "`"+rt.Path+"`") {
+			t.Errorf("docs/api.md does not document route %s", rt.Path)
+		}
+	}
+	for _, code := range httpapi.Codes() {
+		if !strings.Contains(text, "`"+string(code)+"`") {
+			t.Errorf("docs/api.md does not document error code %q", code)
+		}
+	}
+}
+
+// TestPredictFailover: the predict route rides the same owner-walk as
+// reports — a dead primary fails over to the sibling's byte-identical
+// answer.
+func TestPredictFailover(t *testing.T) {
+	r, reps := testCluster(t, 2, Config{Replication: 2})
+	owners := r.Owners("alpha")
+	primary, secondary := replicaByName(reps, owners[0].Name), replicaByName(reps, owners[1].Name)
+	primary.ts.Close()
+
+	resp, body := routerGet(t, r, "/v1/predict/alpha", nil)
+	if resp.StatusCode != http.StatusOK || body != "predict alpha from "+secondary.name {
+		t.Fatalf("predict failover: %d %q", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Io-Backend") != secondary.name {
+		t.Errorf("X-Io-Backend = %q, want %q", resp.Header.Get("X-Io-Backend"), secondary.name)
+	}
+}
+
+// TestPredictByteIdentityThroughCluster is the end-to-end acceptance
+// check: three real ioserved replicas ingest the same fixture corpus at
+// different worker counts; the predict document is byte-identical from
+// every replica directly and through a 3-replica router.
+func TestPredictByteIdentityThroughCluster(t *testing.T) {
+	dir := t.TempDir()
+	sys := systems.NewSummit()
+	if err := serve.WriteFixture(dir, sys, 24, 7); err != nil {
+		t.Fatal(err)
+	}
+	var urls []string
+	var direct []string
+	for _, workers := range []int{1, 2, 4} {
+		store := serve.NewStore()
+		if _, _, err := store.Ingest(context.Background(), "prod", sys, dir,
+			core.IngestOptions{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(serve.New(serve.Config{Store: store}).Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+		resp, err := http.Get(ts.URL + "/v1/predict/prod")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct = append(direct, string(b))
+	}
+	for i := 1; i < len(direct); i++ {
+		if direct[i] != direct[0] {
+			t.Fatalf("replica %d predict document differs from replica 0", i)
+		}
+	}
+
+	r, err := NewRouter(Config{Replicas: urls, Replication: 3, AttemptTimeout: 5 * time.Second, FailoverBackoff: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	resp, body := routerGet(t, r, "/v1/predict/prod", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("through-router status %d: %s", resp.StatusCode, body)
+	}
+	if body != direct[0] {
+		t.Error("predict document through the router differs from a direct fetch")
+	}
+	if resp.Header.Get("X-Dataset-Generation") != "1" {
+		t.Errorf("generation header not relayed: %q", resp.Header.Get("X-Dataset-Generation"))
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"math/rand/v2"
 	"net/http"
 	"sort"
@@ -15,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"iolayers/internal/httpapi"
 	"iolayers/internal/obsv"
 	"iolayers/internal/report"
 	"iolayers/internal/serve"
@@ -191,18 +191,20 @@ func NewRouter(cfg Config) (*Router, error) {
 	r.mux = http.NewServeMux()
 	r.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		io.WriteString(w, "ok\n")
 	})
 	r.mux.HandleFunc("GET /readyz", r.handleReady)
+	r.mux.HandleFunc("GET /v1", r.authed(r.instrumented("index", r.handleIndex)))
 	r.mux.HandleFunc("GET /v1/cluster", r.authed(r.instrumented("cluster", r.handleCluster)))
 	r.mux.HandleFunc("GET /v1/datasets", r.authed(r.instrumented("datasets", r.handleDatasets)))
 	r.mux.HandleFunc("GET /v1/report/{dataset}", r.authed(r.instrumented("report", r.handleReport)))
 	r.mux.HandleFunc("GET /v1/compare/{a}/{b}", r.authed(r.instrumented("compare", r.handleCompare)))
+	r.mux.HandleFunc("GET /v1/predict/{dataset}", r.authed(r.instrumented("predict", r.handlePredict)))
 	r.mux.HandleFunc("POST /v1/ingest", r.authed(r.instrumented("ingest", r.handleIngest)))
 	if cfg.Metrics != nil {
 		r.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, cfg.Metrics.Snapshot().Text())
+			io.WriteString(w, cfg.Metrics.Snapshot().Text())
 		})
 		r.mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
@@ -255,10 +257,35 @@ func (r *Router) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if healthy == 0 {
 		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "not ready: no healthy replicas")
+		io.WriteString(w, "not ready: no healthy replicas\n")
 		return
 	}
-	fmt.Fprintf(w, "ready (%d/%d replicas healthy)\n", healthy, len(r.backends))
+	io.WriteString(w, fmt.Sprintf("ready (%d/%d replicas healthy)\n", healthy, len(r.backends)))
+}
+
+// Routes is the router's machine-readable route index: everything a
+// single ioserved advertises (the router fronts the same API), plus the
+// cluster-status route only the router has.
+func (r *Router) Routes() []httpapi.Route {
+	routes := serve.Routes()
+	routes = append(routes, httpapi.Route{
+		Path: "/v1/cluster", Methods: []string{"GET"}, Params: []string{"dataset"}, SchemaVersion: report.SchemaVersion,
+	})
+	return routes
+}
+
+func (r *Router) handleIndex(w http.ResponseWriter, req *http.Request) {
+	if _, err := httpapi.Query(req); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadParam, err.Error())
+		return
+	}
+	data, err := serve.MarshalDoc(httpapi.BuildIndex("iorouter", r.Routes()))
+	if err != nil {
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 // authed enforces the API-key + token-bucket edge when a keyring is
@@ -276,20 +303,20 @@ func (r *Router) authed(fn http.HandlerFunc) http.HandlerFunc {
 		}
 		if key == "" {
 			r.cUnauthed.Add(1)
-			r.writeError(w, http.StatusUnauthorized, "missing API key (X-API-Key or Authorization: Bearer)")
+			httpapi.WriteError(w, http.StatusUnauthorized, httpapi.CodeUnauthorized,
+				"missing API key (X-API-Key or Authorization: Bearer)")
 			return
 		}
 		tenant, wait, err := r.keyring.Check(key)
 		if err != nil {
 			r.cUnauthed.Add(1)
-			r.writeError(w, http.StatusUnauthorized, "unknown API key")
+			httpapi.WriteError(w, http.StatusUnauthorized, httpapi.CodeUnauthorized, "unknown API key")
 			return
 		}
 		if wait > 0 {
 			r.cLimited.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wait.Seconds()))))
-			r.writeError(w, http.StatusTooManyRequests,
-				fmt.Sprintf("tenant %q over its request rate, retry shortly", tenant))
+			httpapi.WriteErrorRetry(w, http.StatusTooManyRequests, httpapi.CodeRateLimited,
+				fmt.Sprintf("tenant %q over its request rate, retry shortly", tenant), wait)
 			return
 		}
 		fn(w, req)
@@ -304,18 +331,6 @@ func (r *Router) instrumented(name string, fn http.HandlerFunc) http.HandlerFunc
 		r.metrics.Counter("cluster." + name + ".requests").Add(1)
 		r.metrics.TimeHistogram("cluster." + name + ".latency_us").Observe(time.Since(start).Microseconds())
 	}
-}
-
-// errorBody mirrors the serve package's JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func (r *Router) writeError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	data, _ := json.Marshal(errorBody{Error: msg})
-	w.Write(append(data, '\n'))
 }
 
 // upstream is one backend's buffered answer.
@@ -492,22 +507,39 @@ func (r *Router) queryOwners(req *http.Request, w http.ResponseWriter, dataset, 
 		return
 	}
 	r.cExhausted.Add(1)
-	status := http.StatusServiceUnavailable
+	status, code := http.StatusServiceUnavailable, httpapi.CodeUnavailable
 	if sawAnswer && allBusy {
-		status = http.StatusTooManyRequests
+		status, code = http.StatusTooManyRequests, httpapi.CodeOverCapacity
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-	r.writeError(w, status, fmt.Sprintf("all %d owners of dataset %q are unavailable, retry shortly",
-		len(owners), dataset))
+	httpapi.WriteErrorRetry(w, status, code,
+		fmt.Sprintf("all %d owners of dataset %q are unavailable, retry shortly", len(owners), dataset),
+		time.Duration(retryAfter)*time.Second)
 }
 
 func (r *Router) handleReport(w http.ResponseWriter, req *http.Request) {
 	dataset := req.PathValue("dataset")
 	if !serve.ValidDatasetName(dataset) {
-		r.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dataset name %q", dataset))
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, fmt.Sprintf("invalid dataset name %q", dataset))
 		return
 	}
 	pathQ := "/v1/report/" + dataset
+	if q := req.URL.RawQuery; q != "" {
+		pathQ += "?" + q
+	}
+	r.queryOwners(req, w, dataset, pathQ)
+}
+
+// handlePredict relays the predictive-analytics document from whichever
+// owner of the dataset answers. The query string is forwarded untouched so
+// an upstream parameter rejection comes back as that replica's envelope,
+// byte-identical — the router never rewrites upstream error bodies.
+func (r *Router) handlePredict(w http.ResponseWriter, req *http.Request) {
+	dataset := req.PathValue("dataset")
+	if !serve.ValidDatasetName(dataset) {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, fmt.Sprintf("invalid dataset name %q", dataset))
+		return
+	}
+	pathQ := "/v1/predict/" + dataset
 	if q := req.URL.RawQuery; q != "" {
 		pathQ += "?" + q
 	}
@@ -552,6 +584,17 @@ func (r *Router) fetchRow(req *http.Request, dataset string) (serve.DatasetRow, 
 		fmt.Errorf("all owners of dataset %q are unavailable, retry shortly", dataset)
 }
 
+// writeFetchError maps a fetchRow failure onto the envelope: a confirmed
+// missing dataset is not_found, exhausted owners are unavailable with a
+// retry hint.
+func writeFetchError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable {
+		httpapi.WriteErrorRetry(w, status, httpapi.CodeUnavailable, err.Error(), time.Second)
+		return
+	}
+	httpapi.WriteError(w, status, httpapi.CodeNotFound, err.Error())
+}
+
 // handleCompare scatter/gathers: each side's summary row comes from the
 // shard owning that dataset, and the comparison document is assembled by
 // the same serve code a single node renders with — byte-identical output
@@ -560,29 +603,23 @@ func (r *Router) handleCompare(w http.ResponseWriter, req *http.Request) {
 	nameA, nameB := req.PathValue("a"), req.PathValue("b")
 	for _, n := range []string{nameA, nameB} {
 		if !serve.ValidDatasetName(n) {
-			r.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dataset name %q", n))
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, fmt.Sprintf("invalid dataset name %q", n))
 			return
 		}
 	}
 	rowA, status, err := r.fetchRow(req, nameA)
 	if err != nil {
-		if status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
-		}
-		r.writeError(w, status, err.Error())
+		writeFetchError(w, status, err)
 		return
 	}
 	rowB, status, err := r.fetchRow(req, nameB)
 	if err != nil {
-		if status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
-		}
-		r.writeError(w, status, err.Error())
+		writeFetchError(w, status, err)
 		return
 	}
 	data, err := serve.CompareDocument(rowA, rowB)
 	if err != nil {
-		r.writeError(w, http.StatusInternalServerError, err.Error())
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -626,8 +663,8 @@ func (r *Router) handleDatasets(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	if answered == 0 {
-		w.Header().Set("Retry-After", "1")
-		r.writeError(w, http.StatusServiceUnavailable, "no replicas are answering, retry shortly")
+		httpapi.WriteErrorRetry(w, http.StatusServiceUnavailable, httpapi.CodeUnavailable,
+			"no replicas are answering, retry shortly", time.Second)
 		return
 	}
 	doc := serve.DatasetsDoc{SchemaVersion: report.SchemaVersion, Datasets: []serve.DatasetRow{}}
@@ -641,7 +678,7 @@ func (r *Router) handleDatasets(w http.ResponseWriter, req *http.Request) {
 	}
 	data, err := serve.MarshalDoc(doc)
 	if err != nil {
-		r.writeError(w, http.StatusInternalServerError, err.Error())
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -672,14 +709,15 @@ type ingestFanoutDoc struct {
 func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20+1))
 	if err != nil || len(body) > 1<<20 {
-		r.writeError(w, http.StatusBadRequest, "bad ingest request body")
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "bad ingest request body")
 		return
 	}
 	var head struct {
 		Dataset string `json:"dataset"`
 	}
 	if err := json.Unmarshal(body, &head); err != nil || !serve.ValidDatasetName(head.Dataset) {
-		r.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad ingest request: invalid dataset name %q", head.Dataset))
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+			fmt.Sprintf("bad ingest request: invalid dataset name %q", head.Dataset))
 		return
 	}
 	owners := r.Owners(head.Dataset)
@@ -687,7 +725,7 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	for _, be := range owners {
 		up, aerr := r.attempt(req.Context(), be, http.MethodPost, "/v1/ingest", body, r.ingestTO)
 		if aerr != nil {
-			r.writeError(w, http.StatusBadGateway, fmt.Sprintf(
+			httpapi.WriteError(w, http.StatusBadGateway, httpapi.CodeUpstreamFailed, fmt.Sprintf(
 				"ingest into %s failed after %d of %d owners landed: %v (retry to converge)",
 				be.Name, len(doc.Replicas), len(owners), aerr.err))
 			return
@@ -697,7 +735,7 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 				relay(w, up, 1) // deterministic rejection, nothing landed
 				return
 			}
-			r.writeError(w, http.StatusBadGateway, fmt.Sprintf(
+			httpapi.WriteError(w, http.StatusBadGateway, httpapi.CodeUpstreamFailed, fmt.Sprintf(
 				"replica %s rejected the ingest (%d) after %d of %d owners landed: %s",
 				be.Name, up.status, len(doc.Replicas), len(owners), string(up.body)))
 			return
@@ -708,7 +746,8 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 			Failed     int    `json:"failed"`
 		}
 		if err := json.Unmarshal(up.body, &res); err != nil {
-			r.writeError(w, http.StatusBadGateway, fmt.Sprintf("replica %s: undecodable ingest response", be.Name))
+			httpapi.WriteError(w, http.StatusBadGateway, httpapi.CodeUpstreamFailed,
+				fmt.Sprintf("replica %s: undecodable ingest response", be.Name))
 			return
 		}
 		doc.Replicas = append(doc.Replicas, ingestReplicaResult{
@@ -717,7 +756,7 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	}
 	data, err := serve.MarshalDoc(doc)
 	if err != nil {
-		r.writeError(w, http.StatusInternalServerError, err.Error())
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -742,15 +781,20 @@ type clusterDoc struct {
 }
 
 func (r *Router) handleCluster(w http.ResponseWriter, req *http.Request) {
+	params, err := httpapi.Query(req, "dataset")
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadParam, err.Error())
+		return
+	}
 	doc := clusterDoc{SchemaVersion: report.SchemaVersion, Replication: r.rf}
 	for _, be := range r.backends {
 		doc.Replicas = append(doc.Replicas, clusterReplicaDoc{
 			Name: be.Name, Healthy: be.Healthy(), Breaker: be.BreakerState().String(),
 		})
 	}
-	if ds := req.URL.Query().Get("dataset"); ds != "" {
+	if ds := params["dataset"]; ds != "" {
 		if !serve.ValidDatasetName(ds) {
-			r.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dataset name %q", ds))
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, fmt.Sprintf("invalid dataset name %q", ds))
 			return
 		}
 		doc.Dataset = ds
@@ -760,7 +804,7 @@ func (r *Router) handleCluster(w http.ResponseWriter, req *http.Request) {
 	}
 	data, err := serve.MarshalDoc(doc)
 	if err != nil {
-		r.writeError(w, http.StatusInternalServerError, err.Error())
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

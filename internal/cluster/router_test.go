@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"iolayers/internal/httpapi"
 	"iolayers/internal/serve"
 )
 
@@ -52,6 +53,20 @@ func newFakeReplica(t *testing.T) *fakeReplica {
 				}
 			}
 			fmt.Fprintf(w, "report %s from %s", r.PathValue("dataset"), f.name)
+		}
+	})
+	mux.HandleFunc("GET /v1/predict/{dataset}", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		switch f.mode.Load().(string) {
+		case "error":
+			httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, "boom")
+		case "busy":
+			httpapi.WriteErrorRetry(w, http.StatusTooManyRequests, httpapi.CodeOverCapacity, "shedding", 7*time.Second)
+		case "notfound":
+			httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound,
+				fmt.Sprintf("no dataset %q", r.PathValue("dataset")))
+		default:
+			fmt.Fprintf(w, "predict %s from %s", r.PathValue("dataset"), f.name)
 		}
 	})
 	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, _ *http.Request) {

@@ -197,6 +197,21 @@ func (si *SegmentInfo) MaxFileBytes() int64 {
 	return max
 }
 
+// TimeRange returns the [min, max] bounds of the segment's per-log start
+// times, read from the stats block alone — the predicate behind
+// time-window segment pruning: a query whose window is disjoint from the
+// range need not decode the segment. Column stats are computed on the
+// raw values before delta encoding, so the bounds are real timestamps.
+// ok is false when the segment carries no start-time column.
+func (si *SegmentInfo) TimeRange() (min, max int64, ok bool) {
+	for _, cs := range si.Columns {
+		if cs.ID == colStartTime && cs.Stats.Count > 0 {
+			return cs.Stats.Min, cs.Stats.Max, true
+		}
+	}
+	return 0, 0, false
+}
+
 // Batch is one decoded segment: plain column slices sized to their
 // table's row count. Columns outside the requested Projection — and
 // columns whose stats show every value is zero — are nil; readers treat

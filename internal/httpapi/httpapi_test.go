@@ -1,0 +1,102 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteErrorEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, 404, CodeNotFound, `no dataset "x"`)
+	if rec.Code != 404 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Errorf("status %d, content-type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	env, ok := DecodeError(rec.Body.Bytes())
+	if !ok || env.Error.Code != CodeNotFound || env.Error.RetryAfterMS != 0 {
+		t.Errorf("decoded %+v, ok=%v", env, ok)
+	}
+	if !strings.HasSuffix(rec.Body.String(), "\n") {
+		t.Error("envelope body missing trailing newline")
+	}
+}
+
+func TestWriteErrorRetryFloorsAndRounds(t *testing.T) {
+	// Sub-second hints floor to 1s in both the header and the body.
+	rec := httptest.NewRecorder()
+	WriteErrorRetry(rec, 429, CodeOverCapacity, "shed", 200*time.Millisecond)
+	env, _ := DecodeError(rec.Body.Bytes())
+	if rec.Header().Get("Retry-After") != "1" || env.Error.RetryAfterMS != 1000 {
+		t.Errorf("floor: header %q, body %d", rec.Header().Get("Retry-After"), env.Error.RetryAfterMS)
+	}
+	// Fractional seconds round the header up; the body keeps the ms.
+	rec = httptest.NewRecorder()
+	WriteErrorRetry(rec, 429, CodeRateLimited, "wait", 1500*time.Millisecond)
+	env, _ = DecodeError(rec.Body.Bytes())
+	if rec.Header().Get("Retry-After") != "2" || env.Error.RetryAfterMS != 1500 {
+		t.Errorf("round: header %q, body %d", rec.Header().Get("Retry-After"), env.Error.RetryAfterMS)
+	}
+}
+
+func TestDecodeErrorRejectsNonEnvelopes(t *testing.T) {
+	for _, body := range []string{
+		``, `not json`, `{}`, `{"error":"flat legacy string"}`,
+		`{"error":{"message":"code missing"}}`, `<html>proxy page</html>`,
+	} {
+		if _, ok := DecodeError([]byte(body)); ok {
+			t.Errorf("%q decoded as an envelope", body)
+		}
+	}
+}
+
+func TestQueryTaxonomy(t *testing.T) {
+	r := httptest.NewRequest("GET", "/x?format=json&section=table2", nil)
+	params, err := Query(r, "format", "section")
+	if err != nil || params["format"] != "json" || params["section"] != "table2" {
+		t.Errorf("params %v, err %v", params, err)
+	}
+	// The first unknown (sorted) is named, along with the allowed set.
+	r = httptest.NewRequest("GET", "/x?zz=1&aa=2&format=json", nil)
+	if _, err := Query(r, "format"); err == nil ||
+		!strings.Contains(err.Error(), `"aa"`) || !strings.Contains(err.Error(), "format") {
+		t.Errorf("unknown-param error = %v", err)
+	}
+	// No allowed params at all says so.
+	r = httptest.NewRequest("GET", "/x?any=1", nil)
+	if _, err := Query(r, nil...); err == nil || !strings.Contains(err.Error(), "none") {
+		t.Errorf("param-free error = %v", err)
+	}
+}
+
+func TestBuildIndexSorts(t *testing.T) {
+	doc := BuildIndex("svc", []Route{
+		{Path: "/v1/z", Methods: []string{"GET"}},
+		{Path: "/v1/a", Methods: []string{"POST"}},
+		{Path: "/v1/a", Methods: []string{"GET"}},
+	})
+	if doc.SchemaVersion != IndexSchemaVersion || doc.Service != "svc" {
+		t.Errorf("header %+v", doc)
+	}
+	got := make([]string, len(doc.Routes))
+	for i, r := range doc.Routes {
+		got[i] = r.Path + ":" + r.Methods[0]
+	}
+	want := "/v1/a:GET,/v1/a:POST,/v1/z:GET"
+	if strings.Join(got, ",") != want {
+		t.Errorf("sorted %v, want %s", got, want)
+	}
+}
+
+func TestCodesEnumerationComplete(t *testing.T) {
+	seen := map[Code]bool{}
+	for _, c := range Codes() {
+		if seen[c] {
+			t.Errorf("code %q listed twice", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) != 11 {
+		t.Errorf("Codes() lists %d codes; update it (and docs/api.md) when the taxonomy grows", len(seen))
+	}
+}

@@ -12,8 +12,9 @@ import (
 )
 
 // ResultSchemaVersion stamps the summary JSON so downstream tooling can
-// detect shape changes.
-const ResultSchemaVersion = 1
+// detect shape changes. Version 2 added the non_envelope counter (error
+// responses whose body is not the structured httpapi envelope).
+const ResultSchemaVersion = 2
 
 // OpResult is the measured outcome of one operation class (or, for
 // Result.Totals, of everything). The taxonomy is deliberate:
@@ -24,6 +25,11 @@ const ResultSchemaVersion = 1
 //     under multi-tenant limits; they are not errors.
 //   - Unauthorized / ClientErrors / ServerErrors / NetErrors / Divergent
 //     are hard errors: ErrorRate counts exactly these.
+//   - NonEnvelope rides alongside the status taxonomy the way Divergent
+//     rides on 200s: a non-200 whose body is not the structured error
+//     envelope is a contract violation on top of whatever outcome class
+//     the status put it in. It is gated separately (SLO.MaxNonEnvelope),
+//     not folded into ErrorRate — that would double-count 4xx/5xx.
 type OpResult struct {
 	Arrivals     uint64 `json:"arrivals"`
 	Shed         uint64 `json:"shed"`
@@ -34,6 +40,7 @@ type OpResult struct {
 	ServerErrors uint64 `json:"server_errors"`
 	NetErrors    uint64 `json:"net_errors"`
 	Divergent    uint64 `json:"divergent"`
+	NonEnvelope  uint64 `json:"non_envelope"`
 
 	// ErrorRate is hard errors over completed (non-shed) requests.
 	ErrorRate float64 `json:"error_rate"`
@@ -103,6 +110,7 @@ func (r *runner) collect(elapsed time.Duration) *Result {
 			ServerErrors: oc.serverErrors,
 			NetErrors:    oc.netErrors,
 			Divergent:    oc.divergent,
+			NonEnvelope:  oc.nonEnvelope,
 			LatencyUS:    oc.latency.Quantiles(),
 		}
 		finish(o, res.ElapsedSec)
@@ -116,6 +124,7 @@ func (r *runner) collect(elapsed time.Duration) *Result {
 		res.Totals.ServerErrors += o.ServerErrors
 		res.Totals.NetErrors += o.NetErrors
 		res.Totals.Divergent += o.Divergent
+		res.Totals.NonEnvelope += o.NonEnvelope
 		total.Merge(oc.latency)
 	}
 	res.Totals.LatencyUS = total.Quantiles()
@@ -175,8 +184,8 @@ func (res *Result) Render(w io.Writer) {
 		row(name, res.Ops[name])
 	}
 	row("TOTAL", &res.Totals)
-	fmt.Fprintf(w, "throughput %.1f ok/s, error rate %.3f%%, %d divergent bodies\n",
-		res.Totals.Throughput, res.Totals.ErrorRate*100, res.Totals.Divergent)
+	fmt.Fprintf(w, "throughput %.1f ok/s, error rate %.3f%%, %d divergent bodies, %d non-envelope errors\n",
+		res.Totals.Throughput, res.Totals.ErrorRate*100, res.Totals.Divergent, res.Totals.NonEnvelope)
 	if len(res.DivergenceSamples) > 0 {
 		fmt.Fprintln(w, "divergence samples:")
 		for _, s := range res.DivergenceSamples {

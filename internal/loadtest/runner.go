@@ -13,6 +13,7 @@ import (
 
 	"math/rand/v2"
 
+	"iolayers/internal/httpapi"
 	"iolayers/internal/obsv"
 )
 
@@ -54,6 +55,7 @@ type opCounters struct {
 	serverErrors uint64
 	netErrors    uint64
 	divergent    uint64
+	nonEnvelope  uint64
 	latency      *obsv.HDR
 }
 
@@ -197,6 +199,8 @@ func (r *runner) plan(rng *rand.Rand, base *url.URL) call {
 			other = sc.Dataset
 		}
 		c.url = base.JoinPath("v1", "compare", sc.Dataset, other).String()
+	case OpPredict:
+		c.url = base.JoinPath("v1", "predict", sc.Dataset).String()
 	case OpDatasets:
 		c.url = base.JoinPath("v1", "datasets").String()
 	case OpIngest:
@@ -262,6 +266,7 @@ func (r *runner) execute(ctx context.Context, c call, oc *opCounters) {
 				o.divergent++
 			}
 		})
+		return
 	case resp.StatusCode == http.StatusTooManyRequests:
 		r.count(oc, func(o *opCounters) { o.throttled++ })
 	case resp.StatusCode == http.StatusUnauthorized || resp.StatusCode == http.StatusForbidden:
@@ -271,6 +276,12 @@ func (r *runner) execute(ctx context.Context, c call, oc *opCounters) {
 	default:
 		r.count(oc, func(o *opCounters) { o.clientErrors++ })
 	}
+	// Every non-200 the API family emits is a structured error envelope
+	// (httpapi); a plain-text or ad-hoc body is a contract leak, counted
+	// alongside the status-class outcome the way divergence rides on 200s.
+	if _, ok := httpapi.DecodeError(body); !ok {
+		r.count(oc, func(o *opCounters) { o.nonEnvelope++ })
+	}
 }
 
 func (r *runner) count(oc *opCounters, f func(*opCounters)) {
@@ -279,13 +290,16 @@ func (r *runner) count(oc *opCounters, f func(*opCounters)) {
 	r.mu.Unlock()
 }
 
-// checkDivergence enforces the byte-identity contract on report bodies:
-// two 200s for the same URL at the same dataset generation must be
-// byte-identical no matter which replica answered. The generation header
-// keys the check, so legitimate re-ingest churn never counts as
-// divergence — only replicas disagreeing about the same generation does.
+// checkDivergence enforces the byte-identity contract on report,
+// compare, and predict bodies: two 200s for the same URL at the same
+// dataset generation must be byte-identical no matter which replica
+// answered. The generation header keys the check, so legitimate
+// re-ingest churn never counts as divergence — only replicas
+// disagreeing about the same generation does.
 func (r *runner) checkDivergence(c call, resp *http.Response, body []byte) bool {
-	if c.op != OpReport && c.op != OpCompare {
+	switch c.op {
+	case OpReport, OpCompare, OpPredict:
+	default:
 		return false
 	}
 	gen := resp.Header.Get("X-Dataset-Generation")

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"math/rand/v2"
+
+	"iolayers/internal/httpapi"
 )
 
 // fakeAPI mimics just enough of the serve/router surface for the runner:
@@ -36,8 +38,8 @@ func (f *fakeAPI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	f.hits[r.URL.Path]++
 	f.mu.Unlock()
 	if f.throttle != "" && r.Header.Get("X-API-Key") == f.throttle {
-		w.Header().Set("Retry-After", "1")
-		w.WriteHeader(http.StatusTooManyRequests)
+		httpapi.WriteErrorRetry(w, http.StatusTooManyRequests, httpapi.CodeRateLimited,
+			"tenant over limit", time.Second)
 		return
 	}
 	gen := f.gen.Load()
@@ -210,6 +212,90 @@ func TestRunTaxonomy(t *testing.T) {
 	}
 	if res2.Totals.ErrorRate == 0 {
 		t.Error("hard errors produced a zero error rate")
+	}
+}
+
+// Error bodies are held to the envelope contract: a server whose errors
+// speak the structured envelope counts zero non_envelope; one that
+// writes plain text is caught, without disturbing the status taxonomy.
+func TestRunEnvelopeClassification(t *testing.T) {
+	sc := testScenario()
+	sc.APIKeys = []string{"key-b"}
+
+	// Leg 1: envelope-correct errors and throttles — no contract leaks.
+	api := newFakeAPI()
+	api.throttle = "key-b" // every request 429s with a structured envelope
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	res, err := Run(context.Background(), sc, Options{Target: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.Throttled == 0 {
+		t.Fatal("throttling leg produced no 429s")
+	}
+	if res.Totals.NonEnvelope != 0 {
+		t.Errorf("structured 429s counted as %d non-envelope bodies", res.Totals.NonEnvelope)
+	}
+
+	// Leg 2: ad-hoc plain-text errors — every one is a contract leak on
+	// top of its status-class outcome.
+	plain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "internal oops", http.StatusInternalServerError)
+	}))
+	defer plain.Close()
+	res2, err := Run(context.Background(), testScenario(), Options{Target: plain.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Totals.ServerErrors == 0 {
+		t.Fatal("plain-error leg produced no 5xx outcomes")
+	}
+	if res2.Totals.NonEnvelope != res2.Totals.ServerErrors {
+		t.Errorf("non_envelope %d != server errors %d: plain bodies not all flagged",
+			res2.Totals.NonEnvelope, res2.Totals.ServerErrors)
+	}
+	if got := res2.Ops[string(OpReport)]; got == nil || got.NonEnvelope == 0 {
+		t.Error("per-op non_envelope counter not populated")
+	}
+}
+
+// Predict operations plan the right URL and ride the same byte-identity
+// check as reports.
+func TestRunPredictOp(t *testing.T) {
+	api := newFakeAPI()
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	sc := testScenario()
+	sc.Mix = Mix{Predict: 1}
+	res, err := Run(context.Background(), sc, Options{Target: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Ops[string(OpPredict)]
+	if o == nil || o.OK == 0 {
+		t.Fatal("predict op never succeeded")
+	}
+	api.mu.Lock()
+	hits := api.hits["/v1/predict/golden"]
+	api.mu.Unlock()
+	if hits == 0 {
+		t.Error("no requests hit /v1/predict/golden")
+	}
+	if res.Totals.Divergent != 0 {
+		t.Errorf("stable predict bodies misread as divergence: %d", res.Totals.Divergent)
+	}
+
+	// A server disagreeing with itself at one generation is caught on the
+	// predict route too.
+	api.diverge.Store(true)
+	res2, err := Run(context.Background(), sc, Options{Target: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Totals.Divergent == 0 {
+		t.Error("byte-divergent predict 200s went undetected")
 	}
 }
 

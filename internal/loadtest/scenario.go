@@ -8,8 +8,9 @@
 //
 // A Scenario declares the offered load: arrival rate, client cap,
 // duration, the operation mix (report renders across sections and
-// formats, compare scatter/gathers, dataset listings, periodic ingest
-// bursts), and the API keys to rotate through when the target enforces
+// formats, compare scatter/gathers, predict documents, dataset
+// listings, periodic ingest bursts), and the API keys to rotate
+// through when the target enforces
 // multi-tenant rate limits. Scenarios load from a small declarative TOML
 // subset (see ParseScenario) or are built in code; either way the same
 // seed replays the same arrival schedule and the same operation
@@ -33,13 +34,14 @@ type Op string
 const (
 	OpReport   Op = "report"   // GET /v1/report/{dataset}?section&format
 	OpCompare  Op = "compare"  // GET /v1/compare/{a}/{b}
+	OpPredict  Op = "predict"  // GET /v1/predict/{dataset}
 	OpDatasets Op = "datasets" // GET /v1/datasets
 	OpIngest   Op = "ingest"   // POST /v1/ingest
 )
 
 // Ops lists every operation class in stable order (summary and baseline
 // files iterate in this order).
-var Ops = []Op{OpReport, OpCompare, OpDatasets, OpIngest}
+var Ops = []Op{OpReport, OpCompare, OpPredict, OpDatasets, OpIngest}
 
 // Mix holds the relative weight of each operation class. Weights are
 // relative, not probabilities — {8,1,1,0} and {0.8,0.1,0.1,0} are the
@@ -47,6 +49,7 @@ var Ops = []Op{OpReport, OpCompare, OpDatasets, OpIngest}
 type Mix struct {
 	Report   float64 `json:"report"`
 	Compare  float64 `json:"compare"`
+	Predict  float64 `json:"predict"`
 	Datasets float64 `json:"datasets"`
 	Ingest   float64 `json:"ingest"`
 }
@@ -57,6 +60,8 @@ func (m Mix) weight(op Op) float64 {
 		return m.Report
 	case OpCompare:
 		return m.Compare
+	case OpPredict:
+		return m.Predict
 	case OpDatasets:
 		return m.Datasets
 	case OpIngest:
@@ -66,7 +71,7 @@ func (m Mix) weight(op Op) float64 {
 }
 
 func (m Mix) total() float64 {
-	return m.Report + m.Compare + m.Datasets + m.Ingest
+	return m.Report + m.Compare + m.Predict + m.Datasets + m.Ingest
 }
 
 // Scenario is one declarative load shape.
@@ -134,7 +139,7 @@ func (s *Scenario) Validate() error {
 	if s.Mix.total() <= 0 {
 		return fmt.Errorf("loadtest: scenario %q has an all-zero mix", s.Name)
 	}
-	for _, w := range []float64{s.Mix.Report, s.Mix.Compare, s.Mix.Datasets, s.Mix.Ingest} {
+	for _, w := range []float64{s.Mix.Report, s.Mix.Compare, s.Mix.Predict, s.Mix.Datasets, s.Mix.Ingest} {
 		if w < 0 {
 			return fmt.Errorf("loadtest: scenario %q has a negative mix weight", s.Name)
 		}
@@ -250,6 +255,8 @@ func ParseScenario(r io.Reader) (Scenario, error) {
 				s.Mix.Report = w
 			case "compare":
 				s.Mix.Compare = w
+			case "predict":
+				s.Mix.Predict = w
 			case "datasets":
 				s.Mix.Datasets = w
 			case "ingest":

@@ -22,6 +22,7 @@ apikeys = ["key-a", "key-b"]
 [mix]
 report = 8
 compare = 1
+predict = 2
 datasets = 1
 `
 
@@ -42,7 +43,7 @@ func TestParseScenario(t *testing.T) {
 	if len(s.APIKeys) != 2 || s.APIKeys[1] != "key-b" {
 		t.Errorf("apikeys %q", s.APIKeys)
 	}
-	if s.Mix.Report != 8 || s.Mix.Compare != 1 || s.Mix.Datasets != 1 || s.Mix.Ingest != 0 {
+	if s.Mix.Report != 8 || s.Mix.Compare != 1 || s.Mix.Predict != 2 || s.Mix.Datasets != 1 || s.Mix.Ingest != 0 {
 		t.Errorf("mix %+v", s.Mix)
 	}
 	if err := s.Validate(); err != nil {

@@ -29,6 +29,10 @@ type SLO struct {
 	// MaxDivergent caps byte-identity violations; it defaults to zero —
 	// a single divergent 200 is a correctness bug, never acceptable.
 	MaxDivergent uint64 `json:"max_divergent"`
+	// MaxNonEnvelope caps error responses whose body is not the
+	// structured httpapi envelope. Like divergence it defaults to zero:
+	// the error contract either holds everywhere or it is broken.
+	MaxNonEnvelope uint64 `json:"max_non_envelope"`
 }
 
 // Baseline is the committed SLO file: per-scenario, per-op bands plus a
@@ -117,6 +121,10 @@ func (b *Baseline) Check(res *Result) []Violation {
 			add("%d divergent 200s exceed max %d — replicas disagreed byte-for-byte",
 				o.Divergent, slo.MaxDivergent)
 		}
+		if o.NonEnvelope > slo.MaxNonEnvelope {
+			add("%d non-envelope error bodies exceed max %d — the error contract leaked",
+				o.NonEnvelope, slo.MaxNonEnvelope)
+		}
 		if slo.MinThroughput > 0 && o.Throughput < slo.MinThroughput/tol {
 			add("throughput %.1f ok/s below floor %.1f/tolerance %.2f = %.1f",
 				o.Throughput, slo.MinThroughput, tol, slo.MinThroughput/tol)
@@ -156,12 +164,13 @@ func (b *Baseline) UpdateFrom(res *Result) {
 			rate = 0.005
 		}
 		return SLO{
-			MaxErrorRate:  rate,
-			MinThroughput: o.Throughput / 2,
-			MaxP50US:      o.LatencyUS.P50 * 3,
-			MaxP99US:      o.LatencyUS.P99 * 3,
-			MaxP999US:     o.LatencyUS.P999 * 3,
-			MaxDivergent:  0,
+			MaxErrorRate:   rate,
+			MinThroughput:  o.Throughput / 2,
+			MaxP50US:       o.LatencyUS.P50 * 3,
+			MaxP99US:       o.LatencyUS.P99 * 3,
+			MaxP999US:      o.LatencyUS.P999 * 3,
+			MaxDivergent:   0,
+			MaxNonEnvelope: 0,
 		}
 	}
 	for name, o := range res.Ops {

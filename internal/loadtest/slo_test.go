@@ -160,7 +160,7 @@ func TestResultJSONAndRender(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"schema_version": 1`, `"latency_us"`, `"error_rate"`, `"throughput_rps"`} {
+	for _, want := range []string{`"schema_version": 2`, `"latency_us"`, `"error_rate"`, `"throughput_rps"`, `"non_envelope"`} {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("summary JSON missing %s", want)
 		}

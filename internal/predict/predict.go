@@ -1,0 +1,375 @@
+// Package predict is the prescriptive layer over the analysis pipeline:
+// it mines a dataset's frozen aggregate state into time series of I/O
+// volume, detects bursts and the gaps between them, forecasts the next
+// burst window with a confidence band, and emits per-app placement hints
+// (burst-buffer staging vs PFS, stripe-count suggestions). For sub-hour
+// resolution it scans columnar .dgc campaigns directly, pruning segments
+// by their start-time stats (see ScanColumnar).
+//
+// Everything here is a pure, deterministic function of its inputs: the
+// same report produces the same profile byte for byte, at any ingest
+// worker count — every float that reaches a document is canonicalized to
+// nine significant digits, far coarser than the partition-order noise in
+// the aggregate sums and far finer than anything the models resolve.
+package predict
+
+import (
+	"math"
+	"time"
+
+	"iolayers/internal/analysis"
+)
+
+// SchemaVersion identifies the shape of the predict JSON document. Bump
+// whenever a field is added, removed, or changes meaning.
+const SchemaVersion = 1
+
+// BurstFactor is the burst threshold in multiples of the median active
+// bucket: a window moving more than twice the typical volume is a burst.
+const BurstFactor = 2.0
+
+// canon rounds to nine significant digits so values derived from
+// partition-order-sensitive float sums serialize identically at any
+// worker count (the same contract as report.CanonicalNodeHours, applied
+// relatively because byte volumes span fifteen orders of magnitude).
+func canon(x float64) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	mag := math.Ceil(math.Log10(math.Abs(x)))
+	scale := math.Pow(10, 9-mag)
+	return math.Round(x*scale) / scale
+}
+
+// Bucket is one window of a volume series.
+type Bucket struct {
+	Index int     `json:"index"`
+	Label string  `json:"label"`
+	Logs  int64   `json:"logs"`
+	Bytes float64 `json:"bytes"`
+}
+
+// Series is an ordered sequence of volume windows.
+type Series struct {
+	// Resolution names the window width: "month" for series mined from
+	// aggregate state, "hour" for series mined from columnar segments.
+	Resolution string   `json:"resolution"`
+	Buckets    []Bucket `json:"buckets"`
+}
+
+// Volumes returns the series' byte volumes in bucket order.
+func (s *Series) Volumes() []float64 {
+	out := make([]float64, len(s.Buckets))
+	for i, b := range s.Buckets {
+		out[i] = b.Bytes
+	}
+	return out
+}
+
+// BurstModel describes the bursts found in one series.
+type BurstModel struct {
+	// ThresholdBytes is BurstFactor x the median active (non-zero) bucket.
+	ThresholdBytes float64 `json:"threshold_bytes"`
+	// BurstIndices lists the bucket indices at or above the threshold.
+	BurstIndices []int `json:"burst_indices,omitempty"`
+	// MeanVolume and VolumeStd summarize the burst buckets' volumes.
+	MeanVolume float64 `json:"mean_volume_bytes"`
+	VolumeStd  float64 `json:"volume_std_bytes"`
+	// MeanGap and GapStd summarize the spacing (in buckets) between
+	// consecutive burst starts; zero with fewer than two bursts.
+	MeanGap float64 `json:"mean_gap"`
+	GapStd  float64 `json:"gap_std"`
+}
+
+// Bursts is the number of burst buckets.
+func (m *BurstModel) Bursts() int { return len(m.BurstIndices) }
+
+// DetectBursts finds the buckets whose volume exceeds factor times the
+// median active bucket and fits the inter-burst-gap model. A factor <= 0
+// means BurstFactor.
+func DetectBursts(vol []float64, factor float64) BurstModel {
+	if factor <= 0 {
+		factor = BurstFactor
+	}
+	active := make([]float64, 0, len(vol))
+	for _, v := range vol {
+		if v > 0 {
+			active = append(active, v)
+		}
+	}
+	var m BurstModel
+	if len(active) == 0 {
+		return m
+	}
+	m.ThresholdBytes = canon(factor * median(active))
+	var volumes []float64
+	for i, v := range vol {
+		if v > 0 && v >= m.ThresholdBytes {
+			m.BurstIndices = append(m.BurstIndices, i)
+			volumes = append(volumes, v)
+		}
+	}
+	if len(volumes) == 0 {
+		return m
+	}
+	mv, sv := meanStd(volumes)
+	m.MeanVolume, m.VolumeStd = canon(mv), canon(sv)
+	if len(m.BurstIndices) >= 2 {
+		gaps := make([]float64, len(m.BurstIndices)-1)
+		for i := 1; i < len(m.BurstIndices); i++ {
+			gaps[i-1] = float64(m.BurstIndices[i] - m.BurstIndices[i-1])
+		}
+		mg, sg := meanStd(gaps)
+		m.MeanGap, m.GapStd = canon(mg), canon(sg)
+	}
+	return m
+}
+
+// Forecast is the model's answer to "when is the next burst, and how
+// big": the predicted bucket index (relative to the series the model was
+// fitted on), the expected volume, and a confidence band around it.
+type Forecast struct {
+	// NextIndex is the predicted bucket index of the next burst; -1 when
+	// the series shows no bursts to extrapolate from.
+	NextIndex int    `json:"next_index"`
+	NextLabel string `json:"next_label,omitempty"`
+	// ExpectedBytes is the forecast volume, with [LowBytes, HighBytes]
+	// the confidence band (one volume-sigma wide, floored at a quarter of
+	// the expectation so a two-burst series still gets an honest band).
+	ExpectedBytes float64 `json:"expected_bytes"`
+	LowBytes      float64 `json:"low_bytes"`
+	HighBytes     float64 `json:"high_bytes"`
+	// Confidence in (0, 1]: high when burst spacing is regular
+	// (1 / (1 + gap coefficient of variation)), 0 with no bursts.
+	Confidence float64 `json:"confidence"`
+}
+
+// ForecastNext extrapolates the burst model one step past the series:
+// the next burst lands one mean gap after the last observed burst.
+// label, when non-nil, names forecast bucket indices.
+func ForecastNext(m BurstModel, label func(int) string) Forecast {
+	if m.Bursts() == 0 {
+		return Forecast{NextIndex: -1}
+	}
+	gap := int(math.Round(m.MeanGap))
+	if gap < 1 {
+		gap = 1
+	}
+	f := Forecast{NextIndex: m.BurstIndices[m.Bursts()-1] + gap}
+	if label != nil {
+		f.NextLabel = label(f.NextIndex)
+	}
+	f.ExpectedBytes = m.MeanVolume
+	half := m.VolumeStd
+	if floor := 0.25 * m.MeanVolume; half < floor {
+		half = floor
+	}
+	f.LowBytes = canon(math.Max(0, m.MeanVolume-half))
+	f.HighBytes = canon(m.MeanVolume + half)
+	switch {
+	case m.MeanGap > 0:
+		f.Confidence = canon(1 / (1 + m.GapStd/m.MeanGap))
+	case m.Bursts() >= 2:
+		f.Confidence = 1 // bursts in adjacent buckets: perfectly regular
+	default:
+		f.Confidence = 0.5 // a single burst: direction without cadence
+	}
+	return f
+}
+
+// LayerMix is one layer's share of the campaign, the quantity the
+// placement hints trade against.
+type LayerMix struct {
+	Layer string `json:"layer"`
+	Kind  string `json:"kind"`
+	Files int64  `json:"files"`
+	// ReadBytes/WriteBytes are the layer's transferred volume and
+	// ReadShare the read fraction of it.
+	ReadBytes  float64 `json:"read_bytes"`
+	WriteBytes float64 `json:"write_bytes"`
+	ReadShare  float64 `json:"read_share"`
+	// BusySeconds is the layer's aggregate per-file I/O busy time — the
+	// observed baseline the replay validation must beat.
+	BusySeconds float64 `json:"busy_seconds"`
+}
+
+// AppProfile is one science domain's mined pattern and placement hint.
+type AppProfile struct {
+	Domain string `json:"domain"`
+	Jobs   int64  `json:"jobs"`
+	// ReadBytes/WriteBytes cover the traffic attributable to the domain
+	// (in-system plus STDIO volume; the aggregate state keys no other
+	// traffic by domain).
+	ReadBytes  float64 `json:"read_bytes"`
+	WriteBytes float64 `json:"write_bytes"`
+	WriteShare float64 `json:"write_share"`
+	// VolumeShare is the domain's fraction of all domain-attributed
+	// traffic.
+	VolumeShare float64 `json:"volume_share"`
+	// Placement is "burst-buffer" (stage writes in-system, drain async)
+	// or "pfs" (serve from the parallel file system).
+	Placement string `json:"placement"`
+	// StripeCount is the suggested PFS stripe width for the domain's
+	// dominant transfer size.
+	StripeCount int    `json:"stripe_count"`
+	Reason      string `json:"reason"`
+}
+
+// Profile is the complete predictive-analytics result for one dataset.
+type Profile struct {
+	System string `json:"system"`
+	// Monthly is the calendar-month volume series (January first) — the
+	// finest temporal resolution the frozen aggregate state carries.
+	Monthly  Series       `json:"monthly"`
+	Burst    BurstModel   `json:"burst"`
+	Forecast Forecast     `json:"forecast"`
+	Layers   []LayerMix   `json:"layers"`
+	Apps     []AppProfile `json:"apps"`
+	// Replay is the closed-loop validation: the campaign re-costed under
+	// the recommended placement. Nil until WithReplay attaches it.
+	Replay *ReplayOutcome `json:"replay,omitempty"`
+}
+
+// monthLabel names a (possibly extrapolated) January-first month index.
+func monthLabel(i int) string {
+	name := time.Month(i%12 + 1).String()[:3]
+	if i >= 12 {
+		return name + "+1y"
+	}
+	return name
+}
+
+// writeHeavyShare is the write fraction above which a domain's traffic
+// is staged on the in-system layer rather than aimed at the PFS.
+const writeHeavyShare = 0.6
+
+// FromReport mines a report into a Profile: the monthly series, its
+// burst/gap model and forecast, the per-layer mix, and per-app placement
+// hints. The result is deterministic and safe to cache by dataset
+// generation.
+func FromReport(r *analysis.Report) *Profile {
+	p := &Profile{System: r.Summary.System}
+
+	p.Monthly = Series{Resolution: "month", Buckets: make([]Bucket, 12)}
+	for i := 0; i < 12; i++ {
+		p.Monthly.Buckets[i] = Bucket{
+			Index: i, Label: monthLabel(i),
+			Logs: r.MonthlyLogs[i], Bytes: canon(r.MonthlyBytes[i]),
+		}
+	}
+	p.Burst = DetectBursts(p.Monthly.Volumes(), BurstFactor)
+	p.Forecast = ForecastNext(p.Burst, monthLabel)
+
+	for _, lr := range r.Layers {
+		read, write := lr.Stats.Bytes[analysis.Read], lr.Stats.Bytes[analysis.Write]
+		mix := LayerMix{
+			Layer: lr.Layer, Kind: lr.Kind.String(), Files: lr.Stats.Files,
+			ReadBytes: canon(read), WriteBytes: canon(write),
+			BusySeconds: canon(lr.Stats.IOTime[analysis.Read] + lr.Stats.IOTime[analysis.Write]),
+		}
+		if total := read + write; total > 0 {
+			mix.ReadShare = canon(read / total)
+		}
+		p.Layers = append(p.Layers, mix)
+	}
+
+	baseStripes := stripesForBin(dominantPFSBin(r))
+	var totalDomain float64
+	for _, d := range r.Domains {
+		totalDomain += d.InSystemBytes[0] + d.InSystemBytes[1] + d.StdioBytes[0] + d.StdioBytes[1]
+	}
+	shares := make([]float64, 0, len(r.Domains))
+	for _, d := range r.Domains {
+		if totalDomain > 0 {
+			shares = append(shares, (d.InSystemBytes[0]+d.InSystemBytes[1]+d.StdioBytes[0]+d.StdioBytes[1])/totalDomain)
+		} else {
+			shares = append(shares, 0)
+		}
+	}
+	medShare := 0.0
+	if len(shares) > 0 {
+		medShare = median(shares)
+	}
+	for i, d := range r.Domains {
+		read := d.InSystemBytes[0] + d.StdioBytes[0]
+		write := d.InSystemBytes[1] + d.StdioBytes[1]
+		app := AppProfile{
+			Domain: d.Domain, Jobs: d.Jobs,
+			ReadBytes: canon(read), WriteBytes: canon(write),
+			VolumeShare: canon(shares[i]),
+		}
+		if total := read + write; total > 0 {
+			app.WriteShare = canon(write / total)
+		}
+		app.Placement, app.Reason = placementFor(app.WriteShare)
+		app.StripeCount = baseStripes
+		if shares[i] < medShare {
+			// Light apps get narrower stripes: wide striping buys nothing
+			// below the per-server transfer size and costs metadata.
+			app.StripeCount = max(1, baseStripes/2)
+		}
+		p.Apps = append(p.Apps, app)
+	}
+	return p
+}
+
+func placementFor(writeShare float64) (string, string) {
+	if writeShare >= writeHeavyShare {
+		return "burst-buffer",
+			"write-heavy: stage bursts on the in-system layer and drain to the PFS asynchronously"
+	}
+	return "pfs",
+		"read-dominated: serve from the PFS; prewarm the in-system layer only for repeated hot files"
+}
+
+// median of a non-empty slice (input is copied, not mutated).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	// insertion sort: series are tiny and this avoids importing sort for
+	// floats with a comparator allocation.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}
+
+// MAPE is the mean absolute percentage error of pred against actual,
+// skipping windows with zero actual volume (relative error is undefined
+// there). Slices must be equal length; no comparable windows yields 0.
+func MAPE(pred, actual []float64) float64 {
+	var sum float64
+	n := 0
+	for i, a := range actual {
+		if a == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-a) / a
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,325 @@
+package predict
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/iosim"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/stats"
+	"iolayers/internal/units"
+)
+
+func TestCanonCollapsesPartitionNoise(t *testing.T) {
+	// Two sums of the same values in different orders differ in the last
+	// bits; canon must map both to the same number.
+	a := 1e15 + 0.37
+	b := a * (1 + 1e-13)
+	if canon(a) != canon(b) {
+		t.Errorf("canon(%v) = %v != canon(%v) = %v", a, canon(a), b, canon(b))
+	}
+	if canon(0) != 0 {
+		t.Errorf("canon(0) = %v", canon(0))
+	}
+	if canon(123.456) != 123.456 {
+		t.Errorf("canon(123.456) = %v, want unchanged", canon(123.456))
+	}
+	// Negative values round symmetrically.
+	if canon(-a) != -canon(a) {
+		t.Errorf("canon(-x) = %v, want %v", canon(-a), -canon(a))
+	}
+}
+
+func TestDetectBurstsRegularCadence(t *testing.T) {
+	// Quiet months of 1 GB with 10 GB bursts every three months.
+	g := 1e9
+	vol := []float64{g, g, g, 10 * g, g, g, 10 * g, g, g, 10 * g, g, g}
+	m := DetectBursts(vol, BurstFactor)
+	if want := canon(2 * g); m.ThresholdBytes != want {
+		t.Errorf("threshold = %v, want %v", m.ThresholdBytes, want)
+	}
+	if len(m.BurstIndices) != 3 || m.BurstIndices[0] != 3 || m.BurstIndices[1] != 6 || m.BurstIndices[2] != 9 {
+		t.Fatalf("burst indices = %v, want [3 6 9]", m.BurstIndices)
+	}
+	if m.MeanGap != 3 || m.GapStd != 0 {
+		t.Errorf("gap model = (%v, %v), want (3, 0)", m.MeanGap, m.GapStd)
+	}
+	if m.MeanVolume != canon(10*g) || m.VolumeStd != 0 {
+		t.Errorf("volume model = (%v, %v)", m.MeanVolume, m.VolumeStd)
+	}
+
+	f := ForecastNext(m, monthLabel)
+	if f.NextIndex != 12 {
+		t.Errorf("next index = %d, want 12", f.NextIndex)
+	}
+	if f.NextLabel != "Jan+1y" {
+		t.Errorf("next label = %q, want Jan+1y", f.NextLabel)
+	}
+	if f.Confidence != 1 {
+		t.Errorf("confidence = %v, want 1 for a perfectly regular cadence", f.Confidence)
+	}
+	if f.ExpectedBytes != canon(10*g) {
+		t.Errorf("expected = %v", f.ExpectedBytes)
+	}
+	// Zero volume sigma still yields an honest band: a quarter of the mean.
+	if f.LowBytes != canon(7.5*g) || f.HighBytes != canon(12.5*g) {
+		t.Errorf("band = [%v, %v], want [7.5e9, 1.25e10]", f.LowBytes, f.HighBytes)
+	}
+}
+
+func TestDetectBurstsEdgeCases(t *testing.T) {
+	if m := DetectBursts(nil, 0); m.Bursts() != 0 {
+		t.Errorf("empty series found bursts: %v", m.BurstIndices)
+	}
+	f := ForecastNext(BurstModel{}, nil)
+	if f.NextIndex != -1 || f.Confidence != 0 {
+		t.Errorf("no-burst forecast = %+v, want NextIndex -1", f)
+	}
+
+	// A single burst gives direction without cadence.
+	m := DetectBursts([]float64{1, 1, 8}, BurstFactor)
+	if m.Bursts() != 1 || m.BurstIndices[0] != 2 {
+		t.Fatalf("burst indices = %v, want [2]", m.BurstIndices)
+	}
+	f = ForecastNext(m, nil)
+	if f.NextIndex != 3 {
+		t.Errorf("single-burst next index = %d, want 3 (one bucket on)", f.NextIndex)
+	}
+	if f.Confidence != 0.5 {
+		t.Errorf("single-burst confidence = %v, want 0.5", f.Confidence)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	if got := MAPE([]float64{110, 90}, []float64{100, 100}); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MAPE = %v, want 0.1", got)
+	}
+	// Zero-actual windows are skipped, not divided by.
+	if got := MAPE([]float64{5, 110}, []float64{0, 100}); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MAPE with zero actual = %v, want 0.1", got)
+	}
+	if got := MAPE([]float64{5}, []float64{0}); got != 0 {
+		t.Errorf("MAPE with no comparable windows = %v, want 0", got)
+	}
+}
+
+// testReport builds a small but fully-populated report by hand: a PFS
+// layer dominated by sub-100M writes (cheap to stage in-system) and two
+// domains with opposite read/write balances.
+func testReport() *analysis.Report {
+	r := &analysis.Report{}
+	r.Summary.System = "Summit"
+	g := 1e9
+	for i := range r.MonthlyBytes {
+		r.MonthlyBytes[i] = g
+		r.MonthlyLogs[i] = 10
+	}
+	r.MonthlyBytes[5] = 12 * g // one clear burst
+	r.MonthlyLogs[5] = 40
+
+	pfsHist := [2]*stats.Histogram{stats.NewHistogram(int(units.NumTransferBins)), stats.NewHistogram(int(units.NumTransferBins))}
+	pfsHist[analysis.Write].Add(int(units.TransferTo100M), 500)
+	pfsHist[analysis.Read].Add(int(units.TransferTo1G), 50)
+	r.Layers[0] = analysis.LayerReport{
+		Layer: "Alpine", Kind: iosim.ParallelFS,
+		Stats: &analysis.LayerStats{
+			Files:        550,
+			Bytes:        [2]float64{5 * g, 20 * g},
+			IOTime:       [2]float64{100, 900},
+			TransferHist: pfsHist,
+		},
+	}
+	insHist := [2]*stats.Histogram{stats.NewHistogram(int(units.NumTransferBins)), stats.NewHistogram(int(units.NumTransferBins))}
+	insHist[analysis.Read].Add(int(units.TransferTo100M), 200)
+	r.Layers[1] = analysis.LayerReport{
+		Layer: "SCNL", Kind: iosim.InSystem,
+		Stats: &analysis.LayerStats{
+			Files:        200,
+			Bytes:        [2]float64{2 * g, 0},
+			IOTime:       [2]float64{10, 0},
+			TransferHist: insHist,
+		},
+	}
+	r.Domains = []analysis.DomainReport{
+		{Domain: "Chemistry", Jobs: 30, InSystemBytes: [2]float64{9 * g, g}},
+		{Domain: "Physics", Jobs: 50, InSystemBytes: [2]float64{g, 8 * g}, StdioBytes: [2]float64{0, g}},
+	}
+	return r
+}
+
+func TestFromReportPlacementAndStripes(t *testing.T) {
+	p := FromReport(testReport())
+	if p.System != "Summit" {
+		t.Errorf("system = %q", p.System)
+	}
+	if len(p.Apps) != 2 {
+		t.Fatalf("apps = %d, want 2", len(p.Apps))
+	}
+	byName := map[string]AppProfile{}
+	for _, a := range p.Apps {
+		byName[a.Domain] = a
+	}
+	if a := byName["Physics"]; a.Placement != "burst-buffer" {
+		t.Errorf("write-heavy Physics placement = %q, want burst-buffer (write share %v)", a.Placement, a.WriteShare)
+	}
+	if a := byName["Chemistry"]; a.Placement != "pfs" {
+		t.Errorf("read-heavy Chemistry placement = %q, want pfs", a.Placement)
+	}
+	// Dominant PFS bin is <100M -> base stripe suggestion of 1.
+	for _, a := range p.Apps {
+		if a.StripeCount != 1 {
+			t.Errorf("%s stripes = %d, want 1 for sub-100M dominant transfers", a.Domain, a.StripeCount)
+		}
+	}
+	if p.Burst.Bursts() != 1 || p.Burst.BurstIndices[0] != 5 {
+		t.Errorf("burst indices = %v, want [5]", p.Burst.BurstIndices)
+	}
+	if p.Forecast.NextLabel != "Jul" {
+		t.Errorf("next label = %q, want Jul", p.Forecast.NextLabel)
+	}
+	if len(p.Layers) != 2 || p.Layers[0].Layer != "Alpine" || p.Layers[1].Layer != "SCNL" {
+		t.Errorf("layers = %+v", p.Layers)
+	}
+	if p.Layers[0].ReadShare != canon(5.0/25.0) {
+		t.Errorf("Alpine read share = %v, want 0.2", p.Layers[0].ReadShare)
+	}
+}
+
+func TestFromReportByteIdentityUnderPartitionNoise(t *testing.T) {
+	r1, r2 := testReport(), testReport()
+	// Simulate partition-order float noise: relative perturbations far
+	// below canon's nine significant digits.
+	for i := range r2.MonthlyBytes {
+		r2.MonthlyBytes[i] *= 1 + 1e-13
+	}
+	for l := range r2.Layers {
+		for d := 0; d < 2; d++ {
+			r2.Layers[l].Stats.Bytes[d] *= 1 - 1e-13
+			r2.Layers[l].Stats.IOTime[d] *= 1 + 1e-13
+		}
+	}
+	sys := systems.NewSummit()
+	j1, err := json.Marshal(FromReport(r1).WithReplay(sys, r1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(FromReport(r2).WithReplay(sys, r2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Errorf("profiles differ under sub-canon perturbation:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestReplayBeatsBaseline(t *testing.T) {
+	r := testReport()
+	sys := systems.NewSummit()
+	out := Replay(sys, r)
+	if out.BaselineSec <= 0 {
+		t.Fatalf("baseline = %v, want > 0", out.BaselineSec)
+	}
+	if out.RecommendedSec > out.BaselineSec {
+		t.Errorf("recommended %v > baseline %v: recommendations made things worse", out.RecommendedSec, out.BaselineSec)
+	}
+	// Summit's small PFS writes are strictly cheaper on SCNL, so moves
+	// must exist and the win must be strict.
+	if out.MovedFiles == 0 || len(out.Moves) == 0 {
+		t.Fatalf("no moves recommended: %+v", out)
+	}
+	if out.RecommendedSec >= out.BaselineSec {
+		t.Errorf("moves exist but no strict improvement: %v >= %v", out.RecommendedSec, out.BaselineSec)
+	}
+	if out.ImprovementFrac <= 0 || out.ImprovementFrac >= 1 {
+		t.Errorf("improvement fraction = %v, want (0, 1)", out.ImprovementFrac)
+	}
+	for _, mv := range out.Moves {
+		if mv.ToSec >= moveMargin*mv.FromSec {
+			t.Errorf("move %+v violates the margin", mv)
+		}
+		if mv.From != sys.PFS.Name() || mv.To != sys.InSystem.Name() {
+			t.Errorf("move endpoints = %s -> %s", mv.From, mv.To)
+		}
+	}
+	// Determinism: the replay is a fixed-seed model.
+	again := Replay(sys, r)
+	if again.BaselineSec != out.BaselineSec || again.RecommendedSec != out.RecommendedSec {
+		t.Errorf("replay not deterministic: %+v vs %+v", again, out)
+	}
+}
+
+// diurnalHours builds a periodic hourly series: a fixed hour-of-day shape
+// scaled by a day-of-week factor, exactly the model family Seasonal fits.
+func diurnalHours(n int) []HourBucket {
+	dow := [7]float64{0.5, 1, 1.2, 1.2, 1.2, 1, 0.6}
+	out := make([]HourBucket, n)
+	for i := range out {
+		h := int64(i)
+		shape := 100 + 50*float64((h%24+6)%24) // sawtooth over the day
+		v := int64(shape * dow[dayOfWeek(h)] * 1e6)
+		out[i] = HourBucket{Hour: h, Logs: 1, ReadBytes: v / 2, WriteBytes: v - v/2}
+	}
+	return out
+}
+
+func TestSeasonalHoldout(t *testing.T) {
+	hours := diurnalHours(24 * 28) // four weeks
+	train := 24 * 21               // three train, one holdout
+	mape := HoldoutMAPE(hours, train)
+	if mape > 0.01 {
+		t.Errorf("holdout MAPE on an exactly-seasonal series = %v, want ~0", mape)
+	}
+
+	// Destroy the seasonality in the holdout window: error must blow up,
+	// proving the measure can fail.
+	broken := append([]HourBucket(nil), hours...)
+	for i := train; i < len(broken); i++ {
+		broken[i].ReadBytes *= 10
+		broken[i].WriteBytes *= 10
+	}
+	if m := HoldoutMAPE(broken, train); m < 0.5 {
+		t.Errorf("holdout MAPE on a broken series = %v, want large", m)
+	}
+
+	s := FitSeasonal(hours[:train])
+	if s.Mean <= 0 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// Sunday (factor 0.5) must predict below the same hour on Wednesday.
+	sunday := int64(3 * 24)    // hour 0 was Thursday; +3 days = Sunday
+	wednesday := int64(6 * 24) // +6 days = Wednesday
+	if s.Predict(sunday) >= s.Predict(wednesday) {
+		t.Errorf("Sunday %v >= Wednesday %v: day factors not learned",
+			s.Predict(sunday), s.Predict(wednesday))
+	}
+}
+
+func TestBinSize(t *testing.T) {
+	for b := units.TransferBin(0); b < units.NumTransferBins; b++ {
+		sz := binSize(b)
+		if sz <= 0 {
+			t.Errorf("binSize(%v) = %v", b, sz)
+		}
+		if b > 0 && sz <= binSize(b-1) {
+			t.Errorf("binSize not increasing at %v", b)
+		}
+	}
+}
+
+func TestProfileText(t *testing.T) {
+	r := testReport()
+	p := FromReport(r).WithReplay(systems.NewSummit(), r)
+	text := p.Text()
+	for _, want := range []string{"Predictive analytics", "bursts: 1", "next burst: Jul",
+		"placement hints:", "burst-buffer", "replay validation:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("section missing %q:\n%s", want, text)
+		}
+	}
+	if text != p.Text() {
+		t.Error("Text() not deterministic")
+	}
+}

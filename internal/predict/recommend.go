@@ -1,0 +1,200 @@
+package predict
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"iolayers/internal/analysis"
+	"iolayers/internal/iosim"
+	"iolayers/internal/units"
+)
+
+// replaySeed fixes the RNG stream the replay cost model draws layer
+// variability from, so the same report and system always re-cost to the
+// same seconds.
+const replaySeed = 0x10c4572a9e3779b9
+
+// replayDraws is how many variability draws each per-file cost averages
+// over; enough to keep a marginal bin from flipping on noise.
+const replayDraws = 16
+
+// moveMargin: a bin only moves when the target layer beats the source by
+// at least this factor, so recommendations survive the variability the
+// cost model itself carries.
+const moveMargin = 0.9
+
+// Move is one placement decision of the recommender: every file in one
+// (direction, transfer-size bin) cell relocating from one layer to
+// another, with the modeled per-file costs that justify it.
+type Move struct {
+	Direction string `json:"direction"`
+	Bin       string `json:"bin"`
+	Files     uint64 `json:"files"`
+	From      string `json:"from"`
+	To        string `json:"to"`
+	// FromSec/ToSec are the modeled per-file service times on each layer.
+	FromSec float64 `json:"from_sec"`
+	ToSec   float64 `json:"to_sec"`
+	// GainSec is the aggregate time the move saves.
+	GainSec float64 `json:"gain_sec"`
+}
+
+// ReplayOutcome is the closed-loop validation result: the observed file
+// population re-costed through the iosim layer models under the original
+// placement and under the recommended one.
+type ReplayOutcome struct {
+	// BaselineSec is the modeled aggregate I/O time with every file on
+	// its observed layer; RecommendedSec with the Moves applied.
+	BaselineSec    float64 `json:"baseline_sec"`
+	RecommendedSec float64 `json:"recommended_sec"`
+	// ImprovementFrac is (baseline - recommended) / baseline.
+	ImprovementFrac float64 `json:"improvement_frac"`
+	MovedFiles      uint64  `json:"moved_files"`
+	Moves           []Move  `json:"moves,omitempty"`
+}
+
+// binSize returns the representative (geometric-mean) file size for a
+// transfer bin; the unbounded top bin uses 2 TiB.
+func binSize(b units.TransferBin) units.ByteSize {
+	lo := float64(1)
+	if b > 0 {
+		lo = float64((b - 1).UpperEdge()) + 1
+	}
+	hi := float64(2 * units.TiB)
+	if b < units.TransferOver1T {
+		hi = float64(b.UpperEdge())
+	}
+	return units.ByteSize(math.Sqrt(lo * hi))
+}
+
+// costPerFile models one file's service time on a layer: the mean of
+// replayDraws Transfer evaluations under a stream seeded by the cell
+// identity, so the estimate is deterministic and layer-order independent.
+func costPerFile(layer iosim.Layer, d analysis.Direction, b units.TransferBin, kind iosim.LayerKind) float64 {
+	cell := uint64(d)<<8 | uint64(b)<<4 | uint64(kind)
+	rng := rand.New(rand.NewPCG(replaySeed, cell))
+	rw := iosim.Read
+	if d == analysis.Write {
+		rw = iosim.Write
+	}
+	path := layer.Mount() + "/predict/replay.dat"
+	size := binSize(b)
+	var sum float64
+	for i := 0; i < replayDraws; i++ {
+		sum += layer.Transfer(path, rw, size, 1, rng)
+	}
+	return sum / replayDraws
+}
+
+// Replay re-costs the report's observed per-layer file populations
+// through the system's layer models, then applies the recommender's
+// placement rule — move a PFS-resident (direction, bin) cell to the
+// in-system layer when the modeled cost there beats the PFS by the move
+// margin — and reports both totals. Bins above 1 TiB never move: staging
+// capacity is finite and the paper's burst buffers are sized for bursts,
+// not archives.
+//
+// Because a cell only moves when it is strictly cheaper, RecommendedSec
+// <= BaselineSec always, and strictly less whenever any move exists —
+// the property the predicttest harness pins.
+func Replay(sys *iosim.System, r *analysis.Report) *ReplayOutcome {
+	out := &ReplayOutcome{}
+	layers := map[iosim.LayerKind]iosim.Layer{
+		iosim.ParallelFS: sys.PFS,
+		iosim.InSystem:   sys.InSystem,
+	}
+	for _, lr := range r.Layers {
+		layer := layers[lr.Kind]
+		for d := analysis.Read; d <= analysis.Write; d++ {
+			hist := lr.Stats.TransferHist[d]
+			if hist == nil {
+				continue
+			}
+			for bi, n := range hist.Counts {
+				if n == 0 {
+					continue
+				}
+				bin := units.TransferBin(bi)
+				base := costPerFile(layer, d, bin, lr.Kind)
+				out.BaselineSec += base * float64(n)
+				rec := base
+				if lr.Kind == iosim.ParallelFS && bin < units.TransferOver1T {
+					alt := costPerFile(sys.InSystem, d, bin, lr.Kind)
+					if alt < moveMargin*base {
+						rec = alt
+						out.MovedFiles += n
+						out.Moves = append(out.Moves, Move{
+							Direction: d.String(),
+							Bin:       bin.String(),
+							Files:     n,
+							From:      sys.PFS.Name(),
+							To:        sys.InSystem.Name(),
+							FromSec:   canon(base),
+							ToSec:     canon(alt),
+							GainSec:   canon((base - alt) * float64(n)),
+						})
+					}
+				}
+				out.RecommendedSec += rec * float64(n)
+			}
+		}
+	}
+	if out.BaselineSec > 0 {
+		out.ImprovementFrac = canon((out.BaselineSec - out.RecommendedSec) / out.BaselineSec)
+	}
+	out.BaselineSec = canon(out.BaselineSec)
+	out.RecommendedSec = canon(out.RecommendedSec)
+	return out
+}
+
+// WithReplay attaches the closed-loop replay to the profile and returns
+// it, for call sites that can name the system model.
+func (p *Profile) WithReplay(sys *iosim.System, r *analysis.Report) *Profile {
+	p.Replay = Replay(sys, r)
+	return p
+}
+
+// dominantPFSBin finds the transfer bin holding the most PFS files
+// (reads and writes combined) — the size the stripe suggestion targets.
+func dominantPFSBin(r *analysis.Report) units.TransferBin {
+	var counts [units.NumTransferBins]uint64
+	for _, lr := range r.Layers {
+		if lr.Kind != iosim.ParallelFS {
+			continue
+		}
+		for d := analysis.Read; d <= analysis.Write; d++ {
+			if h := lr.Stats.TransferHist[d]; h != nil {
+				for i, n := range h.Counts {
+					counts[i] += n
+				}
+			}
+		}
+	}
+	best := units.TransferTo100M
+	for b := units.TransferBin(1); b < units.NumTransferBins; b++ {
+		if counts[b] > counts[best] {
+			best = b
+		}
+	}
+	return best
+}
+
+// stripesForBin maps a dominant transfer size to a stripe-count
+// suggestion: one server per ~1 GiB of typical transfer, on the usual
+// powers-of-two ladder.
+func stripesForBin(b units.TransferBin) int {
+	switch b {
+	case units.TransferTo100M:
+		return 1
+	case units.TransferTo1G:
+		return 4
+	case units.TransferTo10G:
+		return 8
+	case units.TransferTo100G:
+		return 16
+	case units.TransferTo1T:
+		return 32
+	default:
+		return 64
+	}
+}

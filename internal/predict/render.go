@@ -1,0 +1,88 @@
+package predict
+
+import (
+	"fmt"
+	"strings"
+
+	"iolayers/internal/units"
+)
+
+// Document is the versioned /v1/predict wire envelope. Field order is
+// fixed by the struct and the service marshals with deterministic
+// indentation, so the same dataset generation always yields the same
+// bytes — through a router, from any replica, at any worker count.
+type Document struct {
+	SchemaVersion int      `json:"schema_version"`
+	Dataset       string   `json:"dataset"`
+	System        string   `json:"system"`
+	Generation    uint64   `json:"generation"`
+	Profile       *Profile `json:"profile"`
+}
+
+// NewDocument wraps a profile in the wire envelope.
+func NewDocument(dataset string, gen uint64, p *Profile) *Document {
+	return &Document{
+		SchemaVersion: SchemaVersion,
+		Dataset:       dataset,
+		System:        p.System,
+		Generation:    gen,
+		Profile:       p,
+	}
+}
+
+func fmtBytes(v float64) string {
+	if v < 0 {
+		v = 0
+	}
+	return units.ByteSize(v).String()
+}
+
+// Text renders the profile as the human-readable "predict" report
+// section. Output is a pure function of the profile.
+func (p *Profile) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Predictive analytics — %s (schema v%d)\n", p.System, SchemaVersion)
+
+	active := 0
+	for _, bk := range p.Monthly.Buckets {
+		if bk.Bytes > 0 {
+			active++
+		}
+	}
+	fmt.Fprintf(&b, "  monthly series: %d active of %d months, burst threshold %s (%.1fx median)\n",
+		active, len(p.Monthly.Buckets), fmtBytes(p.Burst.ThresholdBytes), BurstFactor)
+	if n := p.Burst.Bursts(); n > 0 {
+		labels := make([]string, n)
+		for i, idx := range p.Burst.BurstIndices {
+			labels[i] = p.Monthly.Buckets[idx].Label
+		}
+		fmt.Fprintf(&b, "  bursts: %d (%s), mean volume %s, mean gap %.2f months (σ %.2f)\n",
+			n, strings.Join(labels, ", "), fmtBytes(p.Burst.MeanVolume), p.Burst.MeanGap, p.Burst.GapStd)
+		fmt.Fprintf(&b, "  next burst: %s — expected %s in [%s, %s], confidence %.2f\n",
+			p.Forecast.NextLabel, fmtBytes(p.Forecast.ExpectedBytes),
+			fmtBytes(p.Forecast.LowBytes), fmtBytes(p.Forecast.HighBytes), p.Forecast.Confidence)
+	} else {
+		b.WriteString("  bursts: none detected — volume is flat at this resolution\n")
+	}
+
+	b.WriteString("  layer mix:\n")
+	for _, l := range p.Layers {
+		fmt.Fprintf(&b, "    %-8s %-9s files %8d  read %s  write %s  read share %5.1f%%  busy %.2fs\n",
+			l.Layer, "("+l.Kind+")", l.Files, fmtBytes(l.ReadBytes), fmtBytes(l.WriteBytes),
+			l.ReadShare*100, l.BusySeconds)
+	}
+
+	if len(p.Apps) > 0 {
+		b.WriteString("  placement hints:\n")
+		for _, a := range p.Apps {
+			fmt.Fprintf(&b, "    %-12s %-12s stripes %2d  write share %5.1f%%  volume share %5.1f%%  (%s)\n",
+				a.Domain, a.Placement, a.StripeCount, a.WriteShare*100, a.VolumeShare*100, a.Reason)
+		}
+	}
+
+	if rp := p.Replay; rp != nil {
+		fmt.Fprintf(&b, "  replay validation: baseline %.3fs -> recommended %.3fs (%.1f%% better), %d files staged across %d moves\n",
+			rp.BaselineSec, rp.RecommendedSec, rp.ImprovementFrac*100, rp.MovedFiles, len(rp.Moves))
+	}
+	return b.String()
+}

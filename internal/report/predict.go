@@ -1,0 +1,20 @@
+package report
+
+import (
+	"iolayers/internal/analysis"
+	"iolayers/internal/iosim/systems"
+	"iolayers/internal/predict"
+)
+
+// Predict renders the predictive-analytics section: the monthly burst
+// model and forecast, the per-layer mix, per-app placement hints, and —
+// when the report's system has a model — the closed-loop replay of the
+// recommendations. Registered as the "predict" section; excluded from
+// Everything so default report bytes are unchanged.
+func Predict(r *analysis.Report) string {
+	p := predict.FromReport(r)
+	if sys := systems.ByName(r.Summary.System); sys != nil {
+		p = p.WithReplay(sys, r)
+	}
+	return p.Text()
+}

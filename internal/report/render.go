@@ -84,6 +84,7 @@ var sectionDefs = []sectionDef{
 	{"tuning", Tuning, false},
 	{"temporal", Temporal, false},
 	{"users", Users, false},
+	{"predict", Predict, false},
 }
 
 // sectionAliases maps historical experiment names from iostudy onto

@@ -5,13 +5,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"iolayers/internal/core"
+	"iolayers/internal/httpapi"
 	"iolayers/internal/iosim/systems"
 	"iolayers/internal/obsv"
+	"iolayers/internal/predict"
 	"iolayers/internal/report"
 )
 
@@ -99,17 +102,19 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		io.WriteString(w, "ok\n")
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /v1", s.instrumented("index", s.handleIndex))
 	s.mux.HandleFunc("GET /v1/datasets", s.bounded("datasets", s.handleDatasets))
 	s.mux.HandleFunc("GET /v1/report/{dataset}", s.bounded("report", s.handleReport))
 	s.mux.HandleFunc("GET /v1/compare/{a}/{b}", s.bounded("compare", s.handleCompare))
+	s.mux.HandleFunc("GET /v1/predict/{dataset}", s.bounded("predict", s.handlePredict))
 	s.mux.HandleFunc("POST /v1/ingest", s.instrumented("ingest", s.handleIngest))
 	if cfg.Metrics != nil {
 		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, cfg.Metrics.Snapshot().Text())
+			io.WriteString(w, cfg.Metrics.Snapshot().Text())
 		})
 		s.mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
@@ -137,13 +142,13 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	case !s.ready.Load():
 		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "not ready: recovering")
+		io.WriteString(w, "not ready: recovering\n")
 	case s.store.InMaintenance():
 		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "not ready: maintenance")
+		io.WriteString(w, "not ready: maintenance\n")
 	default:
-		fmt.Fprintln(w, "ready")
+		io.WriteString(w, "ready\n")
 	}
 }
 
@@ -159,8 +164,8 @@ func (s *Server) bounded(name string, fn http.HandlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 		default:
 			s.metrics.Counter("serve.throttled").Add(1)
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusTooManyRequests, "server at capacity, retry shortly")
+			httpapi.WriteErrorRetry(w, http.StatusTooManyRequests, httpapi.CodeOverCapacity,
+				"server at capacity, retry shortly", time.Second)
 			return
 		}
 		s.metrics.Gauge("serve.inflight").Set(float64(len(s.sem)))
@@ -201,9 +206,8 @@ func (s *Server) deadlined(name string, fn http.HandlerFunc) http.HandlerFunc {
 			buf.flush(w)
 		case <-ctx.Done():
 			s.metrics.Counter("serve.query_timeouts").Add(1)
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusServiceUnavailable,
-				fmt.Sprintf("query exceeded the %v server-side deadline", s.queryTimeout))
+			httpapi.WriteErrorRetry(w, http.StatusServiceUnavailable, httpapi.CodeTimeout,
+				fmt.Sprintf("query exceeded the %v server-side deadline", s.queryTimeout), time.Second)
 		}
 	}
 }
@@ -241,29 +245,49 @@ func (s *Server) instrumented(name string, fn http.HandlerFunc) http.HandlerFunc
 	}
 }
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	data, _ := json.Marshal(errorBody{Error: msg})
-	w.Write(append(data, '\n'))
-}
-
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	data, err := MarshalDoc(v)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
 }
 
-func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+// Routes is the machine-readable index of every route ioserved mounts,
+// served at GET /v1 and reused by iorouter (which adds its own cluster
+// routes). Kept here, next to the mux registrations, so the two cannot
+// drift apart silently — the doc-sync test cross-checks docs/api.md
+// against this list.
+func Routes() []httpapi.Route {
+	return []httpapi.Route{
+		{Path: "/healthz", Methods: []string{"GET"}},
+		{Path: "/readyz", Methods: []string{"GET"}},
+		{Path: "/v1", Methods: []string{"GET"}, SchemaVersion: httpapi.IndexSchemaVersion},
+		{Path: "/v1/datasets", Methods: []string{"GET"}, SchemaVersion: report.SchemaVersion},
+		{Path: "/v1/report/{dataset}", Methods: []string{"GET"}, Params: []string{"format", "section"}, SchemaVersion: report.SchemaVersion},
+		{Path: "/v1/compare/{a}/{b}", Methods: []string{"GET"}, SchemaVersion: report.SchemaVersion},
+		{Path: "/v1/predict/{dataset}", Methods: []string{"GET"}, SchemaVersion: predict.SchemaVersion},
+		{Path: "/v1/ingest", Methods: []string{"POST"}, SchemaVersion: report.SchemaVersion},
+		{Path: "/metrics", Methods: []string{"GET"}},
+		{Path: "/metrics.json", Methods: []string{"GET"}},
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if _, err := httpapi.Query(r); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadParam, err.Error())
+		return
+	}
+	s.writeJSON(w, httpapi.BuildIndex("ioserved", Routes()))
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if _, err := httpapi.Query(r); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadParam, err.Error())
+		return
+	}
 	resp := DatasetsDoc{SchemaVersion: report.SchemaVersion, Datasets: []DatasetRow{}}
 	for _, snap := range s.store.List() {
 		resp.Datasets = append(resp.Datasets, RowOf(snap))
@@ -285,18 +309,23 @@ func contentTypeFor(f report.Format) string {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("dataset")
 	if !ValidDatasetName(name) {
-		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dataset name %q", name))
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, fmt.Sprintf("invalid dataset name %q", name))
 		return
 	}
-	format, err := report.ParseFormat(r.URL.Query().Get("format"))
+	params, err := httpapi.Query(r, "format", "section")
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadParam, err.Error())
 		return
 	}
-	section := report.CanonicalSection(r.URL.Query().Get("section"))
+	format, err := report.ParseFormat(params["format"])
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadParam, err.Error())
+		return
+	}
+	section := report.CanonicalSection(params["section"])
 	snap, ok := s.store.Get(name)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no dataset %q", name))
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, fmt.Sprintf("no dataset %q", name))
 		return
 	}
 
@@ -312,23 +341,75 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Counter("serve.cache.misses").Add(1)
 	body, err := report.RenderString(snap.Report, report.Options{Format: format, Section: section})
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadParam, err.Error())
 		return
 	}
 	ctype := contentTypeFor(format)
 	s.cache.Put(key, ctype, []byte(body))
 	w.Header().Set("Content-Type", ctype)
 	w.Header().Set("X-Cache", "miss")
-	fmt.Fprint(w, body)
+	io.WriteString(w, body)
+}
+
+// handlePredict serves the predictive-analytics document for one dataset:
+// the burst model and forecast mined from the frozen aggregate state, the
+// per-app placement hints, and — when the dataset's system has a
+// simulation model — the closed-loop replay of those hints. The document
+// is a pure function of (dataset, generation), so it caches under the
+// generation key exactly like reports and is byte-identical from any
+// replica at any ingest worker count.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("dataset")
+	if !ValidDatasetName(name) {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, fmt.Sprintf("invalid dataset name %q", name))
+		return
+	}
+	if _, err := httpapi.Query(r); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadParam, err.Error())
+		return
+	}
+	snap, ok := s.store.Get(name)
+	if !ok {
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, fmt.Sprintf("no dataset %q", name))
+		return
+	}
+
+	key := fmt.Sprintf("predict|%s|%d", snap.Name, snap.Gen)
+	w.Header().Set("X-Dataset-Generation", fmt.Sprint(snap.Gen))
+	if body, ctype, ok := s.cache.Get(key); ok {
+		s.metrics.Counter("serve.cache.hits").Add(1)
+		w.Header().Set("Content-Type", ctype)
+		w.Header().Set("X-Cache", "hit")
+		w.Write(body)
+		return
+	}
+	s.metrics.Counter("serve.cache.misses").Add(1)
+	p := predict.FromReport(snap.Report)
+	if sys := systems.ByName(snap.System); sys != nil {
+		p = p.WithReplay(sys, snap.Report)
+	}
+	data, err := MarshalDoc(predict.NewDocument(snap.Name, snap.Gen, p))
+	if err != nil {
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
+		return
+	}
+	s.cache.Put(key, "application/json", data)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	w.Write(data)
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	nameA, nameB := r.PathValue("a"), r.PathValue("b")
 	for _, n := range []string{nameA, nameB} {
 		if !ValidDatasetName(n) {
-			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dataset name %q", n))
+			httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, fmt.Sprintf("invalid dataset name %q", n))
 			return
 		}
+	}
+	if _, err := httpapi.Query(r); err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadParam, err.Error())
+		return
 	}
 	snapA, okA := s.store.Get(nameA)
 	snapB, okB := s.store.Get(nameB)
@@ -337,7 +418,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		if okA {
 			missing = nameB
 		}
-		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no dataset %q", missing))
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, fmt.Sprintf("no dataset %q", missing))
 		return
 	}
 
@@ -352,7 +433,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Counter("serve.cache.misses").Add(1)
 	data, err := CompareDocument(RowOf(snapA), RowOf(snapB))
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
 		return
 	}
 	s.cache.Put(key, "application/json", data)
@@ -391,15 +472,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad ingest request: %v", err))
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, fmt.Sprintf("bad ingest request: %v", err))
 		return
 	}
 	if !ValidDatasetName(req.Dataset) {
-		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dataset name %q", req.Dataset))
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, fmt.Sprintf("invalid dataset name %q", req.Dataset))
 		return
 	}
 	if req.Source == "" {
-		s.writeError(w, http.StatusBadRequest, "source is required")
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "source is required")
 		return
 	}
 	systemName := req.System
@@ -408,7 +489,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	sys := systems.ByName(systemName)
 	if sys == nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown system %q", systemName))
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, fmt.Sprintf("unknown system %q", systemName))
 		return
 	}
 
@@ -418,7 +499,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		s.metrics.Counter("serve.ingest.errors").Add(1)
-		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		httpapi.WriteError(w, http.StatusUnprocessableEntity, httpapi.CodeIngestFailed, err.Error())
 		return
 	}
 	s.metrics.Counter("serve.ingest.published").Add(1)

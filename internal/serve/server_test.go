@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"iolayers/internal/core"
+	"iolayers/internal/httpapi"
 	"iolayers/internal/iosim/systems"
 	"iolayers/internal/obsv"
 	"iolayers/internal/report"
@@ -159,9 +160,12 @@ func TestBackpressure429(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra != "1" {
 		t.Errorf("Retry-After = %q", ra)
 	}
-	var e errorBody
-	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-		t.Errorf("429 body not a JSON error: %s", body)
+	env, ok := httpapi.DecodeError(body)
+	if !ok || env.Error.Code != httpapi.CodeOverCapacity {
+		t.Errorf("429 body not an over_capacity envelope: %s", body)
+	}
+	if env.Error.RetryAfterMS != 1000 {
+		t.Errorf("429 retry_after_ms = %d, want 1000", env.Error.RetryAfterMS)
 	}
 	if metrics.Counter("serve.throttled").Value() != 1 {
 		t.Error("throttle counter not bumped")
@@ -197,9 +201,8 @@ func TestMalformedRequests(t *testing.T) {
 			t.Errorf("%s: status %d, want %d (%.80s)", c.url, resp.StatusCode, c.want, body)
 			continue
 		}
-		var e errorBody
-		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-			t.Errorf("%s: error body not JSON: %s", c.url, body)
+		if env, ok := httpapi.DecodeError(body); !ok || env.Error.Message == "" {
+			t.Errorf("%s: error body not an envelope: %s", c.url, body)
 		}
 	}
 

@@ -92,6 +92,31 @@ cmp -s "$TMP/want.json" "$TMP/got.json" \
     || fail "routed fixture report drifted from ioanalyze output"
 echo "load-smoke: routed fixture report is byte-identical to ioanalyze"
 
+# Pre-flight error contract: every error the cluster emits — relayed
+# from a replica or synthesized at the edge — must be the structured
+# envelope with the right code.
+curl -sS -H 'X-API-Key: loadkey-a' "http://$ADDR/v1/report/nosuch" >"$TMP/err404.json"
+grep -q '"code":"not_found"' "$TMP/err404.json" \
+    || fail "routed 404 is not a not_found envelope: $(cat "$TMP/err404.json")"
+curl -sS -H 'X-API-Key: loadkey-a' "http://$ADDR/v1/report/golden?frmt=json" >"$TMP/err400.json"
+grep -q '"code":"bad_param"' "$TMP/err400.json" && grep -q 'frmt' "$TMP/err400.json" \
+    || fail "unknown param is not a bad_param envelope naming the offender: $(cat "$TMP/err400.json")"
+curl -sS "http://$ADDR/v1/predict/golden" >"$TMP/err401.json"
+grep -q '"code":"unauthorized"' "$TMP/err401.json" \
+    || fail "keyless request is not an unauthorized envelope: $(cat "$TMP/err401.json")"
+echo "load-smoke: routed errors all speak the structured envelope"
+
+# And the predict document itself must route: schema-versioned JSON,
+# byte-identical across two fetches through the cluster.
+curl -fsS -H 'X-API-Key: loadkey-a' "http://$ADDR/v1/predict/golden" >"$TMP/predict1.json" \
+    || fail "pre-flight predict fetch failed"
+grep -q '"schema_version"' "$TMP/predict1.json" \
+    || fail "predict document is not schema-versioned: $(head -c 200 "$TMP/predict1.json")"
+curl -fsS -H 'X-API-Key: loadkey-b' "http://$ADDR/v1/predict/golden" >"$TMP/predict2.json"
+cmp -s "$TMP/predict1.json" "$TMP/predict2.json" \
+    || fail "predict document differs across routed fetches"
+echo "load-smoke: routed predict document is stable and schema-versioned"
+
 echo "load-smoke: offering the smoke-1k scenario (scale $SCALE) and gating on slo_baseline.json"
 "$TMP/ioloadtest" -target "http://$ADDR" -scenario scripts/scenarios/smoke_1k.toml \
     -scale "$SCALE" "${DURATION_FLAGS[@]}" \
